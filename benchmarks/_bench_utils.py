@@ -1,0 +1,8 @@
+"""Utilities shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, fn, *args, **kwargs):
+    """Run an experiment function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,23 @@
+"""Ablation — the hardware generator's design-space exploration (paper §6.1)."""
+
+from _bench_utils import run_experiment
+from repro.harness.experiments import ablation_design_space
+
+
+def test_design_space_exploration(benchmark, report):
+    rows = run_experiment(benchmark, ablation_design_space, "Remote Sensing LR")
+    report("Design-space exploration — Remote Sensing LR", rows)
+    chosen = [r for r in rows if r["chosen"]]
+    assert len(chosen) == 1
+    best_cycles = min(r["cycles_per_epoch"] for r in rows)
+    # The generator picks the smallest design within 1% of the best runtime.
+    assert chosen[0]["cycles_per_epoch"] <= best_cycles * 1.01
+    smaller = [r for r in rows if r["threads"] < chosen[0]["threads"]]
+    assert all(r["cycles_per_epoch"] > best_cycles * 1.01 for r in smaller)
+
+
+def test_design_space_lrmf_prefers_single_thread(benchmark, report):
+    rows = run_experiment(benchmark, ablation_design_space, "Netflix")
+    report("Design-space exploration — Netflix (LRMF)", rows)
+    chosen = next(r for r in rows if r["chosen"])
+    assert chosen["threads"] == 1

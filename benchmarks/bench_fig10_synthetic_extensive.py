@@ -1,0 +1,26 @@
+"""Figure 10 — end-to-end speedups on the synthetic extensive (S/E) datasets."""
+
+from _bench_utils import run_experiment
+from repro.harness.experiments import fig10_synthetic_extensive
+
+
+def _row(rows, name):
+    return next(r for r in rows if r["workload"] == name)
+
+
+def test_fig10a_warm_cache(benchmark, report):
+    rows = run_experiment(benchmark, fig10_synthetic_extensive, True)
+    report("Figure 10a — synthetic extensive, warm cache", rows)
+    geomean = _row(rows, "Geomean")
+    assert geomean["dana_speedup"] > geomean["greenplum_speedup"]
+    # S/E Logistic is the headline win; S/E LRMF the weakest, as in the paper.
+    logistic = _row(rows, "S/E Logistic")["dana_speedup"]
+    lrmf = _row(rows, "S/E LRMF")["dana_speedup"]
+    assert logistic > lrmf
+
+
+def test_fig10b_cold_cache(benchmark, report):
+    rows = run_experiment(benchmark, fig10_synthetic_extensive, False)
+    report("Figure 10b — synthetic extensive, cold cache", rows)
+    geomean = _row(rows, "Geomean")
+    assert geomean["dana_speedup"] > 1.0

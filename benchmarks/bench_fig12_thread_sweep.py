@@ -1,0 +1,22 @@
+"""Figure 12 — accelerator runtime versus the merge coefficient (thread count)."""
+
+from _bench_utils import run_experiment
+from repro.harness.experiments import fig12_thread_sweep
+
+
+def _series(rows, workload):
+    return [r["runtime_vs_single_thread"] for r in rows if r["workload"] == workload]
+
+
+def test_fig12_thread_sweep(benchmark, report):
+    rows = run_experiment(benchmark, fig12_thread_sweep)
+    report("Figure 12 — runtime vs merge coefficient (normalised to 1 thread)", rows)
+    # Narrow-model workloads speed up with threads until saturation.
+    for workload in ("Remote Sensing LR", "Remote Sensing SVM"):
+        series = _series(rows, workload)
+        assert series[0] == 1.0
+        assert min(series) < 0.6
+        assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))
+    # LRMF (Netflix) does not benefit from additional threads (paper §7.2).
+    netflix = _series(rows, "Netflix")
+    assert max(netflix) - min(netflix) < 0.1

@@ -1,0 +1,20 @@
+"""Figure 13 — Greenplum performance with varying segment counts."""
+
+from _bench_utils import run_experiment
+from repro.harness.experiments import fig13_greenplum_segments
+from repro.perf import geomean
+
+
+def test_fig13_segment_sweep(benchmark, report):
+    rows = run_experiment(benchmark, fig13_greenplum_segments)
+    report("Figure 13 — Greenplum segment sweep (normalised to 8 segments)", rows)
+    by_segments = {}
+    for row in rows:
+        by_segments.setdefault(row["segments"], []).append(row["speedup_vs_8_segments"])
+    means = {k: geomean(v) for k, v in by_segments.items()}
+    # 8 segments is the sweet spot: both fewer and more segments are slower,
+    # and plain PostgreSQL is the slowest configuration (paper Figure 13).
+    assert means[8] == 1.0
+    assert means[4] <= 1.0
+    assert means[16] < 1.0
+    assert means["postgres"] < means[8]

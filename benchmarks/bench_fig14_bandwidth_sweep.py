@@ -1,0 +1,26 @@
+"""Figure 14 — sensitivity of DAnA's runtime to the FPGA's off-chip bandwidth."""
+
+from _bench_utils import run_experiment
+from repro.harness.experiments import fig14_bandwidth_sweep
+
+
+def test_fig14_bandwidth_sweep(benchmark, report):
+    rows = run_experiment(benchmark, fig14_bandwidth_sweep)
+    report(
+        "Figure 14 — FPGA bandwidth sweep (speedup vs baseline bandwidth)",
+        [r for r in rows if r["workload"] == "Geomean"],
+    )
+    geomeans = {
+        r["bandwidth_scale"]: r["speedup_vs_baseline_bandwidth"]
+        for r in rows
+        if r["workload"] == "Geomean"
+    }
+    # Less bandwidth hurts, more bandwidth helps, monotonically.
+    assert geomeans[0.25] < geomeans[0.5] < geomeans[1.0] <= geomeans[2.0] <= geomeans[4.0]
+    # The compute-bound LRMF workloads are insensitive to bandwidth (paper §7.2).
+    lrmf = {
+        r["bandwidth_scale"]: r["speedup_vs_baseline_bandwidth"]
+        for r in rows
+        if r["workload"] == "S/N LRMF"
+    }
+    assert lrmf[4.0] - lrmf[0.25] < 0.3

@@ -1,0 +1,32 @@
+"""Figure 15 — comparison with out-of-RDBMS libraries (Liblinear, DimmWitted)."""
+
+import pytest
+
+from _bench_utils import run_experiment
+from repro.harness.experiments import fig15_end_to_end, fig15_external_breakdown
+
+
+def test_fig15a_runtime_breakdown(benchmark, report):
+    rows = run_experiment(benchmark, fig15_external_breakdown)
+    report("Figure 15a — external-library runtime breakdown (%)", rows)
+    # Exporting the data out of the RDBMS is a first-order cost for every
+    # workload and always dwarfs the reformatting step (paper Figure 15a);
+    # only the slow external SVM solvers let compute grow past it.
+    for row in rows:
+        assert row["data_export_pct"] > row["data_transform_pct"]
+        assert row["data_export_pct"] >= 20.0
+        total = row["data_export_pct"] + row["data_transform_pct"] + row["compute_pct"]
+        # per-query overhead and rounding keep this just below 100%
+        assert total == pytest.approx(100.0, abs=3.0)
+
+
+def test_fig15c_end_to_end_comparison(benchmark, report):
+    rows = run_experiment(benchmark, fig15_end_to_end)
+    report("Figure 15c — end-to-end speedup over MADlib+PostgreSQL", rows)
+    for row in rows:
+        external = [row[k] for k in ("liblinear", "dimmwitted") if row.get(k)]
+        # DAnA is uniformly faster than the external libraries end-to-end.
+        assert all(row["dana"] > value for value in external)
+        # External SVM solvers lose even to in-database MADlib (paper §7.3).
+        if row["algorithm"] == "svm":
+            assert all(value < 1.0 for value in external)

@@ -1,0 +1,14 @@
+"""Figure 16 — DAnA versus TABLA-generated single-threaded accelerators."""
+
+from _bench_utils import run_experiment
+from repro.harness.experiments import fig16_tabla
+
+
+def test_fig16_tabla_comparison(benchmark, report):
+    rows = run_experiment(benchmark, fig16_tabla)
+    report("Figure 16 — DAnA speedup over TABLA", rows)
+    geomean = next(r for r in rows if r["workload"] == "Geomean")
+    # Paper: DAnA's multi-threading + Striders give ~4x over TABLA on average.
+    assert geomean["dana_speedup_over_tabla"] > 1.5
+    # DAnA never loses to TABLA on any workload.
+    assert all(r["dana_speedup_over_tabla"] >= 0.95 for r in rows)

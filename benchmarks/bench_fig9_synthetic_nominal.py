@@ -1,0 +1,30 @@
+"""Figure 9 — end-to-end speedups on the synthetic nominal (S/N) datasets."""
+
+from _bench_utils import run_experiment
+from repro.harness.experiments import fig9_synthetic_nominal
+
+
+def _row(rows, name):
+    return next(r for r in rows if r["workload"] == name)
+
+
+def test_fig9a_warm_cache(benchmark, report):
+    rows = run_experiment(benchmark, fig9_synthetic_nominal, True)
+    report("Figure 9a — synthetic nominal, warm cache", rows)
+    geomean = _row(rows, "Geomean")
+    # Paper: 13.2x geomean over MADlib+PostgreSQL, 5.0x over Greenplum.
+    assert geomean["dana_speedup"] > 8.0
+    assert geomean["dana_speedup"] > geomean["greenplum_speedup"]
+    # LRMF is DAnA's weakest S/N workload and the one where Greenplum competes.
+    lrmf = _row(rows, "S/N LRMF")
+    assert lrmf["dana_speedup"] == min(
+        r["dana_speedup"] for r in rows if r["workload"] != "Geomean"
+    )
+
+
+def test_fig9b_cold_cache(benchmark, report):
+    rows = run_experiment(benchmark, fig9_synthetic_nominal, False)
+    report("Figure 9b — synthetic nominal, cold cache", rows)
+    warm = _row(fig9_synthetic_nominal(True), "Geomean")["dana_speedup"]
+    cold = _row(rows, "Geomean")["dana_speedup"]
+    assert cold <= warm

@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the functional simulation pipeline itself.
+
+These are not paper figures; they measure the reproduction's own moving
+parts (translation, compilation, accelerated training, MADlib baseline) so
+that regressions in the simulator are visible.
+"""
+
+import numpy as np
+
+from repro.algorithms import Hyperparameters, LinearRegression, LogisticRegression
+from repro.baselines import MADlibRunner
+from repro.compiler import HardwareGenerator, Scheduler
+from repro.core import DAnA
+from repro.data.synthetic import generate_classification
+from repro.hw import DEFAULT_FPGA
+from repro.rdbms import Database, PageLayout
+from repro.translator import translate
+
+
+def _logistic_setup(n_tuples=1000, n_features=32, epochs=5):
+    data = generate_classification(n_tuples, n_features, seed=7)
+    hyper = Hyperparameters(learning_rate=0.3, merge_coefficient=16, epochs=epochs)
+    spec = LogisticRegression().build_spec(n_features, hyper)
+    db = Database(page_size=8 * 1024)
+    db.load_table("train", spec.schema, data)
+    return db, spec, data
+
+
+def test_translate_and_compile(benchmark):
+    """UDF → hDFG → hardware design → static schedule, end to end."""
+    hyper = Hyperparameters(merge_coefficient=16)
+    spec = LinearRegression().build_spec(256, hyper)
+
+    def compile_once():
+        graph = translate(LinearRegression().build_spec(256, hyper).algo)
+        generator = HardwareGenerator(
+            graph, PageLayout(), spec.schema, DEFAULT_FPGA,
+            merge_coefficient=16, n_tuples=100_000,
+        )
+        design = generator.generate()
+        return Scheduler(graph, design.acs_per_thread).schedule()
+
+    schedule = benchmark(compile_once)
+    assert schedule.update_rule_cycles > 0
+
+
+def test_dana_accelerated_training(benchmark):
+    """Full accelerated path: buffer-pool pages → Striders → engine → model."""
+    db, spec, data = _logistic_setup()
+    system = DAnA(db)
+    system.register_udf("logisticR", spec, epochs=5)
+
+    def train():
+        return system.train("logisticR", "train", epochs=5)
+
+    run = benchmark(train)
+    assert LogisticRegression().accuracy(data, run.models) > 0.8
+
+
+def test_madlib_baseline_training(benchmark):
+    """The CPU-side MADlib execution model on the same workload."""
+    db, spec, data = _logistic_setup()
+
+    def train():
+        return MADlibRunner(db, spec, epochs=5).run("train")
+
+    result = benchmark(train)
+    assert LogisticRegression().accuracy(data, result.models) > 0.8
+
+
+def test_buffer_pool_scan_throughput(benchmark):
+    """Sequential scan of a table through the buffer pool."""
+    db, spec, _data = _logistic_setup(n_tuples=4000)
+    table = db.table("train")
+
+    def scan():
+        return sum(1 for _ in table.scan_tuples(db.buffer_pool))
+
+    count = benchmark(scan)
+    assert count == 4000

@@ -1,0 +1,32 @@
+"""Table 2 — the Strider ISA: program generation and raw page-walking rate."""
+
+import numpy as np
+
+from _bench_utils import run_experiment
+from repro.compiler import compile_strider
+from repro.harness.experiments import table2_strider_isa
+from repro.hw.strider import Strider
+from repro.rdbms.page import HeapPage, PageLayout
+from repro.rdbms.types import Schema
+
+
+def test_table2_strider_programs(benchmark, report):
+    rows = run_experiment(benchmark, table2_strider_isa)
+    report("Table 2 — Strider ISA programs per page size", rows)
+    assert all(row["all_words_fit_22_bits"] for row in rows)
+
+
+def test_strider_page_walk_throughput(benchmark):
+    """Micro-benchmark: walking one full 32 KB page with the Strider simulator."""
+    layout = PageLayout(page_size=32 * 1024)
+    schema = Schema.training_schema(54)
+    page = HeapPage(layout)
+    rng = np.random.default_rng(0)
+    while page.has_room(schema):
+        page.insert(schema, rng.normal(size=55).tolist())
+    compiled = compile_strider(layout, schema)
+    strider = Strider(compiled.program)
+    image = page.to_bytes()
+
+    result = benchmark(strider.process_page, image)
+    assert result.stats.tuples_emitted == page.tuple_count

@@ -1,0 +1,11 @@
+"""Table 3 — datasets and machine-learning models used for evaluation."""
+
+from _bench_utils import run_experiment
+from repro.harness.experiments import table3_workloads
+
+
+def test_table3_workloads(benchmark, report):
+    rows = run_experiment(benchmark, table3_workloads)
+    report("Table 3 — workloads", rows)
+    assert len(rows) == 14
+    assert {row["algorithm"] for row in rows} == {"linear", "logistic", "svm", "lrmf"}

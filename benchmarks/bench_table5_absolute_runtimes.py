@@ -1,0 +1,23 @@
+"""Table 5 — absolute runtimes across MADlib+PostgreSQL, Greenplum and DAnA."""
+
+from _bench_utils import run_experiment
+from repro.harness.experiments import table5_absolute_runtimes
+
+
+def test_table5_absolute_runtimes(benchmark, report):
+    rows = run_experiment(benchmark, table5_absolute_runtimes)
+    report(
+        "Table 5 — absolute runtimes (modelled vs paper)",
+        rows,
+        columns=[
+            "workload",
+            "madlib_postgres",
+            "madlib_greenplum",
+            "dana_postgres",
+            "paper_madlib_postgres_s",
+            "paper_dana_postgres_s",
+        ],
+    )
+    # DAnA never loses end-to-end by more than a small margin, as in the paper
+    for row in rows:
+        assert row["dana_postgres_s"] <= row["madlib_postgres_s"] * 1.2

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper through
+:mod:`repro.harness.experiments` and prints the rows (run pytest with
+``-s`` to see them).  The pytest-benchmark fixture wraps the generation so
+the harness also reports how long each experiment takes to reproduce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.tables import format_table
+
+
+@pytest.fixture
+def report():
+    """Print an experiment's rows as an aligned table (visible with -s)."""
+
+    def _report(title: str, rows, columns=None):
+        print()
+        print(format_table(rows, columns=columns, title=title))
+        return rows
+
+    return _report

@@ -1,0 +1,57 @@
+"""Hardware-generator design-space exploration and sensitivity sweeps.
+
+Reproduces, at a glance, the back-end behaviour of §6.1 and the sensitivity
+studies of §7.2: the candidate thread/AC allocations the hardware generator
+considers for a workload, how runtime scales with the merge coefficient
+(Figure 12) and with the FPGA's off-chip bandwidth (Figure 14).
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.data import get_workload
+from repro.harness.experiments import (
+    ablation_design_space,
+    fig12_thread_sweep,
+    fig14_bandwidth_sweep,
+)
+from repro.harness.tables import format_table
+from repro.perf import DAnAModel, epochs_for
+
+
+def main() -> None:
+    workload = get_workload("Remote Sensing LR")
+
+    print("=== Design points considered by the hardware generator ===")
+    rows = ablation_design_space(workload.name)
+    print(format_table(rows, columns=[
+        "threads", "acs_per_thread", "total_aus", "update_rule_cycles",
+        "merge_cycles", "compute_cycles_per_epoch", "data_cycles_per_epoch", "chosen",
+    ]))
+
+    print("\n=== Figure 12: runtime vs merge coefficient ===")
+    rows = fig12_thread_sweep(workload_names=(workload.name, "Netflix"))
+    print(format_table(rows, columns=[
+        "workload", "merge_coefficient", "threads", "runtime_vs_single_thread",
+    ]))
+
+    print("\n=== Figure 14: bandwidth sensitivity (geomean over all workloads) ===")
+    rows = [r for r in fig14_bandwidth_sweep() if r["workload"] == "Geomean"]
+    print(format_table(rows))
+
+    print("\n=== Where does the chosen design spend its per-epoch time? ===")
+    model = DAnAModel()
+    cost = model.epoch_cost(workload)
+    epochs = epochs_for(workload)
+    print(f"workload            : {workload.name} ({epochs} epochs at paper scale)")
+    print(f"compute per epoch   : {cost.compute_seconds * 1e3:8.2f} ms")
+    print(f"data path per epoch : {cost.data_seconds * 1e3:8.2f} ms "
+          f"(striders {cost.detail['strider_seconds'] * 1e3:.2f} ms, "
+          f"AXI {cost.detail['axi_seconds'] * 1e3:.2f} ms)")
+    bound = "bandwidth" if cost.data_seconds > cost.compute_seconds else "compute"
+    print(f"the accelerator is {bound}-bound for this workload")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Under the hood: how a Strider walks a raw PostgreSQL-style page.
+
+This example shows the lowest layer of DAnA: the compiler turns the page
+layout + table schema into a 22-bit Strider instruction sequence (Table 2),
+and the Strider executes it against the binary page image to extract,
+cleanse and emit the training tuples — no CPU involved.
+
+Run with:  python examples/strider_page_walk.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler import compile_strider
+from repro.hw.access_engine import PayloadDecoder
+from repro.hw.strider import Strider
+from repro.rdbms import HeapPage, PageLayout, Schema
+
+
+def main() -> None:
+    layout = PageLayout(page_size=8 * 1024)
+    schema = Schema.training_schema(6)
+
+    # Fill one slotted heap page with training tuples.
+    rng = np.random.default_rng(1)
+    page = HeapPage(layout)
+    rows = rng.normal(size=(12, 7)).round(3)
+    for row in rows:
+        page.insert(schema, row.tolist())
+    image = page.to_bytes()
+    print(f"Page: {layout.page_size} bytes, {page.tuple_count} tuples, "
+          f"{page.free_space} bytes free")
+    print(f"Raw page header bytes: {image[:24].hex()}\n")
+
+    # Compile the Strider program for this page layout and schema.
+    compiled = compile_strider(layout, schema)
+    print("Generated Strider program (Table 2 ISA):")
+    print(compiled.program.to_assembly())
+    words = compiled.program.encode()
+    print(f"\nEncoded: {len(words)} x 22-bit instructions "
+          f"({[hex(w) for w in words[:4]]} ...)")
+
+    # Execute it against the raw page image.
+    strider = Strider(compiled.program, read_width_bytes=8)
+    result = strider.process_page(image)
+    print(f"\nStrider run: {result.stats.instructions_executed} instructions, "
+          f"{result.stats.cycles} cycles, {result.stats.tuples_emitted} tuples emitted, "
+          f"{result.stats.bytes_emitted} payload bytes")
+
+    decoder = PayloadDecoder(schema)
+    extracted = decoder.decode_many(result.payloads)
+    print("\nFirst three cleansed tuples handed to the execution engine:")
+    print(np.round(extracted[:3], 3))
+    print("\nFirst three tuples as loaded:")
+    print(np.round(rows[:3], 3))
+    assert np.allclose(extracted, rows, atol=1e-3)
+    print("\nByte-exact extraction straight from the buffer-pool page image.")
+
+
+if __name__ == "__main__":
+    main()

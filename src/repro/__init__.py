@@ -1,0 +1,30 @@
+"""repro — reproduction of "In-RDBMS Hardware Acceleration of Advanced Analytics".
+
+The package implements DAnA (VLDB 2018) end to end as a functional +
+cycle-approximate simulation:
+
+* :mod:`repro.dsl` / :mod:`repro.dana` — the Python-embedded DSL for
+  expressing update rules, merge functions and convergence criteria;
+* :mod:`repro.translator` — UDF → hierarchical DataFlow Graph;
+* :mod:`repro.compiler` — Strider compiler, static scheduler and hardware
+  generator;
+* :mod:`repro.isa` — the Strider and execution-engine instruction sets;
+* :mod:`repro.hw` — simulation of the accelerator (Striders, access engine,
+  analytic clusters/units, tree bus) on a VU9P-class FPGA;
+* :mod:`repro.rdbms` — a miniature PostgreSQL-style storage engine (pages,
+  buffer pool, catalog, SQL front end with UDF support);
+* :mod:`repro.algorithms` — Linear/Logistic Regression, SVM and LRMF;
+* :mod:`repro.baselines` — MADlib-, Greenplum- and external-library-style
+  functional baselines;
+* :mod:`repro.perf` — calibrated analytical runtime models used to
+  regenerate the paper's tables and figures;
+* :mod:`repro.core` — the DAnA facade and an end-to-end workload runner;
+* :mod:`repro.harness` — experiment registry used by ``benchmarks/``.
+"""
+
+from repro import dana
+from repro.core import DAnA, WorkloadRunner
+
+__version__ = "1.0.0"
+
+__all__ = ["DAnA", "WorkloadRunner", "dana", "__version__"]

@@ -1,0 +1,21 @@
+"""Machine-learning algorithms evaluated in the paper, expressed in the DSL."""
+
+from repro.algorithms.base import Algorithm, AlgorithmSpec, Hyperparameters
+from repro.algorithms.linear_regression import LinearRegression
+from repro.algorithms.logistic_regression import LogisticRegression
+from repro.algorithms.lrmf import LowRankMatrixFactorization
+from repro.algorithms.registry import algorithm_keys, get_algorithm, register_algorithm
+from repro.algorithms.svm import SupportVectorMachine
+
+__all__ = [
+    "Algorithm",
+    "AlgorithmSpec",
+    "Hyperparameters",
+    "LinearRegression",
+    "LogisticRegression",
+    "LowRankMatrixFactorization",
+    "SupportVectorMachine",
+    "algorithm_keys",
+    "get_algorithm",
+    "register_algorithm",
+]

@@ -1,0 +1,96 @@
+"""Logistic regression trained with (mini-batch) gradient descent."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro import dana
+from repro.algorithms.base import Algorithm, AlgorithmSpec, Hyperparameters
+from repro.rdbms.types import Schema
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+class LogisticRegression(Algorithm):
+    """Binary logistic regression (labels in {0, 1}) via gradient descent."""
+
+    key = "logistic"
+    display_name = "Logistic Regression"
+
+    def build_spec(
+        self, n_features: int, hyper: Hyperparameters, model_topology: tuple[int, ...] = ()
+    ) -> AlgorithmSpec:
+        mc = max(1, hyper.merge_coefficient)
+        mo = dana.model([n_features], name="mo")
+        x = dana.input([n_features], name="x")
+        y = dana.output(name="y")
+        lr = dana.meta(hyper.learning_rate, name="lr")
+        coeff = dana.meta(float(mc), name="merge_coef")
+
+        algo = dana.algo(mo, x, y, name="logisticR")
+        s = dana.sigma(mo * x, 1)
+        pred = dana.sigmoid(s)
+        er = pred - y
+        grad = er * x
+        if hyper.regularization > 0.0:
+            lam = dana.meta(hyper.regularization, name="lambda")
+            grad = grad + lam * mo
+        merged = algo.merge(grad, mc, "+")
+        up = lr * (merged / coeff)
+        algo.setModel(mo - up)
+        if hyper.convergence_tolerance is not None:
+            tol = dana.meta(hyper.convergence_tolerance, name="tol")
+            algo.setConvergence(dana.norm(merged, 1) < tol)
+        algo.setEpochs(max(1, hyper.epochs))
+
+        schema = Schema.training_schema(n_features)
+
+        def bind(row: np.ndarray) -> dict[str, np.ndarray | float]:
+            return {"x": row[:n_features], "y": float(row[n_features])}
+
+        return AlgorithmSpec(
+            name=self.key,
+            algo=algo,
+            schema=schema,
+            bind_tuple=bind,
+            initial_models={"mo": np.zeros(n_features)},
+            hyperparameters=hyper,
+            model_topology=(n_features,),
+        )
+
+    def reference_fit(
+        self, data: np.ndarray, hyper: Hyperparameters, epochs: int
+    ) -> dict[str, np.ndarray]:
+        n_features = data.shape[1] - 1
+        X, y = data[:, :n_features], data[:, n_features]
+        w = np.zeros(n_features)
+        batch = max(1, hyper.merge_coefficient)
+        for _ in range(epochs):
+            for start in range(0, len(X), batch):
+                xb, yb = X[start : start + batch], y[start : start + batch]
+                grad = (_sigmoid(xb @ w) - yb) @ xb
+                if hyper.regularization > 0.0:
+                    grad = grad + len(xb) * hyper.regularization * w
+                w = w - hyper.learning_rate * grad / batch
+        return {"mo": w}
+
+    def loss(self, data: np.ndarray, models: Mapping[str, np.ndarray]) -> float:
+        n_features = data.shape[1] - 1
+        X, y = data[:, :n_features], data[:, n_features]
+        p = np.clip(_sigmoid(X @ np.asarray(models["mo"])), 1e-12, 1 - 1e-12)
+        return float(-np.mean(y * np.log(p) + (1 - y) * np.log(1 - p)))
+
+    def accuracy(self, data: np.ndarray, models: Mapping[str, np.ndarray]) -> float:
+        """Classification accuracy with a 0.5 decision threshold."""
+        n_features = data.shape[1] - 1
+        X, y = data[:, :n_features], data[:, n_features]
+        pred = (_sigmoid(X @ np.asarray(models["mo"])) >= 0.5).astype(float)
+        return float(np.mean(pred == y))
+
+    def flops_per_tuple(self, n_features: int) -> int:
+        # dot product + sigmoid (≈10 flops) + gradient + update
+        return 5 * n_features + 12

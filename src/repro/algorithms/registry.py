@@ -1,0 +1,51 @@
+"""Registry mapping algorithm keys to implementations."""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.algorithms.base import Algorithm
+from repro.algorithms.linear_regression import LinearRegression
+from repro.algorithms.logistic_regression import LogisticRegression
+from repro.algorithms.lrmf import LowRankMatrixFactorization
+from repro.algorithms.svm import SupportVectorMachine
+
+_REGISTRY: dict[str, type[Algorithm]] = {
+    LinearRegression.key: LinearRegression,
+    LogisticRegression.key: LogisticRegression,
+    SupportVectorMachine.key: SupportVectorMachine,
+    LowRankMatrixFactorization.key: LowRankMatrixFactorization,
+}
+
+# Aliases used by the paper's workload names.
+_ALIASES = {
+    "linear regression": "linear",
+    "logistic regression": "logistic",
+    "support vector machine": "svm",
+    "low rank matrix factorization": "lrmf",
+    "lr": "logistic",
+}
+
+
+def algorithm_keys() -> list[str]:
+    """All registered algorithm keys."""
+    return sorted(_REGISTRY)
+
+
+def get_algorithm(key: str) -> Algorithm:
+    """Instantiate the algorithm registered under ``key`` (or an alias)."""
+    normalized = key.strip().lower()
+    normalized = _ALIASES.get(normalized, normalized)
+    try:
+        return _REGISTRY[normalized]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {key!r}; available: {algorithm_keys()}"
+        ) from None
+
+
+def register_algorithm(cls: type[Algorithm]) -> type[Algorithm]:
+    """Register a user-defined algorithm class (decorator-friendly)."""
+    if not issubclass(cls, Algorithm):
+        raise ConfigurationError(f"{cls!r} is not an Algorithm subclass")
+    _REGISTRY[cls.key] = cls
+    return cls

@@ -1,0 +1,101 @@
+"""Linear Support Vector Machine trained with sub-gradient descent.
+
+The hinge-loss sub-gradient for a tuple ``(x, y)`` with ``y ∈ {-1, +1}`` is
+``-y·x`` whenever ``y·(w·x) < 1`` and ``0`` otherwise, plus the L2
+regularisation term.  The data-dependent indicator is expressed with the
+DSL's ``<`` primary operation, which the execution engine evaluates as a
+0/1 mask — no control flow is needed on the accelerator.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro import dana
+from repro.algorithms.base import Algorithm, AlgorithmSpec, Hyperparameters
+from repro.rdbms.types import Schema
+
+
+class SupportVectorMachine(Algorithm):
+    """Linear SVM (labels in {-1, +1}) via mini-batch sub-gradient descent."""
+
+    key = "svm"
+    display_name = "Support Vector Machine"
+
+    def build_spec(
+        self, n_features: int, hyper: Hyperparameters, model_topology: tuple[int, ...] = ()
+    ) -> AlgorithmSpec:
+        mc = max(1, hyper.merge_coefficient)
+        mo = dana.model([n_features], name="mo")
+        x = dana.input([n_features], name="x")
+        y = dana.output(name="y")
+        lr = dana.meta(hyper.learning_rate, name="lr")
+        lam = dana.meta(max(hyper.regularization, 1e-4), name="lambda")
+        coeff = dana.meta(float(mc), name="merge_coef")
+        one = dana.meta(1.0, name="one")
+
+        algo = dana.algo(mo, x, y, name="svm")
+        margin = y * dana.sigma(mo * x, 1)
+        violates = margin < one                 # 1.0 when the tuple is inside the margin
+        hinge_grad = (violates * (0.0 - y)) * x
+        grad = hinge_grad + lam * mo
+        merged = algo.merge(grad, mc, "+")
+        up = lr * (merged / coeff)
+        algo.setModel(mo - up)
+        if hyper.convergence_tolerance is not None:
+            tol = dana.meta(hyper.convergence_tolerance, name="tol")
+            algo.setConvergence(dana.norm(merged, 1) < tol)
+        algo.setEpochs(max(1, hyper.epochs))
+
+        schema = Schema.training_schema(n_features)
+
+        def bind(row: np.ndarray) -> dict[str, np.ndarray | float]:
+            return {"x": row[:n_features], "y": float(row[n_features])}
+
+        return AlgorithmSpec(
+            name=self.key,
+            algo=algo,
+            schema=schema,
+            bind_tuple=bind,
+            initial_models={"mo": np.zeros(n_features)},
+            hyperparameters=hyper,
+            model_topology=(n_features,),
+        )
+
+    def reference_fit(
+        self, data: np.ndarray, hyper: Hyperparameters, epochs: int
+    ) -> dict[str, np.ndarray]:
+        n_features = data.shape[1] - 1
+        X, y = data[:, :n_features], data[:, n_features]
+        lam = max(hyper.regularization, 1e-4)
+        w = np.zeros(n_features)
+        batch = max(1, hyper.merge_coefficient)
+        for _ in range(epochs):
+            for start in range(0, len(X), batch):
+                xb, yb = X[start : start + batch], y[start : start + batch]
+                margins = yb * (xb @ w)
+                mask = (margins < 1.0).astype(float)
+                grad = (mask * -yb) @ xb + len(xb) * lam * w
+                w = w - hyper.learning_rate * grad / batch
+        return {"mo": w}
+
+    def loss(self, data: np.ndarray, models: Mapping[str, np.ndarray]) -> float:
+        n_features = data.shape[1] - 1
+        X, y = data[:, :n_features], data[:, n_features]
+        w = np.asarray(models["mo"])
+        hinge = np.maximum(0.0, 1.0 - y * (X @ w))
+        return float(np.mean(hinge) + 0.5 * 1e-4 * float(w @ w))
+
+    def accuracy(self, data: np.ndarray, models: Mapping[str, np.ndarray]) -> float:
+        """Classification accuracy using the sign of the decision value."""
+        n_features = data.shape[1] - 1
+        X, y = data[:, :n_features], data[:, n_features]
+        pred = np.sign(X @ np.asarray(models["mo"]))
+        pred[pred == 0] = 1.0
+        return float(np.mean(pred == y))
+
+    def flops_per_tuple(self, n_features: int) -> int:
+        # dot product + margin test + masked gradient + regularisation + update
+        return 7 * n_features + 4

@@ -1,0 +1,22 @@
+"""Functional baselines: MADlib, Greenplum and out-of-RDBMS libraries.
+
+The analytical runtime models of these systems live in :mod:`repro.perf`;
+this package provides *functional* runners that actually train models over
+the miniature RDBMS so that result quality and buffer-pool behaviour can be
+compared against DAnA's accelerator.
+"""
+
+from repro.baselines.external import ExternalLibraryRunner, ExternalResult
+from repro.baselines.greenplum import GreenplumResult, GreenplumRunner, register_greenplum_udf
+from repro.baselines.madlib import MADlibResult, MADlibRunner, register_madlib_udf
+
+__all__ = [
+    "ExternalLibraryRunner",
+    "ExternalResult",
+    "GreenplumResult",
+    "GreenplumRunner",
+    "MADlibResult",
+    "MADlibRunner",
+    "register_greenplum_udf",
+    "register_madlib_udf",
+]

@@ -1,0 +1,116 @@
+"""Out-of-RDBMS library baselines (Liblinear- and DimmWitted-style).
+
+Running analytics outside the database requires three phases (Figure 15):
+
+1. **data export** — the training table is copied out of the RDBMS (here:
+   a full scan through the buffer pool that materialises a text-like row
+   representation, which is what ``COPY TO`` does);
+2. **data transform** — the exported rows are parsed into the library's
+   in-memory format;
+3. **compute** — the library's own multi-core solver trains the model.
+
+The functional runner performs all three phases so that trained-model
+quality can be compared against the in-database systems, and it reports
+per-phase counters that mirror the paper's runtime breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms import Hyperparameters, get_algorithm
+from repro.exceptions import ConfigurationError
+from repro.rdbms.database import Database
+
+
+@dataclass
+class ExternalPhaseStats:
+    """Bytes and tuples handled by each phase of the external pipeline."""
+
+    exported_tuples: int = 0
+    exported_bytes: int = 0
+    transformed_tuples: int = 0
+    compute_epochs: int = 0
+
+
+@dataclass
+class ExternalResult:
+    models: dict[str, np.ndarray]
+    stats: ExternalPhaseStats = field(default_factory=ExternalPhaseStats)
+
+
+class ExternalLibraryRunner:
+    """Functional model of exporting a table and training it externally."""
+
+    #: algorithms each library supports (paper §7.3)
+    SUPPORT = {
+        "liblinear": ("logistic", "svm"),
+        "dimmwitted": ("logistic", "svm", "linear"),
+    }
+
+    def __init__(
+        self,
+        database: Database,
+        library: str,
+        algorithm_key: str,
+        hyper: Hyperparameters,
+        epochs: int = 1,
+    ) -> None:
+        library = library.lower()
+        if library not in self.SUPPORT:
+            raise ConfigurationError(f"unknown external library {library!r}")
+        if algorithm_key not in self.SUPPORT[library]:
+            raise ConfigurationError(
+                f"{library} does not support the {algorithm_key!r} algorithm"
+            )
+        self.database = database
+        self.library = library
+        self.algorithm = get_algorithm(algorithm_key)
+        self.hyper = hyper
+        self.epochs = epochs
+
+    @property
+    def system_name(self) -> str:
+        return f"{self.library.capitalize()}+PostgreSQL"
+
+    # ------------------------------------------------------------------ #
+    # the three phases
+    # ------------------------------------------------------------------ #
+    def export(self, table_name: str) -> tuple[list[str], ExternalPhaseStats]:
+        """Phase 1: COPY the table out of the database as text rows."""
+        table = self.database.table(table_name)
+        stats = ExternalPhaseStats()
+        lines = []
+        for row in table.scan_tuples(self.database.buffer_pool):
+            line = ",".join(f"{value:.6g}" for value in row)
+            lines.append(line)
+            stats.exported_tuples += 1
+            stats.exported_bytes += len(line) + 1
+        return lines, stats
+
+    def transform(self, lines: list[str]) -> np.ndarray:
+        """Phase 2: parse the exported text back into the library's format."""
+        rows = [
+            np.fromiter((float(field) for field in line.split(",")), dtype=np.float64)
+            for line in lines
+        ]
+        if not rows:
+            return np.empty((0, 0))
+        return np.vstack(rows)
+
+    def compute(self, data: np.ndarray) -> dict[str, np.ndarray]:
+        """Phase 3: the library's own training loop."""
+        return self.algorithm.reference_fit(data, self.hyper, self.epochs)
+
+    # ------------------------------------------------------------------ #
+    # end-to-end
+    # ------------------------------------------------------------------ #
+    def run(self, table_name: str) -> ExternalResult:
+        lines, stats = self.export(table_name)
+        data = self.transform(lines)
+        stats.transformed_tuples = len(data)
+        models = self.compute(data)
+        stats.compute_epochs = self.epochs
+        return ExternalResult(models=models, stats=stats)

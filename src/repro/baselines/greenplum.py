@@ -1,0 +1,148 @@
+"""Greenplum-style segment-parallel MADlib baseline (functional).
+
+Greenplum hash-distributes the training table across segments; MADlib then
+trains one partial model per segment each pass and merges them (model
+averaging), which is the classic UDA ``transition / merge / final``
+execution.  The functional runner reproduces that structure: the table is
+range-partitioned across ``segments`` partitions, each partition trains on
+its slice with the shared hDFG evaluator, and the per-segment models are
+averaged at the end of every epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms import Hyperparameters, get_algorithm
+from repro.algorithms.base import AlgorithmSpec
+from repro.baselines.madlib import MADlibRunner
+from repro.rdbms.database import Database
+from repro.rdbms.query import QueryResult
+
+
+@dataclass
+class GreenplumStats:
+    segments: int = 0
+    epochs_run: int = 0
+    tuples_processed: int = 0
+    merges_performed: int = 0
+
+
+@dataclass
+class GreenplumResult:
+    models: dict[str, np.ndarray]
+    stats: GreenplumStats = field(default_factory=GreenplumStats)
+
+
+class GreenplumRunner:
+    """Segment-parallel MADlib training over the miniature RDBMS."""
+
+    def __init__(
+        self,
+        database: Database,
+        spec: AlgorithmSpec,
+        segments: int = 8,
+        epochs: int | None = None,
+    ) -> None:
+        if segments < 1:
+            raise ValueError("Greenplum needs at least one segment")
+        self.database = database
+        self.spec = spec
+        self.segments = segments
+        self.epochs = epochs if epochs is not None else spec.algo.convergence.epoch_bound
+
+    @property
+    def system_name(self) -> str:
+        return f"MADlib+Greenplum({self.segments})"
+
+    def run(self, table_name: str) -> GreenplumResult:
+        table = self.database.table(table_name)
+        rows = table.read_all(self.database.buffer_pool)
+        partitions = self._partition(rows)
+        models = {
+            k: np.array(v, dtype=np.float64) for k, v in self.spec.initial_models.items()
+        }
+        stats = GreenplumStats(segments=self.segments)
+        # A single-epoch MADlib runner per segment, re-seeded with the merged
+        # model at every epoch boundary (the UDA merge/final functions).
+        single_epoch_spec = self.spec
+        for _epoch in range(self.epochs):
+            segment_models = []
+            for part in partitions:
+                if len(part) == 0:
+                    continue
+                runner = _InMemoryMADlib(single_epoch_spec)
+                segment_models.append(runner.train_epoch(part, models))
+                stats.tuples_processed += len(part)
+            if segment_models:
+                models = self._merge_models(segment_models)
+                stats.merges_performed += 1
+            stats.epochs_run += 1
+        return GreenplumResult(models=models, stats=stats)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _partition(self, rows: np.ndarray) -> list[np.ndarray]:
+        """Round-robin distribution of tuples across segments."""
+        return [rows[i :: self.segments] for i in range(self.segments)]
+
+    def _merge_models(self, segment_models: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+        merged: dict[str, np.ndarray] = {}
+        for name in segment_models[0]:
+            merged[name] = np.mean([m[name] for m in segment_models], axis=0)
+        return merged
+
+
+class _InMemoryMADlib:
+    """One segment's transition function: a MADlib epoch over an array."""
+
+    def __init__(self, spec: AlgorithmSpec) -> None:
+        self.spec = spec
+        from repro.translator import HDFGEvaluator, translate
+
+        self.graph = translate(spec.algo) if not hasattr(spec, "_graph_cache") else spec._graph_cache
+        self.evaluator = HDFGEvaluator(self.graph)
+        self._madlib = MADlibRunner.__new__(MADlibRunner)
+        self._madlib.spec = spec
+        self._madlib.graph = self.graph
+        self._madlib.evaluator = self.evaluator
+
+    def train_epoch(self, rows: np.ndarray, models: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        local = {k: np.array(v, dtype=np.float64) for k, v in models.items()}
+        batch = max(1, self.spec.hyperparameters.merge_coefficient)
+        has_merge = bool(self.graph.merge_node_ids)
+        step = batch if has_merge else 1
+        for start in range(0, len(rows), step):
+            self._madlib._apply_batch(rows[start : start + step], local)
+        return local
+
+
+def register_greenplum_udf(
+    database: Database,
+    udf_name: str,
+    algorithm_key: str,
+    n_features: int,
+    hyper: Hyperparameters,
+    segments: int = 8,
+    model_topology: tuple[int, ...] = (),
+    epochs: int | None = None,
+) -> None:
+    """Register ``dana.<udf_name>`` as a Greenplum-style segment-parallel UDF."""
+    algorithm = get_algorithm(algorithm_key)
+    spec = algorithm.build_spec(n_features, hyper, model_topology)
+
+    def handler(db: Database, table_name: str) -> QueryResult:
+        runner = GreenplumRunner(db, spec, segments=segments, epochs=epochs)
+        result = runner.run(table_name)
+        rows = [(name, value.tolist()) for name, value in result.models.items()]
+        return QueryResult(
+            rows=rows,
+            columns=("model", "coefficients"),
+            payload=result,
+            stats={"system": runner.system_name},
+        )
+
+    database.register_udf(udf_name, handler)

@@ -1,0 +1,165 @@
+"""MADlib-style in-database training baseline (functional).
+
+Apache MADlib runs learning algorithms as user-defined aggregates inside
+the database: the executor scans the training table through the buffer
+pool and feeds every tuple to the UDF's transition function, once per
+epoch.  This module reproduces that execution model faithfully on the
+miniature RDBMS — pages move through the buffer pool, tuples are decoded
+one at a time, and the update rule is applied on the CPU — so its trained
+models can be compared against DAnA's and its buffer-pool/I/O behaviour
+feeds the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms import Hyperparameters, get_algorithm
+from repro.algorithms.base import AlgorithmSpec
+from repro.hw.execution_engine import TrainingResult
+from repro.rdbms.database import Database
+from repro.rdbms.query import QueryResult
+from repro.translator import HDFGEvaluator, Region, translate
+
+
+@dataclass
+class MADlibStats:
+    """Execution counters of one MADlib-style training run."""
+
+    tuples_processed: int = 0
+    epochs_run: int = 0
+    pages_scanned: int = 0
+    buffer_pool_hits: int = 0
+    buffer_pool_misses: int = 0
+
+
+@dataclass
+class MADlibResult:
+    """Outcome of a MADlib-style run: trained model plus counters."""
+
+    models: dict[str, np.ndarray]
+    stats: MADlibStats = field(default_factory=MADlibStats)
+    converged: bool = False
+
+
+class MADlibRunner:
+    """Trains one algorithm over a table with the MADlib execution model."""
+
+    system_name = "MADlib+PostgreSQL"
+
+    def __init__(self, database: Database, spec: AlgorithmSpec, epochs: int | None = None) -> None:
+        self.database = database
+        self.spec = spec
+        self.epochs = epochs if epochs is not None else spec.algo.convergence.epoch_bound
+        self.graph = translate(spec.algo)
+        self.evaluator = HDFGEvaluator(self.graph)
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def run(self, table_name: str) -> MADlibResult:
+        table = self.database.table(table_name)
+        pool = self.database.buffer_pool
+        models = {k: np.array(v, dtype=np.float64) for k, v in self.spec.initial_models.items()}
+        stats = MADlibStats()
+        batch = max(1, self.spec.hyperparameters.merge_coefficient)
+        has_merge = bool(self.graph.merge_node_ids)
+        for _epoch in range(self.epochs):
+            rows = []
+            for row in table.scan_tuples(pool):
+                rows.append(row)
+                if len(rows) == (batch if has_merge else 1):
+                    self._apply_batch(np.asarray(rows, dtype=np.float64), models)
+                    stats.tuples_processed += len(rows)
+                    rows = []
+            if rows:
+                self._apply_batch(np.asarray(rows, dtype=np.float64), models)
+                stats.tuples_processed += len(rows)
+            stats.epochs_run += 1
+        stats.pages_scanned = table.page_count * stats.epochs_run
+        stats.buffer_pool_hits = pool.stats.hits
+        stats.buffer_pool_misses = pool.stats.misses
+        return MADlibResult(models=models, stats=stats)
+
+    def _apply_batch(self, batch: np.ndarray, models: dict[str, np.ndarray]) -> None:
+        """Evaluate the update rule for a batch and fold it into the model.
+
+        The computation is identical to DAnA's (same hDFG, same evaluator),
+        only the execution substrate differs: here everything runs on the
+        "CPU", tuple by tuple.
+        """
+        per_tuple_envs = []
+        for row in batch:
+            bindings = dict(self.spec.bind_tuple(row))
+            for name, value in models.items():
+                bindings.setdefault(name, value)
+            env = self.evaluator.initial_env(bindings)
+            env = self.evaluator.evaluate(env, [Region.UPDATE_RULE])
+            per_tuple_envs.append(env)
+
+        if not self.graph.merge_node_ids:
+            for env in per_tuple_envs:
+                env = self.evaluator.evaluate(env, [Region.UPDATE_RULE, Region.POST_MERGE])
+                self._write_back(env, models)
+            return
+
+        lead = per_tuple_envs[0]
+        for merge_id in self.graph.merge_node_ids:
+            node = self.graph.node(merge_id)
+            operand = node.inputs[0]
+            values = [env[operand] for env in per_tuple_envs if operand in env]
+            lead[merge_id] = self.evaluator.aggregate_merge(node, values)
+        lead = self.evaluator.evaluate(lead, [Region.UPDATE_RULE, Region.POST_MERGE])
+        self._write_back(lead, models)
+
+    def _write_back(self, env: dict, models: dict[str, np.ndarray]) -> None:
+        for name, value in self.evaluator.model_results(env).items():
+            current = models.get(name)
+            if current is None or value.shape == current.shape:
+                models[name] = value
+                continue
+            row_index = self._gather_row(name, env)
+            if row_index is not None:
+                updated = current.copy()
+                updated[row_index] = value
+                models[name] = updated
+
+    def _gather_row(self, model_name: str, env: dict) -> int | None:
+        from repro.translator.hdfg import NodeKind
+
+        model_node_ids = {b.node_id for b in self.graph.bindings if b.name == model_name}
+        for node in self.graph.nodes():
+            if node.kind is NodeKind.GATHER and node.inputs[0] in model_node_ids:
+                index_value = env.get(node.inputs[1])
+                if index_value is not None:
+                    return int(round(float(np.asarray(index_value))))
+        return None
+
+
+def register_madlib_udf(
+    database: Database,
+    udf_name: str,
+    algorithm_key: str,
+    n_features: int,
+    hyper: Hyperparameters,
+    model_topology: tuple[int, ...] = (),
+    epochs: int | None = None,
+) -> None:
+    """Register ``dana.<udf_name>`` as a MADlib-style (CPU) UDF."""
+    algorithm = get_algorithm(algorithm_key)
+    spec = algorithm.build_spec(n_features, hyper, model_topology)
+
+    def handler(db: Database, table_name: str) -> QueryResult:
+        runner = MADlibRunner(db, spec, epochs=epochs)
+        result = runner.run(table_name)
+        rows = [(name, value.tolist()) for name, value in result.models.items()]
+        return QueryResult(
+            rows=rows,
+            columns=("model", "coefficients"),
+            payload=result,
+            stats={"system": MADlibRunner.system_name},
+        )
+
+    database.register_udf(udf_name, handler)

@@ -1,0 +1,44 @@
+"""DAnA back end: Strider compiler, scheduler, hardware generator."""
+
+from repro.compiler.design_space import DesignPoint, DesignSpaceExplorer, WorkloadShape
+from repro.compiler.execution_binary import ExecutionBinary, OperationMapEntry
+from repro.compiler.hardware_generator import (
+    AcceleratorDesign,
+    BRAMAllocation,
+    HardwareGenerator,
+)
+from repro.compiler.scheduler import (
+    AddressMap,
+    ScheduleStats,
+    Scheduler,
+    SubNodeExpander,
+    SubOperation,
+    ThreadSchedule,
+    estimate_region_cycles,
+)
+from repro.compiler.strider_compiler import (
+    StriderCompilationResult,
+    StriderCompiler,
+    compile_strider,
+)
+
+__all__ = [
+    "AcceleratorDesign",
+    "AddressMap",
+    "BRAMAllocation",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "ExecutionBinary",
+    "HardwareGenerator",
+    "OperationMapEntry",
+    "ScheduleStats",
+    "Scheduler",
+    "StriderCompilationResult",
+    "StriderCompiler",
+    "SubNodeExpander",
+    "SubOperation",
+    "ThreadSchedule",
+    "WorkloadShape",
+    "compile_strider",
+    "estimate_region_cycles",
+]

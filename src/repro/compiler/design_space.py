@@ -1,0 +1,173 @@
+"""Design-space exploration for the hardware generator.
+
+"To decide the allocation of resources to each thread vs. number of
+threads, we equip the hardware generator with a performance estimation tool
+that uses the static schedule of the operations for each design point to
+estimate its relative performance.  It chooses the smallest and
+best-performing design point which strikes a balance between the number of
+cycles for data processing and transfer." (paper §6.1)
+
+A design point fixes the number of execution-engine threads (bounded by the
+merge coefficient) and therefore the number of Analytic Clusters available
+to each thread.  For every candidate the estimator combines:
+
+* the compute cycles per epoch — update-rule schedule length per tuple,
+  tree-bus merge cost and post-merge schedule length per batch;
+* the data cycles per epoch — Strider page-walking cycles (parallel across
+  page buffers) and AXI transfer cycles.
+
+Estimation is viable because the hDFG is static, there is no hardware
+managed cache and the architecture is fixed during execution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ResourceError
+from repro.hw.fpga import FPGASpec
+from repro.isa.engine_isa import AUS_PER_CLUSTER
+from repro.translator.hdfg import HDFG, Region
+from repro.compiler.scheduler import estimate_region_cycles
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """The dataset statistics the estimator needs (from the RDBMS catalog)."""
+
+    n_tuples: int
+    tuples_per_page: int
+    page_size: int
+    tuple_bytes: int
+
+    @property
+    def n_pages(self) -> int:
+        return max(1, math.ceil(self.n_tuples / max(1, self.tuples_per_page)))
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate hardware configuration and its estimated performance."""
+
+    threads: int
+    acs_per_thread: int
+    num_striders: int
+    update_rule_cycles: int
+    merge_cycles: int
+    post_merge_cycles: int
+    compute_cycles_per_epoch: float
+    data_cycles_per_epoch: float
+
+    @property
+    def total_aus(self) -> int:
+        return self.threads * self.acs_per_thread * AUS_PER_CLUSTER
+
+    @property
+    def cycles_per_epoch(self) -> float:
+        """Access and execution engines are interleaved, so the slower wins."""
+        return max(self.compute_cycles_per_epoch, self.data_cycles_per_epoch)
+
+    @property
+    def is_bandwidth_bound(self) -> bool:
+        return self.data_cycles_per_epoch > self.compute_cycles_per_epoch
+
+
+class DesignSpaceExplorer:
+    """Enumerates thread-count candidates and picks the best design point."""
+
+    def __init__(
+        self,
+        graph: HDFG,
+        fpga: FPGASpec,
+        workload: WorkloadShape,
+        merge_coefficient: int,
+        strider_cycles_per_page: float,
+        num_striders: int,
+        aus_per_cluster: int = AUS_PER_CLUSTER,
+    ) -> None:
+        self.graph = graph
+        self.fpga = fpga
+        self.workload = workload
+        self.merge_coefficient = max(1, merge_coefficient)
+        self.strider_cycles_per_page = strider_cycles_per_page
+        self.num_striders = max(1, num_striders)
+        self.aus_per_cluster = aus_per_cluster
+
+    # ------------------------------------------------------------------ #
+    # candidate enumeration
+    # ------------------------------------------------------------------ #
+    def candidate_thread_counts(self) -> list[int]:
+        total_acs = self.total_clusters()
+        limit = min(self.merge_coefficient, total_acs)
+        candidates = []
+        t = 1
+        while t <= limit:
+            candidates.append(t)
+            t *= 2
+        if limit not in candidates:
+            candidates.append(limit)
+        return candidates
+
+    def total_clusters(self) -> int:
+        total_aus = self.fpga.max_analytic_units()
+        total_acs = total_aus // self.aus_per_cluster
+        if total_acs < 1:
+            raise ResourceError(
+                f"{self.fpga.name} cannot fit a single analytic cluster"
+            )
+        return total_acs
+
+    # ------------------------------------------------------------------ #
+    # estimation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, threads: int) -> DesignPoint:
+        total_acs = self.total_clusters()
+        acs_per_thread = max(1, total_acs // threads)
+        update_cycles = estimate_region_cycles(
+            self.graph, Region.UPDATE_RULE, acs_per_thread, self.aus_per_cluster
+        )
+        post_merge_cycles = estimate_region_cycles(
+            self.graph, Region.POST_MERGE, acs_per_thread, self.aus_per_cluster
+        )
+        merge_elements = self._merge_element_count()
+        merge_levels = math.ceil(math.log2(threads)) if threads > 1 else 0
+        merge_cycles = merge_levels * math.ceil(merge_elements / self.aus_per_cluster)
+
+        batches = math.ceil(self.workload.n_tuples / threads)
+        compute = batches * (update_cycles + merge_cycles + post_merge_cycles)
+
+        pages = self.workload.n_pages
+        strider_batches = math.ceil(pages / self.num_striders)
+        axi_cycles = pages * self.workload.page_size / max(self.fpga.axi_bytes_per_cycle, 1e-9)
+        data = strider_batches * self.strider_cycles_per_page + axi_cycles
+
+        return DesignPoint(
+            threads=threads,
+            acs_per_thread=acs_per_thread,
+            num_striders=self.num_striders,
+            update_rule_cycles=update_cycles,
+            merge_cycles=merge_cycles,
+            post_merge_cycles=post_merge_cycles,
+            compute_cycles_per_epoch=float(compute),
+            data_cycles_per_epoch=float(data),
+        )
+
+    def explore(self) -> list[DesignPoint]:
+        """Evaluate every candidate thread count."""
+        return [self.evaluate(t) for t in self.candidate_thread_counts()]
+
+    def best(self) -> DesignPoint:
+        """The smallest design point within 1% of the best estimated runtime."""
+        points = self.explore()
+        best_cycles = min(p.cycles_per_epoch for p in points)
+        tolerant = [p for p in points if p.cycles_per_epoch <= best_cycles * 1.01]
+        return min(tolerant, key=lambda p: (p.threads, p.cycles_per_epoch))
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _merge_element_count(self) -> int:
+        if not self.graph.merge_node_ids:
+            return 0
+        return max(self.graph.node(i).element_count for i in self.graph.merge_node_ids)

@@ -1,0 +1,103 @@
+"""Execution binary: everything the RDBMS catalog stores for one UDF.
+
+"The FPGA design, its schedule, operation map, and instructions are then
+stored in the RDBMS catalog.  These components are executed when the query
+calls for the corresponding UDF." (paper §6.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.compiler.hardware_generator import AcceleratorDesign
+from repro.compiler.scheduler import ThreadSchedule
+from repro.compiler.strider_compiler import StriderCompilationResult
+from repro.translator.hdfg import HDFG, NodeKind
+
+
+@dataclass
+class OperationMapEntry:
+    """Where one hDFG node's atomic operations execute."""
+
+    node_id: int
+    node_name: str
+    kind: str
+    element_count: int
+    region: str
+
+
+@dataclass
+class ExecutionBinary:
+    """Bundle of accelerator design + compiled schedules for one UDF."""
+
+    udf_name: str
+    algorithm: str
+    design: AcceleratorDesign
+    strider: StriderCompilationResult
+    thread_schedule: ThreadSchedule
+    graph: HDFG
+    operation_map: list[OperationMapEntry] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        udf_name: str,
+        algorithm: str,
+        design: AcceleratorDesign,
+        strider: StriderCompilationResult,
+        thread_schedule: ThreadSchedule,
+        graph: HDFG,
+        metadata: dict[str, Any] | None = None,
+    ) -> "ExecutionBinary":
+        operation_map = [
+            OperationMapEntry(
+                node_id=node.node_id,
+                node_name=node.name,
+                kind=node.kind.value,
+                element_count=node.element_count,
+                region=node.region.value,
+            )
+            for node in graph.nodes()
+            if not node.is_leaf and node.kind is not NodeKind.UPDATE
+        ]
+        return cls(
+            udf_name=udf_name,
+            algorithm=algorithm,
+            design=design,
+            strider=strider,
+            thread_schedule=thread_schedule,
+            graph=graph,
+            operation_map=operation_map,
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------ #
+    # summary accessors used by reports and tests
+    # ------------------------------------------------------------------ #
+    @property
+    def threads(self) -> int:
+        return self.design.threads
+
+    @property
+    def update_rule_cycles(self) -> int:
+        return self.thread_schedule.update_rule_cycles
+
+    @property
+    def instruction_footprint(self) -> int:
+        return self.thread_schedule.program.instruction_footprint()
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "udf": self.udf_name,
+            "algorithm": self.algorithm,
+            "threads": self.threads,
+            "acs_per_thread": self.design.acs_per_thread,
+            "num_striders": self.design.num_striders,
+            "strider_instructions": self.strider.program.instruction_count(),
+            "engine_instructions": self.instruction_footprint,
+            "update_rule_cycles": self.update_rule_cycles,
+            "post_merge_cycles": self.thread_schedule.post_merge_cycles,
+            "operation_map_entries": len(self.operation_map),
+        }

@@ -1,0 +1,526 @@
+"""Static scheduler: hDFG sub-nodes → selective-SIMD engine schedule.
+
+"The compiler schedules, maps, and generates the micro-instructions for
+both ACs and AUs for each sub-node in the hDFG.  For each node which is
+ready, i.e., all its predecessors have been scheduled, the compiler tries
+to place that operation with the goal to improve throughput." (paper §6.2)
+
+The scheduler decomposes every hDFG node into atomic **sub-operations**
+(one scalar ALU operation each), tracks the data dependencies between them
+through a symbolic address space, and list-schedules them step by step onto
+the Analytic Clusters of one thread:
+
+* elementary / non-linear nodes spread their elements across as many AUs as
+  are available (they are embarrassingly parallel);
+* group operations are decomposed into their inner products plus a pairwise
+  reduction tree, which bounds their critical path by ``ceil(log2(K))``;
+* in any one step an AC issues a single operation (selective SIMD), so
+  ready sub-operations are packed into clusters by operator.
+
+The resulting :class:`~repro.isa.engine_isa.EngineProgram` is both
+executable (the micro-interpreter in the execution-engine simulator runs it
+against a thread's scratchpad) and the source of the cycle counts used by
+the performance model.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import SchedulingError
+from repro.dsl.operations import GROUP_REDUCE_OP, Operator
+from repro.isa.engine_isa import (
+    AUS_PER_CLUSTER,
+    ACInstruction,
+    AUInstruction,
+    AUOperand,
+    DestKind,
+    EngineProgram,
+    EngineStep,
+    SourceKind,
+)
+from repro.translator.hdfg import HDFG, HDFGNode, NodeKind, Region
+
+# ---------------------------------------------------------------------- #
+# symbolic references and the address map
+# ---------------------------------------------------------------------- #
+Ref = tuple  # ("node", node_id, element) | ("tmp", node_id, index) | ("imm", value)
+
+
+def node_ref(node_id: int, element: int) -> Ref:
+    return ("node", node_id, element)
+
+
+def tmp_ref(node_id: int, index: int) -> Ref:
+    return ("tmp", node_id, index)
+
+
+def imm_ref(value: float) -> Ref:
+    return ("imm", float(value))
+
+
+class AddressMap:
+    """Allocates scratchpad addresses for symbolic value references."""
+
+    def __init__(self) -> None:
+        self._addresses: dict[Ref, int] = {}
+
+    def address_of(self, ref: Ref) -> int:
+        if ref[0] == "imm":
+            raise SchedulingError("immediates have no scratchpad address")
+        if ref not in self._addresses:
+            self._addresses[ref] = len(self._addresses)
+        return self._addresses[ref]
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def known(self, ref: Ref) -> bool:
+        return ref in self._addresses
+
+
+@dataclass
+class SubOperation:
+    """One atomic scalar operation to be placed on one AU for one cycle."""
+
+    op: Operator
+    sources: tuple[Ref, ...]
+    dest: Ref
+    node_id: int
+    element_index: int = 0
+
+
+# ---------------------------------------------------------------------- #
+# element-index mapping helpers
+# ---------------------------------------------------------------------- #
+def _ravel(multi: Sequence[int], dims: tuple[int, ...]) -> int:
+    if not dims:
+        return 0
+    return int(np.ravel_multi_index(tuple(multi), dims))
+
+
+def _unravel(index: int, dims: tuple[int, ...]) -> tuple[int, ...]:
+    if not dims:
+        return ()
+    return tuple(int(v) for v in np.unravel_index(index, dims))
+
+
+def broadcast_source_index(out_index: int, out_dims: tuple[int, ...], src_dims: tuple[int, ...]) -> int:
+    """Element of a (possibly replicated) source feeding output ``out_index``."""
+    if not src_dims:
+        return 0
+    multi = _unravel(out_index, out_dims)
+    suffix = multi[len(out_dims) - len(src_dims):]
+    return _ravel(suffix, src_dims)
+
+
+def _insert_axis(multi: tuple[int, ...], axis0: int, value: int) -> tuple[int, ...]:
+    return multi[:axis0] + (value,) + multi[axis0:]
+
+
+# ---------------------------------------------------------------------- #
+# sub-operation generation
+# ---------------------------------------------------------------------- #
+class SubNodeExpander:
+    """Decomposes hDFG nodes into atomic sub-operations."""
+
+    def __init__(self, graph: HDFG) -> None:
+        self.graph = graph
+
+    def expand(self, node: HDFGNode) -> list[SubOperation]:
+        if node.is_leaf or node.kind is NodeKind.UPDATE:
+            return []
+        if node.kind is NodeKind.PRIMARY:
+            return self._expand_primary(node)
+        if node.kind is NodeKind.NONLINEAR:
+            return self._expand_nonlinear(node)
+        if node.kind is NodeKind.GROUP:
+            return self._expand_group(node)
+        if node.kind is NodeKind.GATHER:
+            return self._expand_gather(node)
+        if node.kind is NodeKind.MERGE:
+            return []  # merging happens on the tree bus, outside the thread
+        raise SchedulingError(f"cannot expand node of kind {node.kind}")
+
+    # -- primary / non-linear ------------------------------------------- #
+    def _source_ref(self, src_node: HDFGNode, element: int) -> Ref:
+        if src_node.kind is NodeKind.CONSTANT:
+            return imm_ref(src_node.constant_value)
+        return node_ref(src_node.node_id, element)
+
+    def _expand_primary(self, node: HDFGNode) -> list[SubOperation]:
+        left = self.graph.node(node.inputs[0])
+        right = self.graph.node(node.inputs[1])
+        subs = []
+        for i in range(node.element_count):
+            li = broadcast_source_index(i, node.dims, left.dims)
+            ri = broadcast_source_index(i, node.dims, right.dims)
+            subs.append(
+                SubOperation(
+                    op=node.op,
+                    sources=(self._source_ref(left, li), self._source_ref(right, ri)),
+                    dest=node_ref(node.node_id, i),
+                    node_id=node.node_id,
+                    element_index=i,
+                )
+            )
+        return subs
+
+    def _expand_nonlinear(self, node: HDFGNode) -> list[SubOperation]:
+        operand = self.graph.node(node.inputs[0])
+        subs = []
+        for i in range(node.element_count):
+            si = broadcast_source_index(i, node.dims, operand.dims)
+            subs.append(
+                SubOperation(
+                    op=node.op,
+                    sources=(self._source_ref(operand, si),),
+                    dest=node_ref(node.node_id, i),
+                    node_id=node.node_id,
+                    element_index=i,
+                )
+            )
+        return subs
+
+    def _expand_gather(self, node: HDFGNode) -> list[SubOperation]:
+        # The gathered row is staged by the engine's address-generation phase
+        # into dedicated scratchpad locations; the sub-operations only move it
+        # into the node's output slots (one single-cycle op per element).
+        subs = []
+        for i in range(node.element_count):
+            subs.append(
+                SubOperation(
+                    op=Operator.ADD,
+                    sources=(("gather", node.node_id, i), imm_ref(0.0)),
+                    dest=node_ref(node.node_id, i),
+                    node_id=node.node_id,
+                    element_index=i,
+                )
+            )
+        return subs
+
+    # -- group operations ------------------------------------------------ #
+    def _expand_group(self, node: HDFGNode) -> list[SubOperation]:
+        reduce_op = GROUP_REDUCE_OP[node.op]
+        axis0 = node.axis - 1
+        subs: list[SubOperation] = []
+        tmp_counter = 0
+
+        def new_tmp() -> Ref:
+            nonlocal tmp_counter
+            ref = tmp_ref(node.node_id, tmp_counter)
+            tmp_counter += 1
+            return ref
+
+        inputs = [self.graph.node(i) for i in node.inputs]
+        if len(inputs) == 2 and node.inner_op is not None:
+            left, right = inputs
+            contracted = left.dims[axis0] if left.dims else right.dims[axis0]
+        else:
+            (operand,) = inputs
+            contracted = operand.dims[axis0]
+        out_count = max(1, node.element_count)
+
+        for o in range(out_count):
+            out_multi = _unravel(o, node.dims)
+            partials: list[Ref] = []
+            for k in range(contracted):
+                if len(inputs) == 2 and node.inner_op is not None:
+                    left, right = inputs
+                    li, ri = self._group_input_indices(node, left, right, out_multi, k)
+                    value_ref = new_tmp()
+                    subs.append(
+                        SubOperation(
+                            op=node.inner_op,
+                            sources=(
+                                self._source_ref(left, li),
+                                self._source_ref(right, ri),
+                            ),
+                            dest=value_ref,
+                            node_id=node.node_id,
+                            element_index=o,
+                        )
+                    )
+                else:
+                    (operand,) = inputs
+                    src_multi = _insert_axis(out_multi, axis0, k)
+                    src_index = _ravel(src_multi, operand.dims)
+                    value_ref = self._source_ref(operand, src_index)
+                if node.op is Operator.NORM:
+                    squared = new_tmp()
+                    subs.append(
+                        SubOperation(
+                            op=Operator.MUL,
+                            sources=(value_ref, value_ref),
+                            dest=squared,
+                            node_id=node.node_id,
+                            element_index=o,
+                        )
+                    )
+                    value_ref = squared
+                partials.append(value_ref)
+            # pairwise reduction tree
+            while len(partials) > 1:
+                nxt: list[Ref] = []
+                for i in range(0, len(partials) - 1, 2):
+                    dest = new_tmp()
+                    subs.append(
+                        SubOperation(
+                            op=reduce_op,
+                            sources=(partials[i], partials[i + 1]),
+                            dest=dest,
+                            node_id=node.node_id,
+                            element_index=o,
+                        )
+                    )
+                    nxt.append(dest)
+                if len(partials) % 2 == 1:
+                    nxt.append(partials[-1])
+                partials = nxt
+            final_ref = partials[0]
+            if node.op is Operator.NORM:
+                subs.append(
+                    SubOperation(
+                        op=Operator.SQRT,
+                        sources=(final_ref,),
+                        dest=node_ref(node.node_id, o),
+                        node_id=node.node_id,
+                        element_index=o,
+                    )
+                )
+            else:
+                subs.append(
+                    SubOperation(
+                        op=Operator.ADD,
+                        sources=(final_ref, imm_ref(0.0)),
+                        dest=node_ref(node.node_id, o),
+                        node_id=node.node_id,
+                        element_index=o,
+                    )
+                )
+        return subs
+
+    def _group_input_indices(
+        self,
+        node: HDFGNode,
+        left: HDFGNode,
+        right: HDFGNode,
+        out_multi: tuple[int, ...],
+        k: int,
+    ) -> tuple[int, int]:
+        axis0 = node.axis - 1
+        if not left.dims:
+            return 0, _ravel(_insert_axis(out_multi, axis0, k), right.dims)
+        if not right.dims:
+            return _ravel(_insert_axis(out_multi, axis0, k), left.dims), 0
+        if left.dims == right.dims:
+            src_multi = _insert_axis(out_multi, axis0, k)
+            index = _ravel(src_multi, left.dims)
+            return index, index
+        left_rest_rank = len(left.dims) - 1
+        left_multi = _insert_axis(out_multi[:left_rest_rank], axis0, k)
+        right_multi = _insert_axis(out_multi[left_rest_rank:], axis0, k)
+        return _ravel(left_multi, left.dims), _ravel(right_multi, right.dims)
+
+
+# ---------------------------------------------------------------------- #
+# list scheduler
+# ---------------------------------------------------------------------- #
+@dataclass
+class ScheduleStats:
+    """Summary of one region's static schedule."""
+
+    steps: int = 0
+    cycles: int = 0
+    operations: int = 0
+    average_au_utilization: float = 0.0
+
+
+@dataclass
+class ThreadSchedule:
+    """Complete compiled schedule for a single execution-engine thread."""
+
+    program: EngineProgram
+    address_map: AddressMap
+    stats: dict[Region, ScheduleStats] = field(default_factory=dict)
+    aus_per_thread: int = AUS_PER_CLUSTER
+    acs_per_thread: int = 1
+
+    @property
+    def update_rule_cycles(self) -> int:
+        return self.program.update_rule_cycles
+
+    @property
+    def post_merge_cycles(self) -> int:
+        return self.program.post_merge_cycles
+
+    @property
+    def convergence_cycles(self) -> int:
+        return self.program.convergence_cycles
+
+
+class Scheduler:
+    """List scheduler mapping hDFG sub-operations onto one thread's ACs."""
+
+    def __init__(self, graph: HDFG, acs_per_thread: int, aus_per_cluster: int = AUS_PER_CLUSTER) -> None:
+        if acs_per_thread < 1:
+            raise SchedulingError("each thread needs at least one analytic cluster")
+        self.graph = graph
+        self.acs_per_thread = acs_per_thread
+        self.aus_per_cluster = aus_per_cluster
+        self.expander = SubNodeExpander(graph)
+        self.address_map = AddressMap()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def schedule(self) -> ThreadSchedule:
+        """Schedule all three regions and return the thread schedule."""
+        program = EngineProgram()
+        stats: dict[Region, ScheduleStats] = {}
+        region_steps = {
+            Region.UPDATE_RULE: program.update_rule_steps,
+            Region.POST_MERGE: program.post_merge_steps,
+            Region.CONVERGENCE: program.convergence_steps,
+        }
+        for region, steps in region_steps.items():
+            region_stats = self._schedule_region(region, steps)
+            stats[region] = region_stats
+        return ThreadSchedule(
+            program=program,
+            address_map=self.address_map,
+            stats=stats,
+            aus_per_thread=self.acs_per_thread * self.aus_per_cluster,
+            acs_per_thread=self.acs_per_thread,
+        )
+
+    # ------------------------------------------------------------------ #
+    # region scheduling
+    # ------------------------------------------------------------------ #
+    def _schedule_region(self, region: Region, steps: list[EngineStep]) -> ScheduleStats:
+        sub_ops: list[SubOperation] = []
+        for node in self.graph.compute_nodes([region]):
+            sub_ops.extend(self.expander.expand(node))
+        if not sub_ops:
+            return ScheduleStats()
+
+        producers: dict[Ref, int] = {}
+        for idx, sub in enumerate(sub_ops):
+            producers[sub.dest] = idx
+
+        # dependency edges between sub-operations within this region
+        dependents: dict[int, list[int]] = defaultdict(list)
+        remaining_deps = [0] * len(sub_ops)
+        for idx, sub in enumerate(sub_ops):
+            for src in sub.sources:
+                if src[0] == "imm":
+                    continue
+                producer = producers.get(src)
+                if producer is not None and producer != idx:
+                    dependents[producer].append(idx)
+                    remaining_deps[idx] += 1
+
+        ready = [idx for idx, deps in enumerate(remaining_deps) if deps == 0]
+        scheduled_count = 0
+        total_slots = 0
+        step_index = 0
+        total_cycles = 0
+        total_aus = self.acs_per_thread * self.aus_per_cluster
+
+        while ready:
+            # pack ready sub-operations into clusters: one operator per AC
+            by_op: dict[Operator, list[int]] = defaultdict(list)
+            for idx in ready:
+                by_op[sub_ops[idx].op].append(idx)
+            placed: list[int] = []
+            cluster_instructions: list[ACInstruction] = []
+            cluster_id = 0
+            for op, indices in sorted(by_op.items(), key=lambda kv: (-len(kv[1]), kv[0].value)):
+                pos = 0
+                while pos < len(indices) and cluster_id < self.acs_per_thread:
+                    chunk = indices[pos : pos + self.aus_per_cluster]
+                    instruction = ACInstruction(cluster_id=cluster_id, operation=op)
+                    for au_index, sub_idx in enumerate(chunk):
+                        sub = sub_ops[sub_idx]
+                        instruction.add_slot(self._make_slot(sub, au_index))
+                        placed.append(sub_idx)
+                    cluster_instructions.append(instruction)
+                    cluster_id += 1
+                    pos += len(chunk)
+                if cluster_id >= self.acs_per_thread:
+                    break
+            if not placed:
+                raise SchedulingError("scheduler made no progress; dependency cycle?")
+            step = EngineStep(step=step_index, cluster_instructions=cluster_instructions)
+            steps.append(step)
+            total_cycles += step.latency
+            total_slots += total_aus
+            scheduled_count += len(placed)
+            step_index += 1
+
+            placed_set = set(placed)
+            ready = [idx for idx in ready if idx not in placed_set]
+            for idx in placed:
+                for dependent in dependents[idx]:
+                    remaining_deps[dependent] -= 1
+                    if remaining_deps[dependent] == 0:
+                        ready.append(dependent)
+
+        if scheduled_count != len(sub_ops):
+            raise SchedulingError(
+                f"{len(sub_ops) - scheduled_count} sub-operations could not be scheduled"
+            )
+        utilization = scheduled_count / total_slots if total_slots else 0.0
+        return ScheduleStats(
+            steps=step_index,
+            cycles=total_cycles,
+            operations=scheduled_count,
+            average_au_utilization=utilization,
+        )
+
+    # ------------------------------------------------------------------ #
+    # micro-instruction emission
+    # ------------------------------------------------------------------ #
+    def _make_slot(self, sub: SubOperation, au_index: int) -> AUInstruction:
+        operands = []
+        for src in sub.sources:
+            if src[0] == "imm":
+                operands.append(AUOperand(SourceKind.IMMEDIATE, value=float(src[1])))
+            else:
+                operands.append(
+                    AUOperand(SourceKind.DATA_MEMORY, address=self.address_map.address_of(src))
+                )
+        while len(operands) < 2:
+            operands.append(AUOperand(SourceKind.NONE))
+        dest_address = self.address_map.address_of(sub.dest)
+        return AUInstruction(
+            au_index=au_index,
+            src_a=operands[0],
+            src_b=operands[1],
+            dest_kind=DestKind.DATA_MEMORY,
+            dest_address=dest_address,
+            node_id=sub.node_id,
+            element_index=sub.element_index,
+        )
+
+
+def estimate_region_cycles(
+    graph: HDFG, region: Region, acs_per_thread: int, aus_per_cluster: int = AUS_PER_CLUSTER
+) -> int:
+    """Fast analytic estimate of a region's schedule length.
+
+    Used by the hardware generator's design-space exploration, where running
+    the full list scheduler for every candidate design would be wasteful.
+    The estimate combines the throughput bound (total sub-operations divided
+    by the available AUs) with the dependence bound (critical-path depth).
+    """
+    total_aus = max(1, acs_per_thread * aus_per_cluster)
+    sub_nodes = graph.total_sub_nodes([region])
+    depth = graph.critical_path_depth([region])
+    throughput_bound = math.ceil(sub_nodes / total_aus)
+    return max(throughput_bound, depth)

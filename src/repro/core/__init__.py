@@ -1,0 +1,12 @@
+"""DAnA core: system facade and end-to-end workload runner."""
+
+from repro.core.dana import DAnA, RegisteredUDF
+from repro.core.runner import SystemRun, WorkloadComparison, WorkloadRunner
+
+__all__ = [
+    "DAnA",
+    "RegisteredUDF",
+    "SystemRun",
+    "WorkloadComparison",
+    "WorkloadRunner",
+]

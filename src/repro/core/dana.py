@@ -1,0 +1,213 @@
+"""The DAnA system facade: UDF registration, compilation and query execution.
+
+This is the top of the stack drawn in the paper's Figure 2.  A data
+scientist expresses the learning algorithm with the Python-embedded DSL,
+registers it as a UDF, and invokes it from SQL::
+
+    from repro import dana
+    from repro.core import DAnA
+    from repro.rdbms import Database
+
+    db = Database()
+    system = DAnA(db)
+    system.register_algorithm_udf("linearR", "linear", n_features=10)
+    result = db.execute("SELECT * FROM dana.linearR('training_data_table');")
+
+Behind the scenes the facade runs the full DAnA workflow: translate the UDF
+into an hDFG, let the hardware generator pick the accelerator design for
+the target FPGA and page layout, compile the Strider program and the
+execution-engine schedule, store everything in the RDBMS catalog, and —
+when the query runs — stream the table's buffer-pool pages through the
+simulated accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms import Hyperparameters, get_algorithm
+from repro.algorithms.base import AlgorithmSpec
+from repro.compiler import ExecutionBinary, HardwareGenerator, Scheduler
+from repro.exceptions import ConfigurationError
+from repro.hw import DAnAAccelerator, DEFAULT_FPGA, FPGASpec
+from repro.hw.accelerator import AcceleratorRunResult
+from repro.rdbms import AcceleratorEntry, Database
+from repro.rdbms.query import QueryResult
+from repro.translator import translate
+
+
+@dataclass
+class RegisteredUDF:
+    """A UDF registered with DAnA, compiled lazily per target table."""
+
+    name: str
+    spec: AlgorithmSpec
+    epochs: int | None = None
+    binaries: dict[str, ExecutionBinary] = field(default_factory=dict)
+    accelerators: dict[str, DAnAAccelerator] = field(default_factory=dict)
+
+
+class DAnA:
+    """In-Database Acceleration of Advanced Analytics."""
+
+    def __init__(
+        self,
+        database: Database,
+        fpga: FPGASpec = DEFAULT_FPGA,
+        use_striders: bool = True,
+    ) -> None:
+        self.database = database
+        self.fpga = fpga
+        self.use_striders = use_striders
+        self._udfs: dict[str, RegisteredUDF] = {}
+
+    # ------------------------------------------------------------------ #
+    # UDF registration
+    # ------------------------------------------------------------------ #
+    def register_udf(
+        self, udf_name: str, spec: AlgorithmSpec, epochs: int | None = None
+    ) -> RegisteredUDF:
+        """Register a hand-written DSL program as an accelerated UDF."""
+        if udf_name in self._udfs:
+            raise ConfigurationError(f"UDF {udf_name!r} is already registered")
+        registered = RegisteredUDF(name=udf_name, spec=spec, epochs=epochs)
+        self._udfs[udf_name] = registered
+
+        def handler(db: Database, table_name: str) -> QueryResult:
+            return self._execute_udf(registered, table_name)
+
+        self.database.register_udf(udf_name, handler)
+        return registered
+
+    def register_algorithm_udf(
+        self,
+        udf_name: str,
+        algorithm_key: str,
+        n_features: int,
+        hyper: Hyperparameters | None = None,
+        model_topology: tuple[int, ...] = (),
+        epochs: int | None = None,
+    ) -> RegisteredUDF:
+        """Register one of the built-in algorithms as an accelerated UDF."""
+        algorithm = get_algorithm(algorithm_key)
+        spec = algorithm.build_spec(n_features, hyper or Hyperparameters(), model_topology)
+        return self.register_udf(udf_name, spec, epochs=epochs)
+
+    def registered_udfs(self) -> list[str]:
+        return sorted(self._udfs)
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+    def compile_udf(self, udf_name: str, table_name: str) -> ExecutionBinary:
+        """Compile (or fetch the cached) accelerator for a UDF/table pair."""
+        registered = self._registered(udf_name)
+        if table_name in registered.binaries:
+            return registered.binaries[table_name]
+        spec = registered.spec
+        table_entry = self.database.catalog.table(table_name)
+        graph = translate(spec.algo)
+        generator = HardwareGenerator(
+            graph,
+            table_entry.layout,
+            spec.schema,
+            self.fpga,
+            merge_coefficient=spec.algo.merge_coefficient,
+            n_tuples=max(1, table_entry.tuple_count),
+        )
+        design = generator.generate()
+        schedule = Scheduler(graph, design.acs_per_thread).schedule()
+        binary = ExecutionBinary.build(
+            udf_name=udf_name,
+            algorithm=spec.name,
+            design=design,
+            strider=generator.strider_compilation,
+            thread_schedule=schedule,
+            graph=graph,
+            metadata={"table": table_name},
+        )
+        registered.binaries[table_name] = binary
+        registered.accelerators[table_name] = DAnAAccelerator(
+            binary=binary, schema=spec.schema, fpga=self.fpga
+        )
+        # Store the accelerator metadata in the RDBMS catalog (Figure 2).
+        self.database.register_accelerator(
+            AcceleratorEntry(
+                udf_name=udf_name,
+                algorithm=spec.name,
+                design=design,
+                strider_program=binary.strider.program,
+                execution_schedule=binary.thread_schedule.program,
+                metadata=binary.describe(),
+            )
+        )
+        return binary
+
+    def accelerator_for(self, udf_name: str, table_name: str) -> DAnAAccelerator:
+        self.compile_udf(udf_name, table_name)
+        return self._registered(udf_name).accelerators[table_name]
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str) -> QueryResult:
+        """Execute a SQL statement (UDF calls run on the accelerator)."""
+        return self.database.execute(sql)
+
+    def train(
+        self, udf_name: str, table_name: str, epochs: int | None = None
+    ) -> AcceleratorRunResult:
+        """Train a registered UDF over a table without going through SQL."""
+        registered = self._registered(udf_name)
+        return self._run_accelerator(registered, table_name, epochs)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _registered(self, udf_name: str) -> RegisteredUDF:
+        try:
+            return self._udfs[udf_name]
+        except KeyError:
+            raise ConfigurationError(f"UDF {udf_name!r} is not registered") from None
+
+    def _execute_udf(self, registered: RegisteredUDF, table_name: str) -> QueryResult:
+        run = self._run_accelerator(registered, table_name, registered.epochs)
+        rows = [(name, np.asarray(value).tolist()) for name, value in run.models.items()]
+        return QueryResult(
+            rows=rows,
+            columns=("model", "coefficients"),
+            payload=run,
+            stats={
+                "system": "DAnA+PostgreSQL",
+                "tuples_extracted": run.tuples_extracted,
+                "engine_cycles": run.engine_stats.total_cycles,
+                "strider_cycles": run.access_stats.strider_cycles_critical,
+            },
+        )
+
+    def _run_accelerator(
+        self, registered: RegisteredUDF, table_name: str, epochs: int | None
+    ) -> AcceleratorRunResult:
+        self.compile_udf(registered.name, table_name)
+        accelerator = registered.accelerators[table_name]
+        spec = registered.spec
+        table = self.database.table(table_name)
+        run_epochs = epochs or registered.epochs or spec.algo.convergence.epoch_bound
+        page_images = (image for _no, image in table.scan_pages(self.database.buffer_pool))
+        if self.use_striders:
+            return accelerator.train_from_pages(
+                page_images,
+                initial_models=spec.initial_models,
+                bind_tuple=spec.bind_tuple,
+                epochs=run_epochs,
+            )
+        rows = table.read_all(self.database.buffer_pool)
+        return accelerator.train_from_rows(
+            rows,
+            initial_models=spec.initial_models,
+            bind_tuple=spec.bind_tuple,
+            epochs=run_epochs,
+        )

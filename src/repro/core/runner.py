@@ -1,0 +1,176 @@
+"""End-to-end workload runner: functional comparison of all systems.
+
+The runner takes one Table 3 workload at its functional (laptop) scale,
+loads it into the miniature RDBMS, and trains it with every system under
+comparison — DAnA's accelerator, MADlib+PostgreSQL, MADlib+Greenplum and
+the external libraries — so that model quality and system behaviour can be
+compared on identical data.  It also produces the paper-scale runtime
+estimates for the same workload, which is what the benchmark harness
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms import Hyperparameters, get_algorithm
+from repro.baselines import ExternalLibraryRunner, GreenplumRunner, MADlibRunner
+from repro.core.dana import DAnA
+from repro.data.workloads import Workload
+from repro.hw.fpga import DEFAULT_FPGA, FPGASpec
+from repro.perf import (
+    DAnAModel,
+    GreenplumModel,
+    MADlibPostgresModel,
+    RuntimeBreakdown,
+    epochs_for,
+)
+from repro.rdbms import Database
+
+
+@dataclass
+class SystemRun:
+    """Functional result of one system on one workload."""
+
+    system: str
+    models: dict[str, np.ndarray]
+    loss: float
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class WorkloadComparison:
+    """All functional runs plus paper-scale runtime estimates."""
+
+    workload: Workload
+    runs: dict[str, SystemRun] = field(default_factory=dict)
+    estimates: dict[str, RuntimeBreakdown] = field(default_factory=dict)
+
+    def speedup(self, system: str, baseline: str = "MADlib+PostgreSQL") -> float:
+        return self.estimates[system].speedup_over(self.estimates[baseline])
+
+
+class WorkloadRunner:
+    """Runs one workload end-to-end across systems."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        fpga: FPGASpec = DEFAULT_FPGA,
+        epochs: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.workload = workload
+        self.fpga = fpga
+        self.epochs = epochs if epochs is not None else workload.default_epochs
+        self.seed = seed
+        self.algorithm = get_algorithm(workload.algorithm_key)
+        self.hyper = Hyperparameters(
+            learning_rate=workload.learning_rate,
+            merge_coefficient=workload.merge_coefficient,
+            epochs=self.epochs,
+        )
+        self.data = workload.generate(seed=seed)
+        topology = workload.functional_topology()
+        n_features = (
+            topology[0] if workload.algorithm_key != "lrmf" else workload.func_features
+        )
+        self.spec = self.algorithm.build_spec(n_features, self.hyper, topology)
+        self.database = Database(page_size=8 * 1024)
+        self.table_name = "training_data_table"
+        self.database.load_table(self.table_name, self.spec.schema, self.data)
+        self.database.warm_cache(self.table_name)
+
+    # ------------------------------------------------------------------ #
+    # functional runs
+    # ------------------------------------------------------------------ #
+    def run_dana(self) -> SystemRun:
+        system = DAnA(self.database, fpga=self.fpga)
+        system.register_udf(self.workload.algorithm_key, self.spec, epochs=self.epochs)
+        run = system.train(self.workload.algorithm_key, self.table_name, epochs=self.epochs)
+        loss = self.algorithm.loss(self.data, run.models)
+        return SystemRun(
+            system="DAnA+PostgreSQL",
+            models=run.models,
+            loss=loss,
+            detail={
+                "tuples_extracted": run.tuples_extracted,
+                "engine_cycles": run.engine_stats.total_cycles,
+                "strider_cycles": run.access_stats.strider_cycles_critical,
+                "threads": system.compile_udf(
+                    self.workload.algorithm_key, self.table_name
+                ).threads,
+            },
+        )
+
+    def run_madlib(self) -> SystemRun:
+        runner = MADlibRunner(self.database, self.spec, epochs=self.epochs)
+        result = runner.run(self.table_name)
+        return SystemRun(
+            system="MADlib+PostgreSQL",
+            models=result.models,
+            loss=self.algorithm.loss(self.data, result.models),
+            detail={"tuples_processed": result.stats.tuples_processed},
+        )
+
+    def run_greenplum(self, segments: int = 8) -> SystemRun:
+        runner = GreenplumRunner(self.database, self.spec, segments=segments, epochs=self.epochs)
+        result = runner.run(self.table_name)
+        return SystemRun(
+            system=runner.system_name,
+            models=result.models,
+            loss=self.algorithm.loss(self.data, result.models),
+            detail={"segments": segments},
+        )
+
+    def run_external(self, library: str = "dimmwitted") -> SystemRun | None:
+        try:
+            runner = ExternalLibraryRunner(
+                self.database, library, self.workload.algorithm_key, self.hyper, self.epochs
+            )
+        except Exception:
+            return None
+        result = runner.run(self.table_name)
+        return SystemRun(
+            system=runner.system_name,
+            models=result.models,
+            loss=self.algorithm.loss(self.data, result.models),
+            detail={"exported_bytes": result.stats.exported_bytes},
+        )
+
+    def reference(self) -> SystemRun:
+        models = self.algorithm.reference_fit(self.data, self.hyper, self.epochs)
+        return SystemRun(
+            system="NumPy reference",
+            models=models,
+            loss=self.algorithm.loss(self.data, models),
+        )
+
+    # ------------------------------------------------------------------ #
+    # paper-scale estimates
+    # ------------------------------------------------------------------ #
+    def paper_estimates(self, warm_cache: bool = True) -> dict[str, RuntimeBreakdown]:
+        epochs = epochs_for(self.workload)
+        estimates = {
+            "MADlib+PostgreSQL": MADlibPostgresModel().estimate(self.workload, epochs, warm_cache),
+            "MADlib+Greenplum(8)": GreenplumModel(8).estimate(self.workload, epochs, warm_cache),
+            "DAnA+PostgreSQL": DAnAModel(fpga=self.fpga).estimate(self.workload, epochs, warm_cache),
+        }
+        return estimates
+
+    # ------------------------------------------------------------------ #
+    # full comparison
+    # ------------------------------------------------------------------ #
+    def compare(self, include_external: bool = False) -> WorkloadComparison:
+        comparison = WorkloadComparison(workload=self.workload)
+        for run in (self.run_dana(), self.run_madlib(), self.run_greenplum()):
+            comparison.runs[run.system] = run
+        if include_external:
+            external = self.run_external()
+            if external is not None:
+                comparison.runs[external.system] = external
+        comparison.estimates = self.paper_estimates()
+        return comparison

@@ -1,0 +1,43 @@
+"""Convenience alias so user code can write ``from repro import dana``.
+
+This module re-exports the DSL exactly as the paper's code snippets use it
+(``dana.model``, ``dana.input``, ``dana.algo``, ``dana.meta``, ...).
+"""
+
+from repro.dsl import (  # noqa: F401
+    Algo,
+    DanaVariable,
+    Expression,
+    algo,
+    gather,
+    gaussian,
+    input,
+    inter,
+    meta,
+    model,
+    norm,
+    output,
+    pi,
+    sigma,
+    sigmoid,
+    sqrt,
+)
+
+__all__ = [
+    "Algo",
+    "DanaVariable",
+    "Expression",
+    "algo",
+    "gather",
+    "gaussian",
+    "input",
+    "inter",
+    "meta",
+    "model",
+    "norm",
+    "output",
+    "pi",
+    "sigma",
+    "sigmoid",
+    "sqrt",
+]

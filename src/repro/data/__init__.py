@@ -1,0 +1,31 @@
+"""Datasets: synthetic generators and the Table 3 workload registry."""
+
+from repro.data.synthetic import (
+    generate_classification,
+    generate_for_algorithm,
+    generate_ratings,
+    generate_regression,
+)
+from repro.data.workloads import (
+    WORKLOADS,
+    Workload,
+    get_workload,
+    real_workloads,
+    synthetic_extensive_workloads,
+    synthetic_nominal_workloads,
+    workload_names,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "generate_classification",
+    "generate_for_algorithm",
+    "generate_ratings",
+    "generate_regression",
+    "get_workload",
+    "real_workloads",
+    "synthetic_extensive_workloads",
+    "synthetic_nominal_workloads",
+    "workload_names",
+]

@@ -1,0 +1,338 @@
+"""Workload registry: the 14 datasets/models of the paper's Table 3.
+
+Every workload carries two sizes:
+
+* **paper scale** — the tuple counts, page counts and sizes as listed in
+  Table 3; these drive the analytical performance model that regenerates
+  the paper's figures (who wins and by how much depends on the data volume
+  and the per-tuple compute, not on the actual feature values);
+* **functional scale** — a laptop-sized version of the same dataset
+  (identical schema and algorithm, fewer tuples and, for the extreme
+  synthetic workloads, proportionally fewer features) that is actually
+  materialised, loaded into the miniature RDBMS and trained on during
+  examples and integration tests.
+
+For the LRMF workloads Table 3 lists one tuple per matrix row (each tuple
+is that row's dense rating vector), which is why, e.g., Netflix shows 6,040
+tuples across 3,068 pages: the per-tuple payload is ``n_cols`` ratings.
+The performance model accounts for this with ``ratings_per_tuple``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.data.synthetic import generate_for_algorithm
+
+FLOAT_BYTES = 4
+TUPLE_OVERHEAD_BYTES = 12        # 8-byte tuple header + 4-byte line pointer
+PAGE_SIZE = 32 * 1024
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One row of Table 3, plus the scaled-down functional configuration."""
+
+    name: str
+    algorithm_key: str
+    model_topology: tuple[int, ...]
+    paper_tuples: int
+    paper_pages: int
+    paper_size_mb: float
+    category: str                   # "real", "sn" (synthetic nominal), "se" (synthetic extensive)
+    func_tuples: int
+    func_features: int
+    func_topology: tuple[int, ...] = ()
+    default_epochs: int = 10
+    learning_rate: float = 0.05
+    merge_coefficient: int = 16
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # paper-scale derived quantities (performance model inputs)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_synthetic(self) -> bool:
+        return self.category in ("sn", "se")
+
+    @property
+    def n_features(self) -> int:
+        """Width of the model for the dense algorithms; rank for LRMF."""
+        if self.algorithm_key == "lrmf":
+            return self.model_topology[2] if len(self.model_topology) > 2 else 10
+        return self.model_topology[0]
+
+    @property
+    def ratings_per_tuple(self) -> int:
+        """For LRMF: how many ratings one stored tuple (a matrix row) carries."""
+        if self.algorithm_key != "lrmf":
+            return 1
+        per_tuple_bytes = (
+            self.paper_size_mb * 1024 * 1024 / max(1, self.paper_tuples)
+            - TUPLE_OVERHEAD_BYTES
+        )
+        return max(1, int(per_tuple_bytes // FLOAT_BYTES))
+
+    @property
+    def tuple_bytes(self) -> int:
+        """On-page payload bytes of one stored tuple at paper scale."""
+        if self.algorithm_key == "lrmf":
+            return self.ratings_per_tuple * FLOAT_BYTES
+        return (self.model_topology[0] + 1) * FLOAT_BYTES
+
+    @property
+    def paper_size_bytes(self) -> float:
+        return self.paper_size_mb * 1024 * 1024
+
+    @property
+    def tuples_per_page(self) -> float:
+        return max(1.0, self.paper_tuples / max(1, self.paper_pages))
+
+    @property
+    def model_elements(self) -> int:
+        if self.algorithm_key == "lrmf":
+            rows, cols, rank = (
+                self.model_topology[0],
+                self.model_topology[1],
+                self.model_topology[2] if len(self.model_topology) > 2 else 10,
+            )
+            return (rows + cols) * rank
+        return self.model_topology[0]
+
+    # ------------------------------------------------------------------ #
+    # functional-scale dataset generation
+    # ------------------------------------------------------------------ #
+    def functional_topology(self) -> tuple[int, ...]:
+        if self.func_topology:
+            return self.func_topology
+        if self.algorithm_key == "lrmf":
+            return (32, 24, 8)
+        return (self.func_features,)
+
+    def generate(self, seed: int = 0) -> np.ndarray:
+        """Materialise the functional-scale dataset as a NumPy array."""
+        return generate_for_algorithm(
+            self.algorithm_key,
+            n_tuples=self.func_tuples,
+            n_features=self.func_features,
+            model_topology=self.functional_topology(),
+            seed=seed,
+        )
+
+
+def _w(**kwargs) -> Workload:
+    return Workload(**kwargs)
+
+
+# The 14 workloads of Table 3.  Functional sizes keep the same algorithm and
+# schema family but are shrunk so that integration tests and examples finish
+# in seconds.
+WORKLOADS: tuple[Workload, ...] = (
+    _w(
+        name="Remote Sensing LR",
+        algorithm_key="logistic",
+        model_topology=(54,),
+        paper_tuples=581_102,
+        paper_pages=4_924,
+        paper_size_mb=154,
+        category="real",
+        func_tuples=2_000,
+        func_features=54,
+        default_epochs=20,
+        notes="UCI covertype-style classification dataset",
+    ),
+    _w(
+        name="WLAN",
+        algorithm_key="logistic",
+        model_topology=(520,),
+        paper_tuples=19_937,
+        paper_pages=1_330,
+        paper_size_mb=42,
+        category="real",
+        func_tuples=1_000,
+        func_features=120,
+        default_epochs=20,
+        notes="indoor-localisation fingerprints (wide, sparse-ish)",
+    ),
+    _w(
+        name="Remote Sensing SVM",
+        algorithm_key="svm",
+        model_topology=(54,),
+        paper_tuples=581_102,
+        paper_pages=4_924,
+        paper_size_mb=154,
+        category="real",
+        func_tuples=2_000,
+        func_features=54,
+        default_epochs=20,
+    ),
+    _w(
+        name="Netflix",
+        algorithm_key="lrmf",
+        model_topology=(6_040, 3_952, 10),
+        paper_tuples=6_040,
+        paper_pages=3_068,
+        paper_size_mb=96,
+        category="real",
+        func_tuples=1_500,
+        func_features=10,
+        func_topology=(48, 36, 8),
+        default_epochs=10,
+        notes="movie-recommendation rating matrix",
+    ),
+    _w(
+        name="Patient",
+        algorithm_key="linear",
+        model_topology=(384,),
+        paper_tuples=53_500,
+        paper_pages=1_941,
+        paper_size_mb=61,
+        category="real",
+        func_tuples=1_500,
+        func_features=96,
+        default_epochs=20,
+    ),
+    _w(
+        name="Blog Feedback",
+        algorithm_key="linear",
+        model_topology=(280,),
+        paper_tuples=52_397,
+        paper_pages=2_675,
+        paper_size_mb=84,
+        category="real",
+        func_tuples=1_500,
+        func_features=80,
+        default_epochs=20,
+    ),
+    _w(
+        name="S/N Logistic",
+        algorithm_key="logistic",
+        model_topology=(2_000,),
+        paper_tuples=387_944,
+        paper_pages=96_986,
+        paper_size_mb=3_031,
+        category="sn",
+        func_tuples=800,
+        func_features=200,
+        default_epochs=5,
+    ),
+    _w(
+        name="S/N SVM",
+        algorithm_key="svm",
+        model_topology=(1_740,),
+        paper_tuples=678_392,
+        paper_pages=169_598,
+        paper_size_mb=5_300,
+        category="sn",
+        func_tuples=800,
+        func_features=174,
+        default_epochs=5,
+    ),
+    _w(
+        name="S/N LRMF",
+        algorithm_key="lrmf",
+        model_topology=(19_880, 19_880, 10),
+        paper_tuples=19_880,
+        paper_pages=50_784,
+        paper_size_mb=1_587,
+        category="sn",
+        func_tuples=1_200,
+        func_features=10,
+        func_topology=(40, 40, 8),
+        default_epochs=5,
+    ),
+    _w(
+        name="S/N Linear",
+        algorithm_key="linear",
+        model_topology=(8_000,),
+        paper_tuples=130_503,
+        paper_pages=130_503,
+        paper_size_mb=4_078,
+        category="sn",
+        func_tuples=600,
+        func_features=400,
+        default_epochs=5,
+    ),
+    _w(
+        name="S/E Logistic",
+        algorithm_key="logistic",
+        model_topology=(6_033,),
+        paper_tuples=1_044_024,
+        paper_pages=809_339,
+        paper_size_mb=25_292,
+        category="se",
+        func_tuples=600,
+        func_features=300,
+        default_epochs=3,
+    ),
+    _w(
+        name="S/E SVM",
+        algorithm_key="svm",
+        model_topology=(7_129,),
+        paper_tuples=1_356_784,
+        paper_pages=1_242_871,
+        paper_size_mb=38_840,
+        category="se",
+        func_tuples=600,
+        func_features=300,
+        default_epochs=3,
+    ),
+    _w(
+        name="S/E LRMF",
+        algorithm_key="lrmf",
+        model_topology=(28_002, 45_064, 10),
+        paper_tuples=45_064,
+        paper_pages=162_146,
+        paper_size_mb=5_067,
+        category="se",
+        func_tuples=1_500,
+        func_features=10,
+        func_topology=(48, 40, 8),
+        default_epochs=3,
+    ),
+    _w(
+        name="S/E Linear",
+        algorithm_key="linear",
+        model_topology=(8_000,),
+        paper_tuples=1_000_000,
+        paper_pages=1_027_961,
+        paper_size_mb=32_124,
+        category="se",
+        func_tuples=600,
+        func_features=400,
+        default_epochs=3,
+    ),
+)
+
+_BY_NAME = {w.name.lower(): w for w in WORKLOADS}
+
+
+def workload_names(category: str | None = None) -> list[str]:
+    """Names of all workloads, optionally filtered by category."""
+    return [w.name for w in WORKLOADS if category is None or w.category == category]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up one workload by its Table 3 name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.strip().lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {workload_names()}"
+        ) from None
+
+
+def real_workloads() -> list[Workload]:
+    return [w for w in WORKLOADS if w.category == "real"]
+
+
+def synthetic_nominal_workloads() -> list[Workload]:
+    return [w for w in WORKLOADS if w.category == "sn"]
+
+
+def synthetic_extensive_workloads() -> list[Workload]:
+    return [w for w in WORKLOADS if w.category == "se"]

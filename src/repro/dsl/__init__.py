@@ -1,0 +1,80 @@
+"""Python-embedded DSL for expressing advanced-analytics UDFs.
+
+The package can be used exactly like the ``dana`` package in the paper::
+
+    from repro import dana
+
+    mo = dana.model([10])
+    x = dana.input([10])
+    y = dana.output()
+    lr = dana.meta(0.3)
+
+    linearR = dana.algo(mo, x, y)
+    s = dana.sigma(mo * x, 1)
+    grad = (s - y) * x
+    linearR.setModel(mo - lr * grad)
+    linearR.setEpochs(10)
+"""
+
+from repro.dsl.algo import Algo, ConvergenceSpec, algo
+from repro.dsl.expressions import (
+    BinaryExpression,
+    ConstantExpression,
+    Expression,
+    GatherExpression,
+    GroupExpression,
+    MergeExpression,
+    NonlinearExpression,
+    gather,
+    gaussian,
+    norm,
+    pi,
+    sigma,
+    sigmoid,
+    sqrt,
+    wrap,
+)
+from repro.dsl.operations import (
+    ALU_LATENCY,
+    GROUP_REDUCE_OP,
+    MergeSpec,
+    OpCategory,
+    Operator,
+    parse_merge_operator,
+)
+from repro.dsl.variables import DanaVariable, VariableKind, inter, meta, model, output
+from repro.dsl.variables import input as input  # noqa: PLC0414 - mirrors dana.input
+
+__all__ = [
+    "Algo",
+    "ALU_LATENCY",
+    "BinaryExpression",
+    "ConstantExpression",
+    "ConvergenceSpec",
+    "DanaVariable",
+    "Expression",
+    "GatherExpression",
+    "GROUP_REDUCE_OP",
+    "GroupExpression",
+    "MergeExpression",
+    "MergeSpec",
+    "NonlinearExpression",
+    "OpCategory",
+    "Operator",
+    "VariableKind",
+    "algo",
+    "gather",
+    "gaussian",
+    "input",
+    "inter",
+    "meta",
+    "model",
+    "norm",
+    "output",
+    "parse_merge_operator",
+    "pi",
+    "sigma",
+    "sigmoid",
+    "sqrt",
+    "wrap",
+]

@@ -1,0 +1,159 @@
+"""The ``algo`` component: glues the update rule, merge and convergence.
+
+An :class:`Algo` links together the three functions of a DAnA UDF
+(paper §4.1):
+
+1. the **update rule** — how one training tuple updates the model,
+   terminated by :meth:`Algo.setModel`;
+2. the **merge function** — how partial results from parallel update-rule
+   threads are combined (:meth:`Algo.merge`);
+3. the **terminator** — either a fixed number of epochs
+   (:meth:`Algo.setEpochs`) or a convergence condition
+   (:meth:`Algo.setConvergence`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import AlgoError
+from repro.dsl.expressions import Expression, MergeExpression
+from repro.dsl.operations import MergeSpec, parse_merge_operator
+from repro.dsl.variables import DanaVariable, VariableKind
+
+
+@dataclass
+class ConvergenceSpec:
+    """Termination behaviour of an algorithm."""
+
+    max_epochs: int | None = None
+    condition: Expression | None = None
+
+    @property
+    def epoch_bound(self) -> int:
+        """Number of epochs used by the performance model and simulator."""
+        return self.max_epochs if self.max_epochs is not None else 1
+
+
+@dataclass
+class Algo:
+    """One instance of a learning algorithm (``dana.algo``)."""
+
+    model_var: DanaVariable
+    input_vars: tuple[DanaVariable, ...]
+    output_vars: tuple[DanaVariable, ...]
+    name: str = "algo"
+    model_updates: list[tuple[DanaVariable, Expression]] = field(default_factory=list)
+    merges: list[MergeExpression] = field(default_factory=list)
+    convergence: ConvergenceSpec = field(default_factory=ConvergenceSpec)
+    extra_models: tuple[DanaVariable, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.model_var.kind is not VariableKind.MODEL:
+            raise AlgoError("the first argument of dana.algo must be a model variable")
+        for var in self.input_vars:
+            if var.kind not in (VariableKind.INPUT,):
+                raise AlgoError(f"{var.name} is not an input variable")
+        for var in self.output_vars:
+            if var.kind is not VariableKind.OUTPUT:
+                raise AlgoError(f"{var.name} is not an output variable")
+
+    # ------------------------------------------------------------------ #
+    # built-in special functions (paper Table 1)
+    # ------------------------------------------------------------------ #
+    def merge(
+        self, x: Expression, coefficient: int | DanaVariable, operation: str
+    ) -> MergeExpression:
+        """Specify the merge operation and the number of merge instances.
+
+        ``coefficient`` may be an integer or a ``dana.meta`` constant (as in
+        the paper's example where ``merge_coef = dana.meta(8)``).
+        """
+        if isinstance(coefficient, DanaVariable):
+            if coefficient.kind is not VariableKind.META or coefficient.value is None:
+                raise AlgoError("merge coefficient must be a meta constant or an int")
+            coeff_value = int(coefficient.value)
+        else:
+            coeff_value = int(coefficient)
+        spec = MergeSpec(operator=parse_merge_operator(operation), coefficient=coeff_value)
+        merged = MergeExpression(x, spec)
+        self.merges.append(merged)
+        return merged
+
+    def setEpochs(self, epochs: int) -> None:  # noqa: N802 - paper API spelling
+        """Set the maximum number of epochs (1 epoch = one full data pass)."""
+        if epochs < 1:
+            raise AlgoError("the number of epochs must be at least 1")
+        self.convergence.max_epochs = int(epochs)
+
+    def setConvergence(self, condition: Expression) -> None:  # noqa: N802
+        """Frame termination on a boolean DSL expression."""
+        if not isinstance(condition, Expression):
+            raise AlgoError("setConvergence expects a DSL expression")
+        self.convergence.condition = condition
+
+    def setModel(self, updated: Expression, var: DanaVariable | None = None) -> None:  # noqa: N802
+        """Link the updated model expression to this algo component.
+
+        The optional ``var`` argument supports algorithms with more than one
+        model variable (e.g. the two factor matrices of low-rank matrix
+        factorization): each call binds one updated expression to one model
+        variable.  Calling ``setModel`` again for the same variable replaces
+        the previous binding.
+        """
+        if not isinstance(updated, Expression):
+            raise AlgoError("setModel expects a DSL expression")
+        target = var if var is not None else self.model_var
+        if target.kind is not VariableKind.MODEL:
+            raise AlgoError(f"{target.name} is not a model variable")
+        self.model_updates = [(v, e) for v, e in self.model_updates if v is not target]
+        self.model_updates.append((target, updated))
+
+    @property
+    def updated_model(self) -> Expression | None:
+        """The updated expression bound to the primary model variable."""
+        for var, expr in self.model_updates:
+            if var is self.model_var:
+                return expr
+        return self.model_updates[0][1] if self.model_updates else None
+
+    # ------------------------------------------------------------------ #
+    # inspection helpers used by the translator
+    # ------------------------------------------------------------------ #
+    @property
+    def merge_coefficient(self) -> int:
+        """Maximum number of parallel update-rule threads requested."""
+        if not self.merges:
+            return 1
+        return max(m.spec.coefficient for m in self.merges)
+
+    def validate(self) -> None:
+        """Check that the component is complete enough to be translated."""
+        if not self.model_updates:
+            raise AlgoError(
+                f"algo {self.name!r} has no setModel() call; the update rule is incomplete"
+            )
+        if self.convergence.max_epochs is None and self.convergence.condition is None:
+            raise AlgoError(
+                f"algo {self.name!r} has no terminator; call setEpochs() or setConvergence()"
+            )
+
+
+def algo(
+    model_var: DanaVariable,
+    inputs: DanaVariable | Sequence[DanaVariable],
+    outputs: DanaVariable | Sequence[DanaVariable],
+    name: str = "algo",
+    extra_models: Sequence[DanaVariable] = (),
+) -> Algo:
+    """Create an algorithm component (``dana.algo(mo, in, out)``)."""
+    input_vars = (inputs,) if isinstance(inputs, DanaVariable) else tuple(inputs)
+    output_vars = (outputs,) if isinstance(outputs, DanaVariable) else tuple(outputs)
+    return Algo(
+        model_var=model_var,
+        input_vars=input_vars,
+        output_vars=output_vars,
+        name=name,
+        extra_models=tuple(extra_models),
+    )

@@ -1,0 +1,257 @@
+"""Expression tree built by the Python-embedded DSL.
+
+Every value manipulated inside a DAnA UDF is an :class:`Expression`.
+Declared variables (``dana.model``, ``dana.input`` ...) are leaf
+expressions; applying operators produces interior nodes.  The tree is a DAG
+— the same sub-expression object may feed several consumers — and is later
+converted into the hierarchical DataFlow Graph by the translator.
+
+Dimensions are *not* checked here: following the paper, dimensionality
+inference is performed by the translator (§4.4), which walks the tree once
+the whole UDF is known.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Union
+
+from repro.exceptions import OperationError
+from repro.dsl.operations import MergeSpec, Operator
+
+Number = Union[int, float]
+
+_id_counter = itertools.count()
+
+
+def _next_id() -> int:
+    return next(_id_counter)
+
+
+class Expression:
+    """Base class for every DSL expression node."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self.expr_id = _next_id()
+        self.name = name or f"expr_{self.expr_id}"
+
+    # ------------------------------------------------------------------ #
+    # operator overloading (primary operations)
+    # ------------------------------------------------------------------ #
+    def _binary(self, other: "Expression | Number", op: Operator, reflected: bool = False):
+        other_expr = wrap(other)
+        left, right = (other_expr, self) if reflected else (self, other_expr)
+        return BinaryExpression(op, left, right)
+
+    def __add__(self, other):
+        return self._binary(other, Operator.ADD)
+
+    def __radd__(self, other):
+        return self._binary(other, Operator.ADD, reflected=True)
+
+    def __sub__(self, other):
+        return self._binary(other, Operator.SUB)
+
+    def __rsub__(self, other):
+        return self._binary(other, Operator.SUB, reflected=True)
+
+    def __mul__(self, other):
+        return self._binary(other, Operator.MUL)
+
+    def __rmul__(self, other):
+        return self._binary(other, Operator.MUL, reflected=True)
+
+    def __truediv__(self, other):
+        return self._binary(other, Operator.DIV)
+
+    def __rtruediv__(self, other):
+        return self._binary(other, Operator.DIV, reflected=True)
+
+    def __gt__(self, other):
+        return self._binary(other, Operator.GT)
+
+    def __lt__(self, other):
+        return self._binary(other, Operator.LT)
+
+    def __neg__(self):
+        return self._binary(self, Operator.SUB, reflected=True)._replace_left_zero()
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def children(self) -> tuple["Expression", ...]:
+        return ()
+
+    def walk(self) -> Iterable["Expression"]:
+        """Post-order traversal of the expression DAG (deduplicated)."""
+        seen: set[int] = set()
+
+        def _walk(node: "Expression"):
+            if node.expr_id in seen:
+                return
+            seen.add(node.expr_id)
+            for child in node.children:
+                yield from _walk(child)
+            yield node
+
+        yield from _walk(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+    # helper used by __neg__
+    def _replace_left_zero(self):  # pragma: no cover - exercised via __neg__
+        return self
+
+
+class ConstantExpression(Expression):
+    """A literal numeric constant appearing in the UDF."""
+
+    def __init__(self, value: Number) -> None:
+        super().__init__(name=f"const_{value}")
+        self.value = float(value)
+
+
+def wrap(value: "Expression | Number") -> Expression:
+    """Coerce Python numbers into constant expressions."""
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, (int, float)):
+        return ConstantExpression(value)
+    raise OperationError(f"cannot use {type(value).__name__} in a DSL expression")
+
+
+class BinaryExpression(Expression):
+    """A primary operation applied to two operands."""
+
+    def __init__(self, op: Operator, left: Expression, right: Expression) -> None:
+        if not op.is_primary:
+            raise OperationError(f"{op.value!r} is not a primary operation")
+        super().__init__()
+        self.op = op
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def _replace_left_zero(self):
+        # Used to implement unary negation as ``0 - x``.
+        self.left = ConstantExpression(0.0)
+        return self
+
+
+class NonlinearExpression(Expression):
+    """A non-linear operation (sigmoid, gaussian, sqrt) on one operand."""
+
+    def __init__(self, op: Operator, operand: Expression) -> None:
+        if not op.is_nonlinear:
+            raise OperationError(f"{op.value!r} is not a non-linear operation")
+        super().__init__()
+        self.op = op
+        self.operand = operand
+
+    @property
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+
+class GroupExpression(Expression):
+    """A group operation (sigma, pi, norm) reducing across an axis.
+
+    ``axis`` is the 1-based grouping axis of the *operands*, expressed as a
+    constant exactly as in the paper ("Group operations require the input
+    operands and the grouping axis which is expressed as a constant").  When
+    the operand is a primary operation over two differently-shaped inputs,
+    the reduction contracts the shared grouping axis and outer-combines the
+    remaining axes (this is what makes ``sigma(mo * in, 2)`` with ``mo`` of
+    ``[5][10]`` and ``in`` of ``[2][10]`` produce a ``[5][2]`` output).
+    """
+
+    def __init__(self, op: Operator, operand: Expression, axis: int) -> None:
+        if not op.is_group:
+            raise OperationError(f"{op.value!r} is not a group operation")
+        if axis < 1:
+            raise OperationError("group axis is a 1-based constant and must be >= 1")
+        super().__init__()
+        self.op = op
+        self.operand = operand
+        self.axis = axis
+
+    @property
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+
+class GatherExpression(Expression):
+    """Select one row of a multi-dimensional model variable.
+
+    This is a reproduction extension needed to express Low-Rank Matrix
+    Factorization, where each training tuple addresses one row of each
+    factor matrix.  The paper's DSL does not spell out its LRMF program;
+    the gather keeps the "no dynamic variables" rule because the index comes
+    from the training tuple, which the Striders deliver alongside the
+    features.
+    """
+
+    def __init__(self, source: Expression, index: Expression) -> None:
+        super().__init__()
+        self.source = source
+        self.index = index
+
+    @property
+    def children(self) -> tuple[Expression, ...]:
+        return (self.source, self.index)
+
+
+class MergeExpression(Expression):
+    """Marks the merge boundary between parallel update-rule threads."""
+
+    def __init__(self, operand: Expression, spec: MergeSpec) -> None:
+        super().__init__()
+        self.operand = operand
+        self.spec = spec
+
+    @property
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+
+# ---------------------------------------------------------------------- #
+# functional constructors (the DSL's non-linear / group front end)
+# ---------------------------------------------------------------------- #
+def sigmoid(x: Expression | Number) -> NonlinearExpression:
+    """Element-wise logistic sigmoid."""
+    return NonlinearExpression(Operator.SIGMOID, wrap(x))
+
+
+def gaussian(x: Expression | Number) -> NonlinearExpression:
+    """Element-wise Gaussian kernel ``exp(-x^2)``."""
+    return NonlinearExpression(Operator.GAUSSIAN, wrap(x))
+
+
+def sqrt(x: Expression | Number) -> NonlinearExpression:
+    """Element-wise square root."""
+    return NonlinearExpression(Operator.SQRT, wrap(x))
+
+
+def sigma(x: Expression, axis: int) -> GroupExpression:
+    """Summation across the grouping ``axis`` (1-based constant)."""
+    return GroupExpression(Operator.SIGMA, wrap(x), axis)
+
+
+def pi(x: Expression, axis: int) -> GroupExpression:
+    """Product across the grouping ``axis`` (1-based constant)."""
+    return GroupExpression(Operator.PI, wrap(x), axis)
+
+
+def norm(x: Expression, axis: int) -> GroupExpression:
+    """Euclidean norm across the grouping ``axis`` (1-based constant)."""
+    return GroupExpression(Operator.NORM, wrap(x), axis)
+
+
+def gather(source: Expression, index: Expression) -> GatherExpression:
+    """Select the row of ``source`` addressed by the tuple value ``index``."""
+    return GatherExpression(wrap(source), wrap(index))

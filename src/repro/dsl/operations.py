@@ -1,0 +1,139 @@
+"""Operation registry for the DAnA DSL (paper Table 1).
+
+Three categories of mathematical operations are supported:
+
+* **primary** — ``+ - * / > <`` applied element-by-element (with implicit
+  replication of the lower-dimensional operand);
+* **non-linear** — ``sigmoid``, ``gaussian``, ``sqrt`` applied element-wise
+  to a single operand;
+* **group** — ``sigma`` (summation), ``pi`` (product), ``norm`` (Euclidean
+  magnitude) which reduce across a grouping axis.
+
+Every operator carries the information the back end needs: its category,
+how the ALU implements it, and how the scheduler should decompose it into
+atomic sub-nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.exceptions import OperationError
+
+
+class OpCategory(Enum):
+    PRIMARY = "primary"
+    NONLINEAR = "nonlinear"
+    GROUP = "group"
+
+
+class Operator(Enum):
+    """All operators allowed by the DSL."""
+
+    # primary
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    GT = ">"
+    LT = "<"
+    # non-linear
+    SIGMOID = "sigmoid"
+    GAUSSIAN = "gaussian"
+    SQRT = "sqrt"
+    # group
+    SIGMA = "sigma"
+    PI = "pi"
+    NORM = "norm"
+
+    @property
+    def category(self) -> OpCategory:
+        return _CATEGORIES[self]
+
+    @property
+    def is_primary(self) -> bool:
+        return self.category is OpCategory.PRIMARY
+
+    @property
+    def is_nonlinear(self) -> bool:
+        return self.category is OpCategory.NONLINEAR
+
+    @property
+    def is_group(self) -> bool:
+        return self.category is OpCategory.GROUP
+
+    @property
+    def commutative(self) -> bool:
+        return self in (Operator.ADD, Operator.MUL)
+
+
+_CATEGORIES = {
+    Operator.ADD: OpCategory.PRIMARY,
+    Operator.SUB: OpCategory.PRIMARY,
+    Operator.MUL: OpCategory.PRIMARY,
+    Operator.DIV: OpCategory.PRIMARY,
+    Operator.GT: OpCategory.PRIMARY,
+    Operator.LT: OpCategory.PRIMARY,
+    Operator.SIGMOID: OpCategory.NONLINEAR,
+    Operator.GAUSSIAN: OpCategory.NONLINEAR,
+    Operator.SQRT: OpCategory.NONLINEAR,
+    Operator.SIGMA: OpCategory.GROUP,
+    Operator.PI: OpCategory.GROUP,
+    Operator.NORM: OpCategory.GROUP,
+}
+
+# The ALU latency (in cycles) of each operation.  Primary operations are
+# single-cycle; non-linear operations use a multi-cycle pipelined unit, the
+# values follow the latency ratios used by TABLA-style accelerators.
+ALU_LATENCY = {
+    Operator.ADD: 1,
+    Operator.SUB: 1,
+    Operator.MUL: 1,
+    Operator.DIV: 4,
+    Operator.GT: 1,
+    Operator.LT: 1,
+    Operator.SIGMOID: 4,
+    Operator.GAUSSIAN: 4,
+    Operator.SQRT: 4,
+    # group operations are decomposed into primary sub-nodes by the compiler,
+    # so they carry no latency of their own.
+    Operator.SIGMA: 0,
+    Operator.PI: 0,
+    Operator.NORM: 0,
+}
+
+# The primary operator each group operation applies while reducing.
+GROUP_REDUCE_OP = {
+    Operator.SIGMA: Operator.ADD,
+    Operator.PI: Operator.MUL,
+    Operator.NORM: Operator.ADD,  # norm reduces the squares with ADD, then SQRT
+}
+
+
+@dataclass(frozen=True)
+class MergeSpec:
+    """Description of a ``merge(x, coefficient, "op")`` call.
+
+    ``coefficient`` is the maximum number of update-rule threads whose
+    partial results are combined with ``operator``.
+    """
+
+    operator: Operator
+    coefficient: int
+
+    def __post_init__(self) -> None:
+        if self.coefficient < 1:
+            raise OperationError("merge coefficient must be >= 1")
+        if not self.operator.is_primary:
+            raise OperationError(
+                f"merge operator must be a primary operation, got {self.operator.value!r}"
+            )
+
+
+def parse_merge_operator(symbol: str) -> Operator:
+    """Map the string form used in ``merge(x, n, "+")`` to an operator."""
+    for op in (Operator.ADD, Operator.SUB, Operator.MUL, Operator.DIV):
+        if op.value == symbol:
+            return op
+    raise OperationError(f"unsupported merge operator {symbol!r}")

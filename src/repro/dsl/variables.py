@@ -1,0 +1,109 @@
+"""Data declarations of the DAnA DSL (paper Table 1).
+
+The DSL distinguishes five kinds of variables:
+
+* ``model``  — the machine-learning model being trained,
+* ``input``  — one training-tuple input (feature vector),
+* ``output`` — one training-tuple output (label),
+* ``meta``   — constants fixed for the whole execution (learning rate,
+  regularisation, merge coefficient, ...), shipped to the FPGA before the
+  algorithm starts,
+* ``inter``  — untyped intermediate values, labelled automatically by the
+  back end.
+
+A declared variable is a leaf :class:`~repro.dsl.expressions.Expression`
+carrying its kind and dimensions.  Dimensions may be given as a list/tuple
+(``dana.model([5, 2])``); omitting them declares a scalar.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+from repro.exceptions import DeclarationError
+from repro.dsl.expressions import Expression
+
+
+class VariableKind(Enum):
+    MODEL = "model"
+    INPUT = "input"
+    OUTPUT = "output"
+    META = "meta"
+    INTER = "inter"
+
+
+def _normalize_dims(dims: Sequence[int] | int | None) -> tuple[int, ...]:
+    """Normalise the user-supplied dimensions into a tuple of ints."""
+    if dims is None:
+        return ()
+    if isinstance(dims, int):
+        return (dims,)
+    out = []
+    for d in dims:
+        if not isinstance(d, int) or d <= 0:
+            raise DeclarationError(f"dimensions must be positive integers, got {d!r}")
+        out.append(d)
+    return tuple(out)
+
+
+class DanaVariable(Expression):
+    """A declared DSL variable (leaf of the expression tree)."""
+
+    def __init__(
+        self,
+        kind: VariableKind,
+        dims: Sequence[int] | int | None = None,
+        name: str | None = None,
+        value: float | None = None,
+    ) -> None:
+        self.kind = kind
+        self.dims = _normalize_dims(dims)
+        self.value = value
+        super().__init__(name=name or f"{kind.value}_{id(self) & 0xFFFF:x}")
+        if kind is VariableKind.META and value is None:
+            raise DeclarationError("meta variables must be declared with a constant value")
+        if kind is not VariableKind.META and value is not None:
+            raise DeclarationError(f"{kind.value} variables cannot carry a constant value")
+
+    @property
+    def is_scalar(self) -> bool:
+        return len(self.dims) == 0
+
+    @property
+    def element_count(self) -> int:
+        count = 1
+        for d in self.dims:
+            count *= d
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dims = list(self.dims) if self.dims else "scalar"
+        return f"DanaVariable({self.kind.value}, dims={dims}, name={self.name!r})"
+
+
+def model(dims: Sequence[int] | int | None = None, name: str | None = None) -> DanaVariable:
+    """Declare a machine-learning model variable (``dana.model``)."""
+    return DanaVariable(VariableKind.MODEL, dims, name=name)
+
+
+def input(dims: Sequence[int] | int | None = None, name: str | None = None) -> DanaVariable:  # noqa: A001 - mirrors dana.input
+    """Declare a training-tuple input variable (``dana.input``)."""
+    return DanaVariable(VariableKind.INPUT, dims, name=name)
+
+
+def output(dims: Sequence[int] | int | None = None, name: str | None = None) -> DanaVariable:
+    """Declare a training-tuple output (label) variable (``dana.output``)."""
+    return DanaVariable(VariableKind.OUTPUT, dims, name=name)
+
+
+def meta(value: float, name: str | None = None) -> DanaVariable:
+    """Declare a meta constant (``dana.meta``), fixed for the whole run."""
+    if not isinstance(value, (int, float)):
+        raise DeclarationError("meta variables must be numeric constants")
+    return DanaVariable(VariableKind.META, None, name=name, value=float(value))
+
+
+def inter(dims: Sequence[int] | int | None = None, name: str | None = None) -> DanaVariable:
+    """Declare an intermediate variable explicitly (``dana.inter``)."""
+    return DanaVariable(VariableKind.INTER, dims, name=name)

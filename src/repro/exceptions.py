@@ -1,0 +1,97 @@
+"""Exception hierarchy for the DAnA reproduction library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish library failures from programming errors in user
+code.  The hierarchy mirrors the major subsystems (RDBMS substrate, DSL
+front end, translator, compiler, hardware simulation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class RDBMSError(ReproError):
+    """Base class for errors raised by the RDBMS substrate."""
+
+
+class PageError(RDBMSError):
+    """A database page is malformed or an operation on it is invalid."""
+
+
+class PageFullError(PageError):
+    """A tuple does not fit in the remaining free space of a page."""
+
+
+class BufferPoolError(RDBMSError):
+    """Invalid buffer-pool operation (e.g. unpinning a free frame)."""
+
+
+class CatalogError(RDBMSError):
+    """Catalog lookups or registrations failed."""
+
+
+class QueryError(RDBMSError):
+    """A query could not be parsed or executed."""
+
+
+class StorageError(RDBMSError):
+    """The simulated storage manager was used incorrectly."""
+
+
+class DSLError(ReproError):
+    """Base class for user-facing DSL errors."""
+
+
+class DeclarationError(DSLError):
+    """A DSL variable declaration is invalid."""
+
+
+class OperationError(DSLError):
+    """A DSL operation was applied to incompatible operands."""
+
+
+class AlgoError(DSLError):
+    """The ``algo`` component is incomplete or inconsistent."""
+
+
+class TranslationError(ReproError):
+    """The translator could not convert the UDF to an hDFG."""
+
+
+class DimensionError(TranslationError):
+    """Dimension inference failed for an hDFG node."""
+
+
+class CompilerError(ReproError):
+    """Base class for compiler/back-end failures."""
+
+
+class SchedulingError(CompilerError):
+    """The static scheduler could not place an operation."""
+
+
+class ResourceError(CompilerError):
+    """The hardware generator cannot fit the design on the target FPGA."""
+
+
+class ISAError(ReproError):
+    """Encoding or decoding of an instruction failed."""
+
+
+class HardwareError(ReproError):
+    """The hardware simulator reached an invalid state."""
+
+
+class StriderError(HardwareError):
+    """A Strider program performed an illegal access."""
+
+
+class ExecutionEngineError(HardwareError):
+    """The execution-engine simulator reached an invalid state."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid parameters."""

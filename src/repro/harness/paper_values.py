@@ -1,0 +1,125 @@
+"""Reference numbers reported in the paper, used for paper-vs-measured tables.
+
+Values are read off Table 5 and Figures 8–16 of the paper.  They are only
+used for reporting (EXPERIMENTS.md, benchmark output); nothing in the
+library calibrates against individual per-workload speedups.
+"""
+
+from __future__ import annotations
+
+# Figure 8a — end-to-end speedup over MADlib+PostgreSQL, warm cache.
+FIG8_WARM_SPEEDUPS = {
+    "Remote Sensing LR": {"greenplum": 3.4, "dana": 28.2},
+    "WLAN": {"greenplum": 1.0, "dana": 18.42},
+    "Remote Sensing SVM": {"greenplum": 2.7, "dana": 15.1},
+    "Netflix": {"greenplum": 0.9, "dana": 6.32},
+    "Patient": {"greenplum": 3.0, "dana": 3.65},
+    "Blog Feedback": {"greenplum": 3.1, "dana": 1.86},
+    "Geomean": {"greenplum": 2.1, "dana": 8.3},
+}
+
+# Figure 8b — cold cache.
+FIG8_COLD_SPEEDUPS = {
+    "Remote Sensing LR": {"greenplum": 3.2, "dana": 4.89},
+    "WLAN": {"greenplum": 1.0, "dana": 14.58},
+    "Remote Sensing SVM": {"greenplum": 2.4, "dana": 8.61},
+    "Netflix": {"greenplum": 0.9, "dana": 6.01},
+    "Patient": {"greenplum": 2.4, "dana": 2.23},
+    "Blog Feedback": {"greenplum": 2.6, "dana": 1.48},
+    "Geomean": {"greenplum": 1.9, "dana": 4.8},
+}
+
+# Figure 9 — synthetic nominal datasets.
+FIG9_WARM_SPEEDUPS = {
+    "S/N Logistic": {"greenplum": 1.1, "dana": 20.16},
+    "S/N SVM": {"greenplum": 4.4, "dana": 8.7},
+    "S/N LRMF": {"greenplum": 7.99, "dana": 4.17},
+    "S/N Linear": {"greenplum": 1.2, "dana": 41.81},
+    "Geomean": {"greenplum": 2.6, "dana": 13.2},
+}
+FIG9_COLD_SPEEDUPS = {
+    "S/N Logistic": {"greenplum": 1.1, "dana": 10.05},
+    "S/N SVM": {"greenplum": 5.5, "dana": 6.47},
+    "S/N LRMF": {"greenplum": 7.78, "dana": 4.36},
+    "S/N Linear": {"greenplum": 1.2, "dana": 28.74},
+    "Geomean": {"greenplum": 2.7, "dana": 9.5},
+}
+
+# Figure 10 — synthetic extensive datasets.
+FIG10_WARM_SPEEDUPS = {
+    "S/E Logistic": {"greenplum": 7.85, "dana": 278.24},
+    "S/E SVM": {"greenplum": 1.11, "dana": 4.71},
+    "S/E LRMF": {"greenplum": 2.08, "dana": 1.12},
+    "S/E Linear": {"greenplum": 1.23, "dana": 19.01},
+    "Geomean": {"greenplum": 2.2, "dana": 12.9},
+}
+FIG10_COLD_SPEEDUPS = {
+    "S/E Logistic": {"greenplum": 7.83, "dana": 243.78},
+    "S/E SVM": {"greenplum": 0.77, "dana": 4.35},
+    "S/E LRMF": {"greenplum": 1.13, "dana": 1.12},
+    "S/E Linear": {"greenplum": 1.23, "dana": 17.02},
+    "Geomean": {"greenplum": 1.7, "dana": 11.9},
+}
+
+# Figure 11 — DAnA with and without Striders (speedup over MADlib+PostgreSQL).
+FIG11_STRIDER = {
+    "Remote Sensing LR": {"without": 4.0, "with": 28.2},
+    "WLAN": {"without": 12.21, "with": 18.42},
+    "Remote Sensing SVM": {"without": 1.93, "with": 15.1},
+    "Netflix": {"without": 0.58, "with": 6.32},
+    "Patient": {"without": 0.76, "with": 3.65},
+    "Blog Feedback": {"without": 1.14, "with": 1.86},
+    "S/N Logistic": {"without": 19.0, "with": 20.16},
+    "S/N SVM": {"without": 2.25, "with": 8.7},
+    "S/N LRMF": {"without": 0.85, "with": 4.17},
+    "S/N Linear": {"without": 6.28, "with": 41.81},
+    "S/E Logistic": {"without": 2.91, "with": 278.24},
+    "S/E SVM": {"without": 1.76, "with": 4.72},
+    "S/E LRMF": {"without": 0.29, "with": 1.12},
+    "S/E Linear": {"without": 6.63, "with": 19.02},
+    "Geomean": {"without": 2.3, "with": 10.8},
+}
+
+# Figure 13 — Greenplum segment sweep (speedup relative to 8 segments).
+FIG13_SEGMENTS = {
+    "Remote Sensing LR": {"postgres": 0.31, 4: 0.87, 8: 1.00, 16: 0.69},
+    "WLAN": {"postgres": 1.03, 4: 1.21, 8: 1.00, 16: 0.95},
+    "Remote Sensing SVM": {"postgres": 0.42, 4: 0.96, 8: 1.00, 16: 1.26},
+    "Netflix": {"postgres": 1.14, 4: 1.02, 8: 1.00, 16: 0.90},
+    "Patient": {"postgres": 0.42, 4: 0.97, 8: 1.00, 16: 0.73},
+    "Blog Feedback": {"postgres": 0.39, 4: 0.80, 8: 1.00, 16: 0.95},
+    "Geomean": {"postgres": 0.54, 4: 0.96, 8: 1.00, 16: 0.89},
+}
+
+# Figure 14 — FPGA bandwidth sweep (speedup over baseline bandwidth), geomean.
+FIG14_BANDWIDTH_GEOMEAN = {0.25: 0.82, 0.5: 0.92, 1.0: 1.0, 2.0: 1.05, 4.0: 1.08}
+
+# Figure 16 — DAnA speedup over TABLA (geomean over ten workloads).
+FIG16_TABLA_GEOMEAN = 3.8
+
+# Table 5 — absolute runtimes (seconds).
+TABLE5_RUNTIMES_S = {
+    "Remote Sensing LR": {"madlib": 3.6, "greenplum": 1.1, "dana": 0.1},
+    "WLAN": {"madlib": 14.0, "greenplum": 14.0, "dana": 0.61},
+    "Remote Sensing SVM": {"madlib": 1.7, "greenplum": 0.6, "dana": 0.09},
+    "Netflix": {"madlib": 62.3, "greenplum": 69.2, "dana": 7.89},
+    "Patient": {"madlib": 2.8, "greenplum": 0.9, "dana": 1.18},
+    "Blog Feedback": {"madlib": 1.6, "greenplum": 0.5, "dana": 0.34},
+    "S/N Logistic": {"madlib": 3292.0, "greenplum": 2993.0, "dana": 131.0},
+    "S/N SVM": {"madlib": 3386.0, "greenplum": 770.0, "dana": 244.0},
+    "S/N LRMF": {"madlib": 23.0, "greenplum": 3.0, "dana": 2.0},
+    "S/N Linear": {"madlib": 1747.0, "greenplum": 1456.0, "dana": 335.0},
+    "S/E Logistic": {"madlib": 240300.0, "greenplum": 30600.0, "dana": 684.0},
+    "S/E SVM": {"madlib": 360.0, "greenplum": 324.0, "dana": 72.0},
+    "S/E LRMF": {"madlib": 3276.0, "greenplum": 1584.0, "dana": 2340.0},
+    "S/E Linear": {"madlib": 23796.0, "greenplum": 19332.0, "dana": 1008.0},
+}
+
+# §1 / §7.2 headline claims.
+HEADLINE = {
+    "real_geomean_speedup_over_postgres": 8.3,
+    "real_geomean_speedup_over_greenplum": 4.0,
+    "max_speedup": 28.2,
+    "strider_amplification": 4.6,
+    "tabla_speedup": 4.7,
+}

@@ -1,0 +1,75 @@
+"""Regenerate every table and figure as one plain-text report.
+
+Usage::
+
+    python -m repro.harness.reportgen            # print to stdout
+    python -m repro.harness.reportgen report.txt # write to a file
+
+The report runs every experiment registered in
+:data:`repro.harness.experiments.EXPERIMENTS` and renders its rows with the
+same formatter the benchmarks use, giving a single artifact that mirrors the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.tables import format_table
+
+_TITLES = {
+    "table2_strider_isa": "Table 2 — Strider ISA page-walk programs",
+    "table3_workloads": "Table 3 — datasets and models",
+    "table5_absolute_runtimes": "Table 5 — absolute runtimes",
+    "fig8_real_warm": "Figure 8a — real datasets, warm cache",
+    "fig8_real_cold": "Figure 8b — real datasets, cold cache",
+    "fig9_sn_warm": "Figure 9a — synthetic nominal, warm cache",
+    "fig9_sn_cold": "Figure 9b — synthetic nominal, cold cache",
+    "fig10_se_warm": "Figure 10a — synthetic extensive, warm cache",
+    "fig10_se_cold": "Figure 10b — synthetic extensive, cold cache",
+    "fig11_strider_benefit": "Figure 11 — DAnA with vs without Striders",
+    "fig12_thread_sweep": "Figure 12 — runtime vs merge coefficient",
+    "fig13_greenplum_segments": "Figure 13 — Greenplum segment sweep",
+    "fig14_bandwidth_sweep": "Figure 14 — FPGA bandwidth sweep",
+    "fig15_external_breakdown": "Figure 15a — external-library runtime breakdown",
+    "fig15_end_to_end": "Figure 15c — end-to-end comparison with external libraries",
+    "fig16_tabla": "Figure 16 — DAnA vs TABLA",
+    "ablation_design_space": "Ablation — hardware-generator design space",
+}
+
+
+def generate_report(experiment_names: list[str] | None = None) -> str:
+    """Run the selected experiments (default: all) and render the report."""
+    names = experiment_names or list(EXPERIMENTS)
+    sections = [
+        "DAnA reproduction — full experiment report",
+        "=" * 44,
+    ]
+    for name in names:
+        fn = EXPERIMENTS[name]
+        started = time.perf_counter()
+        rows = fn()
+        elapsed = time.perf_counter() - started
+        title = _TITLES.get(name, name)
+        sections.append("")
+        sections.append(format_table(rows, title=f"{title}   [{elapsed:.2f}s]"))
+    sections.append("")
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    report = generate_report()
+    if argv:
+        with open(argv[0], "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {argv[0]} ({len(report.splitlines())} lines)")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Functional + cycle-approximate simulation of the DAnA accelerator."""
+
+from repro.hw.accelerator import AcceleratorRunResult, DAnAAccelerator
+from repro.hw.access_engine import (
+    AccessEngine,
+    AccessEngineConfig,
+    AccessEngineStats,
+    PayloadDecoder,
+)
+from repro.hw.alu import ALU
+from repro.hw.analytic_cluster import AnalyticCluster
+from repro.hw.analytic_unit import AnalyticUnit
+from repro.hw.execution_engine import (
+    EngineRunStats,
+    ExecutionEngine,
+    TrainingResult,
+)
+from repro.hw.fpga import ARRIA_10, DEFAULT_FPGA, ULTRASCALE_PLUS_VU9P, FPGASpec
+from repro.hw.strider import Strider, StriderResult, StriderStats
+from repro.hw.tree_bus import TreeBus, TreeBusStats
+
+__all__ = [
+    "ALU",
+    "ARRIA_10",
+    "AcceleratorRunResult",
+    "AccessEngine",
+    "AccessEngineConfig",
+    "AccessEngineStats",
+    "AnalyticCluster",
+    "AnalyticUnit",
+    "DAnAAccelerator",
+    "DEFAULT_FPGA",
+    "EngineRunStats",
+    "ExecutionEngine",
+    "FPGASpec",
+    "PayloadDecoder",
+    "Strider",
+    "StriderResult",
+    "StriderStats",
+    "TrainingResult",
+    "TreeBus",
+    "TreeBusStats",
+    "ULTRASCALE_PLUS_VU9P",
+]

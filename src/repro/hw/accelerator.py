@@ -1,0 +1,121 @@
+"""The complete DAnA accelerator: access engine + execution engine.
+
+This module wires the two engines together the way Figure 4 of the paper
+draws them: buffer-pool pages enter through the AXI interface into page
+buffers, Striders cleanse them into raw training tuples, and the
+multi-threaded execution engine consumes those tuples to run the learning
+algorithm.  The result is a single object that can train a model directly
+from binary database pages and report the hardware activity it generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.hw.access_engine import AccessEngine, AccessEngineStats
+from repro.hw.execution_engine import EngineRunStats, ExecutionEngine, TrainingResult
+from repro.hw.fpga import FPGASpec
+from repro.hw.tree_bus import TreeBus
+from repro.rdbms.types import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (compiler imports hw)
+    from repro.compiler.execution_binary import ExecutionBinary
+
+TupleBinder = Callable[[np.ndarray], dict[str, np.ndarray | float]]
+
+
+@dataclass
+class AcceleratorRunResult:
+    """Functional result + hardware activity of one accelerated training run."""
+
+    training: TrainingResult
+    access_stats: AccessEngineStats
+    engine_stats: EngineRunStats
+    tuples_extracted: int
+
+    @property
+    def models(self) -> dict[str, np.ndarray]:
+        return self.training.models
+
+
+@dataclass
+class DAnAAccelerator:
+    """A generated accelerator instance bound to one compiled UDF."""
+
+    binary: ExecutionBinary
+    schema: Schema
+    fpga: FPGASpec
+    access_engine: AccessEngine = field(init=False)
+    execution_engine: ExecutionEngine = field(init=False)
+
+    def __post_init__(self) -> None:
+        design = self.binary.design
+        self.access_engine = AccessEngine(
+            config=design.access_engine_config,
+            program=self.binary.strider.program,
+            schema=self.schema,
+            fpga=self.fpga,
+        )
+        self.execution_engine = ExecutionEngine(
+            graph=self.binary.graph,
+            schedule=self.binary.thread_schedule,
+            threads=design.threads,
+            tree_bus=TreeBus(alu_count=design.aus_per_cluster),
+        )
+
+    # ------------------------------------------------------------------ #
+    # end-to-end functional execution
+    # ------------------------------------------------------------------ #
+    def extract(self, page_images: Iterable[bytes]) -> np.ndarray:
+        """Run only the access engine: binary pages → float tuple matrix."""
+        return self.access_engine.extract_table(page_images)
+
+    def train_from_pages(
+        self,
+        page_images: Iterable[bytes],
+        initial_models: Mapping[str, np.ndarray],
+        bind_tuple: TupleBinder,
+        epochs: int,
+        convergence_check: bool = True,
+    ) -> AcceleratorRunResult:
+        """Extract tuples with Striders, then train on the execution engine."""
+        rows = self.access_engine.extract_table(page_images)
+        training = self.execution_engine.train(
+            rows=rows,
+            initial_models=initial_models,
+            bind_tuple=bind_tuple,
+            epochs=epochs,
+            convergence_check=convergence_check,
+        )
+        return AcceleratorRunResult(
+            training=training,
+            access_stats=self.access_engine.stats,
+            engine_stats=self.execution_engine.stats,
+            tuples_extracted=len(rows),
+        )
+
+    def train_from_rows(
+        self,
+        rows: np.ndarray,
+        initial_models: Mapping[str, np.ndarray],
+        bind_tuple: TupleBinder,
+        epochs: int,
+        convergence_check: bool = True,
+    ) -> AcceleratorRunResult:
+        """Train on already-extracted tuples (the "without Striders" path)."""
+        training = self.execution_engine.train(
+            rows=rows,
+            initial_models=initial_models,
+            bind_tuple=bind_tuple,
+            epochs=epochs,
+            convergence_check=convergence_check,
+        )
+        return AcceleratorRunResult(
+            training=training,
+            access_stats=self.access_engine.stats,
+            engine_stats=self.execution_engine.stats,
+            tuples_extracted=len(rows),
+        )

@@ -1,0 +1,378 @@
+"""Multi-threaded execution engine simulator (paper §5.2).
+
+The execution engine runs multiple threads of the update rule over
+different training tuples, merges their partial results on the tree bus and
+applies the post-merge computation (optimizer step) once per batch.
+
+Two execution paths are provided:
+
+* **fast functional path** — per-tuple evaluation of the hDFG with NumPy
+  (the exact arithmetic the scheduled microcode performs, vectorised),
+  used to actually train models on datasets;
+* **microcode path** — cycle-by-cycle execution of the compiled
+  :class:`~repro.isa.engine_isa.EngineProgram` on simulated Analytic
+  Clusters/Units, used by the test-suite to validate that the static
+  schedule computes exactly what the hDFG specifies.
+
+Cycle accounting uses the static schedule lengths: every consumed batch
+costs ``update_rule_cycles`` (all threads run in lock-step on their own
+tuple) plus the tree-bus merge cost plus ``post_merge_cycles``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import ExecutionEngineError
+from repro.dsl.operations import Operator
+from repro.hw.alu import ALU
+from repro.hw.analytic_cluster import AnalyticCluster
+from repro.hw.tree_bus import TreeBus
+from repro.isa.engine_isa import SourceKind
+from repro.translator.evaluator import HDFGEvaluator
+from repro.translator.hdfg import HDFG, NodeKind, Region
+from repro.compiler.scheduler import ThreadSchedule, node_ref
+
+TupleBinder = Callable[[np.ndarray], dict[str, np.ndarray | float]]
+
+
+@dataclass
+class EngineRunStats:
+    """Counters accumulated while training."""
+
+    tuples_processed: int = 0
+    batches_processed: int = 0
+    epochs_completed: int = 0
+    update_rule_cycles: int = 0
+    merge_cycles: int = 0
+    post_merge_cycles: int = 0
+    convergence_cycles: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.update_rule_cycles
+            + self.merge_cycles
+            + self.post_merge_cycles
+            + self.convergence_cycles
+        )
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of running the execution engine over a dataset."""
+
+    models: dict[str, np.ndarray]
+    epochs_run: int
+    converged: bool
+    stats: EngineRunStats = field(default_factory=EngineRunStats)
+
+
+class ExecutionEngine:
+    """Simulates the multi-threaded execution engine for one compiled UDF."""
+
+    def __init__(
+        self,
+        graph: HDFG,
+        schedule: ThreadSchedule,
+        threads: int,
+        tree_bus: TreeBus | None = None,
+    ) -> None:
+        if threads < 1:
+            raise ExecutionEngineError("the execution engine needs at least one thread")
+        self.graph = graph
+        self.schedule = schedule
+        self.evaluator = HDFGEvaluator(graph)
+        self.tree_bus = tree_bus or TreeBus()
+        self.stats = EngineRunStats()
+        self._merge_nodes = [graph.node(i) for i in graph.merge_node_ids]
+        self._gather_nodes = [n for n in graph.nodes() if n.kind is NodeKind.GATHER]
+        # Without a merge function the update rule is inherently sequential
+        # (each tuple's update must see the previous model), so parallel
+        # threads would silently drop work; fall back to one thread unless
+        # the model is row-addressed (Hogwild-style LRMF updates).  With a
+        # merge function, the merge coefficient is the batch size the user
+        # asked for and therefore bounds the usable thread count.
+        if not self._merge_nodes and not self._gather_nodes:
+            threads = 1
+        elif self._merge_nodes:
+            max_coefficient = max(
+                node.merge_coefficient or 1 for node in self._merge_nodes
+            )
+            threads = min(threads, max_coefficient)
+        self.threads = max(1, threads)
+        # The merge coefficient fixes the *batch* semantics of the algorithm:
+        # that many tuples contribute to one model update regardless of how
+        # many hardware threads the generator allocated.  When fewer threads
+        # than the coefficient are available, each thread simply consumes
+        # several tuples per batch (more engine rounds, same arithmetic).
+        if self._merge_nodes:
+            self.batch_size = max(
+                node.merge_coefficient or 1 for node in self._merge_nodes
+            )
+        elif self._gather_nodes:
+            self.batch_size = self.threads
+        else:
+            self.batch_size = 1
+
+    # ------------------------------------------------------------------ #
+    # fast functional path
+    # ------------------------------------------------------------------ #
+    def train(
+        self,
+        rows: np.ndarray,
+        initial_models: Mapping[str, np.ndarray],
+        bind_tuple: TupleBinder,
+        epochs: int,
+        convergence_check: bool = True,
+        rng: np.random.Generator | None = None,
+        shuffle: bool = False,
+    ) -> TrainingResult:
+        """Train over ``rows`` for up to ``epochs`` passes."""
+        models = {k: np.array(v, dtype=np.float64) for k, v in initial_models.items()}
+        converged = False
+        epochs_run = 0
+        for _epoch in range(epochs):
+            order = np.arange(len(rows))
+            if shuffle:
+                (rng or np.random.default_rng(0)).shuffle(order)
+            last_env = self._train_one_epoch(rows[order], models, bind_tuple)
+            epochs_run += 1
+            self.stats.epochs_completed += 1
+            if convergence_check and self._convergence_reached(last_env):
+                converged = True
+                break
+        return TrainingResult(
+            models=models, epochs_run=epochs_run, converged=converged, stats=self.stats
+        )
+
+    def _train_one_epoch(
+        self,
+        rows: np.ndarray,
+        models: dict[str, np.ndarray],
+        bind_tuple: TupleBinder,
+    ) -> dict:
+        last_env: dict = {}
+        batch_size = self.batch_size
+        for start in range(0, len(rows), batch_size):
+            batch = rows[start : start + batch_size]
+            last_env = self._process_batch(batch, models, bind_tuple)
+            self.stats.batches_processed += 1
+            self.stats.tuples_processed += len(batch)
+            # Timing: the threads run in lock-step, so a batch needs
+            # ceil(batch / threads) engine rounds before the merge.
+            rounds = math.ceil(len(batch) / self.threads)
+            self.stats.update_rule_cycles += rounds * self.schedule.update_rule_cycles
+            self.stats.merge_cycles += self.tree_bus.merge_cycles(
+                min(len(batch), self.threads), self._merge_element_count()
+            )
+            self.stats.post_merge_cycles += self.schedule.post_merge_cycles
+        self.stats.convergence_cycles += self.schedule.convergence_cycles
+        return last_env
+
+    def _process_batch(
+        self,
+        batch: np.ndarray,
+        models: dict[str, np.ndarray],
+        bind_tuple: TupleBinder,
+    ) -> dict:
+        per_thread_envs = []
+        for row in batch:
+            bindings = dict(bind_tuple(np.asarray(row, dtype=np.float64)))
+            for name, value in models.items():
+                bindings.setdefault(name, value)
+            env = self.evaluator.initial_env(bindings)
+            env = self.evaluator.evaluate(env, [Region.UPDATE_RULE])
+            per_thread_envs.append(env)
+
+        if self._has_gather_updates():
+            # Row-addressed models (LRMF): apply each thread's update in turn,
+            # Hogwild-style, because different tuples touch different rows.
+            for env in per_thread_envs:
+                env = self.evaluator.evaluate(env, [Region.UPDATE_RULE, Region.POST_MERGE])
+                self._apply_updates(env, models)
+            return per_thread_envs[-1]
+
+        # Aggregate merge-node values across threads on the tree bus.
+        lead_env = per_thread_envs[0]
+        for merge_node in self._merge_nodes:
+            operand_id = merge_node.inputs[0]
+            values = [env[operand_id] for env in per_thread_envs if operand_id in env]
+            merged = self.tree_bus.merge(values, merge_node.merge_operator)
+            lead_env[merge_node.node_id] = merged
+        lead_env = self.evaluator.evaluate(lead_env, [Region.UPDATE_RULE, Region.POST_MERGE])
+        self._apply_updates(lead_env, models)
+        return lead_env
+
+    # ------------------------------------------------------------------ #
+    # model write-back
+    # ------------------------------------------------------------------ #
+    def _apply_updates(self, env: dict, models: dict[str, np.ndarray]) -> None:
+        results = self.evaluator.model_results(env)
+        for name, value in results.items():
+            if name not in models:
+                models[name] = value
+                continue
+            current = models[name]
+            if value.shape == current.shape:
+                models[name] = value
+                continue
+            # Row-addressed update: find the gather node for this model to
+            # recover which row the tuple addressed.
+            row_index = self._gather_row_index(name, env)
+            if row_index is None:
+                raise ExecutionEngineError(
+                    f"update for model {name!r} has shape {value.shape} but the model "
+                    f"is {current.shape} and no gather index was found"
+                )
+            current = current.copy()
+            current[row_index] = value
+            models[name] = current
+
+    def _gather_row_index(self, model_name: str, env: dict) -> int | None:
+        model_node_ids = {
+            b.node_id for b in self.graph.bindings if b.name == model_name
+        }
+        for gather in self._gather_nodes:
+            if gather.inputs[0] in model_node_ids and gather.inputs[1] in env:
+                return int(round(float(np.asarray(env[gather.inputs[1]]))))
+        return None
+
+    def _has_gather_updates(self) -> bool:
+        if not self._gather_nodes:
+            return False
+        model_dims = {
+            name: self.graph.node(var_node_id).dims
+            for name, var_node_id, _u in self.graph.update_targets
+            if var_node_id >= 0
+        }
+        for name, _var_node_id, update_node_id in self.graph.update_targets:
+            update_dims = self.graph.node(update_node_id).dims
+            if name in model_dims and update_dims != model_dims[name]:
+                return True
+        return False
+
+    def _merge_element_count(self) -> int:
+        if not self._merge_nodes:
+            return 0
+        return max(node.element_count for node in self._merge_nodes)
+
+    def _convergence_reached(self, env: dict) -> bool:
+        if self.graph.convergence_node_id is None:
+            return False
+        env = self.evaluator.evaluate(
+            env, [Region.UPDATE_RULE, Region.POST_MERGE, Region.CONVERGENCE]
+        )
+        return self.evaluator.convergence_reached(env)
+
+    # ------------------------------------------------------------------ #
+    # microcode path (schedule validation)
+    # ------------------------------------------------------------------ #
+    def execute_microcode(
+        self,
+        variable_values: Mapping[str, np.ndarray | float],
+        regions: Iterable[Region] = (Region.UPDATE_RULE,),
+        merged_values: Mapping[int, np.ndarray] | None = None,
+    ) -> dict[int, np.ndarray]:
+        """Execute the compiled engine program on simulated ACs/AUs.
+
+        ``variable_values`` binds DSL variable names to values;
+        ``merged_values`` optionally injects merge-node results (needed when
+        executing the post-merge region).  Returns the computed value of
+        every hDFG node touched by the executed steps, keyed by node id.
+        """
+        regions = list(regions)
+        address_map = self.schedule.address_map
+        memory: dict[int, float] = {}
+        supported = self.graph.required_operators() | {Operator.ADD}
+        alu = ALU(supported)
+        clusters = [
+            AnalyticCluster(cluster_id=i, alu=alu)
+            for i in range(self.schedule.acs_per_thread)
+        ]
+        # All AUs of the thread share one scratchpad image so that values
+        # produced on one AU are visible to consumers scheduled elsewhere.
+        for cluster in clusters:
+            for au in cluster.aus:
+                au.data_memory = memory
+                au.memory_words = max(4096, len(address_map) + 1024)
+
+        # Pre-load leaves (variables, constants) and gather staging values.
+        env = self.evaluator.initial_env(dict(variable_values))
+        env = self.evaluator.evaluate(env, [])
+        self._preload_memory(memory, env)
+        for gather in self._gather_nodes:
+            source = np.asarray(env.get(gather.inputs[0]))
+            index_value = env.get(gather.inputs[1])
+            if source is None or index_value is None:
+                continue
+            row = np.atleast_1d(source[int(round(float(index_value)))])
+            for i in range(gather.element_count):
+                key = ("gather", gather.node_id, i)
+                if address_map.known(key):
+                    memory[address_map.address_of(key)] = float(row.flat[i])
+        if merged_values:
+            for node_id, value in merged_values.items():
+                flat = np.atleast_1d(np.asarray(value, dtype=np.float64)).ravel()
+                for i, v in enumerate(flat):
+                    key = node_ref(node_id, i)
+                    if address_map.known(key):
+                        memory[address_map.address_of(key)] = float(v)
+
+        step_lists = {
+            Region.UPDATE_RULE: self.schedule.program.update_rule_steps,
+            Region.POST_MERGE: self.schedule.program.post_merge_steps,
+            Region.CONVERGENCE: self.schedule.program.convergence_steps,
+        }
+        for region in regions:
+            for step in step_lists[region]:
+                for instruction in step.cluster_instructions:
+                    cluster = clusters[instruction.cluster_id % len(clusters)]
+                    fixed = instruction
+                    if instruction.cluster_id >= len(clusters):
+                        fixed = type(instruction)(
+                            cluster_id=cluster.cluster_id,
+                            operation=instruction.operation,
+                            au_slots=instruction.au_slots,
+                        )
+                    cluster.execute_instruction(fixed)
+
+        # Collect node outputs back from the scratchpad.
+        results: dict[int, np.ndarray] = {}
+        for node in self.graph.nodes():
+            if node.is_leaf or node.kind in (NodeKind.UPDATE, NodeKind.MERGE):
+                continue
+            if node.region not in regions:
+                continue
+            values = []
+            complete = True
+            for i in range(node.element_count):
+                key = node_ref(node.node_id, i)
+                if not address_map.known(key):
+                    complete = False
+                    break
+                address = address_map.address_of(key)
+                if address not in memory:
+                    complete = False
+                    break
+                values.append(memory[address])
+            if complete:
+                results[node.node_id] = np.asarray(values, dtype=np.float64).reshape(
+                    node.dims if node.dims else ()
+                )
+        return results
+
+    def _preload_memory(self, memory: dict[int, float], env: dict) -> None:
+        address_map = self.schedule.address_map
+        for node in self.graph.nodes():
+            if not node.is_leaf or node.node_id not in env:
+                continue
+            flat = np.atleast_1d(np.asarray(env[node.node_id], dtype=np.float64)).ravel()
+            for i, value in enumerate(flat):
+                key = node_ref(node.node_id, i)
+                if address_map.known(key):
+                    memory[address_map.address_of(key)] = float(value)

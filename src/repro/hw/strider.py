@@ -1,0 +1,232 @@
+"""Functional + cycle-approximate simulator of one Strider (paper §5.1).
+
+A Strider walks one database page that the access engine has staged in a
+page buffer.  It executes the Strider ISA (:mod:`repro.isa.strider_isa`):
+it reads the page header to locate the line pointers and tuple data,
+chases the pointers, strips tuple headers ("cleansing") and pushes the raw
+attribute payloads into an output FIFO that feeds the execution engine.
+
+The simulator is faithful at the byte level — it only ever sees the binary
+page image — and approximates time by charging one cycle per instruction
+plus extra cycles for multi-word page-buffer reads (the BRAM read width of
+the target FPGA bounds how many bytes move per cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import StriderError
+from repro.isa.strider_isa import (
+    NUM_CONFIG_REGISTERS,
+    NUM_TEMP_REGISTERS,
+    Operand,
+    OperandKind,
+    StriderInstruction,
+    StriderOpcode,
+    StriderProgram,
+)
+
+_WORD_MASK_64 = (1 << 64) - 1
+
+
+@dataclass
+class StriderStats:
+    """Execution counters for one Strider run over one page."""
+
+    instructions_executed: int = 0
+    cycles: int = 0
+    bytes_read: int = 0
+    bytes_emitted: int = 0
+    tuples_emitted: int = 0
+    loop_iterations: int = 0
+
+
+@dataclass
+class StriderResult:
+    """Output of walking one page: cleansed tuple payloads plus statistics."""
+
+    payloads: list[bytes] = field(default_factory=list)
+    stats: StriderStats = field(default_factory=StriderStats)
+
+
+class Strider:
+    """Executes a :class:`StriderProgram` against one binary page image."""
+
+    def __init__(
+        self,
+        program: StriderProgram,
+        read_width_bytes: int = 8,
+        max_instructions: int = 2_000_000,
+    ) -> None:
+        if read_width_bytes <= 0:
+            raise StriderError("read width must be positive")
+        self.program = program
+        self.read_width_bytes = read_width_bytes
+        self.max_instructions = max_instructions
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def process_page(self, page_image: bytes) -> StriderResult:
+        """Run the program over one page and collect the emitted payloads."""
+        state = _StriderState(page_image, self.program.constants)
+        result = StriderResult()
+        instructions = self.program.instructions
+        pc = 0
+        loop_entry: int | None = None
+        while pc < len(instructions):
+            if result.stats.instructions_executed >= self.max_instructions:
+                raise StriderError(
+                    "instruction budget exhausted; the Strider program does not terminate"
+                )
+            inst = instructions[pc]
+            result.stats.instructions_executed += 1
+            result.stats.cycles += self._instruction_cycles(inst, state)
+            if inst.opcode is StriderOpcode.BENTR:
+                loop_entry = pc + 1
+                pc += 1
+                continue
+            if inst.opcode is StriderOpcode.BEXIT:
+                if self._branch_exit_taken(inst, state):
+                    loop_entry = None
+                    pc += 1
+                else:
+                    if loop_entry is None:
+                        raise StriderError("bexit executed without a preceding bentr")
+                    result.stats.loop_iterations += 1
+                    pc = loop_entry
+                continue
+            self._execute(inst, state, result)
+            pc += 1
+        result.stats.bytes_read = state.bytes_read
+        return result
+
+    # ------------------------------------------------------------------ #
+    # instruction execution
+    # ------------------------------------------------------------------ #
+    def _execute(self, inst: StriderInstruction, state: "_StriderState", result: StriderResult) -> None:
+        op = inst.opcode
+        if op is StriderOpcode.READB:
+            addr = state.value(inst.op0)
+            nbytes = state.value(inst.op1)
+            raw = state.read_page(addr, nbytes)
+            state.staging = raw
+            state.store(inst.op2, int.from_bytes(raw[:8], "little"))
+        elif op is StriderOpcode.EXTRB:
+            offset = state.value(inst.op0)
+            nbytes = state.value(inst.op1)
+            if offset + nbytes > len(state.staging):
+                raise StriderError(
+                    f"extrB reads bytes [{offset}, {offset + nbytes}) beyond the "
+                    f"{len(state.staging)}-byte staging register"
+                )
+            value = int.from_bytes(state.staging[offset : offset + nbytes], "little")
+            state.store(inst.op2, value)
+        elif op is StriderOpcode.EXTRBI:
+            bit_offset = state.value(inst.op0)
+            nbits = state.value(inst.op1)
+            word = int.from_bytes(state.staging[:8], "little")
+            value = (word >> bit_offset) & ((1 << nbits) - 1)
+            state.store(inst.op2, value)
+        elif op is StriderOpcode.WRITEB:
+            addr = state.value(inst.op0)
+            nbytes = state.value(inst.op1)
+            value = state.value(inst.op2)
+            state.write_page(addr, value.to_bytes(max(1, nbytes), "little")[:nbytes])
+        elif op is StriderOpcode.CLN:
+            strip = state.value(inst.op0)
+            length = state.value(inst.op1)
+            mode = state.value(inst.op2)
+            payload = state.staging[strip:] if length == 0 else state.staging[strip : strip + length]
+            state.staging = payload
+            if mode != 0:
+                result.payloads.append(bytes(payload))
+                result.stats.tuples_emitted += 1
+                result.stats.bytes_emitted += len(payload)
+        elif op is StriderOpcode.INS:
+            value = state.value(inst.op0)
+            count = max(1, state.value(inst.op1))
+            state.staging = state.staging + bytes([value & 0xFF]) * count
+        elif op in (StriderOpcode.AD, StriderOpcode.SUB, StriderOpcode.MUL):
+            a = state.value(inst.op1)
+            b = state.value(inst.op2)
+            if op is StriderOpcode.AD:
+                value = a + b
+            elif op is StriderOpcode.SUB:
+                value = a - b
+            else:
+                value = a * b
+            state.store(inst.op0, value & _WORD_MASK_64)
+        else:  # pragma: no cover - BENTR/BEXIT handled by the main loop
+            raise StriderError(f"unexpected opcode {op}")
+
+    def _branch_exit_taken(self, inst: StriderInstruction, state: "_StriderState") -> bool:
+        condition = state.value(inst.op0)
+        a = state.value(inst.op1)
+        b = state.value(inst.op2)
+        if condition == 0:
+            return a == b
+        if condition == 1:
+            return a >= b
+        if condition == 2:
+            return a < b
+        if condition == 3:
+            return a != b
+        raise StriderError(f"unknown bexit condition code {condition}")
+
+    def _instruction_cycles(self, inst: StriderInstruction, state: "_StriderState") -> int:
+        """Cycle cost: 1 per instruction, plus extra BRAM words for big reads."""
+        if inst.opcode in (StriderOpcode.READB, StriderOpcode.CLN, StriderOpcode.WRITEB):
+            nbytes = state.value(inst.op1)
+            if inst.opcode is StriderOpcode.CLN and nbytes == 0:
+                nbytes = max(0, len(state.staging) - state.value(inst.op0))
+            words = max(1, -(-nbytes // self.read_width_bytes))
+            return words
+        return 1
+
+
+class _StriderState:
+    """Register file, staging register and page-buffer view of one Strider."""
+
+    def __init__(self, page_image: bytes, constants: dict[int, int]) -> None:
+        self.page = bytearray(page_image)
+        self.config = [0] * NUM_CONFIG_REGISTERS
+        self.temps = [0] * NUM_TEMP_REGISTERS
+        self.staging = b""
+        self.bytes_read = 0
+        for reg, value in constants.items():
+            if not 0 <= reg < NUM_CONFIG_REGISTERS:
+                raise StriderError(f"constant register index {reg} out of range")
+            self.config[reg] = value
+
+    def value(self, operand: Operand) -> int:
+        if operand.kind is OperandKind.IMMEDIATE:
+            return operand.value
+        if operand.kind is OperandKind.CONFIG:
+            return self.config[operand.value]
+        return self.temps[operand.value]
+
+    def store(self, operand: Operand, value: int) -> None:
+        if operand.kind is OperandKind.CONFIG:
+            self.config[operand.value] = value
+        elif operand.kind is OperandKind.TEMP:
+            self.temps[operand.value] = value
+        # Storing to an immediate destination discards the value (used by
+        # instructions that only care about the staging register).
+
+    def read_page(self, addr: int, nbytes: int) -> bytes:
+        if addr < 0 or addr + nbytes > len(self.page):
+            raise StriderError(
+                f"page-buffer read [{addr}, {addr + nbytes}) out of bounds "
+                f"(page is {len(self.page)} bytes)"
+            )
+        self.bytes_read += nbytes
+        return bytes(self.page[addr : addr + nbytes])
+
+    def write_page(self, addr: int, data: bytes) -> None:
+        if addr < 0 or addr + len(data) > len(self.page):
+            raise StriderError(
+                f"page-buffer write [{addr}, {addr + len(data)}) out of bounds"
+            )
+        self.page[addr : addr + len(data)] = data

@@ -1,0 +1,85 @@
+"""Computationally-enabled tree bus that merges per-thread results.
+
+"Results across the threads are combined via a computationally-enabled tree
+bus in accordance to the merge function.  This bus has attached ALUs to
+perform computations on in-flight data." (paper §5.2)
+
+The tree bus combines the merge-node value of every active thread pairwise,
+level by level, using the merge operator, so merging ``T`` threads of an
+``E``-element vector costs ``ceil(log2(T))`` levels of ``E`` element-wise
+operations each.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ExecutionEngineError
+from repro.dsl.operations import Operator
+from repro.hw.alu import ALU
+
+
+@dataclass
+class TreeBusStats:
+    merges_performed: int = 0
+    levels_traversed: int = 0
+    operations_executed: int = 0
+    cycles: int = 0
+
+
+class TreeBus:
+    """Pairwise reduction network across execution-engine threads."""
+
+    def __init__(self, alu_count: int = 8, alu: ALU | None = None) -> None:
+        if alu_count < 1:
+            raise ExecutionEngineError("the tree bus needs at least one ALU")
+        self.alu_count = alu_count
+        self.alu = alu or ALU()
+        self.stats = TreeBusStats()
+
+    def merge(self, values: list[np.ndarray], operator: Operator) -> np.ndarray:
+        """Combine per-thread arrays pairwise with ``operator``."""
+        if not values:
+            raise ExecutionEngineError("cannot merge an empty set of thread results")
+        current = [np.asarray(v, dtype=np.float64) for v in values]
+        element_count = int(np.asarray(current[0]).size)
+        levels = 0
+        while len(current) > 1:
+            nxt: list[np.ndarray] = []
+            for i in range(0, len(current) - 1, 2):
+                left, right = current[i], current[i + 1]
+                combined = np.vectorize(
+                    lambda a, b: self.alu.execute(operator, float(a), float(b))
+                )(left, right) if left.size <= 64 else self._bulk(operator, left, right)
+                nxt.append(np.asarray(combined, dtype=np.float64))
+                self.stats.operations_executed += element_count
+            if len(current) % 2 == 1:
+                nxt.append(current[-1])
+            current = nxt
+            levels += 1
+            self.stats.cycles += math.ceil(element_count / self.alu_count)
+        self.stats.merges_performed += 1
+        self.stats.levels_traversed += levels
+        return current[0]
+
+    def merge_cycles(self, thread_count: int, element_count: int) -> int:
+        """Analytic cycle cost of merging without executing it."""
+        if thread_count <= 1:
+            return 0
+        levels = math.ceil(math.log2(thread_count))
+        return levels * math.ceil(element_count / self.alu_count)
+
+    def _bulk(self, operator: Operator, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Vectorised fallback for wide merges (functionally identical)."""
+        if operator is Operator.ADD:
+            return left + right
+        if operator is Operator.MUL:
+            return left * right
+        if operator is Operator.SUB:
+            return left - right
+        if operator is Operator.DIV:
+            return left / right
+        raise ExecutionEngineError(f"unsupported merge operator {operator.value!r}")

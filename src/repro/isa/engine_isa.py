@@ -1,0 +1,181 @@
+"""Execution-engine ISA: variable-length selective-SIMD micro-instructions.
+
+The execution engine (paper §5.2) is organised as threads → Analytic
+Clusters (AC) → Analytic Units (AU).  Each AC holds one *cluster-level*
+instruction per cycle: an ALU operation plus a per-AU enable mask
+("selective SIMD": every enabled AU performs the cluster operation, the
+rest issue a NOP).  Finer details — where each AU reads its operands and
+where it writes its result — are stored per AU.
+
+The paper's engine ISA lives in Appendix B of the tech report, which is not
+part of the main text; the encoding below is a faithful reconstruction of
+the description in §5.2: cluster-level opcode + enable mask, per-AU source
+selectors (data memory, left/right neighbour register, bus FIFO, immediate)
+and a destination selector (data memory, neighbours, bus, output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import ISAError
+from repro.dsl.operations import ALU_LATENCY, Operator
+
+AUS_PER_CLUSTER = 8
+
+
+class SourceKind(Enum):
+    """Where an AU operand comes from."""
+
+    DATA_MEMORY = "mem"        # the AU's private data-memory scratchpad
+    LEFT_NEIGHBOR = "left"     # the register of the AU to the left
+    RIGHT_NEIGHBOR = "right"   # the register of the AU to the right
+    BUS = "bus"                # the intra-cluster shared bus FIFO
+    IMMEDIATE = "imm"          # an immediate constant
+    NONE = "none"              # unused operand (unary operations)
+
+
+class DestKind(Enum):
+    """Where an AU writes its result."""
+
+    DATA_MEMORY = "mem"
+    NEIGHBORS = "neighbors"
+    BUS = "bus"
+    OUTPUT = "out"             # leaves the thread toward the tree bus
+
+
+@dataclass(frozen=True)
+class AUOperand:
+    kind: SourceKind
+    address: int = 0
+    value: float = 0.0
+
+    def __str__(self) -> str:
+        if self.kind is SourceKind.IMMEDIATE:
+            return f"#{self.value}"
+        if self.kind is SourceKind.DATA_MEMORY:
+            return f"mem[{self.address}]"
+        return self.kind.value
+
+
+@dataclass(frozen=True)
+class AUInstruction:
+    """Per-AU detail of one cluster instruction slot."""
+
+    au_index: int
+    src_a: AUOperand
+    src_b: AUOperand
+    dest_kind: DestKind
+    dest_address: int = 0
+    node_id: int = -1           # hDFG node this atomic operation belongs to
+    element_index: int = 0      # which element of that node is computed
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.au_index < AUS_PER_CLUSTER:
+            raise ISAError(f"AU index {self.au_index} out of range")
+
+
+@dataclass
+class ACInstruction:
+    """One cluster-level selective-SIMD instruction."""
+
+    cluster_id: int
+    operation: Operator
+    au_slots: list[AUInstruction] = field(default_factory=list)
+
+    @property
+    def enable_mask(self) -> int:
+        mask = 0
+        for slot in self.au_slots:
+            mask |= 1 << slot.au_index
+        return mask
+
+    @property
+    def enabled_au_count(self) -> int:
+        return len(self.au_slots)
+
+    @property
+    def latency(self) -> int:
+        return max(1, ALU_LATENCY.get(self.operation, 1))
+
+    def add_slot(self, slot: AUInstruction) -> None:
+        if any(s.au_index == slot.au_index for s in self.au_slots):
+            raise ISAError(
+                f"AU {slot.au_index} already has an operation in this instruction"
+            )
+        self.au_slots.append(slot)
+
+    def __str__(self) -> str:
+        return (
+            f"AC{self.cluster_id}: {self.operation.value} "
+            f"mask={self.enable_mask:08b} ({self.enabled_au_count} AUs)"
+        )
+
+
+@dataclass
+class EngineStep:
+    """All cluster instructions issued in one engine cycle of one thread."""
+
+    step: int
+    cluster_instructions: list[ACInstruction] = field(default_factory=list)
+
+    @property
+    def latency(self) -> int:
+        if not self.cluster_instructions:
+            return 1
+        return max(ci.latency for ci in self.cluster_instructions)
+
+    @property
+    def operation_count(self) -> int:
+        return sum(ci.enabled_au_count for ci in self.cluster_instructions)
+
+
+@dataclass
+class EngineProgram:
+    """The complete static schedule for one execution-engine thread.
+
+    ``update_rule_steps`` run once per consumed training tuple;
+    ``post_merge_steps`` run once per merge batch on the tree bus / lead
+    thread; ``convergence_steps`` run once per epoch.
+    """
+
+    update_rule_steps: list[EngineStep] = field(default_factory=list)
+    post_merge_steps: list[EngineStep] = field(default_factory=list)
+    convergence_steps: list[EngineStep] = field(default_factory=list)
+
+    @property
+    def update_rule_cycles(self) -> int:
+        return sum(step.latency for step in self.update_rule_steps)
+
+    @property
+    def post_merge_cycles(self) -> int:
+        return sum(step.latency for step in self.post_merge_steps)
+
+    @property
+    def convergence_cycles(self) -> int:
+        return sum(step.latency for step in self.convergence_steps)
+
+    @property
+    def total_operations(self) -> int:
+        return sum(
+            step.operation_count
+            for steps in (
+                self.update_rule_steps,
+                self.post_merge_steps,
+                self.convergence_steps,
+            )
+            for step in steps
+        )
+
+    def instruction_footprint(self) -> int:
+        """Number of cluster-level instructions stored in instruction buffers."""
+        return sum(
+            len(step.cluster_instructions)
+            for steps in (
+                self.update_rule_steps,
+                self.post_merge_steps,
+                self.convergence_steps,
+            )
+            for step in steps
+        )

@@ -1,0 +1,275 @@
+"""Strider Instruction Set Architecture (paper Table 2).
+
+Every Strider instruction is 22 bits long: a 4-bit opcode followed by three
+6-bit operand fields.  The ten instructions read bytes from the page
+buffer, extract byte/bit ranges, cleanse tuple data, perform the small
+integer arithmetic needed for pointer chasing, and express loops with
+branch-enter / branch-exit markers.
+
+Because a 6-bit field cannot hold a byte address inside a 32 KB page, large
+values always live in registers: the compiler pre-loads page-layout
+constants into **configuration registers** (``%cr``) through the
+configuration-data channel (paper Figure 5, "Insert Constants"), while
+**temporary registers** (``%t``) hold values produced while walking the
+page.  Within an operand field:
+
+* values ``0 .. 31``   encode an immediate constant,
+* values ``32 .. 47``  encode configuration registers ``%cr0 .. %cr15``,
+* values ``48 .. 63``  encode temporary registers ``%t0 .. %t15``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.exceptions import ISAError
+
+INSTRUCTION_BITS = 22
+OPCODE_BITS = 4
+FIELD_BITS = 6
+NUM_CONFIG_REGISTERS = 16
+NUM_TEMP_REGISTERS = 16
+
+_IMMEDIATE_LIMIT = 32
+_CR_BASE = 32
+_TR_BASE = 48
+
+
+class StriderOpcode(Enum):
+    """The ten Strider opcodes of Table 2."""
+
+    READB = 0    # read bytes from the page buffer into the staging register
+    EXTRB = 1    # extract a byte range from the staging register
+    WRITEB = 2   # write bytes from a register back to the page buffer
+    EXTRBI = 3   # extract a bit range from the staging register
+    CLN = 4      # cleanse staged tuple data and emit it to the output FIFO
+    INS = 5      # insert constant bytes into the staging register
+    AD = 6       # integer add
+    SUB = 7      # integer subtract
+    MUL = 8      # integer multiply
+    BENTR = 9    # loop entry marker
+    BEXIT = 10   # conditional loop exit
+
+    @property
+    def mnemonic(self) -> str:
+        return _MNEMONICS[self]
+
+
+_MNEMONICS = {
+    StriderOpcode.READB: "readB",
+    StriderOpcode.EXTRB: "extrB",
+    StriderOpcode.WRITEB: "writeB",
+    StriderOpcode.EXTRBI: "extrBi",
+    StriderOpcode.CLN: "cln",
+    StriderOpcode.INS: "ins",
+    StriderOpcode.AD: "ad",
+    StriderOpcode.SUB: "sub",
+    StriderOpcode.MUL: "mul",
+    StriderOpcode.BENTR: "bentr",
+    StriderOpcode.BEXIT: "bexit",
+}
+_MNEMONIC_TO_OPCODE = {v.lower(): k for k, v in _MNEMONICS.items()}
+
+
+class OperandKind(Enum):
+    IMMEDIATE = "imm"
+    CONFIG = "cr"
+    TEMP = "t"
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One 6-bit operand: an immediate or a register reference."""
+
+    kind: OperandKind
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.kind is OperandKind.IMMEDIATE and not 0 <= self.value < _IMMEDIATE_LIMIT:
+            raise ISAError(
+                f"immediate {self.value} out of range (0..{_IMMEDIATE_LIMIT - 1}); "
+                "larger constants must be pre-loaded into a configuration register"
+            )
+        if self.kind is not OperandKind.IMMEDIATE and not 0 <= self.value < 16:
+            raise ISAError(f"register index {self.value} out of range (0..15)")
+
+    # ------------------------------------------------------------------ #
+    # encoding
+    # ------------------------------------------------------------------ #
+    def encode(self) -> int:
+        if self.kind is OperandKind.IMMEDIATE:
+            return self.value
+        if self.kind is OperandKind.CONFIG:
+            return _CR_BASE + self.value
+        return _TR_BASE + self.value
+
+    @classmethod
+    def decode(cls, field: int) -> "Operand":
+        if not 0 <= field < (1 << FIELD_BITS):
+            raise ISAError(f"operand field {field} does not fit in {FIELD_BITS} bits")
+        if field < _IMMEDIATE_LIMIT:
+            return cls(OperandKind.IMMEDIATE, field)
+        if field < _TR_BASE:
+            return cls(OperandKind.CONFIG, field - _CR_BASE)
+        return cls(OperandKind.TEMP, field - _TR_BASE)
+
+    # ------------------------------------------------------------------ #
+    # assembly text
+    # ------------------------------------------------------------------ #
+    def __str__(self) -> str:
+        if self.kind is OperandKind.IMMEDIATE:
+            return str(self.value)
+        if self.kind is OperandKind.CONFIG:
+            return f"%cr{self.value}"
+        return f"%t{self.value}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Operand":
+        text = text.strip()
+        if text.startswith("%cr"):
+            return cls(OperandKind.CONFIG, int(text[3:]))
+        if text.startswith("%t"):
+            return cls(OperandKind.TEMP, int(text[2:]))
+        try:
+            return cls(OperandKind.IMMEDIATE, int(text, 0))
+        except ValueError:
+            raise ISAError(f"cannot parse operand {text!r}") from None
+
+
+def imm(value: int) -> Operand:
+    """Shorthand for an immediate operand."""
+    return Operand(OperandKind.IMMEDIATE, value)
+
+
+def cr(index: int) -> Operand:
+    """Shorthand for a configuration-register operand."""
+    return Operand(OperandKind.CONFIG, index)
+
+
+def tr(index: int) -> Operand:
+    """Shorthand for a temporary-register operand."""
+    return Operand(OperandKind.TEMP, index)
+
+
+_ZERO = Operand(OperandKind.IMMEDIATE, 0)
+
+
+@dataclass(frozen=True)
+class StriderInstruction:
+    """One decoded 22-bit Strider instruction."""
+
+    opcode: StriderOpcode
+    op0: Operand = _ZERO
+    op1: Operand = _ZERO
+    op2: Operand = _ZERO
+
+    # ------------------------------------------------------------------ #
+    # binary encoding
+    # ------------------------------------------------------------------ #
+    def encode(self) -> int:
+        word = self.opcode.value & ((1 << OPCODE_BITS) - 1)
+        word = (word << FIELD_BITS) | self.op0.encode()
+        word = (word << FIELD_BITS) | self.op1.encode()
+        word = (word << FIELD_BITS) | self.op2.encode()
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "StriderInstruction":
+        if not 0 <= word < (1 << INSTRUCTION_BITS):
+            raise ISAError(f"instruction word {word:#x} does not fit in 22 bits")
+        op2 = Operand.decode(word & 0x3F)
+        op1 = Operand.decode((word >> FIELD_BITS) & 0x3F)
+        op0 = Operand.decode((word >> (2 * FIELD_BITS)) & 0x3F)
+        opcode_value = word >> (3 * FIELD_BITS)
+        try:
+            opcode = StriderOpcode(opcode_value)
+        except ValueError:
+            raise ISAError(f"unknown opcode {opcode_value}") from None
+        return cls(opcode, op0, op1, op2)
+
+    # ------------------------------------------------------------------ #
+    # assembly text
+    # ------------------------------------------------------------------ #
+    def to_assembly(self) -> str:
+        if self.opcode is StriderOpcode.BENTR:
+            return self.opcode.mnemonic
+        return f"{self.opcode.mnemonic} {self.op0}, {self.op1}, {self.op2}"
+
+    @classmethod
+    def parse(cls, line: str) -> "StriderInstruction":
+        line = line.split("#", 1)[0].split("\\\\", 1)[0].strip()
+        if not line:
+            raise ISAError("cannot parse an empty assembly line")
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic not in _MNEMONIC_TO_OPCODE:
+            raise ISAError(f"unknown mnemonic {parts[0]!r}")
+        opcode = _MNEMONIC_TO_OPCODE[mnemonic]
+        operands = []
+        if len(parts) > 1:
+            operands = [Operand.parse(p) for p in parts[1].split(",") if p.strip()]
+        while len(operands) < 3:
+            operands.append(_ZERO)
+        if len(operands) > 3:
+            raise ISAError(f"too many operands in {line!r}")
+        return cls(opcode, *operands)
+
+    def __str__(self) -> str:
+        return self.to_assembly()
+
+
+@dataclass
+class StriderProgram:
+    """A full Strider program plus the constant pool for its config registers.
+
+    ``constants`` maps configuration-register indexes to the values that are
+    shipped over the configuration-data channel before execution starts.
+    """
+
+    instructions: list[StriderInstruction]
+    constants: dict[int, int]
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def encode(self) -> list[int]:
+        """Encode the whole program into 22-bit instruction words."""
+        return [inst.encode() for inst in self.instructions]
+
+    @classmethod
+    def decode(cls, words: Iterable[int], constants: dict[int, int] | None = None) -> "StriderProgram":
+        return cls(
+            instructions=[StriderInstruction.decode(w) for w in words],
+            constants=dict(constants or {}),
+        )
+
+    def to_assembly(self) -> str:
+        lines = [f"# {self.description}"] if self.description else []
+        for reg, value in sorted(self.constants.items()):
+            lines.append(f"# const %cr{reg} = {value}")
+        lines.extend(inst.to_assembly() for inst in self.instructions)
+        return "\n".join(lines)
+
+    @classmethod
+    def parse(cls, text: str) -> "StriderProgram":
+        """Parse an assembly listing (ignoring comments) into a program."""
+        instructions = []
+        constants: dict[int, int] = {}
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                stripped = line.lstrip("#").strip()
+                if stripped.startswith("const"):
+                    _, reg, _, value = stripped.split()
+                    constants[int(reg.lstrip("%cr"))] = int(value)
+                continue
+            instructions.append(StriderInstruction.parse(line))
+        return cls(instructions=instructions, constants=constants)
+
+    def instruction_count(self) -> int:
+        return len(self.instructions)

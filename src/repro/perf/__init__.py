@@ -1,0 +1,41 @@
+"""Analytical performance models that regenerate the paper's figures."""
+
+from repro.perf.calibration import DEFAULT_EPOCHS, PAPER_EPOCHS, epochs_for
+from repro.perf.cost_model import (
+    CostModel,
+    CPUCostModel,
+    DAnACostModel,
+    DEFAULT_COST_MODEL,
+    ExternalLibraryCostModel,
+    GreenplumCostModel,
+    StorageCostModel,
+)
+from repro.perf.cpu_model import ExternalLibraryModel, GreenplumModel, MADlibPostgresModel
+from repro.perf.fpga_model import DAnAModel, EpochCost, TABLAModel
+from repro.perf.io_model import IOEstimate, IOModel
+from repro.perf.report import RuntimeBreakdown, format_seconds, geomean, speedup_table
+
+__all__ = [
+    "CPUCostModel",
+    "CostModel",
+    "DAnACostModel",
+    "DAnAModel",
+    "DEFAULT_COST_MODEL",
+    "DEFAULT_EPOCHS",
+    "EpochCost",
+    "ExternalLibraryCostModel",
+    "ExternalLibraryModel",
+    "GreenplumCostModel",
+    "GreenplumModel",
+    "IOEstimate",
+    "IOModel",
+    "MADlibPostgresModel",
+    "PAPER_EPOCHS",
+    "RuntimeBreakdown",
+    "StorageCostModel",
+    "TABLAModel",
+    "epochs_for",
+    "format_seconds",
+    "geomean",
+    "speedup_table",
+]

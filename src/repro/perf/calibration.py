@@ -1,0 +1,41 @@
+"""Per-workload calibration of the runtime model.
+
+The paper reports end-to-end runtimes after training each workload to its
+convergence criterion (Table 5).  The number of passes over the data is
+never listed per workload, so this module holds the epoch counts we
+back-derived from the absolute MADlib+PostgreSQL runtimes together with the
+CPU cost model.  Every system in a comparison runs the *same* number of
+epochs for a given workload (the paper keeps hyper-parameters identical
+across systems), so relative speedups are largely insensitive to the exact
+values; they mostly set the compute-to-I/O balance that drives the warm
+vs. cold cache gap.
+"""
+
+from __future__ import annotations
+
+from repro.data.workloads import Workload
+
+#: Training passes (epochs) per workload, derived from Table 5 runtimes.
+PAPER_EPOCHS: dict[str, int] = {
+    "Remote Sensing LR": 9,
+    "WLAN": 215,
+    "Remote Sensing SVM": 4,
+    "Netflix": 19,
+    "Patient": 60,
+    "Blog Feedback": 60,
+    "S/N Logistic": 740,
+    "S/N SVM": 360,
+    "S/N LRMF": 3,
+    "S/N Linear": 200,
+    "S/E Logistic": 430,
+    "S/E SVM": 30,
+    "S/E LRMF": 3,
+    "S/E Linear": 300,
+}
+
+DEFAULT_EPOCHS = 10
+
+
+def epochs_for(workload: Workload) -> int:
+    """Number of passes all systems run for ``workload`` at paper scale."""
+    return PAPER_EPOCHS.get(workload.name, DEFAULT_EPOCHS)

@@ -1,0 +1,279 @@
+"""FPGA-side runtime models: DAnA, DAnA-without-Striders and TABLA.
+
+The model drives the same hardware-generation pipeline the functional
+simulator uses (DSL → hDFG → hardware generator → design point) with the
+*paper-scale* dataset statistics, and converts the resulting cycle counts
+into seconds at the FPGA frequency:
+
+* **compute** — update-rule schedule length per batch, tree-bus merge cost
+  and post-merge schedule length, times the number of batches per epoch;
+* **data** — Strider page-walking cycles (parallel across the page buffers)
+  plus AXI transfer cycles for the pages shipped from the buffer pool;
+* access and execution engines are interleaved, so one epoch costs the
+  maximum of the two (plus a small non-overlappable fraction);
+* with Striders disabled the CPU extracts and transforms every tuple and
+  the transformation cannot be overlapped with the accelerator, which is
+  exactly the ablation of Figure 11;
+* TABLA is modelled as a single-threaded accelerator fed by the CPU, the
+  configuration the paper compares against in Figure 16.
+
+LRMF needs one special case: Table 3 stores one tuple per matrix row (a
+dense vector of ratings), and the factor-update chain through the shared
+column factors limits how much of that row can be processed in parallel.
+The model caps the usable lanes at ``16 × rank``, which reproduces the
+paper's observations that LRMF neither scales with threads (Figure 12) nor
+with bandwidth (Figure 14).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.base import Hyperparameters
+from repro.compiler.hardware_generator import AcceleratorDesign, HardwareGenerator
+from repro.data.workloads import Workload
+from repro.hw.fpga import DEFAULT_FPGA, FPGASpec
+from repro.perf.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.perf.io_model import IOModel
+from repro.perf.report import RuntimeBreakdown
+from repro.rdbms.page import PageLayout
+from repro.rdbms.types import ColumnType, Schema
+
+
+@dataclass
+class EpochCost:
+    """Per-epoch cycle/second accounting for one DAnA configuration."""
+
+    compute_seconds: float
+    data_seconds: float
+    cpu_extract_seconds: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    def engine_seconds(self, non_overlap_fraction: float, overlapped: bool) -> float:
+        if overlapped:
+            base = max(self.compute_seconds, self.data_seconds)
+            extra = non_overlap_fraction * min(self.compute_seconds, self.data_seconds)
+            return base + extra + self.cpu_extract_seconds
+        return self.compute_seconds + self.data_seconds + self.cpu_extract_seconds
+
+
+class DAnAModel:
+    """End-to-end runtime model of DAnA-enhanced PostgreSQL."""
+
+    system_name = "DAnA+PostgreSQL"
+
+    def __init__(
+        self,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        fpga: FPGASpec = DEFAULT_FPGA,
+        merge_coefficient: int = 16,
+        use_striders: bool = True,
+        max_threads: int | None = None,
+        system_name: str | None = None,
+    ) -> None:
+        self.cost_model = cost_model
+        self.fpga = fpga
+        self.merge_coefficient = merge_coefficient
+        self.use_striders = use_striders
+        self.max_threads = max_threads
+        self.io_model = IOModel(cost_model)
+        if system_name:
+            self.system_name = system_name
+        self._design_cache: dict[tuple, tuple[AcceleratorDesign, object]] = {}
+
+    # ------------------------------------------------------------------ #
+    # hardware generation at paper scale
+    # ------------------------------------------------------------------ #
+    def _paper_schema(self, workload: Workload) -> Schema:
+        if workload.algorithm_key == "lrmf":
+            return Schema.lrmf_schema()
+        return Schema.training_schema(workload.model_topology[0], ColumnType.FLOAT4)
+
+    def design_for(self, workload: Workload) -> tuple[AcceleratorDesign, object]:
+        """Generate (and cache) the accelerator design for one workload."""
+        key = (
+            workload.name,
+            self.merge_coefficient,
+            self.max_threads,
+            self.fpga.dsp_slices,
+            round(self.fpga.axi_bandwidth_gbps, 6),
+        )
+        if key in self._design_cache:
+            return self._design_cache[key]
+        algorithm = get_algorithm(workload.algorithm_key)
+        hyper = Hyperparameters(merge_coefficient=self.merge_coefficient)
+        if workload.algorithm_key == "lrmf":
+            # LRMF has no merge function (row-addressed Hogwild updates), so
+            # a single thread with the full AC allocation is the design the
+            # hardware generator would settle on; the functional topology is
+            # irrelevant for timing, so a small stand-in builds instantly.
+            hyper = Hyperparameters(merge_coefficient=1)
+            spec = algorithm.build_spec(workload.n_features, hyper, (64, 64, workload.n_features))
+        else:
+            spec = algorithm.build_spec(workload.model_topology[0], hyper)
+        from repro.translator import translate
+
+        graph = translate(spec.algo)
+        layout = PageLayout(page_size=32 * 1024)
+        effective_merge = 1 if workload.algorithm_key == "lrmf" else self.merge_coefficient
+        generator = HardwareGenerator(
+            graph,
+            layout,
+            spec.schema,
+            self.fpga,
+            merge_coefficient=effective_merge,
+            n_tuples=workload.paper_tuples,
+            max_threads=self.max_threads,
+        )
+        design = generator.generate()
+        self._design_cache[key] = (design, graph)
+        return design, graph
+
+    # ------------------------------------------------------------------ #
+    # per-epoch cost
+    # ------------------------------------------------------------------ #
+    def epoch_cost(self, workload: Workload) -> EpochCost:
+        design, _graph = self.design_for(workload)
+        frequency = self.fpga.frequency_hz
+        point = design.design_point
+
+        threads = design.threads
+        if workload.algorithm_key == "lrmf":
+            compute_cycles = self._lrmf_compute_cycles(workload, design)
+        else:
+            batches = math.ceil(workload.paper_tuples / threads)
+            merge_cycles = point.merge_cycles
+            compute_cycles = batches * (
+                point.update_rule_cycles + merge_cycles + point.post_merge_cycles
+            )
+        compute_seconds = compute_cycles / frequency
+
+        pages = workload.paper_pages
+        strider_cycles_per_page = self._strider_cycles_per_page(workload)
+        strider_batches = math.ceil(pages / max(1, design.num_striders))
+        strider_seconds = strider_batches * strider_cycles_per_page / frequency
+        axi_seconds = workload.paper_size_bytes / self.fpga.axi_bytes_per_second
+        data_seconds = max(strider_seconds, axi_seconds) if self.use_striders else axi_seconds
+
+        cpu_extract_seconds = 0.0
+        if not self.use_striders:
+            cpu_extract_seconds = (
+                workload.paper_tuples * self.cost_model.dana.cpu_extract_per_tuple_s
+            )
+        return EpochCost(
+            compute_seconds=compute_seconds,
+            data_seconds=data_seconds,
+            cpu_extract_seconds=cpu_extract_seconds,
+            detail={
+                "threads": threads,
+                "update_rule_cycles": point.update_rule_cycles,
+                "merge_cycles": point.merge_cycles,
+                "post_merge_cycles": point.post_merge_cycles,
+                "strider_seconds": strider_seconds,
+                "axi_seconds": axi_seconds,
+                "num_striders": design.num_striders,
+            },
+        )
+
+    def _lrmf_compute_cycles(self, workload: Workload, design: AcceleratorDesign) -> float:
+        rank = workload.n_features
+        algorithm = get_algorithm("lrmf")
+        flops_per_rating = algorithm.flops_per_tuple(rank)
+        lanes = min(design.acs_per_thread * design.aus_per_cluster, 16 * rank)
+        cycles_per_tuple = workload.ratings_per_tuple * flops_per_rating / max(1, lanes)
+        return workload.paper_tuples * cycles_per_tuple
+
+    def _strider_cycles_per_page(self, workload: Workload) -> float:
+        read_width = self.fpga.bram_read_width_bytes
+        tuple_bytes = workload.tuple_bytes + 12
+        words = max(1, math.ceil(tuple_bytes / read_width))
+        payload_words = max(1, math.ceil(workload.tuple_bytes / read_width))
+        per_tuple = 4 + words + payload_words
+        return 6 + per_tuple * workload.tuples_per_page
+
+    # ------------------------------------------------------------------ #
+    # end-to-end estimate
+    # ------------------------------------------------------------------ #
+    def estimate(self, workload: Workload, epochs: int, warm_cache: bool = True) -> RuntimeBreakdown:
+        cost = self.epoch_cost(workload)
+        dana = self.cost_model.dana
+        per_epoch = cost.engine_seconds(dana.non_overlap_fraction, overlapped=self.use_striders)
+        engine_total = epochs * per_epoch
+        io = self.io_model.total_io_seconds(workload, warm_cache, epochs)
+        compute_share = epochs * cost.compute_seconds
+        data_share = max(0.0, engine_total - compute_share)
+        return RuntimeBreakdown(
+            system=self.system_name,
+            workload=workload.name,
+            io=io,
+            data_movement=data_share,
+            compute=compute_share,
+            overhead=dana.per_query_overhead_s,
+            detail={
+                "epochs": epochs,
+                "per_epoch_s": per_epoch,
+                "use_striders": self.use_striders,
+                **cost.detail,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # sensitivity-study constructors
+    # ------------------------------------------------------------------ #
+    def with_bandwidth_scale(self, scale: float) -> "DAnAModel":
+        return DAnAModel(
+            cost_model=self.cost_model,
+            fpga=self.fpga.with_bandwidth_scale(scale),
+            merge_coefficient=self.merge_coefficient,
+            use_striders=self.use_striders,
+            max_threads=self.max_threads,
+            system_name=self.system_name,
+        )
+
+    def with_merge_coefficient(self, merge_coefficient: int) -> "DAnAModel":
+        return DAnAModel(
+            cost_model=self.cost_model,
+            fpga=self.fpga,
+            merge_coefficient=merge_coefficient,
+            use_striders=self.use_striders,
+            max_threads=self.max_threads,
+            system_name=self.system_name,
+        )
+
+    def without_striders(self) -> "DAnAModel":
+        return DAnAModel(
+            cost_model=self.cost_model,
+            fpga=self.fpga,
+            merge_coefficient=self.merge_coefficient,
+            use_striders=False,
+            max_threads=self.max_threads,
+            system_name="DAnA w/o Striders",
+        )
+
+
+class TABLAModel(DAnAModel):
+    """TABLA-style single-threaded accelerator without database integration.
+
+    TABLA generates a high-quality single-threaded design for the same
+    update rules, but it is fed by the CPU (no Striders walking the buffer
+    pool) and cannot run multiple update-rule threads, which is exactly the
+    gap Figure 16 quantifies.
+    """
+
+    system_name = "TABLA"
+
+    def __init__(
+        self,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        fpga: FPGASpec = DEFAULT_FPGA,
+    ) -> None:
+        super().__init__(
+            cost_model=cost_model,
+            fpga=fpga,
+            merge_coefficient=1,
+            use_striders=False,
+            max_threads=1,
+            system_name="TABLA",
+        )

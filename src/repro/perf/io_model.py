@@ -1,0 +1,101 @@
+"""Storage I/O model: cold vs. warm buffer-pool behaviour.
+
+The paper evaluates every system under a warm cache (training tables
+resident in the buffer pool before the query) and a cold cache (nothing
+resident, every page is read from the SSD).  The I/O model turns a
+workload's page count into seconds of disk time and computes what fraction
+of the table actually fits in the buffer pool — for the synthetic
+extensive datasets only a part of the table is ever resident, so even the
+"warm" runs pay some I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.workloads import Workload
+from repro.perf.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.rdbms.buffer_pool import DEFAULT_POOL_BYTES
+
+
+@dataclass(frozen=True)
+class IOEstimate:
+    """Seconds of physical I/O and the resident fraction of the table."""
+
+    first_pass_seconds: float
+    per_epoch_seconds: float
+    resident_fraction: float
+
+
+class IOModel:
+    """Analytic model of buffer-pool + SSD behaviour for sequential scans.
+
+    The paper's testbed has a 32 GB machine with an 8 GB buffer pool, so
+    pages evicted from the buffer pool usually stay in the OS page cache;
+    ``os_cache_bytes`` models that second level.  Only tables larger than
+    buffer pool + page cache pay per-epoch disk reads.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        buffer_pool_bytes: float = DEFAULT_POOL_BYTES,
+        os_cache_bytes: float = 22 * 1024**3,
+        page_size: int = 32 * 1024,
+    ) -> None:
+        self.cost = cost_model
+        self.buffer_pool_bytes = buffer_pool_bytes
+        self.os_cache_bytes = os_cache_bytes
+        self.page_size = page_size
+
+    @property
+    def effective_cache_bytes(self) -> float:
+        return self.buffer_pool_bytes + self.os_cache_bytes
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def resident_fraction(self, workload: Workload, warm_cache: bool) -> float:
+        """Fraction of the training table resident before the query starts."""
+        if not warm_cache:
+            return 0.0
+        return float(
+            min(1.0, self.effective_cache_bytes / max(1.0, workload.paper_size_bytes))
+        )
+
+    def scan_seconds(self, n_pages: float) -> float:
+        """Time to pull ``n_pages`` pages from the SSD."""
+        storage = self.cost.storage
+        bytes_read = n_pages * self.page_size
+        return bytes_read / storage.disk_bandwidth_bytes + n_pages * storage.per_page_seek_s
+
+    # ------------------------------------------------------------------ #
+    # estimation
+    # ------------------------------------------------------------------ #
+    def estimate(self, workload: Workload, warm_cache: bool, epochs: int) -> IOEstimate:
+        """I/O cost of training ``workload`` for ``epochs`` passes.
+
+        The first pass reads every non-resident page; subsequent passes only
+        re-read the part of the table that does not fit in the buffer pool
+        (the pool keeps the rest hot).
+        """
+        resident = self.resident_fraction(workload, warm_cache)
+        pages = workload.paper_pages
+        first_pass = self.scan_seconds(pages * (1.0 - resident))
+        table_fits = workload.paper_size_bytes <= self.effective_cache_bytes
+        if table_fits:
+            per_epoch = 0.0
+        else:
+            overflow_fraction = 1.0 - self.effective_cache_bytes / workload.paper_size_bytes
+            per_epoch = self.scan_seconds(pages * overflow_fraction)
+        total_per_epoch = per_epoch
+        return IOEstimate(
+            first_pass_seconds=first_pass,
+            per_epoch_seconds=total_per_epoch,
+            resident_fraction=resident,
+        )
+
+    def total_io_seconds(self, workload: Workload, warm_cache: bool, epochs: int) -> float:
+        estimate = self.estimate(workload, warm_cache, epochs)
+        extra_epochs = max(0, epochs - 1)
+        return estimate.first_pass_seconds + extra_epochs * estimate.per_epoch_seconds

@@ -1,0 +1,61 @@
+"""Miniature RDBMS substrate with a PostgreSQL-style storage layer.
+
+This package provides everything DAnA needs from the host database: binary
+heap pages, heap files, a buffer pool, a catalog shared with the
+accelerator, and a small SQL front end that can invoke UDFs.
+"""
+
+from repro.rdbms.buffer_pool import BufferPool, BufferPoolStats
+from repro.rdbms.catalog import AcceleratorEntry, Catalog, TableEntry
+from repro.rdbms.database import Database
+from repro.rdbms.heapfile import HeapFile
+from repro.rdbms.heaptuple import TUPLE_HEADER_SIZE, TupleHeader, decode_tuple, encode_tuple
+from repro.rdbms.page import (
+    DEFAULT_PAGE_SIZE,
+    LINE_POINTER_SIZE,
+    PAGE_HEADER_SIZE,
+    SUPPORTED_PAGE_SIZES,
+    HeapPage,
+    PageLayout,
+)
+from repro.rdbms.query import (
+    CountScan,
+    QueryExecutor,
+    QueryResult,
+    SeqScan,
+    UDFCall,
+    parse,
+)
+from repro.rdbms.storage import StorageManager, StorageStats
+from repro.rdbms.types import Column, ColumnType, Schema
+
+__all__ = [
+    "AcceleratorEntry",
+    "BufferPool",
+    "BufferPoolStats",
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "CountScan",
+    "Database",
+    "DEFAULT_PAGE_SIZE",
+    "HeapFile",
+    "HeapPage",
+    "LINE_POINTER_SIZE",
+    "PAGE_HEADER_SIZE",
+    "PageLayout",
+    "QueryExecutor",
+    "QueryResult",
+    "Schema",
+    "SeqScan",
+    "StorageManager",
+    "StorageStats",
+    "SUPPORTED_PAGE_SIZES",
+    "TableEntry",
+    "TUPLE_HEADER_SIZE",
+    "TupleHeader",
+    "UDFCall",
+    "decode_tuple",
+    "encode_tuple",
+    "parse",
+]

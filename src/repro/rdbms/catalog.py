@@ -1,0 +1,123 @@
+"""System catalog.
+
+Besides the usual table metadata, the catalog is where DAnA stores the
+generated accelerator artefacts: "DAnA stores accelerator metadata (Strider
+and execution engine instruction schedules) in the RDBMS's catalog along
+with the name of a UDF to be invoked from the query" (§3).  The catalog is
+therefore shared between the database engine and the (simulated) FPGA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import CatalogError
+from repro.rdbms.page import PageLayout
+from repro.rdbms.types import Schema
+
+
+@dataclass
+class TableEntry:
+    """Catalog record for one table."""
+
+    name: str
+    schema: Schema
+    file_name: str
+    layout: PageLayout
+    tuple_count: int = 0
+
+
+@dataclass
+class AcceleratorEntry:
+    """Catalog record for one compiled DAnA UDF.
+
+    ``design`` is the hardware configuration produced by the hardware
+    generator, ``strider_program`` the access-engine instructions, and
+    ``execution_schedule`` the execution-engine micro-instruction schedule.
+    They are stored opaquely so the catalog has no dependency on the
+    compiler packages.
+    """
+
+    udf_name: str
+    algorithm: str
+    design: Any
+    strider_program: Any
+    execution_schedule: Any
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class Catalog:
+    """In-memory system catalog shared by the engine and the accelerator."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableEntry] = {}
+        self._accelerators: dict[str, AcceleratorEntry] = {}
+        self._udf_handlers: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # tables
+    # ------------------------------------------------------------------ #
+    def register_table(self, entry: TableEntry) -> None:
+        if entry.name in self._tables:
+            raise CatalogError(f"table {entry.name!r} already exists")
+        self._tables[entry.name] = entry
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table(self, name: str) -> TableEntry:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def tables(self) -> list[TableEntry]:
+        return [self._tables[k] for k in sorted(self._tables)]
+
+    def update_tuple_count(self, name: str, tuple_count: int) -> None:
+        self.table(name).tuple_count = tuple_count
+
+    # ------------------------------------------------------------------ #
+    # accelerator metadata (DAnA)
+    # ------------------------------------------------------------------ #
+    def register_accelerator(self, entry: AcceleratorEntry) -> None:
+        self._accelerators[entry.udf_name] = entry
+
+    def has_accelerator(self, udf_name: str) -> bool:
+        return udf_name in self._accelerators
+
+    def accelerator(self, udf_name: str) -> AcceleratorEntry:
+        try:
+            return self._accelerators[udf_name]
+        except KeyError:
+            raise CatalogError(
+                f"no accelerator registered for UDF {udf_name!r}"
+            ) from None
+
+    def accelerators(self) -> list[AcceleratorEntry]:
+        return [self._accelerators[k] for k in sorted(self._accelerators)]
+
+    # ------------------------------------------------------------------ #
+    # UDF handlers (black-box callables invoked by the executor)
+    # ------------------------------------------------------------------ #
+    def register_udf(self, name: str, handler: Any) -> None:
+        """Register a callable invoked for ``SELECT * FROM dana.<name>(...)``."""
+        self._udf_handlers[name] = handler
+
+    def has_udf(self, name: str) -> bool:
+        return name in self._udf_handlers
+
+    def udf(self, name: str) -> Any:
+        try:
+            return self._udf_handlers[name]
+        except KeyError:
+            raise CatalogError(f"no UDF named {name!r} is registered") from None
+
+    def udf_names(self) -> list[str]:
+        return sorted(self._udf_handlers)

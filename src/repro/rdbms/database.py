@@ -1,0 +1,113 @@
+"""Database facade tying together storage, buffer pool, catalog and queries.
+
+This is the "PostgreSQL" of the reproduction: enough of an RDBMS engine to
+create training tables, bulk load them, serve sequential scans through a
+buffer pool and invoke UDFs from SQL, which is all the paper's experiments
+exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import CatalogError
+from repro.rdbms.buffer_pool import DEFAULT_POOL_BYTES, BufferPool
+from repro.rdbms.catalog import AcceleratorEntry, Catalog, TableEntry
+from repro.rdbms.heapfile import HeapFile
+from repro.rdbms.page import DEFAULT_PAGE_SIZE, PageLayout
+from repro.rdbms.query import QueryExecutor, QueryResult
+from repro.rdbms.storage import StorageManager
+from repro.rdbms.types import Schema
+
+
+class Database:
+    """A single-node database instance with a buffer pool and catalog."""
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pool_bytes: int = DEFAULT_POOL_BYTES,
+    ) -> None:
+        self.page_size = page_size
+        self.layout = PageLayout(page_size=page_size)
+        self.storage = StorageManager()
+        self.buffer_pool = BufferPool(
+            self.storage, pool_bytes=buffer_pool_bytes, page_size=page_size
+        )
+        self.catalog = Catalog()
+        self.executor = QueryExecutor(self)
+        self._heapfiles: dict[str, HeapFile] = {}
+
+    # ------------------------------------------------------------------ #
+    # DDL / DML
+    # ------------------------------------------------------------------ #
+    def create_table(self, name: str, schema: Schema) -> HeapFile:
+        """Create an empty table and register it in the catalog."""
+        if self.catalog.has_table(name):
+            raise CatalogError(f"table {name!r} already exists")
+        heapfile = HeapFile(name, schema, self.storage, self.layout)
+        self._heapfiles[name] = heapfile
+        self.catalog.register_table(
+            TableEntry(name=name, schema=schema, file_name=name, layout=self.layout)
+        )
+        return heapfile
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        self.storage.drop_file(name)
+        del self._heapfiles[name]
+
+    def load_table(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Sequence[float | int]] | np.ndarray,
+    ) -> HeapFile:
+        """Create a table and bulk load it in one step."""
+        heapfile = self.create_table(name, schema)
+        if isinstance(rows, np.ndarray):
+            loaded = heapfile.bulk_load_array(rows)
+        else:
+            loaded = heapfile.bulk_load(rows)
+        self.catalog.update_tuple_count(name, loaded)
+        return heapfile
+
+    def table(self, name: str) -> HeapFile:
+        try:
+            return self._heapfiles[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._heapfiles)
+
+    # ------------------------------------------------------------------ #
+    # queries and UDFs
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and execute a SQL statement."""
+        return self.executor.execute(sql)
+
+    def register_udf(self, name: str, handler) -> None:
+        """Register a UDF callable invocable as ``SELECT * FROM dana.<name>(...)``."""
+        self.catalog.register_udf(name, handler)
+
+    def register_accelerator(self, entry: AcceleratorEntry) -> None:
+        """Store compiled accelerator metadata in the catalog."""
+        self.catalog.register_accelerator(entry)
+
+    # ------------------------------------------------------------------ #
+    # cache control (warm / cold experiments)
+    # ------------------------------------------------------------------ #
+    def warm_cache(self, table_name: str) -> int:
+        """Prefetch a table into the buffer pool; returns resident pages."""
+        return self.buffer_pool.prefetch_table(table_name)
+
+    def cold_cache(self) -> None:
+        """Drop all cached pages so the next scan pays full I/O."""
+        self.buffer_pool.clear()
+
+    def reset_io_stats(self) -> None:
+        self.buffer_pool.reset_stats()

@@ -1,0 +1,84 @@
+"""Heap tuple binary format.
+
+Tuples are stored on pages the way PostgreSQL stores them: a small fixed
+header followed by the attribute payload.  The header carries the total
+length, the attribute count and a flags/null-bitmap word.  DAnA's Striders
+must skip over this header ("cleanse" the tuple, §5.1.2) before handing the
+raw training data to the execution engine, so the exact byte layout matters
+and is kept deliberately simple and explicit:
+
+====================  ======  =====================================
+field                 bytes   description
+====================  ======  =====================================
+``t_len``             2       total tuple length including header
+``attr_count``        2       number of attributes in the payload
+``flags``             2       bit 0 set if any attribute is NULL
+``null_bitmap``       2       one bit per attribute (max 16 tracked)
+payload               t_len-8 fixed-width attribute data
+====================  ======  =====================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import PageError
+from repro.rdbms.types import Schema
+
+TUPLE_HEADER_SIZE = 8
+_HEADER_STRUCT = struct.Struct("<HHHH")
+
+
+@dataclass(frozen=True)
+class TupleHeader:
+    """Decoded fixed-size tuple header."""
+
+    t_len: int
+    attr_count: int
+    flags: int = 0
+    null_bitmap: int = 0
+
+    def encode(self) -> bytes:
+        return _HEADER_STRUCT.pack(self.t_len, self.attr_count, self.flags, self.null_bitmap)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "TupleHeader":
+        if len(raw) < TUPLE_HEADER_SIZE:
+            raise PageError(
+                f"tuple header requires {TUPLE_HEADER_SIZE} bytes, got {len(raw)}"
+            )
+        t_len, attr_count, flags, null_bitmap = _HEADER_STRUCT.unpack(
+            raw[:TUPLE_HEADER_SIZE]
+        )
+        return cls(t_len=t_len, attr_count=attr_count, flags=flags, null_bitmap=null_bitmap)
+
+
+def encode_tuple(schema: Schema, values: Sequence[float | int]) -> bytes:
+    """Encode one row into its full on-page representation (header + payload)."""
+    payload = schema.encode_row(values)
+    header = TupleHeader(
+        t_len=TUPLE_HEADER_SIZE + len(payload),
+        attr_count=len(schema),
+    )
+    return header.encode() + payload
+
+
+def decode_tuple(schema: Schema, raw: bytes) -> tuple[float | int, ...]:
+    """Decode a full on-page tuple (header + payload) into Python values."""
+    header = TupleHeader.decode(raw)
+    if header.t_len != len(raw):
+        raise PageError(
+            f"tuple header claims {header.t_len} bytes but {len(raw)} were supplied"
+        )
+    if header.attr_count != len(schema):
+        raise PageError(
+            f"tuple has {header.attr_count} attributes but schema has {len(schema)}"
+        )
+    return schema.decode_row(raw[TUPLE_HEADER_SIZE:])
+
+
+def tuple_size(schema: Schema) -> int:
+    """On-page size of one tuple of ``schema`` including its header."""
+    return TUPLE_HEADER_SIZE + schema.row_width

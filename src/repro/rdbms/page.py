@@ -1,0 +1,251 @@
+"""Slotted heap page with a PostgreSQL-style layout (paper Figure 6).
+
+A page is laid out as::
+
+    +--------------------------------------------------------------+
+    | page header | tuple pointer 1 | tuple pointer 2 | ...         |
+    |              ... free space ...                                |
+    |                              ... tuple 2 | tuple 1 | special  |
+    +--------------------------------------------------------------+
+
+* The **page header** holds the page size, the start/end of free space, the
+  offset of the special space and the tuple count.
+* **Tuple pointers** (line pointers) grow downward from the header; each is
+  4 bytes: a 2-byte byte-offset and a 2-byte length.
+* **Tuple data** grows upward from the special space; each tuple carries the
+  8-byte tuple header defined in :mod:`repro.rdbms.heaptuple`.
+
+The exact byte offsets are described by :class:`PageLayout`, which is what
+DAnA's compiler consumes to emit Strider instructions — the accelerator
+never sees Python objects, only these raw bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.exceptions import PageError, PageFullError
+from repro.rdbms.heaptuple import TUPLE_HEADER_SIZE, decode_tuple, encode_tuple, tuple_size
+from repro.rdbms.types import Schema
+
+DEFAULT_PAGE_SIZE = 32 * 1024
+SUPPORTED_PAGE_SIZES = (8 * 1024, 16 * 1024, 32 * 1024)
+
+PAGE_HEADER_SIZE = 24
+LINE_POINTER_SIZE = 4
+
+# Page header field offsets (bytes).  These match the Strider assembly in
+# §5.1.2 of the paper: the first instruction reads 8 bytes at offset 0 (page
+# size), the second reads 2 bytes at offset 8 (free-space start), the third
+# reads 4 bytes at offset 10 (free-space end + special offset packed).
+_OFF_PAGE_SIZE = 0        # uint64
+_OFF_FREE_START = 8       # uint16
+_OFF_FREE_END = 10        # uint16
+_OFF_SPECIAL = 12         # uint16
+_OFF_TUPLE_COUNT = 14     # uint16
+_OFF_LSN = 16             # uint64 (reserved)
+
+_HEADER_STRUCT = struct.Struct("<QHHHHQ")
+_LINE_POINTER_STRUCT = struct.Struct("<HH")
+
+
+@dataclass(frozen=True)
+class PageLayout:
+    """Static description of the page format consumed by the Strider compiler.
+
+    The layout is independent of any particular page's contents: it records
+    where the header fields live, how wide line pointers are, and how large
+    the per-tuple header is.  DAnA's compiler (§6.2) turns this description
+    plus the table schema into a Strider instruction sequence.
+    """
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    header_size: int = PAGE_HEADER_SIZE
+    line_pointer_size: int = LINE_POINTER_SIZE
+    tuple_header_size: int = TUPLE_HEADER_SIZE
+    special_size: int = 0
+    page_size_offset: int = _OFF_PAGE_SIZE
+    page_size_width: int = 8
+    free_start_offset: int = _OFF_FREE_START
+    free_start_width: int = 2
+    free_end_offset: int = _OFF_FREE_END
+    free_end_width: int = 2
+    special_offset: int = _OFF_SPECIAL
+    special_width: int = 2
+    tuple_count_offset: int = _OFF_TUPLE_COUNT
+    tuple_count_width: int = 2
+
+    def __post_init__(self) -> None:
+        if self.page_size <= self.header_size + self.special_size:
+            raise PageError(
+                f"page size {self.page_size} too small for header {self.header_size}"
+            )
+
+    @property
+    def line_pointer_start(self) -> int:
+        """Offset of the first line pointer."""
+        return self.header_size
+
+    def usable_bytes(self) -> int:
+        """Bytes available for line pointers plus tuple data."""
+        return self.page_size - self.header_size - self.special_size
+
+    def tuples_per_page(self, schema: Schema) -> int:
+        """Maximum number of tuples of ``schema`` that fit on one page."""
+        per_tuple = self.line_pointer_size + self.tuple_header_size + schema.row_width
+        return max(0, self.usable_bytes() // per_tuple)
+
+    def pages_for(self, n_tuples: int, schema: Schema) -> int:
+        """Number of pages needed to store ``n_tuples`` rows of ``schema``."""
+        per_page = self.tuples_per_page(schema)
+        if per_page == 0:
+            raise PageError(
+                f"a tuple of {tuple_size(schema)} bytes does not fit in a "
+                f"{self.page_size}-byte page"
+            )
+        return (n_tuples + per_page - 1) // per_page
+
+
+class HeapPage:
+    """A mutable slotted page holding fixed-width tuples.
+
+    The page owns a ``bytearray`` of exactly ``layout.page_size`` bytes and
+    keeps the binary image consistent on every mutation, so the raw bytes can
+    be handed to the Strider simulator at any time.
+    """
+
+    def __init__(self, layout: PageLayout | None = None) -> None:
+        self.layout = layout or PageLayout()
+        self._buf = bytearray(self.layout.page_size)
+        self._tuple_count = 0
+        self._free_start = self.layout.header_size
+        self._free_end = self.layout.page_size - self.layout.special_size
+        self._write_header()
+
+    # ------------------------------------------------------------------ #
+    # header management
+    # ------------------------------------------------------------------ #
+    def _write_header(self) -> None:
+        header = _HEADER_STRUCT.pack(
+            self.layout.page_size,
+            self._free_start,
+            self._free_end,
+            self.layout.page_size - self.layout.special_size,
+            self._tuple_count,
+            0,
+        )
+        self._buf[: PAGE_HEADER_SIZE] = header
+
+    @property
+    def page_size(self) -> int:
+        return self.layout.page_size
+
+    @property
+    def tuple_count(self) -> int:
+        return self._tuple_count
+
+    @property
+    def free_space(self) -> int:
+        return self._free_end - self._free_start
+
+    @property
+    def free_space_start(self) -> int:
+        return self._free_start
+
+    @property
+    def free_space_end(self) -> int:
+        return self._free_end
+
+    # ------------------------------------------------------------------ #
+    # tuple operations
+    # ------------------------------------------------------------------ #
+    def has_room(self, schema: Schema) -> bool:
+        needed = LINE_POINTER_SIZE + tuple_size(schema)
+        return self.free_space >= needed
+
+    def insert(self, schema: Schema, values: Sequence[float | int]) -> int:
+        """Insert one row; returns its slot index.
+
+        Raises :class:`PageFullError` when the row does not fit.
+        """
+        raw = encode_tuple(schema, values)
+        needed = LINE_POINTER_SIZE + len(raw)
+        if self.free_space < needed:
+            raise PageFullError(
+                f"tuple of {len(raw)} bytes does not fit in {self.free_space} free bytes"
+            )
+        # Tuple data grows from the end of the page toward the header.
+        self._free_end -= len(raw)
+        self._buf[self._free_end : self._free_end + len(raw)] = raw
+        # Line pointer grows from the header toward the end of the page.
+        pointer = _LINE_POINTER_STRUCT.pack(self._free_end, len(raw))
+        self._buf[self._free_start : self._free_start + LINE_POINTER_SIZE] = pointer
+        self._free_start += LINE_POINTER_SIZE
+        slot = self._tuple_count
+        self._tuple_count += 1
+        self._write_header()
+        return slot
+
+    def line_pointer(self, slot: int) -> tuple[int, int]:
+        """Return ``(offset, length)`` of the tuple in ``slot``."""
+        if not 0 <= slot < self._tuple_count:
+            raise PageError(f"slot {slot} out of range (page has {self._tuple_count})")
+        base = self.layout.line_pointer_start + slot * LINE_POINTER_SIZE
+        return _LINE_POINTER_STRUCT.unpack(self._buf[base : base + LINE_POINTER_SIZE])
+
+    def read_raw(self, slot: int) -> bytes:
+        """Raw bytes (header + payload) of the tuple in ``slot``."""
+        offset, length = self.line_pointer(slot)
+        return bytes(self._buf[offset : offset + length])
+
+    def read(self, schema: Schema, slot: int) -> tuple[float | int, ...]:
+        """Decode the tuple in ``slot`` into Python values."""
+        return decode_tuple(schema, self.read_raw(slot))
+
+    def tuples(self, schema: Schema) -> Iterator[tuple[float | int, ...]]:
+        """Iterate over every tuple on the page in slot order."""
+        for slot in range(self._tuple_count):
+            yield self.read(schema, slot)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """The full binary page image."""
+        return bytes(self._buf)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, layout: PageLayout | None = None) -> "HeapPage":
+        """Reconstruct a page object from its binary image."""
+        layout = layout or PageLayout(page_size=len(raw))
+        if len(raw) != layout.page_size:
+            raise PageError(
+                f"image is {len(raw)} bytes but layout declares {layout.page_size}"
+            )
+        page = cls.__new__(cls)
+        page.layout = layout
+        page._buf = bytearray(raw)
+        (
+            page_size,
+            free_start,
+            free_end,
+            _special,
+            tuple_count,
+            _lsn,
+        ) = _HEADER_STRUCT.unpack(raw[:PAGE_HEADER_SIZE])
+        if page_size != layout.page_size:
+            raise PageError(
+                f"page header declares size {page_size}, layout declares {layout.page_size}"
+            )
+        page._free_start = free_start
+        page._free_end = free_end
+        page._tuple_count = tuple_count
+        return page
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeapPage(size={self.page_size}, tuples={self._tuple_count}, "
+            f"free={self.free_space})"
+        )

@@ -1,0 +1,154 @@
+"""Minimal SQL front end: parser, logical plan and executor.
+
+Only the query shapes the paper uses are supported:
+
+* ``SELECT * FROM <table>`` — sequential scan of a training table.
+* ``SELECT * FROM dana.<udf>('<table>')`` — invoke a registered UDF (the
+  DAnA accelerator, MADlib baseline, ...) as a black box over a table, as in
+  §4.3 of the paper.
+
+The executor mirrors the classic parse → plan → execute pipeline from
+Figure 2; the UDF itself is opaque to the engine, which only resolves the
+table, hands over the buffer pool and collects the result.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.exceptions import QueryError
+
+_SELECT_UDF_RE = re.compile(
+    r"^\s*select\s+\*\s+from\s+dana\.(?P<udf>[A-Za-z_][\w]*)\s*\(\s*"
+    r"'(?P<table>[^']+)'\s*\)\s*;?\s*$",
+    re.IGNORECASE,
+)
+_SELECT_SCAN_RE = re.compile(
+    r"^\s*select\s+(?P<cols>\*|[\w,\s]+)\s+from\s+(?P<table>[A-Za-z_][\w]*)\s*;?\s*$",
+    re.IGNORECASE,
+)
+_SELECT_COUNT_RE = re.compile(
+    r"^\s*select\s+count\s*\(\s*\*\s*\)\s+from\s+(?P<table>[A-Za-z_][\w]*)\s*;?\s*$",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class UDFCall:
+    """Logical plan node for ``SELECT * FROM dana.<udf>('<table>')``."""
+
+    udf_name: str
+    table_name: str
+
+
+@dataclass(frozen=True)
+class SeqScan:
+    """Logical plan node for a full-table scan."""
+
+    table_name: str
+    columns: tuple[str, ...] | None = None  # None means ``*``
+
+
+@dataclass(frozen=True)
+class CountScan:
+    """Logical plan node for ``SELECT count(*) FROM <table>``."""
+
+    table_name: str
+
+
+LogicalPlan = UDFCall | SeqScan | CountScan
+
+
+def parse(sql: str) -> LogicalPlan:
+    """Parse a query string into a logical plan node."""
+    match = _SELECT_UDF_RE.match(sql)
+    if match:
+        return UDFCall(udf_name=match.group("udf"), table_name=match.group("table"))
+    match = _SELECT_COUNT_RE.match(sql)
+    if match:
+        return CountScan(table_name=match.group("table"))
+    match = _SELECT_SCAN_RE.match(sql)
+    if match:
+        cols = match.group("cols").strip()
+        columns = None if cols == "*" else tuple(c.strip() for c in cols.split(","))
+        return SeqScan(table_name=match.group("table"), columns=columns)
+    raise QueryError(f"unsupported query: {sql!r}")
+
+
+@dataclass
+class QueryResult:
+    """Result of executing a query.
+
+    ``rows`` holds the materialised output (scan results or the UDF's
+    return rows); ``payload`` carries structured UDF output such as a
+    trained-model report, and ``stats`` holds engine-side counters.
+    """
+
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    columns: tuple[str, ...] = ()
+    payload: Any = None
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class UDFHandler(Protocol):
+    """Callable invoked by the executor for ``dana.<udf>()`` queries."""
+
+    def __call__(self, database: Any, table_name: str) -> QueryResult: ...
+
+
+class QueryExecutor:
+    """Executes logical plans against a :class:`repro.rdbms.database.Database`."""
+
+    def __init__(self, database: Any) -> None:
+        self.database = database
+
+    def execute(self, sql: str) -> QueryResult:
+        plan = parse(sql)
+        return self.execute_plan(plan)
+
+    def execute_plan(self, plan: LogicalPlan) -> QueryResult:
+        if isinstance(plan, UDFCall):
+            return self._execute_udf(plan)
+        if isinstance(plan, CountScan):
+            return self._execute_count(plan)
+        if isinstance(plan, SeqScan):
+            return self._execute_scan(plan)
+        raise QueryError(f"unknown plan node {plan!r}")
+
+    # ------------------------------------------------------------------ #
+    # plan node execution
+    # ------------------------------------------------------------------ #
+    def _execute_udf(self, plan: UDFCall) -> QueryResult:
+        catalog = self.database.catalog
+        if not catalog.has_udf(plan.udf_name):
+            raise QueryError(f"UDF dana.{plan.udf_name} is not registered")
+        if not catalog.has_table(plan.table_name):
+            raise QueryError(f"table {plan.table_name!r} does not exist")
+        handler = catalog.udf(plan.udf_name)
+        return handler(self.database, plan.table_name)
+
+    def _execute_scan(self, plan: SeqScan) -> QueryResult:
+        if not self.database.catalog.has_table(plan.table_name):
+            raise QueryError(f"table {plan.table_name!r} does not exist")
+        table = self.database.table(plan.table_name)
+        schema = table.schema
+        rows = list(table.scan_tuples(self.database.buffer_pool))
+        if plan.columns is not None:
+            indexes = [schema.index_of(c) for c in plan.columns]
+            rows = [tuple(row[i] for i in indexes) for row in rows]
+            columns = plan.columns
+        else:
+            columns = schema.names
+        return QueryResult(rows=rows, columns=columns)
+
+    def _execute_count(self, plan: CountScan) -> QueryResult:
+        if not self.database.catalog.has_table(plan.table_name):
+            raise QueryError(f"table {plan.table_name!r} does not exist")
+        table = self.database.table(plan.table_name)
+        count = sum(1 for _ in table.scan_tuples(self.database.buffer_pool))
+        return QueryResult(rows=[(count,)], columns=("count",))

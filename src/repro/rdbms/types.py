@@ -1,0 +1,182 @@
+"""Column types and relation schemas for the miniature RDBMS substrate.
+
+The substrate only needs the types that appear in the paper's training
+tables: fixed-width numeric columns (features, labels, matrix indices).
+Every type knows how to encode/decode itself to the on-page binary format
+so that the Strider simulator can extract raw bytes exactly the way the
+hardware would.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+from repro.exceptions import RDBMSError
+
+
+class ColumnType(Enum):
+    """Fixed-width column types supported by the substrate."""
+
+    FLOAT4 = "float4"
+    FLOAT8 = "float8"
+    INT2 = "int2"
+    INT4 = "int4"
+    INT8 = "int8"
+
+    @property
+    def width(self) -> int:
+        """Width of the column in bytes on the page."""
+        return _WIDTHS[self]
+
+    @property
+    def struct_code(self) -> str:
+        """``struct`` format character used for encoding."""
+        return _STRUCT_CODES[self]
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (ColumnType.INT2, ColumnType.INT4, ColumnType.INT8)
+
+    def encode(self, value: float | int) -> bytes:
+        """Encode a Python value into the on-page little-endian bytes.
+
+        Integer columns accept float inputs (NumPy row extraction yields
+        floats) as long as the value is integral.
+        """
+        if self.is_integer and not isinstance(value, int):
+            value = int(round(float(value)))
+        return struct.pack("<" + self.struct_code, value)
+
+    def decode(self, raw: bytes) -> float | int:
+        """Decode on-page bytes back into a Python value."""
+        if len(raw) != self.width:
+            raise RDBMSError(
+                f"cannot decode {self.value}: expected {self.width} bytes, got {len(raw)}"
+            )
+        return struct.unpack("<" + self.struct_code, raw)[0]
+
+
+_WIDTHS = {
+    ColumnType.FLOAT4: 4,
+    ColumnType.FLOAT8: 8,
+    ColumnType.INT2: 2,
+    ColumnType.INT4: 4,
+    ColumnType.INT8: 8,
+}
+
+_STRUCT_CODES = {
+    ColumnType.FLOAT4: "f",
+    ColumnType.FLOAT8: "d",
+    ColumnType.INT2: "h",
+    ColumnType.INT4: "i",
+    ColumnType.INT8: "q",
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column of a relation."""
+
+    name: str
+    ctype: ColumnType
+
+    @property
+    def width(self) -> int:
+        return self.ctype.width
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of columns describing a relation.
+
+    The training tables used throughout the paper have the layout
+    ``(feature_0, ..., feature_{k-1}, label)`` for the regression /
+    classification algorithms and ``(row, col, value)`` for LRMF.
+    """
+
+    columns: tuple[Column, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise RDBMSError(f"duplicate column names in schema: {names}")
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def widths(self) -> tuple[int, ...]:
+        return tuple(c.width for c in self.columns)
+
+    @property
+    def row_width(self) -> int:
+        """Total width of the fixed-size attribute payload, in bytes."""
+        return sum(c.width for c in self.columns)
+
+    def column_offset(self, index: int) -> int:
+        """Byte offset of column ``index`` within the attribute payload."""
+        if not 0 <= index < len(self.columns):
+            raise RDBMSError(f"column index {index} out of range")
+        return sum(c.width for c in self.columns[:index])
+
+    def index_of(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise RDBMSError(f"no column named {name!r}")
+
+    def encode_row(self, values: Sequence[float | int]) -> bytes:
+        """Encode one row of Python values into the attribute payload."""
+        if len(values) != len(self.columns):
+            raise RDBMSError(
+                f"row has {len(values)} values but schema has {len(self.columns)} columns"
+            )
+        return b"".join(col.ctype.encode(v) for col, v in zip(self.columns, values))
+
+    def decode_row(self, payload: bytes) -> tuple[float | int, ...]:
+        """Decode an attribute payload back into a tuple of Python values."""
+        if len(payload) != self.row_width:
+            raise RDBMSError(
+                f"payload is {len(payload)} bytes but schema row width is {self.row_width}"
+            )
+        out = []
+        offset = 0
+        for col in self.columns:
+            out.append(col.ctype.decode(payload[offset : offset + col.width]))
+            offset += col.width
+        return tuple(out)
+
+    @classmethod
+    def build(cls, specs: Iterable[tuple[str, ColumnType]]) -> "Schema":
+        """Construct a schema from ``(name, type)`` pairs."""
+        return cls(tuple(Column(name, ctype) for name, ctype in specs))
+
+    @classmethod
+    def training_schema(
+        cls, n_features: int, feature_type: ColumnType = ColumnType.FLOAT4
+    ) -> "Schema":
+        """Standard dense training schema: ``n_features`` features + 1 label."""
+        cols = [Column(f"x{i}", feature_type) for i in range(n_features)]
+        cols.append(Column("y", feature_type))
+        return cls(tuple(cols))
+
+    @classmethod
+    def lrmf_schema(cls, value_type: ColumnType = ColumnType.FLOAT4) -> "Schema":
+        """Sparse-rating schema used by low-rank matrix factorization."""
+        return cls(
+            (
+                Column("row", ColumnType.INT4),
+                Column("col", ColumnType.INT4),
+                Column("value", value_type),
+            )
+        )

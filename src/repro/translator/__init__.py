@@ -1,0 +1,32 @@
+"""Translator: DSL UDF → hierarchical DataFlow Graph (hDFG)."""
+
+from repro.translator.dimensions import (
+    broadcast_primary,
+    element_count,
+    gather,
+    group_fused,
+    group_single,
+    merge,
+    nonlinear,
+)
+from repro.translator.evaluator import HDFGEvaluator
+from repro.translator.hdfg import HDFG, HDFGNode, NodeKind, Region, VariableBinding
+from repro.translator.translate import Translator, translate
+
+__all__ = [
+    "HDFG",
+    "HDFGEvaluator",
+    "HDFGNode",
+    "NodeKind",
+    "Region",
+    "Translator",
+    "VariableBinding",
+    "broadcast_primary",
+    "element_count",
+    "gather",
+    "group_fused",
+    "group_single",
+    "merge",
+    "nonlinear",
+    "translate",
+]

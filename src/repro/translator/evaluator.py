@@ -1,0 +1,192 @@
+"""Reference (functional) evaluator for hierarchical DataFlow Graphs.
+
+The evaluator computes node values with NumPy, following exactly the
+semantics the execution engine implements in hardware.  It serves two
+purposes:
+
+* it is the functional core of the execution-engine simulator's fast path
+  (the cycle model is derived separately from the static schedule);
+* it is the oracle used by the test-suite to check that scheduled microcode
+  execution and the analytical algorithms produce the same numbers.
+
+Evaluation is region-aware: the update-rule region is evaluated once per
+training tuple per thread, merge values are aggregated across threads by
+the caller, and the post-merge/convergence regions are evaluated once per
+batch/epoch with the merged values injected into the environment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import TranslationError
+from repro.dsl.operations import Operator
+from repro.translator.hdfg import HDFG, HDFGNode, NodeKind, Region
+
+Env = dict[int, np.ndarray]
+
+
+def _apply_primary(op: Operator, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    if op is Operator.ADD:
+        return left + right
+    if op is Operator.SUB:
+        return left - right
+    if op is Operator.MUL:
+        return left * right
+    if op is Operator.DIV:
+        return left / right
+    if op is Operator.GT:
+        return (left > right).astype(np.float64)
+    if op is Operator.LT:
+        return (left < right).astype(np.float64)
+    raise TranslationError(f"{op.value!r} is not a primary operation")
+
+
+def _apply_nonlinear(op: Operator, operand: np.ndarray) -> np.ndarray:
+    if op is Operator.SIGMOID:
+        return 1.0 / (1.0 + np.exp(-operand))
+    if op is Operator.GAUSSIAN:
+        return np.exp(-np.square(operand))
+    if op is Operator.SQRT:
+        return np.sqrt(operand)
+    raise TranslationError(f"{op.value!r} is not a non-linear operation")
+
+
+def _reduce(op: Operator, value: np.ndarray, axis: int) -> np.ndarray:
+    if op is Operator.SIGMA:
+        return np.sum(value, axis=axis)
+    if op is Operator.PI:
+        return np.prod(value, axis=axis)
+    if op is Operator.NORM:
+        return np.sqrt(np.sum(np.square(value), axis=axis))
+    raise TranslationError(f"{op.value!r} is not a group operation")
+
+
+class HDFGEvaluator:
+    """Evaluates an :class:`HDFG` over NumPy values."""
+
+    def __init__(self, graph: HDFG) -> None:
+        self.graph = graph
+
+    # ------------------------------------------------------------------ #
+    # environment helpers
+    # ------------------------------------------------------------------ #
+    def initial_env(self, values_by_name: Mapping[str, np.ndarray | float]) -> Env:
+        """Build an environment keyed by node id from variable names.
+
+        Meta variables not supplied fall back to their declared constant.
+        """
+        env: Env = {}
+        for binding in self.graph.bindings:
+            if binding.name in values_by_name:
+                env[binding.node_id] = np.asarray(
+                    values_by_name[binding.name], dtype=np.float64
+                )
+            elif binding.value is not None:
+                env[binding.node_id] = np.asarray(binding.value, dtype=np.float64)
+        return env
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, env: Env, regions: Iterable[Region]) -> Env:
+        """Evaluate every node in the selected regions; returns the env.
+
+        Leaves (variables, constants) must already be present in ``env``;
+        MERGE nodes are only computed when evaluating the post-merge region
+        and, in that case, must already have been injected by the caller
+        (the engine aggregates them across threads).
+        """
+        wanted = set(regions)
+        for node in self.graph.topological_order():
+            if node.node_id in env:
+                continue
+            if node.kind is NodeKind.CONSTANT:
+                env[node.node_id] = np.asarray(node.constant_value, dtype=np.float64)
+                continue
+            if node.kind is NodeKind.VARIABLE:
+                if node.constant_value is not None:
+                    env[node.node_id] = np.asarray(node.constant_value, dtype=np.float64)
+                continue
+            if node.region not in wanted:
+                continue
+            if node.kind is NodeKind.MERGE:
+                # Merge values are produced by cross-thread aggregation.
+                continue
+            if not all(i in env for i in node.inputs):
+                continue
+            env[node.node_id] = self._evaluate_node(node, env)
+        return env
+
+    def _evaluate_node(self, node: HDFGNode, env: Env) -> np.ndarray:
+        values = [np.asarray(env[i], dtype=np.float64) for i in node.inputs]
+        if node.kind is NodeKind.PRIMARY:
+            return _apply_primary(node.op, values[0], values[1])
+        if node.kind is NodeKind.NONLINEAR:
+            return _apply_nonlinear(node.op, values[0])
+        if node.kind is NodeKind.GATHER:
+            source, index = values
+            return np.asarray(source[int(round(float(index)))], dtype=np.float64)
+        if node.kind is NodeKind.UPDATE:
+            return values[0]
+        if node.kind is NodeKind.GROUP:
+            return self._evaluate_group(node, values)
+        raise TranslationError(f"cannot evaluate node of kind {node.kind}")
+
+    def _evaluate_group(self, node: HDFGNode, values: list[np.ndarray]) -> np.ndarray:
+        axis0 = node.axis - 1  # 1-based constant -> 0-based axis
+        if node.inner_op is None or len(values) == 1:
+            return _reduce(node.op, values[0], axis0)
+        left, right = values
+        if left.shape == right.shape:
+            combined = _apply_primary(node.inner_op, left, right)
+            return _reduce(node.op, combined, axis0)
+        if left.ndim == 0 or right.ndim == 0:
+            combined = _apply_primary(node.inner_op, left, right)
+            return _reduce(node.op, combined, axis0)
+        # Different shapes: contract the shared grouping axis and
+        # outer-combine the remaining axes (generalised matrix product).
+        left_moved = np.moveaxis(left, axis0, -1)       # (*A, K)
+        right_moved = np.moveaxis(right, axis0, -1)     # (*B, K)
+        a_rank = left_moved.ndim - 1
+        b_rank = right_moved.ndim - 1
+        left_expanded = left_moved.reshape(left_moved.shape[:-1] + (1,) * b_rank + (left_moved.shape[-1],))
+        right_expanded = right_moved.reshape((1,) * a_rank + right_moved.shape)
+        combined = _apply_primary(node.inner_op, left_expanded, right_expanded)
+        return _reduce(node.op, combined, -1)
+
+    # ------------------------------------------------------------------ #
+    # merge helpers (used by the execution engine and the baselines)
+    # ------------------------------------------------------------------ #
+    def aggregate_merge(
+        self, node: HDFGNode, per_thread_values: list[np.ndarray]
+    ) -> np.ndarray:
+        """Combine per-thread values of a merge node with its operator."""
+        if node.kind is not NodeKind.MERGE:
+            raise TranslationError(f"{node.name} is not a merge node")
+        if not per_thread_values:
+            raise TranslationError("cannot merge an empty set of thread results")
+        result = np.asarray(per_thread_values[0], dtype=np.float64)
+        for value in per_thread_values[1:]:
+            result = _apply_primary(node.merge_operator, result, np.asarray(value))
+        return result
+
+    def model_results(self, env: Env) -> dict[str, np.ndarray]:
+        """Extract the updated model value(s) from an evaluated environment."""
+        results: dict[str, np.ndarray] = {}
+        for name, _var_node_id, update_node_id in self.graph.update_targets:
+            node = self.graph.node(update_node_id)
+            if node.inputs[0] in env:
+                results[name] = np.asarray(env[node.inputs[0]], dtype=np.float64)
+        return results
+
+    def convergence_reached(self, env: Env) -> bool:
+        """Evaluate the convergence condition, if one was declared."""
+        conv_id = self.graph.convergence_node_id
+        if conv_id is None:
+            return False
+        if conv_id not in env:
+            return False
+        return bool(np.all(np.asarray(env[conv_id]) > 0.5))

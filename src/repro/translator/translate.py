@@ -1,0 +1,323 @@
+"""Translator front end: DSL ``algo`` component → hierarchical DataFlow Graph.
+
+The translator walks the expression DAG rooted at the updated-model
+expression (and the convergence condition, if any), fuses group operations
+with their inner primary operation, infers every node's dimensions, and
+labels each node with the region it executes in:
+
+* nodes feeding a merge boundary belong to the **update rule** and are run
+  once per training tuple in every thread;
+* nodes strictly after a merge boundary belong to the **post-merge** region
+  and run once per merge batch;
+* nodes reachable only from the convergence condition run once per epoch.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.exceptions import TranslationError
+from repro.dsl.algo import Algo
+from repro.dsl.expressions import (
+    BinaryExpression,
+    ConstantExpression,
+    Expression,
+    GatherExpression,
+    GroupExpression,
+    MergeExpression,
+    NonlinearExpression,
+)
+from repro.dsl.variables import DanaVariable, VariableKind
+from repro.translator import dimensions as dim_rules
+from repro.translator.hdfg import HDFG, HDFGNode, NodeKind, Region, VariableBinding
+
+
+class Translator:
+    """Converts an :class:`~repro.dsl.algo.Algo` into an :class:`HDFG`."""
+
+    def __init__(self, algo: Algo) -> None:
+        self.algo = algo
+        self._ids = itertools.count()
+        self._expr_to_node: dict[int, int] = {}
+        self.graph = HDFG(name=algo.name)
+        self.bindings: list[VariableBinding] = []
+        # "DAnA's compiler implicitly understands that the merge function is
+        # performed before the gradient descent optimizer" (§4.3): if the
+        # user wrote the optimizer against the un-merged value and declared
+        # the merge separately, consumers of that value are rewired to the
+        # merge node.  The bypass set prevents the merge's own operand visit
+        # from redirecting to itself.
+        self._merge_for_operand = {m.operand.expr_id: m for m in algo.merges}
+        self._merge_bypass: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def translate(self) -> HDFG:
+        """Build and return the hDFG for the algo component."""
+        self.algo.validate()
+        root_ids = [
+            (var, self._visit(expr, Region.UPDATE_RULE))
+            for var, expr in self.algo.model_updates
+        ]
+        self._mark_post_merge()
+        for var, root_id in root_ids:
+            update = HDFGNode(
+                node_id=next(self._ids),
+                kind=NodeKind.UPDATE,
+                inputs=(root_id,),
+                dims=self.graph.node(root_id).dims,
+                name=f"model_update:{var.name}",
+                region=(
+                    Region.POST_MERGE if self.graph.merge_node_ids else Region.UPDATE_RULE
+                ),
+            )
+            self.graph.add_node(update)
+            self.graph.update_node_ids.append(update.node_id)
+            var_node_id = self._expr_to_node.get(var.expr_id, -1)
+            self.graph.update_targets.append((var.name, var_node_id, update.node_id))
+            self._check_model_dims(var, root_id)
+        self.graph.update_node_id = self.graph.update_node_ids[0]
+        if self.algo.convergence.condition is not None:
+            conv_id = self._visit(self.algo.convergence.condition, Region.CONVERGENCE)
+            self.graph.convergence_node_id = conv_id
+            self._mark_convergence_region(conv_id)
+        self.graph.bindings = self.bindings
+        return self.graph
+
+    # ------------------------------------------------------------------ #
+    # expression visitors
+    # ------------------------------------------------------------------ #
+    def _visit(self, expr: Expression, region: Region) -> int:
+        if (
+            expr.expr_id in self._merge_for_operand
+            and expr.expr_id not in self._merge_bypass
+            and not isinstance(expr, MergeExpression)
+        ):
+            # Redirect consumers of a merged value to the merge node itself.
+            return self._visit(self._merge_for_operand[expr.expr_id], region)
+        if expr.expr_id in self._expr_to_node:
+            return self._expr_to_node[expr.expr_id]
+        if isinstance(expr, DanaVariable):
+            node_id = self._visit_variable(expr)
+        elif isinstance(expr, ConstantExpression):
+            node_id = self._visit_constant(expr)
+        elif isinstance(expr, GroupExpression):
+            node_id = self._visit_group(expr, region)
+        elif isinstance(expr, BinaryExpression):
+            node_id = self._visit_binary(expr, region)
+        elif isinstance(expr, NonlinearExpression):
+            node_id = self._visit_nonlinear(expr, region)
+        elif isinstance(expr, GatherExpression):
+            node_id = self._visit_gather(expr, region)
+        elif isinstance(expr, MergeExpression):
+            node_id = self._visit_merge(expr, region)
+        else:
+            raise TranslationError(f"unsupported expression type {type(expr).__name__}")
+        self._expr_to_node[expr.expr_id] = node_id
+        return node_id
+
+    def _visit_variable(self, var: DanaVariable) -> int:
+        node = HDFGNode(
+            node_id=next(self._ids),
+            kind=NodeKind.VARIABLE,
+            dims=var.dims,
+            name=var.name,
+            variable_kind=var.kind.value,
+            constant_value=var.value,
+        )
+        self.graph.add_node(node)
+        binding = VariableBinding(
+            node_id=node.node_id,
+            name=var.name,
+            kind=var.kind.value,
+            dims=var.dims,
+            value=var.value,
+        )
+        self.bindings.append(binding)
+        if var.kind is VariableKind.MODEL:
+            self.graph.model_node_ids.append(node.node_id)
+        elif var.kind is VariableKind.INPUT:
+            self.graph.input_node_ids.append(node.node_id)
+        elif var.kind is VariableKind.OUTPUT:
+            self.graph.output_node_ids.append(node.node_id)
+        elif var.kind is VariableKind.META:
+            self.graph.meta_node_ids.append(node.node_id)
+        return node.node_id
+
+    def _visit_constant(self, expr: ConstantExpression) -> int:
+        node = HDFGNode(
+            node_id=next(self._ids),
+            kind=NodeKind.CONSTANT,
+            dims=(),
+            name=expr.name,
+            constant_value=expr.value,
+        )
+        self.graph.add_node(node)
+        return node.node_id
+
+    def _visit_binary(self, expr: BinaryExpression, region: Region) -> int:
+        left_id = self._visit(expr.left, region)
+        right_id = self._visit(expr.right, region)
+        left_dims = self.graph.node(left_id).dims
+        right_dims = self.graph.node(right_id).dims
+        dims = dim_rules.broadcast_primary(left_dims, right_dims)
+        node = HDFGNode(
+            node_id=next(self._ids),
+            kind=NodeKind.PRIMARY,
+            op=expr.op,
+            inputs=(left_id, right_id),
+            dims=dims,
+            name=expr.name,
+            region=region,
+        )
+        self.graph.add_node(node)
+        return node.node_id
+
+    def _visit_nonlinear(self, expr: NonlinearExpression, region: Region) -> int:
+        operand_id = self._visit(expr.operand, region)
+        dims = dim_rules.nonlinear(self.graph.node(operand_id).dims)
+        node = HDFGNode(
+            node_id=next(self._ids),
+            kind=NodeKind.NONLINEAR,
+            op=expr.op,
+            inputs=(operand_id,),
+            dims=dims,
+            name=expr.name,
+            region=region,
+        )
+        self.graph.add_node(node)
+        return node.node_id
+
+    def _visit_group(self, expr: GroupExpression, region: Region) -> int:
+        # Fuse an inner binary operation into the group node (Figure 3b).
+        operand = expr.operand
+        if isinstance(operand, BinaryExpression) and operand.expr_id not in self._expr_to_node:
+            left_id = self._visit(operand.left, region)
+            right_id = self._visit(operand.right, region)
+            left_dims = self.graph.node(left_id).dims
+            right_dims = self.graph.node(right_id).dims
+            dims = dim_rules.group_fused(left_dims, right_dims, expr.axis)
+            node = HDFGNode(
+                node_id=next(self._ids),
+                kind=NodeKind.GROUP,
+                op=expr.op,
+                inner_op=operand.op,
+                inputs=(left_id, right_id),
+                dims=dims,
+                axis=expr.axis,
+                name=expr.name,
+                region=region,
+            )
+        else:
+            operand_id = self._visit(operand, region)
+            dims = dim_rules.group_single(self.graph.node(operand_id).dims, expr.axis)
+            node = HDFGNode(
+                node_id=next(self._ids),
+                kind=NodeKind.GROUP,
+                op=expr.op,
+                inputs=(operand_id,),
+                dims=dims,
+                axis=expr.axis,
+                name=expr.name,
+                region=region,
+            )
+        self.graph.add_node(node)
+        return node.node_id
+
+    def _visit_gather(self, expr: GatherExpression, region: Region) -> int:
+        source_id = self._visit(expr.source, region)
+        index_id = self._visit(expr.index, region)
+        dims = dim_rules.gather(
+            self.graph.node(source_id).dims, self.graph.node(index_id).dims
+        )
+        node = HDFGNode(
+            node_id=next(self._ids),
+            kind=NodeKind.GATHER,
+            inputs=(source_id, index_id),
+            dims=dims,
+            name=expr.name,
+            region=region,
+        )
+        self.graph.add_node(node)
+        return node.node_id
+
+    def _visit_merge(self, expr: MergeExpression, region: Region) -> int:
+        self._merge_bypass.add(expr.operand.expr_id)
+        operand_id = self._visit(expr.operand, Region.UPDATE_RULE)
+        dims = dim_rules.merge(self.graph.node(operand_id).dims)
+        node = HDFGNode(
+            node_id=next(self._ids),
+            kind=NodeKind.MERGE,
+            inputs=(operand_id,),
+            dims=dims,
+            name=expr.name,
+            region=Region.POST_MERGE,
+            merge_operator=expr.spec.operator,
+            merge_coefficient=expr.spec.coefficient,
+        )
+        self.graph.add_node(node)
+        self.graph.merge_node_ids.append(node.node_id)
+        return node.node_id
+
+    # ------------------------------------------------------------------ #
+    # region labelling and validation
+    # ------------------------------------------------------------------ #
+    def _mark_post_merge(self) -> None:
+        """Every node downstream of a merge node runs once per batch."""
+        if not self.graph.merge_node_ids:
+            return
+        downstream: set[int] = set(self.graph.merge_node_ids)
+        changed = True
+        while changed:
+            changed = False
+            for node in self.graph.nodes():
+                if node.node_id in downstream or node.is_leaf:
+                    continue
+                if any(i in downstream for i in node.inputs):
+                    downstream.add(node.node_id)
+                    changed = True
+        for node_id in downstream:
+            node = self.graph.node(node_id)
+            if node.region is Region.UPDATE_RULE:
+                node.region = Region.POST_MERGE
+
+    def _mark_convergence_region(self, conv_id: int) -> None:
+        """Nodes reachable only from the convergence root run once per epoch."""
+        conv_reachable: set[int] = set()
+        stack = [conv_id]
+        while stack:
+            node = self.graph.node(stack.pop())
+            if node.node_id in conv_reachable:
+                continue
+            conv_reachable.add(node.node_id)
+            stack.extend(node.inputs)
+        update_reachable: set[int] = set()
+        stack = list(self.graph.update_node_ids)
+        while stack:
+            node = self.graph.node(stack.pop())
+            if node.node_id in update_reachable:
+                continue
+            update_reachable.add(node.node_id)
+            stack.extend(node.inputs)
+        for node_id in conv_reachable - update_reachable:
+            node = self.graph.node(node_id)
+            if not node.is_leaf:
+                node.region = Region.CONVERGENCE
+
+    def _check_model_dims(self, var: DanaVariable, root_id: int) -> None:
+        root_dims = self.graph.node(root_id).dims
+        model_dims = var.dims
+        # An update may address the whole model or one gathered row of it
+        # (the LRMF case), so both shapes are legal.
+        gathered_dims = model_dims[1:] if len(model_dims) > 1 else model_dims
+        if root_dims not in (model_dims, gathered_dims):
+            raise TranslationError(
+                f"updated model has shape {list(root_dims)} but the model variable "
+                f"{var.name!r} was declared with shape {list(model_dims)}"
+            )
+
+
+def translate(algo: Algo) -> HDFG:
+    """Convenience wrapper: translate an algo component into an hDFG."""
+    return Translator(algo).translate()

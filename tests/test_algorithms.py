@@ -1,0 +1,137 @@
+"""Tests for the four ML algorithms: DSL programs and NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    Hyperparameters,
+    LinearRegression,
+    LogisticRegression,
+    LowRankMatrixFactorization,
+    SupportVectorMachine,
+    algorithm_keys,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.data.synthetic import (
+    generate_classification,
+    generate_ratings,
+    generate_regression,
+)
+from repro.exceptions import ConfigurationError
+from repro.translator import translate
+
+
+@pytest.fixture
+def hyper():
+    return Hyperparameters(learning_rate=0.1, merge_coefficient=8, epochs=30)
+
+
+class TestRegistry:
+    def test_keys(self):
+        assert set(algorithm_keys()) == {"linear", "logistic", "svm", "lrmf"}
+
+    def test_lookup_by_alias(self):
+        assert isinstance(get_algorithm("Logistic Regression"), LogisticRegression)
+        assert isinstance(get_algorithm("Low Rank Matrix Factorization"), LowRankMatrixFactorization)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            get_algorithm("kmeans")
+
+    def test_register_custom(self):
+        class Custom(LinearRegression):
+            key = "custom_linear"
+
+        register_algorithm(Custom)
+        assert isinstance(get_algorithm("custom_linear"), Custom)
+        with pytest.raises(ConfigurationError):
+            register_algorithm(object)  # type: ignore[arg-type]
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("key,n_features", [("linear", 12), ("logistic", 7), ("svm", 9)])
+    def test_dense_specs_translate(self, key, n_features, hyper):
+        spec = get_algorithm(key).build_spec(n_features, hyper)
+        graph = translate(spec.algo)
+        assert graph.summary()["merge_nodes"] == 1
+        assert spec.schema.row_width == (n_features + 1) * 4
+        assert spec.initial_models["mo"].shape == (n_features,)
+        bound = spec.bind_tuple(np.arange(n_features + 1, dtype=float))
+        assert bound["x"].shape == (n_features,)
+        assert bound["y"] == float(n_features)
+
+    def test_lrmf_spec(self, hyper):
+        spec = LowRankMatrixFactorization().build_spec(8, hyper, model_topology=(20, 15, 6))
+        graph = translate(spec.algo)
+        assert spec.initial_models["L"].shape == (20, 6)
+        assert spec.initial_models["R"].shape == (15, 6)
+        assert len(graph.update_targets) == 2
+        assert spec.schema.names == ("row", "col", "value")
+
+    def test_lrmf_requires_topology(self, hyper):
+        with pytest.raises(ValueError):
+            LowRankMatrixFactorization().build_spec(8, hyper)
+
+    def test_convergence_condition_optional(self):
+        hyper = Hyperparameters(convergence_tolerance=0.001, epochs=5)
+        spec = LinearRegression().build_spec(4, hyper)
+        graph = translate(spec.algo)
+        assert graph.convergence_node_id is not None
+
+    def test_flops_per_tuple_scaling(self):
+        linear = LinearRegression()
+        assert linear.flops_per_tuple(100) > linear.flops_per_tuple(10)
+        assert SupportVectorMachine().flops_per_tuple(50) > LogisticRegression().flops_per_tuple(50) > 0
+
+
+class TestReferenceImplementations:
+    def test_linear_reference_converges(self, hyper):
+        data = generate_regression(500, 6, noise=0.0, seed=1)
+        models = LinearRegression().reference_fit(data, hyper, epochs=200)
+        loss = LinearRegression().loss(data, models)
+        assert loss < 1e-3
+
+    def test_logistic_reference_learns(self):
+        data = generate_classification(500, 6, labels=(0.0, 1.0), seed=2)
+        hyper = Hyperparameters(learning_rate=0.5, merge_coefficient=16)
+        algorithm = LogisticRegression()
+        models = algorithm.reference_fit(data, hyper, epochs=100)
+        assert algorithm.accuracy(data, models) > 0.85
+        assert algorithm.loss(data, models) < algorithm.loss(data, {"mo": np.zeros(6)})
+
+    def test_svm_reference_learns(self):
+        data = generate_classification(500, 6, labels=(-1.0, 1.0), separation=2.0, seed=3)
+        hyper = Hyperparameters(learning_rate=0.1, merge_coefficient=16, regularization=1e-3)
+        algorithm = SupportVectorMachine()
+        models = algorithm.reference_fit(data, hyper, epochs=100)
+        assert algorithm.accuracy(data, models) > 0.85
+
+    def test_lrmf_reference_reduces_error(self):
+        data = generate_ratings(30, 25, rank=5, density=0.4, noise=0.0, seed=4)
+        hyper = Hyperparameters(learning_rate=0.05, rank=5, regularization=1e-4)
+        algorithm = LowRankMatrixFactorization()
+        models = algorithm.reference_fit(data, hyper, epochs=60)
+        initial = algorithm.loss(
+            data,
+            {
+                "L": np.zeros((30, 5)),
+                "R": np.zeros((25, 5)),
+            },
+        )
+        assert algorithm.loss(data, models) < initial * 0.2
+
+    def test_regularization_changes_logistic_model(self):
+        data = generate_classification(200, 5, seed=6)
+        plain = LogisticRegression().reference_fit(data, Hyperparameters(), epochs=20)
+        regularized = LogisticRegression().reference_fit(
+            data, Hyperparameters(regularization=0.1), epochs=20
+        )
+        assert np.linalg.norm(regularized["mo"]) < np.linalg.norm(plain["mo"])
+
+    def test_hyperparameters_scaled(self):
+        hyper = Hyperparameters(learning_rate=0.1)
+        scaled = hyper.scaled(learning_rate=0.5, epochs=3)
+        assert scaled.learning_rate == 0.5
+        assert scaled.epochs == 3
+        assert hyper.learning_rate == 0.1

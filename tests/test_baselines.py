@@ -1,0 +1,139 @@
+"""Tests for the MADlib, Greenplum and external-library functional baselines."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Hyperparameters, LinearRegression, LogisticRegression
+from repro.baselines import (
+    ExternalLibraryRunner,
+    GreenplumRunner,
+    MADlibRunner,
+    register_greenplum_udf,
+    register_madlib_udf,
+)
+from repro.data.synthetic import generate_classification
+from repro.exceptions import ConfigurationError
+from repro.rdbms import Database
+
+
+@pytest.fixture
+def logistic_setup():
+    data = generate_classification(400, 6, seed=11)
+    hyper = Hyperparameters(learning_rate=0.3, merge_coefficient=8, epochs=15)
+    spec = LogisticRegression().build_spec(6, hyper)
+    db = Database(page_size=8 * 1024)
+    db.load_table("train", spec.schema, data)
+    return db, spec, data, hyper
+
+
+class TestMADlibRunner:
+    def test_matches_reference_exactly(self, small_database, linear_spec, small_regression_data):
+        runner = MADlibRunner(small_database, linear_spec, epochs=25)
+        result = runner.run("train")
+        # The on-page data is float32, so fit the reference on the same values.
+        stored = small_database.table("train").read_all(small_database.buffer_pool)
+        reference = LinearRegression().reference_fit(
+            stored, linear_spec.hyperparameters, epochs=25
+        )
+        np.testing.assert_allclose(result.models["mo"], reference["mo"], rtol=1e-7)
+        assert result.stats.epochs_run == 25
+        assert result.stats.tuples_processed == 25 * 200
+
+    def test_learns_logistic(self, logistic_setup):
+        db, spec, data, hyper = logistic_setup
+        result = MADlibRunner(db, spec, epochs=15).run("train")
+        algorithm = LogisticRegression()
+        assert algorithm.accuracy(data, result.models) > 0.8
+
+    def test_buffer_pool_is_exercised(self, small_database, linear_spec):
+        small_database.reset_io_stats()
+        MADlibRunner(small_database, linear_spec, epochs=2).run("train")
+        stats = small_database.buffer_pool.stats
+        assert stats.misses == small_database.table("train").page_count
+        assert stats.hits > 0
+
+    def test_udf_registration_and_sql(self, small_database):
+        register_madlib_udf(
+            small_database,
+            "madlib_linregr",
+            "linear",
+            n_features=4,
+            hyper=Hyperparameters(learning_rate=0.05, merge_coefficient=8),
+            epochs=10,
+        )
+        result = small_database.execute("SELECT * FROM dana.madlib_linregr('train')")
+        assert result.stats["system"] == "MADlib+PostgreSQL"
+        assert result.rows[0][0] == "mo"
+        assert len(result.rows[0][1]) == 4
+
+
+class TestGreenplumRunner:
+    def test_segment_parallel_model_close_to_single_node(self, logistic_setup):
+        db, spec, data, hyper = logistic_setup
+        single = MADlibRunner(db, spec, epochs=10).run("train")
+        parallel = GreenplumRunner(db, spec, segments=8, epochs=10).run("train")
+        algorithm = LogisticRegression()
+        acc_single = algorithm.accuracy(data, single.models)
+        acc_parallel = algorithm.accuracy(data, parallel.models)
+        assert acc_parallel > 0.75
+        assert abs(acc_single - acc_parallel) < 0.15
+
+    def test_partitioning_covers_all_tuples(self, logistic_setup):
+        db, spec, _data, _hyper = logistic_setup
+        runner = GreenplumRunner(db, spec, segments=4, epochs=1)
+        result = runner.run("train")
+        assert result.stats.tuples_processed == 400
+        assert result.stats.segments == 4
+        assert result.stats.merges_performed == 1
+
+    def test_single_segment_equals_madlib(self, small_database, linear_spec):
+        madlib = MADlibRunner(small_database, linear_spec, epochs=5).run("train")
+        greenplum = GreenplumRunner(small_database, linear_spec, segments=1, epochs=5).run("train")
+        np.testing.assert_allclose(greenplum.models["mo"], madlib.models["mo"], rtol=1e-7)
+
+    def test_invalid_segments(self, small_database, linear_spec):
+        with pytest.raises(ValueError):
+            GreenplumRunner(small_database, linear_spec, segments=0)
+
+    def test_udf_registration(self, small_database):
+        register_greenplum_udf(
+            small_database,
+            "gp_linregr",
+            "linear",
+            n_features=4,
+            hyper=Hyperparameters(merge_coefficient=8),
+            segments=4,
+            epochs=5,
+        )
+        result = small_database.execute("SELECT * FROM dana.gp_linregr('train')")
+        assert "Greenplum" in result.stats["system"]
+
+
+class TestExternalLibraries:
+    def test_phases_and_result(self, logistic_setup):
+        db, _spec, data, hyper = logistic_setup
+        runner = ExternalLibraryRunner(db, "dimmwitted", "logistic", hyper, epochs=15)
+        result = runner.run("train")
+        assert result.stats.exported_tuples == 400
+        assert result.stats.exported_bytes > 0
+        assert result.stats.transformed_tuples == 400
+        assert LogisticRegression().accuracy(data, result.models) > 0.8
+
+    def test_export_is_text(self, logistic_setup):
+        db, _spec, _data, hyper = logistic_setup
+        runner = ExternalLibraryRunner(db, "liblinear", "logistic", hyper)
+        lines, stats = runner.export("train")
+        assert len(lines) == 400
+        assert all("," in line for line in lines)
+        parsed = runner.transform(lines[:5])
+        assert parsed.shape == (5, 7)
+
+    def test_liblinear_does_not_support_linear_regression(self, logistic_setup):
+        db, _spec, _data, hyper = logistic_setup
+        with pytest.raises(ConfigurationError):
+            ExternalLibraryRunner(db, "liblinear", "linear", hyper)
+
+    def test_unknown_library(self, logistic_setup):
+        db, _spec, _data, hyper = logistic_setup
+        with pytest.raises(ConfigurationError):
+            ExternalLibraryRunner(db, "sparkml", "logistic", hyper)

@@ -1,0 +1,117 @@
+"""Tests for the DAnA facade and the end-to-end workload runner."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Hyperparameters, LinearRegression
+from repro.core import DAnA, WorkloadRunner
+from repro.data import get_workload
+from repro.exceptions import ConfigurationError
+from repro.rdbms import Database
+
+
+class TestDAnAFacade:
+    @pytest.fixture
+    def system(self, small_database):
+        return DAnA(small_database)
+
+    def test_register_and_query_via_sql(self, system, small_database, small_regression_data):
+        system.register_algorithm_udf(
+            "linearR",
+            "linear",
+            n_features=4,
+            hyper=Hyperparameters(learning_rate=0.05, merge_coefficient=8),
+            epochs=30,
+        )
+        result = small_database.execute("SELECT * FROM dana.linearR('train')")
+        assert result.stats["system"] == "DAnA+PostgreSQL"
+        assert result.stats["tuples_extracted"] == 200
+        models = {name: np.asarray(coeffs) for name, coeffs in result.rows}
+        loss = LinearRegression().loss(small_regression_data, models)
+        assert loss < 0.05
+
+    def test_catalog_holds_accelerator_metadata(self, system, small_database):
+        system.register_algorithm_udf("linearR", "linear", n_features=4, epochs=2)
+        system.compile_udf("linearR", "train")
+        entry = small_database.catalog.accelerator("linearR")
+        assert entry.algorithm == "linear"
+        assert entry.strider_program.instruction_count() > 0
+        assert entry.metadata["threads"] >= 1
+
+    def test_compile_is_cached_per_table(self, system):
+        system.register_algorithm_udf("linearR", "linear", n_features=4, epochs=2)
+        first = system.compile_udf("linearR", "train")
+        second = system.compile_udf("linearR", "train")
+        assert first is second
+
+    def test_duplicate_registration_rejected(self, system):
+        system.register_algorithm_udf("linearR", "linear", n_features=4)
+        with pytest.raises(ConfigurationError):
+            system.register_algorithm_udf("linearR", "linear", n_features=4)
+
+    def test_unknown_udf_train(self, system):
+        with pytest.raises(ConfigurationError):
+            system.train("missing", "train")
+
+    def test_custom_dsl_udf(self, small_database, small_regression_data):
+        from repro import dana as d
+        from repro.algorithms.base import AlgorithmSpec
+        from repro.rdbms import Schema
+
+        mo = d.model([4], name="mo")
+        x = d.input([4], name="x")
+        y = d.output(name="y")
+        lr = d.meta(0.05, name="lr")
+        algo = d.algo(mo, x, y, name="custom")
+        grad = (d.sigma(mo * x, 1) - y) * x
+        merged = algo.merge(grad, 8, "+")
+        algo.setModel(mo - lr * (merged / 8.0))
+        algo.setEpochs(30)
+        spec = AlgorithmSpec(
+            name="custom_linear",
+            algo=algo,
+            schema=Schema.training_schema(4),
+            bind_tuple=lambda row: {"x": row[:4], "y": float(row[4])},
+            initial_models={"mo": np.zeros(4)},
+            hyperparameters=Hyperparameters(),
+        )
+        system = DAnA(small_database)
+        system.register_udf("customR", spec)
+        run = system.train("customR", "train")
+        assert LinearRegression().loss(small_regression_data, run.models) < 0.1
+
+    def test_without_striders_path(self, small_database, small_regression_data):
+        system = DAnA(small_database, use_striders=False)
+        system.register_algorithm_udf("linearR", "linear", n_features=4, epochs=20)
+        run = system.train("linearR", "train")
+        assert LinearRegression().loss(small_regression_data, run.models) < 0.2
+
+
+class TestWorkloadRunner:
+    def test_netflix_functional_comparison(self):
+        runner = WorkloadRunner(get_workload("Netflix"), epochs=3)
+        dana_run = runner.run_dana()
+        madlib_run = runner.run_madlib()
+        assert dana_run.loss == pytest.approx(madlib_run.loss, rel=1e-5)
+        assert dana_run.detail["tuples_extracted"] == runner.workload.func_tuples
+
+    def test_real_workload_estimates_favour_dana(self):
+        runner = WorkloadRunner(get_workload("Remote Sensing LR"), epochs=3)
+        comparison = runner.compare()
+        assert comparison.speedup("DAnA+PostgreSQL") > 5.0
+        assert set(comparison.runs) >= {"DAnA+PostgreSQL", "MADlib+PostgreSQL"}
+        dana_loss = comparison.runs["DAnA+PostgreSQL"].loss
+        madlib_loss = comparison.runs["MADlib+PostgreSQL"].loss
+        assert dana_loss == pytest.approx(madlib_loss, rel=1e-5)
+
+    def test_external_library_run(self):
+        runner = WorkloadRunner(get_workload("WLAN"), epochs=3)
+        external = runner.run_external("dimmwitted")
+        assert external is not None
+        assert external.detail["exported_bytes"] > 0
+
+    def test_reference_run(self):
+        runner = WorkloadRunner(get_workload("Patient"), epochs=5)
+        reference = runner.reference()
+        dana_run = runner.run_dana()
+        assert dana_run.loss == pytest.approx(reference.loss, rel=1e-4)

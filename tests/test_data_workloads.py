@@ -1,0 +1,115 @@
+"""Tests for synthetic data generators and the Table 3 workload registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    WORKLOADS,
+    get_workload,
+    real_workloads,
+    synthetic_extensive_workloads,
+    synthetic_nominal_workloads,
+    workload_names,
+)
+from repro.data.synthetic import (
+    generate_classification,
+    generate_for_algorithm,
+    generate_ratings,
+    generate_regression,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestGenerators:
+    def test_regression_shape_and_signal(self):
+        data = generate_regression(300, 8, noise=0.0, seed=1)
+        assert data.shape == (300, 9)
+        X, y = data[:, :8], data[:, 8]
+        w, *_ = np.linalg.lstsq(X, y, rcond=None)
+        np.testing.assert_allclose(X @ w, y, atol=1e-8)
+
+    def test_classification_label_encodings(self):
+        logistic = generate_classification(100, 4, labels=(0.0, 1.0), seed=2)
+        svm = generate_classification(100, 4, labels=(-1.0, 1.0), seed=2)
+        assert set(np.unique(logistic[:, 4])) <= {0.0, 1.0}
+        assert set(np.unique(svm[:, 4])) <= {-1.0, 1.0}
+
+    def test_classification_is_learnable(self):
+        data = generate_classification(500, 6, separation=3.0, seed=3)
+        X, y = data[:, :6], data[:, 6]
+        # a least-squares separator should already classify most points
+        w, *_ = np.linalg.lstsq(X, 2 * y - 1, rcond=None)
+        accuracy = np.mean((X @ w > 0) == (y > 0.5))
+        assert accuracy > 0.9
+
+    def test_ratings_ranges(self):
+        data = generate_ratings(20, 30, rank=4, density=0.5, seed=4)
+        assert data[:, 0].max() < 20
+        assert data[:, 1].max() < 30
+        assert len(data) == int(20 * 30 * 0.5)
+
+    def test_generate_for_algorithm_dispatch(self):
+        assert generate_for_algorithm("linear", 50, 3).shape == (50, 4)
+        assert generate_for_algorithm("logistic", 50, 3).shape == (50, 4)
+        assert generate_for_algorithm("svm", 50, 3).shape == (50, 4)
+        lrmf = generate_for_algorithm("lrmf", 100, 4, model_topology=(10, 12, 4))
+        assert lrmf.shape[1] == 3
+        with pytest.raises(ValueError):
+            generate_for_algorithm("kmeans", 10, 2)
+
+    def test_determinism(self):
+        a = generate_regression(50, 4, seed=9)
+        b = generate_regression(50, 4, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestWorkloadRegistry:
+    def test_fourteen_workloads(self):
+        assert len(WORKLOADS) == 14
+        assert len(real_workloads()) == 6
+        assert len(synthetic_nominal_workloads()) == 4
+        assert len(synthetic_extensive_workloads()) == 4
+
+    def test_lookup(self):
+        workload = get_workload("remote sensing lr")
+        assert workload.algorithm_key == "logistic"
+        assert workload.model_topology == (54,)
+        with pytest.raises(ConfigurationError):
+            get_workload("unknown dataset")
+
+    def test_table3_values(self):
+        netflix = get_workload("Netflix")
+        assert netflix.paper_tuples == 6_040
+        assert netflix.paper_pages == 3_068
+        assert netflix.model_topology == (6_040, 3_952, 10)
+        se_linear = get_workload("S/E Linear")
+        assert se_linear.paper_tuples == 1_000_000
+        assert se_linear.paper_size_mb == 32_124
+
+    def test_lrmf_ratings_per_tuple_consistent_with_size(self):
+        netflix = get_workload("Netflix")
+        # one stored tuple is one matrix row: roughly n_cols ratings
+        assert netflix.ratings_per_tuple == pytest.approx(netflix.model_topology[1], rel=0.15)
+
+    def test_tuple_bytes_positive(self):
+        for workload in WORKLOADS:
+            assert workload.tuple_bytes > 0
+            assert workload.tuples_per_page >= 1.0 or workload.algorithm_key == "lrmf"
+
+    def test_model_elements(self):
+        assert get_workload("WLAN").model_elements == 520
+        assert get_workload("Netflix").model_elements == (6_040 + 3_952) * 10
+
+    def test_functional_generation_matches_schema(self):
+        for workload in WORKLOADS:
+            data = workload.generate(seed=1)
+            assert len(data) > 0
+            if workload.algorithm_key == "lrmf":
+                assert data.shape[1] == 3
+            else:
+                assert data.shape[1] == workload.func_features + 1
+
+    def test_workload_names_by_category(self):
+        assert "Netflix" in workload_names("real")
+        assert "S/E SVM" in workload_names("se")
+        assert len(workload_names()) == 14

@@ -1,0 +1,181 @@
+"""Unit tests for the Python-embedded DSL (variables, expressions, algo)."""
+
+import pytest
+
+from repro import dana
+from repro.dsl import (
+    BinaryExpression,
+    ConstantExpression,
+    GroupExpression,
+    MergeExpression,
+    NonlinearExpression,
+    Operator,
+    VariableKind,
+)
+from repro.exceptions import AlgoError, DeclarationError, OperationError
+
+
+class TestDeclarations:
+    def test_model_declaration(self):
+        mo = dana.model([5, 2], name="mo")
+        assert mo.kind is VariableKind.MODEL
+        assert mo.dims == (5, 2)
+        assert mo.element_count == 10
+
+    def test_scalar_output(self):
+        out = dana.output()
+        assert out.is_scalar
+        assert out.dims == ()
+
+    def test_meta_requires_value(self):
+        lr = dana.meta(0.3)
+        assert lr.kind is VariableKind.META
+        assert lr.value == pytest.approx(0.3)
+        with pytest.raises(DeclarationError):
+            dana.meta("not a number")
+
+    def test_non_meta_cannot_carry_value(self):
+        from repro.dsl.variables import DanaVariable
+
+        with pytest.raises(DeclarationError):
+            DanaVariable(VariableKind.INPUT, [3], value=1.0)
+
+    def test_bad_dims(self):
+        with pytest.raises(DeclarationError):
+            dana.model([0])
+        with pytest.raises(DeclarationError):
+            dana.model([-2, 3])
+
+    def test_int_dims_allowed(self):
+        assert dana.input(7).dims == (7,)
+
+    def test_inter_declaration(self):
+        tmp = dana.inter([4])
+        assert tmp.kind is VariableKind.INTER
+
+
+class TestExpressions:
+    def test_operator_overloads_build_tree(self):
+        a, b = dana.input([3], name="a"), dana.input([3], name="b")
+        expr = a * b + 2.0
+        assert isinstance(expr, BinaryExpression)
+        assert expr.op is Operator.ADD
+        assert isinstance(expr.left, BinaryExpression)
+        assert expr.left.op is Operator.MUL
+        assert isinstance(expr.right, ConstantExpression)
+
+    def test_reflected_operators(self):
+        a = dana.input(name="a")
+        expr = 1.0 - a
+        assert isinstance(expr, BinaryExpression)
+        assert expr.op is Operator.SUB
+        assert isinstance(expr.left, ConstantExpression)
+
+    def test_division_and_comparisons(self):
+        a, b = dana.input(name="a"), dana.input(name="b")
+        assert (a / b).op is Operator.DIV
+        assert (a > b).op is Operator.GT
+        assert (a < b).op is Operator.LT
+
+    def test_nonlinear_constructors(self):
+        a = dana.input([4])
+        assert isinstance(dana.sigmoid(a), NonlinearExpression)
+        assert dana.gaussian(a).op is Operator.GAUSSIAN
+        assert dana.sqrt(a).op is Operator.SQRT
+
+    def test_group_constructors(self):
+        a, b = dana.model([4]), dana.input([4])
+        s = dana.sigma(a * b, 1)
+        assert isinstance(s, GroupExpression)
+        assert s.axis == 1
+        assert dana.pi(a, 1).op is Operator.PI
+        assert dana.norm(a, 1).op is Operator.NORM
+
+    def test_group_axis_must_be_positive(self):
+        a = dana.model([4])
+        with pytest.raises(OperationError):
+            dana.sigma(a, 0)
+
+    def test_invalid_operand_type(self):
+        a = dana.input([4])
+        with pytest.raises(OperationError):
+            a + "nope"
+
+    def test_walk_deduplicates_shared_subexpressions(self):
+        a = dana.input([4], name="a")
+        shared = a * 2.0
+        expr = shared + shared
+        nodes = list(expr.walk())
+        assert nodes.count(shared) == 1
+
+    def test_gather(self):
+        left = dana.model([8, 3])
+        idx = dana.input(name="row")
+        g = dana.gather(left, idx)
+        assert g.children == (left, idx)
+
+
+class TestAlgoComponent:
+    def test_merge_records_spec(self):
+        mo, x, y = dana.model([4]), dana.input([4]), dana.output()
+        algo = dana.algo(mo, x, y)
+        merged = algo.merge(mo * x, 8, "+")
+        assert isinstance(merged, MergeExpression)
+        assert merged.spec.coefficient == 8
+        assert merged.spec.operator is Operator.ADD
+        assert algo.merge_coefficient == 8
+
+    def test_merge_with_meta_coefficient(self):
+        mo, x, y = dana.model([4]), dana.input([4]), dana.output()
+        algo = dana.algo(mo, x, y)
+        coeff = dana.meta(16)
+        merged = algo.merge(mo, coeff, "+")
+        assert merged.spec.coefficient == 16
+
+    def test_merge_bad_operator(self):
+        mo, x, y = dana.model([4]), dana.input([4]), dana.output()
+        algo = dana.algo(mo, x, y)
+        with pytest.raises(OperationError):
+            algo.merge(mo, 8, "sigmoid")
+
+    def test_set_epochs_and_convergence(self):
+        mo, x, y = dana.model([4]), dana.input([4]), dana.output()
+        algo = dana.algo(mo, x, y)
+        algo.setEpochs(25)
+        assert algo.convergence.max_epochs == 25
+        algo.setConvergence(dana.norm(mo, 1) < dana.meta(0.01))
+        assert algo.convergence.condition is not None
+        with pytest.raises(AlgoError):
+            algo.setEpochs(0)
+
+    def test_set_model_binds_expression(self):
+        mo, x, y = dana.model([4]), dana.input([4]), dana.output()
+        algo = dana.algo(mo, x, y)
+        updated = mo - 0.1 * (mo * x)
+        algo.setModel(updated)
+        assert algo.updated_model is updated
+
+    def test_set_model_multiple_targets(self):
+        left = dana.model([4, 2], name="L")
+        right = dana.model([3, 2], name="R")
+        x, y = dana.input(name="i"), dana.output(name="v")
+        algo = dana.algo(left, x, y, extra_models=(right,))
+        algo.setModel(dana.gather(left, x), var=left)
+        algo.setModel(dana.gather(right, x), var=right)
+        assert len(algo.model_updates) == 2
+
+    def test_validation_requires_model_and_terminator(self):
+        mo, x, y = dana.model([4]), dana.input([4]), dana.output()
+        algo = dana.algo(mo, x, y)
+        with pytest.raises(AlgoError):
+            algo.validate()
+        algo.setModel(mo)
+        with pytest.raises(AlgoError):
+            algo.validate()
+        algo.setEpochs(1)
+        algo.validate()
+
+    def test_algo_kind_checks(self):
+        x, y = dana.input([4]), dana.output()
+        with pytest.raises(AlgoError):
+            dana.algo(x, x, y)  # first argument must be a model

@@ -1,0 +1,232 @@
+"""Tests for the ALU, AU/AC micro-architecture, tree bus and execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Hyperparameters, LinearRegression, LogisticRegression
+from repro.compiler import Scheduler
+from repro.dsl import Operator
+from repro.exceptions import ExecutionEngineError
+from repro.hw import ALU, AnalyticCluster, ExecutionEngine, TreeBus
+from repro.hw.analytic_unit import AnalyticUnit
+from repro.isa.engine_isa import ACInstruction, AUInstruction, AUOperand, DestKind, SourceKind
+from repro.translator import Region, translate
+
+
+class TestALU:
+    def test_basic_operations(self):
+        alu = ALU()
+        assert alu.execute(Operator.ADD, 2.0, 3.0) == 5.0
+        assert alu.execute(Operator.SUB, 2.0, 3.0) == -1.0
+        assert alu.execute(Operator.MUL, 2.0, 3.0) == 6.0
+        assert alu.execute(Operator.DIV, 6.0, 3.0) == 2.0
+        assert alu.execute(Operator.GT, 2.0, 3.0) == 0.0
+        assert alu.execute(Operator.LT, 2.0, 3.0) == 1.0
+
+    def test_nonlinear_operations(self):
+        alu = ALU()
+        assert alu.execute(Operator.SIGMOID, 0.0) == pytest.approx(0.5)
+        assert alu.execute(Operator.SQRT, 9.0) == pytest.approx(3.0)
+        assert alu.execute(Operator.GAUSSIAN, 0.0) == pytest.approx(1.0)
+
+    def test_unsupported_operation_rejected(self):
+        alu = ALU({Operator.ADD})
+        with pytest.raises(ExecutionEngineError):
+            alu.execute(Operator.MUL, 1.0, 2.0)
+
+    def test_error_cases(self):
+        alu = ALU()
+        with pytest.raises(ExecutionEngineError):
+            alu.execute(Operator.DIV, 1.0, 0.0)
+        with pytest.raises(ExecutionEngineError):
+            alu.execute(Operator.SQRT, -1.0)
+
+    def test_latency(self):
+        alu = ALU()
+        assert alu.latency(Operator.ADD) == 1
+        assert alu.latency(Operator.SIGMOID) > 1
+
+
+class TestAnalyticUnitAndCluster:
+    def test_au_memory_and_register(self):
+        au = AnalyticUnit(0)
+        au.write_memory(3, 1.5)
+        assert au.read_memory(3) == 1.5
+        with pytest.raises(ExecutionEngineError):
+            au.read_memory(99)
+
+    def test_cluster_selective_simd(self):
+        cluster = AnalyticCluster(0)
+        for au in cluster.aus:
+            au.write_memory(0, 2.0)
+            au.write_memory(1, 3.0)
+        instruction = ACInstruction(cluster_id=0, operation=Operator.MUL)
+        for index in (0, 2, 5):
+            instruction.add_slot(
+                AUInstruction(
+                    au_index=index,
+                    src_a=AUOperand(SourceKind.DATA_MEMORY, address=0),
+                    src_b=AUOperand(SourceKind.DATA_MEMORY, address=1),
+                    dest_kind=DestKind.DATA_MEMORY,
+                    dest_address=2,
+                )
+            )
+        results = cluster.execute_instruction(instruction)
+        assert results == {0: 6.0, 2: 6.0, 5: 6.0}
+        assert cluster.au(0).read_memory(2) == 6.0
+        assert cluster.stats.operations_executed == 3
+        # disabled AUs did not execute
+        assert cluster.au(1).stats.operations_executed == 0
+
+    def test_neighbor_communication(self):
+        cluster = AnalyticCluster(0)
+        cluster.au(0).register = 7.0
+        slot = AUInstruction(
+            au_index=1,
+            src_a=AUOperand(SourceKind.LEFT_NEIGHBOR),
+            src_b=AUOperand(SourceKind.IMMEDIATE, value=1.0),
+            dest_kind=DestKind.DATA_MEMORY,
+            dest_address=0,
+        )
+        instruction = ACInstruction(cluster_id=0, operation=Operator.ADD, au_slots=[slot])
+        results = cluster.execute_instruction(instruction)
+        assert results[1] == 8.0
+
+    def test_bus_broadcast(self):
+        cluster = AnalyticCluster(0)
+        producer = AUInstruction(
+            au_index=0,
+            src_a=AUOperand(SourceKind.IMMEDIATE, value=4.0),
+            src_b=AUOperand(SourceKind.IMMEDIATE, value=5.0),
+            dest_kind=DestKind.BUS,
+        )
+        cluster.execute_instruction(
+            ACInstruction(cluster_id=0, operation=Operator.ADD, au_slots=[producer])
+        )
+        consumer = AUInstruction(
+            au_index=3,
+            src_a=AUOperand(SourceKind.BUS),
+            src_b=AUOperand(SourceKind.IMMEDIATE, value=1.0),
+            dest_kind=DestKind.DATA_MEMORY,
+            dest_address=0,
+        )
+        results = cluster.execute_instruction(
+            ACInstruction(cluster_id=0, operation=Operator.MUL, au_slots=[consumer])
+        )
+        assert results[3] == 9.0
+
+    def test_wrong_cluster_instruction_rejected(self):
+        cluster = AnalyticCluster(0)
+        with pytest.raises(ExecutionEngineError):
+            cluster.execute_instruction(ACInstruction(cluster_id=1, operation=Operator.ADD))
+
+
+class TestTreeBus:
+    def test_merge_add(self):
+        bus = TreeBus(alu_count=4)
+        merged = bus.merge([np.array([1.0, 2.0]), np.array([3.0, 4.0]), np.array([5.0, 6.0])], Operator.ADD)
+        np.testing.assert_allclose(merged, [9.0, 12.0])
+        assert bus.stats.merges_performed == 1
+        assert bus.stats.levels_traversed == 2
+
+    def test_merge_cycle_model(self):
+        bus = TreeBus(alu_count=8)
+        assert bus.merge_cycles(thread_count=1, element_count=100) == 0
+        assert bus.merge_cycles(thread_count=16, element_count=64) == 4 * 8
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ExecutionEngineError):
+            TreeBus().merge([], Operator.ADD)
+
+    def test_merge_wide_vectors(self):
+        bus = TreeBus()
+        values = [np.full(1000, float(i)) for i in range(4)]
+        merged = bus.merge(values, Operator.ADD)
+        np.testing.assert_allclose(merged, np.full(1000, 6.0))
+
+
+class TestExecutionEngine:
+    def _engine(self, n_features=4, merge=8, acs=4):
+        hyper = Hyperparameters(learning_rate=0.05, merge_coefficient=merge, epochs=5)
+        spec = LinearRegression().build_spec(n_features, hyper)
+        graph = translate(spec.algo)
+        schedule = Scheduler(graph, acs_per_thread=acs).schedule()
+        engine = ExecutionEngine(graph, schedule, threads=merge)
+        return engine, spec
+
+    def test_training_matches_reference(self, small_regression_data):
+        engine, spec = self._engine()
+        result = engine.train(
+            small_regression_data,
+            initial_models=spec.initial_models,
+            bind_tuple=spec.bind_tuple,
+            epochs=30,
+        )
+        reference = LinearRegression().reference_fit(
+            small_regression_data, spec.hyperparameters, epochs=30
+        )
+        np.testing.assert_allclose(result.models["mo"], reference["mo"], rtol=1e-8)
+        assert result.epochs_run == 30
+        assert result.stats.tuples_processed == 30 * len(small_regression_data)
+
+    def test_threads_fall_back_without_merge(self):
+        hyper = Hyperparameters(merge_coefficient=1, epochs=1)
+        spec = LinearRegression().build_spec(4, hyper)
+        graph = translate(spec.algo)
+        schedule = Scheduler(graph, acs_per_thread=1).schedule()
+        engine = ExecutionEngine(graph, schedule, threads=16)
+        assert engine.threads == 1
+
+    def test_cycle_accounting_scales_with_batches(self, small_regression_data):
+        engine, spec = self._engine(merge=8)
+        engine.train(small_regression_data, spec.initial_models, spec.bind_tuple, epochs=1)
+        batches = int(np.ceil(len(small_regression_data) / engine.threads))
+        assert engine.stats.batches_processed == batches
+        assert engine.stats.update_rule_cycles == batches * engine.schedule.update_rule_cycles
+
+    def test_microcode_matches_evaluator(self, small_regression_data):
+        engine, spec = self._engine(n_features=4, merge=4, acs=2)
+        row = small_regression_data[0]
+        bindings = dict(spec.bind_tuple(row))
+        bindings["mo"] = np.array([0.1, -0.2, 0.3, 0.4])
+        micro = engine.execute_microcode(bindings, regions=[Region.UPDATE_RULE])
+        env = engine.evaluator.initial_env(bindings)
+        env = engine.evaluator.evaluate(env, [Region.UPDATE_RULE])
+        checked = 0
+        for node_id, value in micro.items():
+            if node_id in env:
+                np.testing.assert_allclose(value, env[node_id], rtol=1e-6, atol=1e-9)
+                checked += 1
+        assert checked >= 2
+
+    def test_microcode_post_merge_with_injected_values(self, small_regression_data):
+        engine, spec = self._engine(n_features=4, merge=4, acs=2)
+        graph = engine.graph
+        merge_id = graph.merge_node_ids[0]
+        merged_grad = np.array([1.0, 2.0, 3.0, 4.0])
+        bindings = {"mo": np.zeros(4), "x": np.zeros(4), "y": 0.0}
+        results = engine.execute_microcode(
+            bindings,
+            regions=[Region.POST_MERGE],
+            merged_values={merge_id: merged_grad},
+        )
+        update_root = graph.node(graph.update_node_id).inputs[0]
+        expected = -0.05 * merged_grad / 4.0
+        np.testing.assert_allclose(results[update_root], expected, rtol=1e-6)
+
+    def test_logistic_training_reduces_loss(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(300, 6))
+        w = rng.normal(size=6)
+        y = (X @ w > 0).astype(float)
+        data = np.hstack([X, y[:, None]])
+        hyper = Hyperparameters(learning_rate=0.3, merge_coefficient=8, epochs=20)
+        algorithm = LogisticRegression()
+        spec = algorithm.build_spec(6, hyper)
+        graph = translate(spec.algo)
+        schedule = Scheduler(graph, acs_per_thread=2).schedule()
+        engine = ExecutionEngine(graph, schedule, threads=8)
+        result = engine.train(data, spec.initial_models, spec.bind_tuple, epochs=20)
+        initial_loss = algorithm.loss(data, spec.initial_models)
+        final_loss = algorithm.loss(data, result.models)
+        assert final_loss < initial_loss * 0.7

@@ -1,0 +1,126 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests exercise the complete pipeline the paper describes: DSL UDF →
+translator → hardware generator → compiler → catalog → SQL query → Striders
+walking binary buffer-pool pages → multi-threaded execution engine →
+trained model, and compare every system's output on the same data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    Hyperparameters,
+    LogisticRegression,
+    LowRankMatrixFactorization,
+    SupportVectorMachine,
+    get_algorithm,
+)
+from repro.baselines import GreenplumRunner, MADlibRunner
+from repro.core import DAnA
+from repro.data.synthetic import generate_classification, generate_ratings
+from repro.rdbms import Database
+
+
+class TestLogisticEndToEnd:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = generate_classification(600, 10, labels=(0.0, 1.0), separation=2.0, seed=21)
+        hyper = Hyperparameters(learning_rate=0.4, merge_coefficient=16, epochs=25)
+        spec = LogisticRegression().build_spec(10, hyper)
+        db = Database(page_size=8 * 1024)
+        db.load_table("training_data_table", spec.schema, data)
+        db.warm_cache("training_data_table")
+        system = DAnA(db)
+        system.register_udf("logisticR", spec, epochs=25)
+        return db, system, spec, data
+
+    def test_sql_query_trains_accurate_model(self, setup):
+        db, _system, _spec, data = setup
+        result = db.execute("SELECT * FROM dana.logisticR('training_data_table')")
+        models = {name: np.asarray(coeffs) for name, coeffs in result.rows}
+        accuracy = LogisticRegression().accuracy(data, models)
+        assert accuracy > 0.9
+
+    def test_dana_matches_madlib_bit_for_bit(self, setup):
+        db, system, spec, _data = setup
+        dana_run = system.train("logisticR", "training_data_table", epochs=10)
+        madlib = MADlibRunner(db, spec, epochs=10).run("training_data_table")
+        np.testing.assert_allclose(dana_run.models["mo"], madlib.models["mo"], rtol=1e-6)
+
+    def test_greenplum_close_but_not_identical(self, setup):
+        db, system, spec, data = setup
+        dana_run = system.train("logisticR", "training_data_table", epochs=10)
+        greenplum = GreenplumRunner(db, spec, segments=4, epochs=10).run("training_data_table")
+        algorithm = LogisticRegression()
+        assert algorithm.accuracy(data, greenplum.models) > 0.85
+        assert not np.allclose(dana_run.models["mo"], greenplum.models["mo"])
+
+    def test_hardware_activity_reported(self, setup):
+        db, system, _spec, data = setup
+        run = system.train("logisticR", "training_data_table", epochs=2)
+        assert run.tuples_extracted == len(data)
+        # the accelerator instance is cached per UDF/table pair, so its access
+        # stats accumulate across the runs of this test class
+        page_count = db.table("training_data_table").page_count
+        assert run.access_stats.pages_processed % page_count == 0
+        assert run.access_stats.pages_processed >= page_count
+        assert run.engine_stats.update_rule_cycles > 0
+        assert run.engine_stats.merge_cycles > 0
+
+    def test_catalog_reflects_generated_design(self, setup):
+        db, system, _spec, _data = setup
+        system.compile_udf("logisticR", "training_data_table")
+        entry = db.catalog.accelerator("logisticR")
+        assert entry.metadata["num_striders"] >= 1
+        assert entry.metadata["engine_instructions"] > 0
+
+
+class TestSVMEndToEnd:
+    def test_svm_via_sql(self):
+        data = generate_classification(500, 8, labels=(-1.0, 1.0), separation=2.5, seed=33)
+        hyper = Hyperparameters(learning_rate=0.1, merge_coefficient=8, epochs=30, regularization=1e-3)
+        spec = SupportVectorMachine().build_spec(8, hyper)
+        db = Database(page_size=8 * 1024)
+        db.load_table("svm_data", spec.schema, data)
+        system = DAnA(db)
+        system.register_udf("svmR", spec, epochs=30)
+        result = db.execute("SELECT * FROM dana.svmR('svm_data')")
+        models = {name: np.asarray(coeffs) for name, coeffs in result.rows}
+        assert SupportVectorMachine().accuracy(data, models) > 0.88
+
+
+class TestLRMFEndToEnd:
+    def test_lrmf_via_accelerator(self):
+        data = generate_ratings(24, 18, rank=4, density=0.5, noise=0.01, seed=44)
+        hyper = Hyperparameters(learning_rate=0.08, rank=4, epochs=25, regularization=1e-4)
+        algorithm = LowRankMatrixFactorization()
+        spec = algorithm.build_spec(4, hyper, model_topology=(24, 18, 4))
+        db = Database(page_size=8 * 1024)
+        db.load_table("ratings", spec.schema, data)
+        system = DAnA(db)
+        system.register_udf("lrmf", spec, epochs=25)
+        run = system.train("lrmf", "ratings", epochs=25)
+        final_loss = algorithm.loss(data, run.models)
+        initial_loss = algorithm.loss(data, spec.initial_models)
+        assert final_loss < initial_loss * 0.5
+        # both factor matrices were updated
+        assert not np.allclose(run.models["L"], spec.initial_models["L"])
+        assert not np.allclose(run.models["R"], spec.initial_models["R"])
+
+
+class TestPageSizeSensitivity:
+    @pytest.mark.parametrize("page_size", [8 * 1024, 16 * 1024, 32 * 1024])
+    def test_all_page_sizes_produce_identical_models(self, page_size):
+        data = generate_classification(300, 6, seed=55)
+        hyper = Hyperparameters(learning_rate=0.3, merge_coefficient=8, epochs=10)
+        spec = LogisticRegression().build_spec(6, hyper)
+        db = Database(page_size=page_size)
+        db.load_table("t", spec.schema, data)
+        system = DAnA(db)
+        system.register_udf("lr", spec, epochs=10)
+        run = system.train("lr", "t", epochs=10)
+        reference = get_algorithm("logistic").reference_fit(
+            db.table("t").read_all(db.buffer_pool), hyper, epochs=10
+        )
+        np.testing.assert_allclose(run.models["mo"], reference["mo"], rtol=1e-6)

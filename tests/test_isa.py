@@ -1,0 +1,183 @@
+"""Unit tests for the Strider ISA and the execution-engine ISA."""
+
+import pytest
+
+from repro.dsl import Operator
+from repro.exceptions import ISAError
+from repro.isa import (
+    AUS_PER_CLUSTER,
+    ACInstruction,
+    AUInstruction,
+    AUOperand,
+    DestKind,
+    EngineProgram,
+    EngineStep,
+    INSTRUCTION_BITS,
+    Operand,
+    OperandKind,
+    SourceKind,
+    StriderInstruction,
+    StriderOpcode,
+    StriderProgram,
+    cr,
+    imm,
+    tr,
+)
+
+
+class TestStriderOperands:
+    def test_immediate_encoding(self):
+        op = imm(17)
+        assert Operand.decode(op.encode()) == op
+
+    def test_register_encodings(self):
+        assert Operand.decode(cr(3).encode()) == cr(3)
+        assert Operand.decode(tr(15).encode()) == tr(15)
+
+    def test_immediate_too_large(self):
+        with pytest.raises(ISAError):
+            imm(32)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(ISAError):
+            cr(16)
+
+    def test_parse_text_forms(self):
+        assert Operand.parse("%cr4") == cr(4)
+        assert Operand.parse("%t9") == tr(9)
+        assert Operand.parse("12") == imm(12)
+        with pytest.raises(ISAError):
+            Operand.parse("%xyz")
+
+
+class TestStriderInstruction:
+    def test_encode_fits_22_bits(self):
+        inst = StriderInstruction(StriderOpcode.READB, imm(0), imm(8), cr(0))
+        word = inst.encode()
+        assert 0 <= word < (1 << INSTRUCTION_BITS)
+
+    def test_round_trip_all_opcodes(self):
+        for opcode in StriderOpcode:
+            inst = StriderInstruction(opcode, imm(1), cr(2), tr(3))
+            assert StriderInstruction.decode(inst.encode()) == inst
+
+    def test_decode_bad_word(self):
+        with pytest.raises(ISAError):
+            StriderInstruction.decode(1 << 22)
+
+    def test_decode_unknown_opcode(self):
+        word = (15 << 18) | 0
+        with pytest.raises(ISAError):
+            StriderInstruction.decode(word)
+
+    def test_assembly_round_trip(self):
+        inst = StriderInstruction(StriderOpcode.AD, tr(0), tr(0), imm(4))
+        assert StriderInstruction.parse(inst.to_assembly()) == inst
+
+    def test_parse_paper_style_assembly(self):
+        inst = StriderInstruction.parse("readB 0, 8, %cr0")
+        assert inst.opcode is StriderOpcode.READB
+        assert inst.op0 == imm(0) and inst.op1 == imm(8) and inst.op2 == cr(0)
+
+    def test_parse_bentr_without_operands(self):
+        inst = StriderInstruction.parse("bentr")
+        assert inst.opcode is StriderOpcode.BENTR
+
+    def test_parse_unknown_mnemonic(self):
+        with pytest.raises(ISAError):
+            StriderInstruction.parse("jump 1, 2, 3")
+
+
+class TestStriderProgram:
+    def test_program_encode_decode(self):
+        program = StriderProgram(
+            instructions=[
+                StriderInstruction(StriderOpcode.READB, imm(0), imm(8), cr(0)),
+                StriderInstruction(StriderOpcode.BENTR),
+                StriderInstruction(StriderOpcode.BEXIT, imm(1), tr(0), cr(1)),
+            ],
+            constants={4: 24},
+        )
+        decoded = StriderProgram.decode(program.encode(), program.constants)
+        assert decoded.instructions == program.instructions
+        assert decoded.constants == {4: 24}
+
+    def test_assembly_listing_round_trip(self):
+        program = StriderProgram(
+            instructions=[
+                StriderInstruction(StriderOpcode.READB, imm(0), imm(8), cr(0)),
+                StriderInstruction(StriderOpcode.CLN, imm(8), imm(0), imm(2)),
+            ],
+            constants={4: 24, 7: 216},
+            description="test program",
+        )
+        parsed = StriderProgram.parse(program.to_assembly())
+        assert parsed.instructions == program.instructions
+        assert parsed.constants == program.constants
+
+
+class TestEngineISA:
+    def test_au_slot_validation(self):
+        with pytest.raises(ISAError):
+            AUInstruction(
+                au_index=AUS_PER_CLUSTER,
+                src_a=AUOperand(SourceKind.NONE),
+                src_b=AUOperand(SourceKind.NONE),
+                dest_kind=DestKind.DATA_MEMORY,
+            )
+
+    def test_ac_instruction_mask(self):
+        instruction = ACInstruction(cluster_id=0, operation=Operator.MUL)
+        for index in (0, 3, 7):
+            instruction.add_slot(
+                AUInstruction(
+                    au_index=index,
+                    src_a=AUOperand(SourceKind.DATA_MEMORY, address=index),
+                    src_b=AUOperand(SourceKind.IMMEDIATE, value=2.0),
+                    dest_kind=DestKind.DATA_MEMORY,
+                    dest_address=100 + index,
+                )
+            )
+        assert instruction.enable_mask == 0b10001001
+        assert instruction.enabled_au_count == 3
+
+    def test_duplicate_au_slot_rejected(self):
+        instruction = ACInstruction(cluster_id=0, operation=Operator.ADD)
+        slot = AUInstruction(
+            au_index=0,
+            src_a=AUOperand(SourceKind.NONE),
+            src_b=AUOperand(SourceKind.NONE),
+            dest_kind=DestKind.DATA_MEMORY,
+        )
+        instruction.add_slot(slot)
+        with pytest.raises(ISAError):
+            instruction.add_slot(slot)
+
+    def test_latency_of_nonlinear_op(self):
+        sigmoid_inst = ACInstruction(cluster_id=0, operation=Operator.SIGMOID)
+        add_inst = ACInstruction(cluster_id=0, operation=Operator.ADD)
+        assert sigmoid_inst.latency > add_inst.latency
+
+    def test_engine_program_cycle_accounting(self):
+        def step(step_no, op, n_slots):
+            instruction = ACInstruction(cluster_id=0, operation=op)
+            for i in range(n_slots):
+                instruction.add_slot(
+                    AUInstruction(
+                        au_index=i,
+                        src_a=AUOperand(SourceKind.IMMEDIATE, value=1.0),
+                        src_b=AUOperand(SourceKind.IMMEDIATE, value=2.0),
+                        dest_kind=DestKind.DATA_MEMORY,
+                        dest_address=i,
+                    )
+                )
+            return EngineStep(step=step_no, cluster_instructions=[instruction])
+
+        program = EngineProgram(
+            update_rule_steps=[step(0, Operator.MUL, 4), step(1, Operator.SIGMOID, 1)],
+            post_merge_steps=[step(0, Operator.SUB, 2)],
+        )
+        assert program.update_rule_cycles == 1 + 4   # MUL is 1 cycle, SIGMOID 4
+        assert program.post_merge_cycles == 1
+        assert program.total_operations == 7
+        assert program.instruction_footprint() == 3

@@ -1,0 +1,146 @@
+"""Unit tests for heap pages, tuple headers and page layouts."""
+
+import pytest
+
+from repro.exceptions import PageError, PageFullError
+from repro.rdbms.heaptuple import TUPLE_HEADER_SIZE, TupleHeader, decode_tuple, encode_tuple, tuple_size
+from repro.rdbms.page import (
+    LINE_POINTER_SIZE,
+    PAGE_HEADER_SIZE,
+    HeapPage,
+    PageLayout,
+)
+from repro.rdbms.types import ColumnType, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema.training_schema(3)
+
+
+class TestTupleHeader:
+    def test_round_trip(self):
+        header = TupleHeader(t_len=20, attr_count=3, flags=0, null_bitmap=0)
+        assert TupleHeader.decode(header.encode()) == header
+
+    def test_decode_short_buffer(self):
+        with pytest.raises(PageError):
+            TupleHeader.decode(b"\x00\x01")
+
+    def test_encode_tuple_length(self, schema):
+        raw = encode_tuple(schema, (1.0, 2.0, 3.0, 4.0))
+        assert len(raw) == TUPLE_HEADER_SIZE + schema.row_width
+        assert tuple_size(schema) == len(raw)
+
+    def test_decode_tuple_round_trip(self, schema):
+        values = (1.0, -2.0, 3.5, 0.0)
+        assert decode_tuple(schema, encode_tuple(schema, values)) == values
+
+    def test_decode_tuple_wrong_schema(self, schema):
+        raw = encode_tuple(schema, (1.0, 2.0, 3.0, 4.0))
+        other = Schema.training_schema(5)
+        with pytest.raises(PageError):
+            decode_tuple(other, raw)
+
+
+class TestPageLayout:
+    def test_defaults(self):
+        layout = PageLayout()
+        assert layout.page_size == 32 * 1024
+        assert layout.header_size == PAGE_HEADER_SIZE
+        assert layout.line_pointer_size == LINE_POINTER_SIZE
+
+    def test_tuples_per_page(self, schema):
+        layout = PageLayout(page_size=8 * 1024)
+        per_page = layout.tuples_per_page(schema)
+        # each tuple: 4 (line pointer) + 8 (header) + 16 (payload) = 28 bytes
+        assert per_page == (8 * 1024 - PAGE_HEADER_SIZE) // 28
+
+    def test_pages_for(self, schema):
+        layout = PageLayout(page_size=8 * 1024)
+        per_page = layout.tuples_per_page(schema)
+        assert layout.pages_for(per_page, schema) == 1
+        assert layout.pages_for(per_page + 1, schema) == 2
+        assert layout.pages_for(0, schema) == 0
+
+    def test_too_small_page_rejected(self):
+        with pytest.raises(PageError):
+            PageLayout(page_size=16)
+
+    def test_pages_for_oversized_tuple(self):
+        wide = Schema.training_schema(5000, ColumnType.FLOAT8)
+        layout = PageLayout(page_size=8 * 1024)
+        with pytest.raises(PageError):
+            layout.pages_for(10, wide)
+
+
+class TestHeapPage:
+    def test_empty_page(self):
+        page = HeapPage(PageLayout(page_size=8192))
+        assert page.tuple_count == 0
+        assert page.free_space == 8192 - PAGE_HEADER_SIZE
+
+    def test_insert_and_read(self, schema):
+        page = HeapPage(PageLayout(page_size=8192))
+        slot = page.insert(schema, (1.0, 2.0, 3.0, 4.0))
+        assert slot == 0
+        assert page.read(schema, 0) == (1.0, 2.0, 3.0, 4.0)
+
+    def test_insert_many_and_iterate(self, schema):
+        page = HeapPage(PageLayout(page_size=8192))
+        rows = [(float(i), float(i + 1), float(i + 2), float(i * 10)) for i in range(50)]
+        for row in rows:
+            page.insert(schema, row)
+        assert list(page.tuples(schema)) == rows
+
+    def test_free_space_shrinks(self, schema):
+        page = HeapPage(PageLayout(page_size=8192))
+        before = page.free_space
+        page.insert(schema, (0.0, 0.0, 0.0, 0.0))
+        assert page.free_space == before - LINE_POINTER_SIZE - tuple_size(schema)
+
+    def test_page_full(self, schema):
+        layout = PageLayout(page_size=8192)
+        page = HeapPage(layout)
+        for i in range(layout.tuples_per_page(schema)):
+            page.insert(schema, (float(i), 0.0, 0.0, 0.0))
+        assert not page.has_room(schema)
+        with pytest.raises(PageFullError):
+            page.insert(schema, (9.0, 9.0, 9.0, 9.0))
+
+    def test_binary_round_trip(self, schema):
+        layout = PageLayout(page_size=8192)
+        page = HeapPage(layout)
+        rows = [(float(i), -float(i), 2.0 * i, 1.0) for i in range(10)]
+        for row in rows:
+            page.insert(schema, row)
+        image = page.to_bytes()
+        assert len(image) == 8192
+        restored = HeapPage.from_bytes(image, layout)
+        assert restored.tuple_count == 10
+        assert list(restored.tuples(schema)) == rows
+
+    def test_from_bytes_wrong_size(self):
+        with pytest.raises(PageError):
+            HeapPage.from_bytes(b"\x00" * 100, PageLayout(page_size=8192))
+
+    def test_line_pointer_out_of_range(self, schema):
+        page = HeapPage(PageLayout(page_size=8192))
+        page.insert(schema, (1.0, 2.0, 3.0, 4.0))
+        with pytest.raises(PageError):
+            page.line_pointer(5)
+
+    def test_tuple_data_grows_downward(self, schema):
+        page = HeapPage(PageLayout(page_size=8192))
+        page.insert(schema, (1.0, 0.0, 0.0, 0.0))
+        offset0, _ = page.line_pointer(0)
+        page.insert(schema, (2.0, 0.0, 0.0, 0.0))
+        offset1, _ = page.line_pointer(1)
+        assert offset1 < offset0, "later tuples are placed at lower addresses"
+
+    def test_header_fields_written_to_image(self, schema):
+        page = HeapPage(PageLayout(page_size=8192))
+        page.insert(schema, (1.0, 2.0, 3.0, 4.0))
+        image = page.to_bytes()
+        assert int.from_bytes(image[0:8], "little") == 8192
+        assert int.from_bytes(image[14:16], "little") == 1

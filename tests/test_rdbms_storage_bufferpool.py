@@ -1,0 +1,131 @@
+"""Unit tests for the storage manager and the buffer pool."""
+
+import pytest
+
+from repro.exceptions import BufferPoolError, StorageError
+from repro.rdbms.buffer_pool import BufferPool
+from repro.rdbms.storage import StorageManager
+
+
+def _image(page_size: int, fill: int) -> bytes:
+    return bytes([fill % 256]) * page_size
+
+
+@pytest.fixture
+def storage():
+    manager = StorageManager()
+    manager.create_file("t", 1024)
+    for i in range(10):
+        manager.append_page("t", _image(1024, i))
+    manager.stats.reset()
+    return manager
+
+
+class TestStorageManager:
+    def test_create_duplicate_file(self, storage):
+        with pytest.raises(StorageError):
+            storage.create_file("t", 1024)
+
+    def test_missing_file(self, storage):
+        with pytest.raises(StorageError):
+            storage.read_page("nope", 0)
+
+    def test_page_round_trip(self, storage):
+        assert storage.read_page("t", 3) == _image(1024, 3)
+
+    def test_read_counts_io(self, storage):
+        storage.read_page("t", 0)
+        storage.read_page("t", 1)
+        assert storage.stats.page_reads == 2
+        assert storage.stats.bytes_read == 2048
+
+    def test_wrong_page_size_rejected(self, storage):
+        with pytest.raises(StorageError):
+            storage.append_page("t", b"\x00" * 100)
+
+    def test_write_page(self, storage):
+        storage.write_page("t", 2, _image(1024, 99))
+        assert storage.read_page("t", 2) == _image(1024, 99)
+
+    def test_out_of_range_page(self, storage):
+        with pytest.raises(StorageError):
+            storage.read_page("t", 100)
+
+    def test_file_bytes_and_drop(self, storage):
+        assert storage.file_bytes("t") == 10 * 1024
+        storage.drop_file("t")
+        assert not storage.has_file("t")
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self, storage):
+        pool = BufferPool(storage, pool_bytes=4 * 1024, page_size=1024)
+        pool.get_page("t", 0)
+        pool.get_page("t", 0)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+
+    def test_lru_eviction(self, storage):
+        pool = BufferPool(storage, pool_bytes=3 * 1024, page_size=1024)
+        for page_no in range(5):
+            pool.get_page("t", page_no)
+        assert len(pool) == 3
+        assert pool.stats.evictions == 2
+        # pages 2, 3, 4 should be resident (LRU evicted 0 and 1)
+        assert pool.resident("t", 4)
+        assert not pool.resident("t", 0)
+
+    def test_lru_recency_update(self, storage):
+        pool = BufferPool(storage, pool_bytes=2 * 1024, page_size=1024)
+        pool.get_page("t", 0)
+        pool.get_page("t", 1)
+        pool.get_page("t", 0)       # touch 0 so that 1 becomes the LRU victim
+        pool.get_page("t", 2)
+        assert pool.resident("t", 0)
+        assert not pool.resident("t", 1)
+
+    def test_pinned_pages_not_evicted(self, storage):
+        pool = BufferPool(storage, pool_bytes=2 * 1024, page_size=1024)
+        pool.get_page("t", 0, pin=True)
+        pool.get_page("t", 1)
+        pool.get_page("t", 2)
+        assert pool.resident("t", 0)
+        pool.unpin("t", 0)
+
+    def test_unpin_unpinned_raises(self, storage):
+        pool = BufferPool(storage, pool_bytes=2 * 1024, page_size=1024)
+        pool.get_page("t", 0)
+        with pytest.raises(BufferPoolError):
+            pool.unpin("t", 0)
+
+    def test_prefetch_warm_cache(self, storage):
+        pool = BufferPool(storage, pool_bytes=20 * 1024, page_size=1024)
+        loaded = pool.prefetch_table("t")
+        assert loaded == 10
+        pool.get_page("t", 5)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 0
+
+    def test_prefetch_respects_capacity(self, storage):
+        pool = BufferPool(storage, pool_bytes=4 * 1024, page_size=1024)
+        loaded = pool.prefetch_table("t")
+        assert loaded == 4
+
+    def test_clear_cold_cache(self, storage):
+        pool = BufferPool(storage, pool_bytes=20 * 1024, page_size=1024)
+        pool.prefetch_table("t")
+        pool.clear()
+        pool.get_page("t", 0)
+        assert pool.stats.misses == 1
+
+    def test_hit_rate(self, storage):
+        pool = BufferPool(storage, pool_bytes=20 * 1024, page_size=1024)
+        assert pool.stats.hit_rate == 0.0
+        pool.get_page("t", 0)
+        pool.get_page("t", 0)
+        pool.get_page("t", 1)
+        assert pool.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_too_small_pool_rejected(self, storage):
+        with pytest.raises(BufferPoolError):
+            BufferPool(storage, pool_bytes=100, page_size=1024)

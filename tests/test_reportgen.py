@@ -1,0 +1,33 @@
+"""Tests for the full-report generator CLI."""
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.reportgen import generate_report, main
+
+
+class TestReportGeneration:
+    def test_single_section(self):
+        report = generate_report(["table3_workloads"])
+        assert "Table 3" in report
+        assert "Netflix" in report
+
+    def test_selected_figures(self):
+        report = generate_report(["fig13_greenplum_segments", "fig16_tabla"])
+        assert "Figure 13" in report
+        assert "Figure 16" in report
+        assert "Geomean" in report
+
+    def test_titles_cover_registry(self):
+        from repro.harness.reportgen import _TITLES
+
+        assert set(_TITLES) == set(EXPERIMENTS)
+
+    def test_cli_writes_file(self, tmp_path, monkeypatch):
+        # Limit the run to one cheap experiment by monkeypatching the registry.
+        monkeypatch.setattr(
+            "repro.harness.reportgen.EXPERIMENTS",
+            {"table3_workloads": EXPERIMENTS["table3_workloads"]},
+        )
+        target = tmp_path / "report.txt"
+        assert main([str(target)]) == 0
+        content = target.read_text()
+        assert "Table 3" in content

@@ -1,0 +1,143 @@
+"""Robustness and failure-injection tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro import dana
+from repro.compiler import compile_strider
+from repro.exceptions import (
+    CompilerError,
+    DSLError,
+    HardwareError,
+    ISAError,
+    RDBMSError,
+    ReproError,
+    StriderError,
+    TranslationError,
+)
+from repro.hw.strider import Strider
+from repro.rdbms import Database, HeapPage, PageLayout, Schema
+from repro.translator import translate
+
+
+class TestExceptionHierarchy:
+    def test_all_subsystem_errors_are_repro_errors(self):
+        for exc in (RDBMSError, DSLError, TranslationError, CompilerError, ISAError, HardwareError):
+            assert issubclass(exc, ReproError)
+
+    def test_strider_error_is_hardware_error(self):
+        assert issubclass(StriderError, HardwareError)
+
+    def test_catchable_at_the_top_level(self):
+        with pytest.raises(ReproError):
+            Schema.training_schema(2).encode_row((1.0,))
+
+
+class TestDanaAliasModule:
+    def test_alias_exports_match_dsl(self):
+        import repro.dana as dana_module
+        import repro.dsl as dsl
+
+        for name in ("model", "input", "output", "meta", "algo", "sigma", "sigmoid", "norm"):
+            assert getattr(dana_module, name) is getattr(dsl, name)
+
+    def test_paper_snippet_compiles(self):
+        # Verbatim structure of the §4.3 snippet (with Python-legal dims).
+        mo = dana.model([10])
+        inp = dana.input([10])
+        out = dana.output()
+        lr = dana.meta(0.3)
+        linearR = dana.algo(mo, inp, out)
+        s = dana.sigma(mo * inp, 1)
+        er = s - out
+        grad = er * inp
+        up = lr * grad
+        mo_up = mo - up
+        linearR.setModel(mo_up)
+        merge_coef = dana.meta(8)
+        linearR.merge(grad, merge_coef, "+")
+        convergence_factor = dana.meta(0.01)
+        n = dana.norm(grad, 1)
+        linearR.setConvergence(n < convergence_factor)
+        linearR.setEpochs(10)
+        graph = translate(linearR)
+        assert graph.convergence_node_id is not None
+        assert len(graph.merge_node_ids) == 1
+
+
+class TestCorruptedPages:
+    def test_truncated_page_rejected_by_heap_page(self):
+        layout = PageLayout(page_size=8192)
+        with pytest.raises(RDBMSError):
+            HeapPage.from_bytes(b"\x00" * 100, layout)
+
+    def test_strider_on_zeroed_page_emits_nothing_harmful(self):
+        # A zeroed page claims free_space_start == 0 < line-pointer start, so
+        # the walk loop exits after its first (do-while) iteration without
+        # reading out of bounds.
+        layout = PageLayout(page_size=8192)
+        schema = Schema.training_schema(4)
+        compiled = compile_strider(layout, schema)
+        result = Strider(compiled.program).process_page(bytes(8192))
+        assert result.stats.tuples_emitted <= 1
+
+    def test_strider_on_garbage_page_fails_safely(self):
+        layout = PageLayout(page_size=1024)
+        schema = Schema.training_schema(4)
+        compiled = compile_strider(layout, schema)
+        rng = np.random.default_rng(0)
+        garbage = bytes(rng.integers(0, 256, size=1024, dtype=np.uint8))
+        strider = Strider(compiled.program, max_instructions=100_000)
+        # Either the walk terminates quickly or it raises a StriderError;
+        # it must never hang or crash the interpreter.
+        try:
+            result = strider.process_page(garbage)
+            assert result.stats.instructions_executed <= 100_000
+        except StriderError:
+            pass
+
+
+class TestEmptyAndEdgeCaseTables:
+    def test_empty_table_scan(self):
+        db = Database(page_size=8192)
+        schema = Schema.training_schema(3)
+        db.create_table("empty", schema)
+        assert db.execute("SELECT count(*) FROM empty").rows == [(0,)]
+        assert db.table("empty").read_all(db.buffer_pool).shape == (0, 4)
+
+    def test_single_tuple_table_trains(self):
+        from repro.algorithms import Hyperparameters, LinearRegression
+        from repro.core import DAnA
+
+        spec = LinearRegression().build_spec(3, Hyperparameters(merge_coefficient=4, epochs=3))
+        db = Database(page_size=8192)
+        db.load_table("one", spec.schema, np.array([[1.0, 2.0, 3.0, 4.0]]))
+        system = DAnA(db)
+        system.register_udf("lr", spec, epochs=3)
+        run = system.train("lr", "one")
+        assert run.tuples_extracted == 1
+        assert np.all(np.isfinite(run.models["mo"]))
+
+    def test_wide_tuple_must_fit_page(self):
+        db = Database(page_size=8192)
+        schema = Schema.training_schema(5000)
+        table = db.create_table("wide", schema)
+        with pytest.raises(ReproError):
+            table.bulk_load([np.zeros(5001).tolist()])
+
+
+class TestDSLMisuse:
+    def test_group_axis_out_of_range_detected_at_translation(self):
+        mo, x, y = dana.model([4], name="mo"), dana.input([4], name="x"), dana.output(name="y")
+        algo = dana.algo(mo, x, y)
+        algo.setModel(mo - 0.1 * dana.sigma(mo * x, 3) * mo)
+        algo.setEpochs(1)
+        with pytest.raises(ReproError):
+            translate(algo)
+
+    def test_missing_terminator(self):
+        mo, x, y = dana.model([4]), dana.input([4]), dana.output()
+        algo = dana.algo(mo, x, y)
+        algo.setModel(mo)
+        with pytest.raises(DSLError):
+            translate(algo)
