@@ -1,0 +1,151 @@
+"""End-to-end throughput scaling: batched tape pipeline vs per-tuple seed path.
+
+Measures tuples/second for the full DAnA pipeline — binary pages through
+the access engine (Strider page walk + payload decode) into the execution
+engine's training loop — on fig9-style synthetic workloads, across dataset
+sizes, for both execution paths:
+
+* ``per_tuple`` — the seed configuration: Strider instruction interpreter
+  plus per-tuple hDFG evaluation (the tuple-at-a-time anti-pattern the
+  paper targets);
+* ``batched`` — the vectorized pipeline: bulk page walk, one-shot payload
+  decode, and the CompiledTape evaluating whole merge batches.
+
+Both paths must produce numerically equal models (rtol=1e-9) and identical
+schedule-derived cycle counters; the script asserts this before recording
+results in ``BENCH_throughput.json`` so future PRs have a perf trajectory
+to beat.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_throughput_scaling.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms import Hyperparameters, get_algorithm
+from repro.core import DAnA
+from repro.data.synthetic import generate_for_algorithm
+from repro.rdbms import Database
+
+PAGE_SIZE = 8 * 1024
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+# fig9-style synthetic nominal shape: dense regression/classification,
+# merge coefficient 16, a few epochs.
+WORKLOADS = [
+    ("linear", 16),
+    ("logistic", 16),
+]
+
+
+def _train_once(algorithm_key: str, n_features: int, data: np.ndarray, epochs: int, fast: bool):
+    """One full pipeline run (load → compile → extract → train); returns timing + run."""
+    algorithm = get_algorithm(algorithm_key)
+    hyper = Hyperparameters(learning_rate=0.05, merge_coefficient=16, epochs=epochs)
+    spec = algorithm.build_spec(n_features, hyper)
+    if not fast:
+        spec = dataclasses.replace(spec, bind_batch=None)
+    database = Database(page_size=PAGE_SIZE)
+    database.load_table("t", spec.schema, data)
+    database.warm_cache("t")
+    system = DAnA(database)
+    system.register_udf(algorithm_key, spec, epochs=epochs)
+    accelerator = system.accelerator_for(algorithm_key, "t")
+    accelerator.access_engine.use_bulk_walk = fast
+    start = time.perf_counter()
+    run = system.train(algorithm_key, "t", epochs=epochs)
+    elapsed = time.perf_counter() - start
+    return elapsed, run
+
+
+def bench_workload(algorithm_key: str, n_features: int, n_tuples: int, epochs: int) -> dict:
+    data = generate_for_algorithm(algorithm_key, n_tuples, n_features, seed=0)
+    slow_s, slow_run = _train_once(algorithm_key, n_features, data, epochs, fast=False)
+    fast_s, fast_run = _train_once(algorithm_key, n_features, data, epochs, fast=True)
+
+    # The two paths must be the same computation before speed means anything.
+    for name, value in slow_run.models.items():
+        np.testing.assert_allclose(fast_run.models[name], value, rtol=1e-9)
+    assert fast_run.engine_stats == slow_run.engine_stats, "cycle counters diverged"
+    assert fast_run.access_stats == slow_run.access_stats, "access stats diverged"
+
+    processed = n_tuples * epochs
+    return {
+        "workload": algorithm_key,
+        "n_tuples": n_tuples,
+        "n_features": n_features,
+        "epochs": epochs,
+        "per_tuple_seconds": round(slow_s, 6),
+        "batched_seconds": round(fast_s, 6),
+        "per_tuple_tuples_per_sec": round(processed / slow_s, 1),
+        "batched_tuples_per_sec": round(processed / fast_s, 1),
+        "speedup": round(slow_s / fast_s, 2),
+        "engine_cycles": fast_run.engine_stats.total_cycles,
+    }
+
+
+def run_suite(sizes: list[int], epochs: int) -> dict:
+    rows = []
+    for algorithm_key, n_features in WORKLOADS:
+        for n_tuples in sizes:
+            row = bench_workload(algorithm_key, n_features, n_tuples, epochs)
+            rows.append(row)
+            print(
+                f"{row['workload']:>9} n={row['n_tuples']:>6}  "
+                f"per-tuple {row['per_tuple_tuples_per_sec']:>10,.0f} t/s  "
+                f"batched {row['batched_tuples_per_sec']:>11,.0f} t/s  "
+                f"speedup {row['speedup']:>6.1f}x"
+            )
+    speedups = [row["speedup"] for row in rows]
+    geomean = float(np.exp(np.mean(np.log(speedups))))
+    return {
+        "benchmark": "throughput_scaling",
+        "description": (
+            "End-to-end tuples/sec (page extraction + training) on fig9-style "
+            "synthetic workloads: batched tape pipeline vs per-tuple seed path"
+        ),
+        "page_size": PAGE_SIZE,
+        "rows": rows,
+        "geomean_speedup": round(geomean, 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes for CI; does not overwrite BENCH_throughput.json",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="fail unless the geomean speedup reaches this factor",
+    )
+    args = parser.parse_args()
+    sizes = [512, 2048] if args.smoke else [1000, 4000, 16000]
+    epochs = 2 if args.smoke else 3
+    report = run_suite(sizes, epochs)
+    print(f"geomean speedup: {report['geomean_speedup']:.1f}x")
+    if not args.smoke:
+        RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {RESULT_PATH}")
+    if report["geomean_speedup"] < args.min_speedup:
+        raise SystemExit(
+            f"geomean speedup {report['geomean_speedup']:.1f}x is below the "
+            f"required {args.min_speedup:.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,10 @@ Each algorithm bundles:
   criterion expressed with :mod:`repro.dsl`, exactly what a data scientist
   would write as the UDF;
 * the **tuple binder** — how a raw training tuple maps onto the DSL's
-  ``input``/``output`` variables;
+  ``input``/``output`` variables — and the **batch binder**, its vectorised
+  twin that maps a whole ``(B, n_columns)`` tuple block onto the same
+  variables with a leading batch axis (consumed by the execution engine's
+  batched tape);
 * the **initial model state** and a **NumPy reference implementation** used
   by the test-suite and by the software baselines (MADlib, Liblinear,
   DimmWitted models);
@@ -25,6 +28,7 @@ from repro.dsl.algo import Algo
 from repro.rdbms.types import Schema
 
 TupleBinder = Callable[[np.ndarray], dict[str, np.ndarray | float]]
+BatchBinder = Callable[[np.ndarray], dict[str, np.ndarray]]
 
 
 @dataclass
@@ -55,6 +59,7 @@ class AlgorithmSpec:
     hyperparameters: Hyperparameters
     model_topology: tuple[int, ...] = ()
     metadata: dict = field(default_factory=dict)
+    bind_batch: BatchBinder | None = None
 
 
 class Algorithm(ABC):

@@ -67,6 +67,9 @@ class LowRankMatrixFactorization(Algorithm):
         def bind(row: np.ndarray) -> dict[str, np.ndarray | float]:
             return {"row": float(row[0]), "col": float(row[1]), "value": float(row[2])}
 
+        def bind_batch(rows: np.ndarray) -> dict[str, np.ndarray]:
+            return {"row": rows[:, 0], "col": rows[:, 1], "value": rows[:, 2]}
+
         rng = np.random.default_rng(7)
         scale = 1.0 / np.sqrt(rank)
         return AlgorithmSpec(
@@ -80,6 +83,7 @@ class LowRankMatrixFactorization(Algorithm):
             },
             hyperparameters=hyper,
             model_topology=(n_rows, n_cols, rank),
+            bind_batch=bind_batch,
         )
 
     def reference_fit(

@@ -54,6 +54,9 @@ class SupportVectorMachine(Algorithm):
         def bind(row: np.ndarray) -> dict[str, np.ndarray | float]:
             return {"x": row[:n_features], "y": float(row[n_features])}
 
+        def bind_batch(rows: np.ndarray) -> dict[str, np.ndarray]:
+            return {"x": rows[:, :n_features], "y": rows[:, n_features]}
+
         return AlgorithmSpec(
             name=self.key,
             algo=algo,
@@ -62,6 +65,7 @@ class SupportVectorMachine(Algorithm):
             initial_models={"mo": np.zeros(n_features)},
             hyperparameters=hyper,
             model_topology=(n_features,),
+            bind_batch=bind_batch,
         )
 
     def reference_fit(

@@ -203,6 +203,7 @@ class DAnA:
                 initial_models=spec.initial_models,
                 bind_tuple=spec.bind_tuple,
                 epochs=run_epochs,
+                bind_batch=spec.bind_batch,
             )
         rows = table.read_all(self.database.buffer_pool)
         return accelerator.train_from_rows(
@@ -210,4 +211,5 @@ class DAnA:
             initial_models=spec.initial_models,
             bind_tuple=spec.bind_tuple,
             epochs=run_epochs,
+            bind_batch=spec.bind_batch,
         )

@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (compiler imports hw)
     from repro.compiler.execution_binary import ExecutionBinary
 
 TupleBinder = Callable[[np.ndarray], dict[str, np.ndarray | float]]
+BatchBinder = Callable[[np.ndarray], dict[str, np.ndarray]]
 
 
 @dataclass
@@ -80,6 +81,7 @@ class DAnAAccelerator:
         bind_tuple: TupleBinder,
         epochs: int,
         convergence_check: bool = True,
+        bind_batch: BatchBinder | None = None,
     ) -> AcceleratorRunResult:
         """Extract tuples with Striders, then train on the execution engine."""
         rows = self.access_engine.extract_table(page_images)
@@ -89,6 +91,7 @@ class DAnAAccelerator:
             bind_tuple=bind_tuple,
             epochs=epochs,
             convergence_check=convergence_check,
+            bind_batch=bind_batch,
         )
         return AcceleratorRunResult(
             training=training,
@@ -104,6 +107,7 @@ class DAnAAccelerator:
         bind_tuple: TupleBinder,
         epochs: int,
         convergence_check: bool = True,
+        bind_batch: BatchBinder | None = None,
     ) -> AcceleratorRunResult:
         """Train on already-extracted tuples (the "without Striders" path)."""
         training = self.execution_engine.train(
@@ -112,6 +116,7 @@ class DAnAAccelerator:
             bind_tuple=bind_tuple,
             epochs=epochs,
             convergence_check=convergence_check,
+            bind_batch=bind_batch,
         )
         return AcceleratorRunResult(
             training=training,

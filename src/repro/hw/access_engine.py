@@ -85,12 +85,22 @@ class PayloadDecoder:
     float feature vectors regardless of the on-page column types.
     """
 
+    #: struct format character → little-endian NumPy dtype string
+    _NP_DTYPES = {"f": "<f4", "d": "<f8", "h": "<i2", "i": "<i4", "q": "<i8"}
+
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self._struct = struct.Struct(
             "<" + "".join(col.ctype.struct_code for col in schema.columns)
         )
         self.payload_bytes = schema.row_width
+        codes = [self._NP_DTYPES[col.ctype.struct_code] for col in schema.columns]
+        # Homogeneous schemas (the common dense-training layout) decode as
+        # one flat reinterpret; mixed schemas go through a record dtype.
+        self._flat_dtype = np.dtype(codes[0]) if len(set(codes)) == 1 else None
+        self._record_dtype = np.dtype(
+            [(f"c{i}", code) for i, code in enumerate(codes)]
+        )
 
     def decode(self, payload: bytes) -> np.ndarray:
         if len(payload) != self.payload_bytes:
@@ -101,10 +111,33 @@ class PayloadDecoder:
         return np.asarray(self._struct.unpack(payload), dtype=np.float64)
 
     def decode_many(self, payloads: Iterable[bytes]) -> np.ndarray:
-        rows = [self.decode(p) for p in payloads]
-        if not rows:
+        """Decode a whole FIFO of payloads with one buffer reinterpret.
+
+        Instead of unpacking tuple-at-a-time, the payloads are concatenated
+        once and reinterpreted with ``np.frombuffer`` — the software analogue
+        of the paper's point that data should move toward the compute engine
+        at page granularity, not tuple granularity.
+        """
+        payloads = payloads if isinstance(payloads, list) else list(payloads)
+        if not payloads:
             return np.empty((0, len(self.schema)))
-        return np.vstack(rows)
+        lengths = np.fromiter(map(len, payloads), dtype=np.int64, count=len(payloads))
+        if (lengths != self.payload_bytes).any():
+            bad = int(lengths[lengths != self.payload_bytes][0])
+            raise HardwareError(
+                f"payload is {bad} bytes but the schema expects "
+                f"{self.payload_bytes}"
+            )
+        buffer = b"".join(payloads)
+        n_rows, n_cols = len(payloads), len(self.schema)
+        if self._flat_dtype is not None:
+            flat = np.frombuffer(buffer, dtype=self._flat_dtype)
+            return flat.reshape(n_rows, n_cols).astype(np.float64)
+        records = np.frombuffer(buffer, dtype=self._record_dtype)
+        out = np.empty((n_rows, n_cols), dtype=np.float64)
+        for i, name in enumerate(records.dtype.names):
+            out[:, i] = records[name]
+        return out
 
 
 class AccessEngine:
@@ -127,6 +160,9 @@ class AccessEngine:
             for _ in range(config.num_striders)
         ]
         self.stats = AccessEngineStats()
+        #: hot path uses the bulk page walk (identical payloads and stats);
+        #: set to False to force the instruction interpreter (the oracle).
+        self.use_bulk_walk = True
 
     # ------------------------------------------------------------------ #
     # page streaming
@@ -159,7 +195,10 @@ class AccessEngine:
                 raise HardwareError(
                     f"page image is {len(image)} bytes, expected {self.config.page_size}"
                 )
-            results.append(strider.process_page(image))
+            if self.use_bulk_walk:
+                results.append(strider.process_page_bulk(image))
+            else:
+                results.append(strider.process_page(image))
         self.stats.merge_batch(
             results, self.config.page_size, self.fpga.axi_bytes_per_cycle
         )

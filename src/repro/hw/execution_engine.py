@@ -4,11 +4,17 @@ The execution engine runs multiple threads of the update rule over
 different training tuples, merges their partial results on the tree bus and
 applies the post-merge computation (optimizer step) once per batch.
 
-Two execution paths are provided:
+Three execution paths are provided:
 
-* **fast functional path** — per-tuple evaluation of the hDFG with NumPy
-  (the exact arithmetic the scheduled microcode performs, vectorised),
-  used to actually train models on datasets;
+* **batched tape path** — the default fast path: the hDFG is compiled once
+  into a :class:`~repro.translator.tape.CompiledTape` of NumPy kernels and
+  every merge batch is evaluated in one shot, with the tree-bus merge as a
+  single reduction over the batch axis (no per-tuple Python in the epoch
+  loop);
+* **per-tuple functional path** — per-tuple evaluation of the hDFG with
+  :class:`~repro.translator.evaluator.HDFGEvaluator`, kept as the
+  correctness oracle for the tape and used when no batch binder is
+  available or the graph cannot be lowered to a tape;
 * **microcode path** — cycle-by-cycle execution of the compiled
   :class:`~repro.isa.engine_isa.EngineProgram` on simulated Analytic
   Clusters/Units, used by the test-suite to validate that the static
@@ -35,6 +41,7 @@ from repro.hw.tree_bus import TreeBus
 from repro.isa.engine_isa import SourceKind
 from repro.translator.evaluator import HDFGEvaluator
 from repro.translator.hdfg import HDFG, NodeKind, Region
+from repro.translator.tape import BatchBinder, CompiledTape, TapeCompilationError
 from repro.compiler.scheduler import ThreadSchedule, node_ref
 
 TupleBinder = Callable[[np.ndarray], dict[str, np.ndarray | float]]
@@ -118,6 +125,22 @@ class ExecutionEngine:
             self.batch_size = self.threads
         else:
             self.batch_size = 1
+        # Structural queries hoisted out of the per-batch hot path: which
+        # node ids each variable name binds to, whether updates are
+        # row-addressed, and the merge element width for the cycle model.
+        self._binding_ids_by_name: dict[str, set[int]] = {}
+        for binding in graph.bindings:
+            self._binding_ids_by_name.setdefault(binding.name, set()).add(
+                binding.node_id
+            )
+        self._gather_updates = self._compute_gather_updates()
+        self._merge_elements = self._merge_element_count()
+        # Compile the batched tape once; graphs the tape cannot lower
+        # faithfully keep the per-tuple evaluator as their only fast path.
+        try:
+            self.tape: CompiledTape | None = CompiledTape(graph)
+        except TapeCompilationError:
+            self.tape = None
 
     # ------------------------------------------------------------------ #
     # fast functional path
@@ -126,29 +149,77 @@ class ExecutionEngine:
         self,
         rows: np.ndarray,
         initial_models: Mapping[str, np.ndarray],
-        bind_tuple: TupleBinder,
+        bind_tuple: TupleBinder | None,
         epochs: int,
         convergence_check: bool = True,
         rng: np.random.Generator | None = None,
         shuffle: bool = False,
+        bind_batch: BatchBinder | None = None,
     ) -> TrainingResult:
-        """Train over ``rows`` for up to ``epochs`` passes."""
+        """Train over ``rows`` for up to ``epochs`` passes.
+
+        When ``bind_batch`` is supplied and the graph lowered to a
+        :class:`CompiledTape`, whole merge batches are evaluated in one
+        NumPy shot; otherwise each tuple is bound with ``bind_tuple`` and
+        evaluated through the per-tuple oracle.  Both paths produce the
+        same models and the same schedule-derived cycle counters.
+        """
+        use_tape = bind_batch is not None and self.tape is not None
+        if not use_tape and bind_tuple is None:
+            raise ExecutionEngineError(
+                "per-tuple training requires a bind_tuple binder"
+            )
         models = {k: np.array(v, dtype=np.float64) for k, v in initial_models.items()}
         converged = False
         epochs_run = 0
         for _epoch in range(epochs):
-            order = np.arange(len(rows))
             if shuffle:
+                order = np.arange(len(rows))
                 (rng or np.random.default_rng(0)).shuffle(order)
-            last_env = self._train_one_epoch(rows[order], models, bind_tuple)
+                epoch_rows = rows[order]
+            else:
+                epoch_rows = rows
+            if use_tape:
+                last_env = self._train_one_epoch_tape(epoch_rows, models, bind_batch)
+                reached = convergence_check and self.tape.convergence_reached(last_env)
+            else:
+                tuple_env = self._train_one_epoch(epoch_rows, models, bind_tuple)
+                reached = convergence_check and self._convergence_reached(tuple_env)
             epochs_run += 1
             self.stats.epochs_completed += 1
-            if convergence_check and self._convergence_reached(last_env):
+            if reached:
                 converged = True
                 break
         return TrainingResult(
             models=models, epochs_run=epochs_run, converged=converged, stats=self.stats
         )
+
+    def _train_one_epoch_tape(
+        self,
+        rows: np.ndarray,
+        models: dict[str, np.ndarray],
+        bind_batch: BatchBinder,
+    ) -> list | None:
+        """One epoch on the batched tape; accounting matches the tuple path."""
+        env: list | None = None
+        batch_size = self.batch_size
+        tape = self.tape
+        for start in range(0, len(rows), batch_size):
+            batch = rows[start : start + batch_size]
+            env = tape.run(bind_batch(batch), models)
+            tape.apply_updates(env, models)
+            self.stats.batches_processed += 1
+            self.stats.tuples_processed += len(batch)
+            rounds = math.ceil(len(batch) / self.threads)
+            self.stats.update_rule_cycles += rounds * self.schedule.update_rule_cycles
+            self.stats.merge_cycles += self.tree_bus.merge_cycles(
+                min(len(batch), self.threads), self._merge_elements
+            )
+            self.stats.post_merge_cycles += self.schedule.post_merge_cycles
+            for merge_node in self._merge_nodes:
+                self.tree_bus.account_merge(len(batch), merge_node.element_count)
+        self.stats.convergence_cycles += self.schedule.convergence_cycles
+        return env
 
     def _train_one_epoch(
         self,
@@ -168,7 +239,7 @@ class ExecutionEngine:
             rounds = math.ceil(len(batch) / self.threads)
             self.stats.update_rule_cycles += rounds * self.schedule.update_rule_cycles
             self.stats.merge_cycles += self.tree_bus.merge_cycles(
-                min(len(batch), self.threads), self._merge_element_count()
+                min(len(batch), self.threads), self._merge_elements
             )
             self.stats.post_merge_cycles += self.schedule.post_merge_cycles
         self.stats.convergence_cycles += self.schedule.convergence_cycles
@@ -189,7 +260,7 @@ class ExecutionEngine:
             env = self.evaluator.evaluate(env, [Region.UPDATE_RULE])
             per_thread_envs.append(env)
 
-        if self._has_gather_updates():
+        if self._gather_updates:
             # Row-addressed models (LRMF): apply each thread's update in turn,
             # Hogwild-style, because different tuples touch different rows.
             for env in per_thread_envs:
@@ -234,15 +305,13 @@ class ExecutionEngine:
             models[name] = current
 
     def _gather_row_index(self, model_name: str, env: dict) -> int | None:
-        model_node_ids = {
-            b.node_id for b in self.graph.bindings if b.name == model_name
-        }
+        model_node_ids = self._binding_ids_by_name.get(model_name, ())
         for gather in self._gather_nodes:
             if gather.inputs[0] in model_node_ids and gather.inputs[1] in env:
                 return int(round(float(np.asarray(env[gather.inputs[1]]))))
         return None
 
-    def _has_gather_updates(self) -> bool:
+    def _compute_gather_updates(self) -> bool:
         if not self._gather_nodes:
             return False
         model_dims = {

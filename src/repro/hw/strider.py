@@ -10,11 +10,24 @@ The simulator is faithful at the byte level — it only ever sees the binary
 page image — and approximates time by charging one cycle per instruction
 plus extra cycles for multi-word page-buffer reads (the BRAM read width of
 the target FPGA bounds how many bytes move per cycle).
+
+Two execution modes are provided.  The **instruction interpreter**
+(:meth:`Strider.process_page`) executes the program word by word and is the
+validation oracle.  The **bulk page walk** (:meth:`Strider.process_page_bulk`)
+recognises the canonical page-walk idiom the Strider compiler emits
+(header reads → pointer-chasing loop → cleanse/emit), parses all line
+pointers with one NumPy reinterpret and slices every payload directly from
+the page image — producing byte-identical payloads and the exact
+:class:`StriderStats` the interpreter would have recorded, at a fraction of
+the cost.  Programs that do not match the idiom (or pages whose headers
+are inconsistent) silently fall back to the interpreter.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.exceptions import StriderError
 from repro.isa.strider_isa import (
@@ -50,6 +63,147 @@ class StriderResult:
     stats: StriderStats = field(default_factory=StriderStats)
 
 
+@dataclass(frozen=True)
+class _PageWalkTemplate:
+    """Static parameters recovered from the canonical compiled page walk.
+
+    The Strider compiler always emits the same 13-instruction idiom: four
+    header reads, a cursor initialisation, then a 7-instruction
+    pointer-chasing loop.  Matching it once lets the bulk walk replace the
+    per-tuple interpreter loop with array operations while still charging
+    exactly the cycles the interpreter would.
+    """
+
+    header_reads: tuple[tuple[int, int], ...]  # (page offset, width) per READB
+    free_start_offset: int                     # where the free-space start lives
+    free_start_width: int
+    line_pointer_start: int
+    line_pointer_size: int
+    strip_bytes: int                           # tuple header stripped by CLN
+    emits: bool                                # CLN mode pushes the payload
+
+
+def _static_value(
+    operand: Operand,
+    constants: dict[int, int],
+    used_config: set[int] | None = None,
+) -> int | None:
+    """Resolve an operand that must be known before execution starts.
+
+    ``used_config`` collects the configuration registers a resolution relied
+    on, so the matcher can reject programs where a header read overwrites
+    one of them at runtime (the constant-pool value would be stale).
+    """
+    if operand.kind is OperandKind.IMMEDIATE:
+        return operand.value
+    if operand.kind is OperandKind.CONFIG:
+        if used_config is not None and operand.value in constants:
+            used_config.add(operand.value)
+        return constants.get(operand.value)
+    return None
+
+
+def _match_page_walk(program: StriderProgram) -> _PageWalkTemplate | None:
+    """Recognise the compiler's page-walk idiom; ``None`` if it differs."""
+    inst = program.instructions
+    constants = program.constants
+    if len(inst) != 13:
+        return None
+    expected = [
+        StriderOpcode.READB, StriderOpcode.READB, StriderOpcode.READB,
+        StriderOpcode.READB, StriderOpcode.AD, StriderOpcode.BENTR,
+        StriderOpcode.READB, StriderOpcode.EXTRB, StriderOpcode.EXTRB,
+        StriderOpcode.READB, StriderOpcode.CLN, StriderOpcode.AD,
+        StriderOpcode.BEXIT,
+    ]
+    if [i.opcode for i in inst] != expected:
+        return None
+    used_config: set[int] = set()
+    header_reads: list[tuple[int, int]] = []
+    header_dest: dict[int, int] = {}  # config register -> header read index
+    for idx in range(4):
+        read = inst[idx]
+        offset = _static_value(read.op0, constants, used_config)
+        width = _static_value(read.op1, constants, used_config)
+        if offset is None or width is None or read.op2.kind is not OperandKind.CONFIG:
+            return None
+        header_reads.append((offset, width))
+        header_dest[read.op2.value] = idx
+    cursor_init = inst[4]
+    if cursor_init.op0.kind is not OperandKind.TEMP:
+        return None
+    cursor_reg = cursor_init.op0.value
+    base = _static_value(cursor_init.op1, constants, used_config)
+    bias = _static_value(cursor_init.op2, constants, used_config)
+    if base is None or bias is None:
+        return None
+    lp_start = base + bias
+    lp_read = inst[6]
+    if lp_read.op0.kind is not OperandKind.TEMP or lp_read.op0.value != cursor_reg:
+        return None
+    lp_size = _static_value(lp_read.op1, constants, used_config)
+    # The bulk walk reinterprets pointers as (u16 offset, u16 length) pairs,
+    # so the extracts must read exactly those fields of a 4-byte pointer.
+    extr_off, extr_len = inst[7], inst[8]
+    if lp_size != 4:
+        return None
+    if (_static_value(extr_off.op0, constants), _static_value(extr_off.op1, constants)) != (0, 2):
+        return None
+    if (_static_value(extr_len.op0, constants), _static_value(extr_len.op1, constants)) != (2, 2):
+        return None
+    if extr_off.op2.kind is not OperandKind.TEMP or extr_len.op2.kind is not OperandKind.TEMP:
+        return None
+    off_reg, len_reg = extr_off.op2.value, extr_len.op2.value
+    tuple_read = inst[9]
+    if (
+        tuple_read.op0.kind is not OperandKind.TEMP
+        or tuple_read.op0.value != off_reg
+        or tuple_read.op1.kind is not OperandKind.TEMP
+        or tuple_read.op1.value != len_reg
+    ):
+        return None
+    cln = inst[10]
+    strip = _static_value(cln.op0, constants, used_config)
+    cln_length = _static_value(cln.op1, constants, used_config)
+    mode = _static_value(cln.op2, constants, used_config)
+    if strip is None or cln_length != 0 or mode is None:
+        return None
+    advance = inst[11]
+    if (
+        advance.op0.kind is not OperandKind.TEMP
+        or advance.op0.value != cursor_reg
+        or advance.op1.kind is not OperandKind.TEMP
+        or advance.op1.value != cursor_reg
+        or _static_value(advance.op2, constants, used_config) != lp_size
+    ):
+        return None
+    bexit = inst[12]
+    if (
+        _static_value(bexit.op0, constants, used_config) != 1  # cursor >= bound
+        or bexit.op1.kind is not OperandKind.TEMP
+        or bexit.op1.value != cursor_reg
+        or bexit.op2.kind is not OperandKind.CONFIG
+        or bexit.op2.value not in header_dest
+    ):
+        return None
+    # A header READB overwrites its destination register at runtime: any
+    # operand resolved from the constant pool that aliases one of those
+    # registers would execute with a stale value here, so the program is
+    # not the idiom — let the interpreter run it.
+    if used_config & header_dest.keys():
+        return None
+    fs_offset, fs_width = header_reads[header_dest[bexit.op2.value]]
+    return _PageWalkTemplate(
+        header_reads=tuple(header_reads),
+        free_start_offset=fs_offset,
+        free_start_width=fs_width,
+        line_pointer_start=lp_start,
+        line_pointer_size=lp_size,
+        strip_bytes=strip,
+        emits=mode != 0,
+    )
+
+
 class Strider:
     """Executes a :class:`StriderProgram` against one binary page image."""
 
@@ -64,6 +218,7 @@ class Strider:
         self.program = program
         self.read_width_bytes = read_width_bytes
         self.max_instructions = max_instructions
+        self._page_walk = _match_page_walk(program)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -100,6 +255,79 @@ class Strider:
             self._execute(inst, state, result)
             pc += 1
         result.stats.bytes_read = state.bytes_read
+        return result
+
+    def process_page_bulk(self, page_image: bytes) -> StriderResult:
+        """Fast page walk: same payloads and stats as :meth:`process_page`.
+
+        Used by the access engine on the hot path; any program or page the
+        bulk walk cannot prove equivalent falls back to the interpreter.
+        """
+        template = self._page_walk
+        if template is not None:
+            result = self._bulk_walk(page_image, template)
+            if result is not None:
+                return result
+        return self.process_page(page_image)
+
+    def _bulk_walk(
+        self, page: bytes, t: _PageWalkTemplate
+    ) -> StriderResult | None:
+        page_len = len(page)
+        fs_end = t.free_start_offset + t.free_start_width
+        if fs_end > page_len or t.line_pointer_start >= page_len:
+            return None
+        free_start = int.from_bytes(page[t.free_start_offset : fs_end], "little")
+        span = free_start - t.line_pointer_start
+        # Zero or misaligned pointer arrays take the interpreter's exact
+        # (and exactly as odd) behaviour instead of approximating it here.
+        if span <= 0 or span % t.line_pointer_size:
+            return None
+        if t.line_pointer_start + span > page_len:
+            return None
+        count = span // t.line_pointer_size
+        pointers = np.frombuffer(
+            page, dtype="<u2", count=2 * count, offset=t.line_pointer_start
+        ).reshape(count, 2)
+        offsets = pointers[:, 0].astype(np.int64)
+        lengths = pointers[:, 1].astype(np.int64)
+        if bool((offsets + lengths > page_len).any()):
+            return None
+        strip = t.strip_bytes
+        payload_lengths = np.maximum(lengths - strip, 0)
+        result = StriderResult()
+        if t.emits:
+            result.payloads = [
+                page[o + strip : o + l]
+                for o, l in zip(offsets.tolist(), lengths.tolist())
+            ]
+            result.stats.tuples_emitted = count
+            result.stats.bytes_emitted = int(payload_lengths.sum())
+        # Statistics: exactly what the interpreter charges, computed in
+        # closed form.  Per loop pass: READB pointer, EXTRB, EXTRB, READB
+        # tuple, CLN, AD, BEXIT.
+        rw = self.read_width_bytes
+        stats = result.stats
+        stats.instructions_executed = 6 + 7 * count
+        stats.loop_iterations = count - 1
+        stats.bytes_read = (
+            sum(width for _offset, width in t.header_reads)
+            + count * t.line_pointer_size
+            + int(lengths.sum())
+        )
+        header_cycles = sum(
+            max(1, -(-width // rw)) for _offset, width in t.header_reads
+        )
+        pointer_words = max(1, -(-t.line_pointer_size // rw))
+        tuple_words = np.maximum(1, -(-lengths // rw))
+        cleanse_words = np.maximum(1, -(-payload_lengths // rw))
+        stats.cycles = (
+            header_cycles
+            + 2  # cursor init AD + BENTR
+            + count * (pointer_words + 4)  # two EXTRBs, AD, BEXIT per pass
+            + int(tuple_words.sum())
+            + int(cleanse_words.sum())
+        )
         return result
 
     # ------------------------------------------------------------------ #

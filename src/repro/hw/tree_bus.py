@@ -46,7 +46,7 @@ class TreeBus:
             raise ExecutionEngineError("cannot merge an empty set of thread results")
         current = [np.asarray(v, dtype=np.float64) for v in values]
         element_count = int(np.asarray(current[0]).size)
-        levels = 0
+        value_count = len(current)
         while len(current) > 1:
             nxt: list[np.ndarray] = []
             for i in range(0, len(current) - 1, 2):
@@ -55,15 +55,33 @@ class TreeBus:
                     lambda a, b: self.alu.execute(operator, float(a), float(b))
                 )(left, right) if left.size <= 64 else self._bulk(operator, left, right)
                 nxt.append(np.asarray(combined, dtype=np.float64))
-                self.stats.operations_executed += element_count
             if len(current) % 2 == 1:
                 nxt.append(current[-1])
             current = nxt
-            levels += 1
+        self.account_merge(value_count, element_count)
+        return current[0]
+
+    def account_merge(self, value_count: int, element_count: int) -> None:
+        """Book the stats of one pairwise merge of ``value_count`` values.
+
+        Single source of truth for the bus cost model: :meth:`merge` calls
+        it after materialising the reduction, and the batched execution
+        tape — which folds the reduction into one ``ufunc.reduce`` over the
+        batch axis — calls it directly, so both paths record identical
+        counters.
+        """
+        if value_count < 1:
+            raise ExecutionEngineError("cannot merge an empty set of thread results")
+        remaining = value_count
+        levels = 0
+        while remaining > 1:
+            pairs = remaining // 2
+            self.stats.operations_executed += pairs * element_count
             self.stats.cycles += math.ceil(element_count / self.alu_count)
+            remaining -= pairs
+            levels += 1
         self.stats.merges_performed += 1
         self.stats.levels_traversed += levels
-        return current[0]
 
     def merge_cycles(self, thread_count: int, element_count: int) -> int:
         """Analytic cycle cost of merging without executing it."""

@@ -11,11 +11,15 @@ from repro.translator.dimensions import (
 )
 from repro.translator.evaluator import HDFGEvaluator
 from repro.translator.hdfg import HDFG, HDFGNode, NodeKind, Region, VariableBinding
+from repro.translator.tape import BatchBinder, CompiledTape, TapeCompilationError
 from repro.translator.translate import Translator, translate
 
 __all__ = [
+    "BatchBinder",
+    "CompiledTape",
     "HDFG",
     "HDFGEvaluator",
+    "TapeCompilationError",
     "HDFGNode",
     "NodeKind",
     "Region",

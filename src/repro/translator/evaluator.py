@@ -69,6 +69,9 @@ class HDFGEvaluator:
 
     def __init__(self, graph: HDFG) -> None:
         self.graph = graph
+        # The graph is immutable once translated; walking it per tuple is
+        # pure overhead, so the dependency order is resolved once here.
+        self._topo_order = graph.topological_order()
 
     # ------------------------------------------------------------------ #
     # environment helpers
@@ -100,7 +103,7 @@ class HDFGEvaluator:
         (the engine aggregates them across threads).
         """
         wanted = set(regions)
-        for node in self.graph.topological_order():
+        for node in self._topo_order:
             if node.node_id in env:
                 continue
             if node.kind is NodeKind.CONSTANT:

@@ -1,0 +1,451 @@
+"""Batched execution tape compiled once from a hierarchical DataFlow Graph.
+
+:class:`~repro.translator.evaluator.HDFGEvaluator` walks the graph once per
+training tuple with a fresh ``dict`` environment — exactly the
+tuple-at-a-time anti-pattern the paper builds DAnA to eliminate.  The
+:class:`CompiledTape` removes that overhead by lowering the hDFG **once**
+into a flat list of NumPy kernel closures:
+
+* topological order, operator dispatch, region filtering and broadcast
+  shapes are all resolved at compile time;
+* the environment is a preallocated list indexed by node id instead of a
+  per-tuple dict;
+* every per-tuple value carries a leading **batch axis**, so one
+  :meth:`CompiledTape.run` evaluates the update rule for an entire
+  ``(B, ...)`` batch of tuples in one shot — including batched GATHER
+  (LRMF row addressing via fancy indexing) and the tree-bus merge, which
+  becomes a single ``ufunc.reduce`` over the batch axis.
+
+The tape computes exactly what the per-tuple evaluator computes (the
+microcode path and :class:`HDFGEvaluator` remain the correctness oracles);
+graphs that use constructs the batched lowering cannot prove equivalent
+(non-associative merge operators, outer-product group contractions over
+batched operands) raise :class:`TapeCompilationError` so callers can fall
+back to the per-tuple path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.exceptions import TranslationError
+from repro.dsl.operations import Operator
+from repro.translator.hdfg import HDFG, HDFGNode, NodeKind, Region
+
+BatchEnv = list  # preallocated, indexed by node id
+BatchBinder = Callable[[np.ndarray], Mapping[str, "np.ndarray | float"]]
+
+
+class TapeCompilationError(TranslationError):
+    """The graph uses a construct the batched tape cannot lower faithfully."""
+
+
+_PRIMARY_UFUNCS = {
+    Operator.ADD: np.add,
+    Operator.SUB: np.subtract,
+    Operator.MUL: np.multiply,
+    Operator.DIV: np.divide,
+}
+
+_COMPARE_UFUNCS = {
+    Operator.GT: np.greater,
+    Operator.LT: np.less,
+}
+
+# Merging across the batch axis is only order-independent for associative
+# operators; the tree bus merges pairwise, a ufunc reduction sequentially.
+_ASSOCIATIVE_MERGE_UFUNCS = {
+    Operator.ADD: np.add,
+    Operator.MUL: np.multiply,
+}
+
+
+def _pad_after_batch(pad: int) -> Callable[[np.ndarray], np.ndarray]:
+    """Insert ``pad`` singleton axes right after the leading batch axis.
+
+    A batched operand stores its logical dims after the batch axis, so
+    right-aligning it against a higher-rank operand needs the singletons
+    *between* the batch axis and the logical dims (a plain NumPy broadcast
+    would misalign the batch axis with a logical axis).
+    """
+
+    def prep(value: np.ndarray) -> np.ndarray:
+        return value.reshape(value.shape[:1] + (1,) * pad + value.shape[1:])
+
+    return prep
+
+
+def _reducer(op: Operator, axis: int) -> Callable[[np.ndarray], np.ndarray]:
+    if op is Operator.SIGMA:
+        return lambda v: np.sum(v, axis=axis)
+    if op is Operator.PI:
+        return lambda v: np.prod(v, axis=axis)
+    if op is Operator.NORM:
+        return lambda v: np.sqrt(np.sum(np.square(v), axis=axis))
+    raise TapeCompilationError(f"{op.value!r} is not a group operation")
+
+
+class CompiledTape:
+    """One hDFG lowered into a flat list of batched NumPy kernels."""
+
+    def __init__(self, graph: HDFG) -> None:
+        self.graph = graph
+        self._slots = (max(n.node_id for n in graph.nodes()) + 1) if len(graph) else 0
+        #: per-node flag: does the value carry a leading batch axis?
+        self._batched: list[bool] = [False] * self._slots
+        self._steps: list[Callable[[BatchEnv], None]] = []
+        # environment seeding, resolved once:
+        #   (name, node_id, required) for per-tuple variables,
+        #   (name, node_id) for models/metas, (node_id, value) for constants
+        self._batch_vars: list[tuple[str, int]] = []
+        self._named_vars: list[tuple[str, int, np.ndarray | None]] = []
+        self._const_values: list[tuple[int, np.ndarray]] = []
+        self._compile_leaves()
+        # Convergence-region kernels are split off the per-batch hot path:
+        # the engine checks convergence once per epoch, so they run lazily
+        # in :meth:`convergence_reached` on the epoch's last batch env.
+        self._conv_steps: list[Callable[[BatchEnv], None]] = []
+        for node in graph.topological_order():
+            if node.is_leaf:
+                continue
+            step = self._compile_node(node)
+            if node.region is Region.CONVERGENCE:
+                self._conv_steps.append(step)
+            else:
+                self._steps.append(step)
+        self._updates = self._compile_updates()
+        conv = graph.convergence_node_id
+        self._conv_id = conv
+        self._conv_batched = self._batched[conv] if conv is not None else False
+        # Which tuple of a batch stands in for a per-tuple (batched) value
+        # when the engine needs a single representative: the per-tuple
+        # oracle carries the *first* tuple's env through the merge path
+        # (lead env) but the *last* tuple's env through the gather and
+        # sequential paths.
+        self._lead_index = 0 if graph.merge_node_ids else -1
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+    def _compile_leaves(self) -> None:
+        bound_names = set()
+        for binding in self.graph.bindings:
+            bound_names.add(binding.node_id)
+            if binding.kind in ("input", "output"):
+                self._batched[binding.node_id] = True
+                self._batch_vars.append((binding.name, binding.node_id))
+            else:
+                default = (
+                    np.asarray(binding.value, dtype=np.float64)
+                    if binding.value is not None
+                    else None
+                )
+                self._named_vars.append((binding.name, binding.node_id, default))
+        for node in self.graph.nodes():
+            if node.kind is NodeKind.CONSTANT:
+                self._const_values.append(
+                    (node.node_id, np.asarray(node.constant_value, dtype=np.float64))
+                )
+            elif (
+                node.kind is NodeKind.VARIABLE
+                and node.node_id not in bound_names
+                and node.constant_value is not None
+            ):
+                self._const_values.append(
+                    (node.node_id, np.asarray(node.constant_value, dtype=np.float64))
+                )
+
+    def _compile_node(self, node: HDFGNode) -> Callable[[BatchEnv], None]:
+        if node.kind is NodeKind.PRIMARY:
+            return self._compile_primary(node)
+        if node.kind is NodeKind.NONLINEAR:
+            return self._compile_nonlinear(node)
+        if node.kind is NodeKind.GROUP:
+            return self._compile_group(node)
+        if node.kind is NodeKind.GATHER:
+            return self._compile_gather(node)
+        if node.kind is NodeKind.MERGE:
+            return self._compile_merge(node)
+        if node.kind is NodeKind.UPDATE:
+            return self._compile_update_node(node)
+        raise TapeCompilationError(f"cannot compile node of kind {node.kind}")
+
+    def _input_dims(self, node_id: int) -> tuple[int, ...]:
+        return self.graph.node(node_id).dims
+
+    def _elementwise_preps(
+        self, input_ids: tuple[int, ...]
+    ) -> list[Callable[[np.ndarray], np.ndarray] | None]:
+        """Broadcast fix-ups so batched operands right-align their logical dims."""
+        target_rank = max(len(self._input_dims(i)) for i in input_ids)
+        preps: list[Callable[[np.ndarray], np.ndarray] | None] = []
+        for i in input_ids:
+            pad = target_rank - len(self._input_dims(i))
+            if self._batched[i] and pad:
+                preps.append(_pad_after_batch(pad))
+            else:
+                preps.append(None)
+        return preps
+
+    def _compile_primary(self, node: HDFGNode) -> Callable[[BatchEnv], None]:
+        a, b = node.inputs
+        nid = node.node_id
+        self._batched[nid] = self._batched[a] or self._batched[b]
+        prep_a, prep_b = self._elementwise_preps(node.inputs)
+        if node.op in _PRIMARY_UFUNCS:
+            ufunc = _PRIMARY_UFUNCS[node.op]
+
+            def step(env: BatchEnv) -> None:
+                va, vb = env[a], env[b]
+                if prep_a is not None:
+                    va = prep_a(va)
+                if prep_b is not None:
+                    vb = prep_b(vb)
+                env[nid] = ufunc(va, vb)
+
+            return step
+        if node.op in _COMPARE_UFUNCS:
+            cmp = _COMPARE_UFUNCS[node.op]
+
+            def step(env: BatchEnv) -> None:
+                va, vb = env[a], env[b]
+                if prep_a is not None:
+                    va = prep_a(va)
+                if prep_b is not None:
+                    vb = prep_b(vb)
+                env[nid] = cmp(va, vb).astype(np.float64)
+
+            return step
+        raise TapeCompilationError(f"{node.op!r} is not a primary operation")
+
+    def _compile_nonlinear(self, node: HDFGNode) -> Callable[[BatchEnv], None]:
+        (operand,) = node.inputs
+        nid = node.node_id
+        self._batched[nid] = self._batched[operand]
+        if node.op is Operator.SIGMOID:
+            return lambda env: env.__setitem__(
+                nid, 1.0 / (1.0 + np.exp(-env[operand]))
+            )
+        if node.op is Operator.GAUSSIAN:
+            return lambda env: env.__setitem__(nid, np.exp(-np.square(env[operand])))
+        if node.op is Operator.SQRT:
+            return lambda env: env.__setitem__(nid, np.sqrt(env[operand]))
+        raise TapeCompilationError(f"{node.op!r} is not a non-linear operation")
+
+    def _compile_group(self, node: HDFGNode) -> Callable[[BatchEnv], None]:
+        nid = node.node_id
+        axis0 = (node.axis or 1) - 1
+        self._batched[nid] = any(self._batched[i] for i in node.inputs)
+        if node.inner_op is None or len(node.inputs) == 1:
+            (operand,) = node.inputs
+            reduce_fn = _reducer(node.op, axis0 + (1 if self._batched[operand] else 0))
+            return lambda env: env.__setitem__(nid, reduce_fn(env[operand]))
+        a, b = node.inputs
+        ldims, rdims = self._input_dims(a), self._input_dims(b)
+        if ldims == rdims or not ldims or not rdims:
+            inner = _PRIMARY_UFUNCS.get(node.inner_op)
+            if inner is None:
+                raise TapeCompilationError(
+                    f"cannot fuse {node.inner_op!r} into a batched group operation"
+                )
+            prep_a, prep_b = self._elementwise_preps(node.inputs)
+            reduce_fn = _reducer(node.op, axis0 + (1 if self._batched[nid] else 0))
+
+            def step(env: BatchEnv) -> None:
+                va, vb = env[a], env[b]
+                if prep_a is not None:
+                    va = prep_a(va)
+                if prep_b is not None:
+                    vb = prep_b(vb)
+                env[nid] = reduce_fn(inner(va, vb))
+
+            return step
+        # Outer-combining contraction (generalised matrix product): only
+        # lowered for unbatched operands; a batched version would need a
+        # per-node einsum plan, which no current workload exercises.
+        if self._batched[a] or self._batched[b]:
+            raise TapeCompilationError(
+                f"group node {node.name!r} outer-combines batched operands of "
+                f"shapes {list(ldims)} and {list(rdims)}"
+            )
+        inner = _PRIMARY_UFUNCS.get(node.inner_op)
+        if inner is None:
+            raise TapeCompilationError(
+                f"cannot fuse {node.inner_op!r} into a contraction"
+            )
+        reduce_fn = _reducer(node.op, -1)
+        a_rank = len(ldims) - 1
+        b_rank = len(rdims) - 1
+
+        def step(env: BatchEnv) -> None:
+            left = np.moveaxis(env[a], axis0, -1)
+            right = np.moveaxis(env[b], axis0, -1)
+            left = left.reshape(left.shape[:-1] + (1,) * b_rank + (left.shape[-1],))
+            right = right.reshape((1,) * a_rank + right.shape)
+            env[nid] = reduce_fn(inner(left, right))
+
+        return step
+
+    def _compile_gather(self, node: HDFGNode) -> Callable[[BatchEnv], None]:
+        source, index = node.inputs
+        nid = node.node_id
+        if self._batched[source]:
+            raise TapeCompilationError(
+                f"gather node {node.name!r} selects from a per-tuple source"
+            )
+        if self._batched[index]:
+            self._batched[nid] = True
+
+            def step(env: BatchEnv) -> None:
+                rows = np.rint(np.asarray(env[index])).astype(np.int64)
+                env[nid] = env[source][rows]
+
+            return step
+
+        def step(env: BatchEnv) -> None:
+            env[nid] = np.asarray(
+                env[source][int(round(float(env[index])))], dtype=np.float64
+            )
+
+        return step
+
+    def _compile_merge(self, node: HDFGNode) -> Callable[[BatchEnv], None]:
+        (operand,) = node.inputs
+        nid = node.node_id
+        if node.merge_operator not in _ASSOCIATIVE_MERGE_UFUNCS:
+            raise TapeCompilationError(
+                f"merge operator {node.merge_operator!r} is not associative; "
+                "the batched reduction would not match the tree bus"
+            )
+        if not self._batched[operand]:
+            raise TapeCompilationError(
+                f"merge node {node.name!r} aggregates a value that does not "
+                "depend on the training tuple"
+            )
+        ufunc = _ASSOCIATIVE_MERGE_UFUNCS[node.merge_operator]
+        self._batched[nid] = False
+        return lambda env: env.__setitem__(nid, ufunc.reduce(env[operand], axis=0))
+
+    def _compile_update_node(self, node: HDFGNode) -> Callable[[BatchEnv], None]:
+        (operand,) = node.inputs
+        nid = node.node_id
+        self._batched[nid] = self._batched[operand]
+        return lambda env: env.__setitem__(nid, env[operand])
+
+    def _compile_updates(self) -> list[tuple[str, int, bool, int | None]]:
+        """Resolve each model update to (name, node, batched, gather index)."""
+        updates: list[tuple[str, int, bool, int | None]] = []
+        gather_nodes = [n for n in self.graph.nodes() if n.kind is NodeKind.GATHER]
+        for name, var_node_id, update_node_id in self.graph.update_targets:
+            update_node = self.graph.node(update_node_id)
+            row_addressed = (
+                var_node_id >= 0
+                and update_node.dims != self.graph.node(var_node_id).dims
+            )
+            index_node: int | None = None
+            if row_addressed:
+                binding_ids = {
+                    b.node_id for b in self.graph.bindings if b.name == name
+                }
+                for gather in gather_nodes:
+                    if gather.inputs[0] in binding_ids:
+                        index_node = gather.inputs[1]
+                        break
+                if index_node is None:
+                    raise TapeCompilationError(
+                        f"row-addressed update of model {name!r} has no gather index"
+                    )
+            updates.append(
+                (name, update_node_id, self._batched[update_node_id], index_node)
+            )
+        return updates
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        batch_values: Mapping[str, np.ndarray | float],
+        models: Mapping[str, np.ndarray],
+    ) -> BatchEnv:
+        """Evaluate every region for one batch; returns the node-id env list.
+
+        ``batch_values`` binds per-tuple variables to arrays with a leading
+        batch axis (and may override meta variables with scalars);
+        ``models`` binds model variables to their current, shared values.
+        """
+        env: BatchEnv = [None] * self._slots
+        for node_id, value in self._const_values:
+            env[node_id] = value
+        for name, node_id in self._batch_vars:
+            try:
+                value = batch_values[name]
+            except KeyError:
+                raise TapeCompilationError(
+                    f"batch bindings are missing per-tuple variable {name!r}"
+                ) from None
+            env[node_id] = np.asarray(value, dtype=np.float64)
+        for name, node_id, default in self._named_vars:
+            if name in batch_values:
+                env[node_id] = np.asarray(batch_values[name], dtype=np.float64)
+            elif name in models:
+                env[node_id] = np.asarray(models[name], dtype=np.float64)
+            elif default is not None:
+                env[node_id] = default
+        for step in self._steps:
+            step(env)
+        return env
+
+    def model_results(self, env: BatchEnv) -> dict[str, np.ndarray]:
+        """Updated model value per model name (batched for gathered updates)."""
+        return {
+            name: np.asarray(env[node_id], dtype=np.float64)
+            for name, node_id, _batched, _index in self._updates
+            if env[node_id] is not None
+        }
+
+    def apply_updates(self, env: BatchEnv, models: dict[str, np.ndarray]) -> None:
+        """Write the batch's model updates back into ``models``.
+
+        Row-addressed models (LRMF) take the whole batch of gathered-row
+        updates via one fancy-index assignment; duplicate row indices keep
+        the last tuple's value, matching the engine's Hogwild-style
+        sequential application of updates computed from batch-start models.
+        """
+        for name, node_id, batched, index_node in self._updates:
+            value = env[node_id]
+            if value is None:
+                continue
+            if index_node is not None:
+                rows = np.rint(np.asarray(env[index_node])).astype(np.int64)
+                current = np.array(models[name], dtype=np.float64)
+                current[rows] = value
+                models[name] = current
+            elif batched:
+                # A full-model update that stays per-tuple: the oracle
+                # applies the lead env's value (first tuple on the merge
+                # path, last tuple on the gather/sequential paths).
+                models[name] = np.asarray(value, dtype=np.float64)[self._lead_index]
+            else:
+                models[name] = np.asarray(value, dtype=np.float64)
+
+    def convergence_reached(self, env: BatchEnv | None) -> bool:
+        """Evaluate the convergence condition on a finished batch env.
+
+        Convergence kernels were kept off the per-batch hot path, so they
+        are evaluated here, once per epoch, against the last batch's env.
+        """
+        if self._conv_id is None or env is None:
+            return False
+        for step in self._conv_steps:
+            step(env)
+        value = env[self._conv_id]
+        if value is None:
+            return False
+        value = np.asarray(value)
+        if self._conv_batched:
+            # Match the env the per-tuple engine checks convergence on.
+            value = value[self._lead_index]
+        return bool(np.all(value > 0.5))

@@ -1,0 +1,451 @@
+"""Parity tests for the vectorized batch execution pipeline.
+
+The batched fast path (CompiledTape + bulk Strider walk + vectorized
+payload decoding) must compute exactly what the per-tuple oracles compute:
+
+* ``CompiledTape`` batch results == per-tuple ``HDFGEvaluator`` results ==
+  the analytical ``reference_fit`` for all four algorithms;
+* the bulk Strider page walk == the instruction interpreter, payloads and
+  ``StriderStats`` both, on real ``Database`` pages;
+* cycle accounting (engine counters and tree-bus counters) is identical
+  between the tape path and the per-tuple path.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    Hyperparameters,
+    LinearRegression,
+    LogisticRegression,
+    LowRankMatrixFactorization,
+    SupportVectorMachine,
+    get_algorithm,
+)
+from repro.compiler import Scheduler, compile_strider
+from repro.core import DAnA
+from repro.data.synthetic import generate_for_algorithm
+from repro.exceptions import HardwareError
+from repro.hw import ExecutionEngine
+from repro.hw.access_engine import PayloadDecoder
+from repro.hw.strider import Strider
+from repro.rdbms import Database
+from repro.rdbms.page import PageLayout
+from repro.rdbms.types import Schema
+from repro.translator import CompiledTape, Region, translate
+
+LRMF_TOPOLOGY = (24, 18, 4)
+
+
+def _build(algorithm, n_features=6, topology=(), merge=8, lr=0.05, tol=None):
+    hyper = Hyperparameters(
+        learning_rate=lr,
+        merge_coefficient=merge,
+        epochs=5,
+        convergence_tolerance=tol,
+    )
+    spec = algorithm.build_spec(n_features, hyper, topology)
+    graph = translate(spec.algo)
+    schedule = Scheduler(graph, acs_per_thread=2).schedule()
+    return spec, graph, schedule
+
+
+def _data_for(algorithm, n_tuples=160, n_features=6, seed=11):
+    return generate_for_algorithm(
+        algorithm.key, n_tuples, n_features, LRMF_TOPOLOGY, seed=seed
+    )
+
+
+class TestTapeMatchesEvaluator:
+    """CompiledTape batch results == per-tuple HDFGEvaluator results."""
+
+    @pytest.mark.parametrize("key", ["linear", "logistic", "svm", "lrmf"])
+    def test_single_batch_node_values(self, key):
+        algorithm = get_algorithm(key)
+        n_features = 4 if key == "lrmf" else 6
+        spec, graph, _schedule = _build(algorithm, n_features, LRMF_TOPOLOGY)
+        data = _data_for(algorithm, n_tuples=8, n_features=n_features)
+        tape = CompiledTape(graph)
+        models = {k: np.asarray(v, np.float64) for k, v in spec.initial_models.items()}
+        env = tape.run(spec.bind_batch(data), models)
+
+        evaluator_engine = ExecutionEngine(graph, _schedule, threads=1)
+        evaluator = evaluator_engine.evaluator
+        for i, row in enumerate(data):
+            bindings = dict(spec.bind_tuple(row))
+            for name, value in models.items():
+                bindings.setdefault(name, value)
+            tuple_env = evaluator.initial_env(bindings)
+            tuple_env = evaluator.evaluate(tuple_env, [Region.UPDATE_RULE])
+            checked = 0
+            for node in graph.nodes():
+                if node.region is not Region.UPDATE_RULE or node.is_leaf:
+                    continue
+                if node.node_id not in tuple_env or env[node.node_id] is None:
+                    continue
+                batched = env[node.node_id]
+                expected = tuple_env[node.node_id]
+                value = batched[i] if tape._batched[node.node_id] else batched
+                np.testing.assert_allclose(value, expected, rtol=1e-12, atol=1e-15)
+                checked += 1
+            assert checked >= 2
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [LinearRegression(), LogisticRegression(), SupportVectorMachine()],
+        ids=["linear", "logistic", "svm"],
+    )
+    def test_training_parity_merge_algorithms(self, algorithm):
+        spec, graph, schedule = _build(algorithm)
+        data = _data_for(algorithm)
+        legacy = ExecutionEngine(graph, schedule, threads=8)
+        fast = ExecutionEngine(graph, schedule, threads=8)
+        assert fast.tape is not None
+        legacy_result = legacy.train(
+            data, spec.initial_models, spec.bind_tuple, epochs=5
+        )
+        fast_result = fast.train(
+            data, spec.initial_models, None, epochs=5, bind_batch=spec.bind_batch
+        )
+        for name in legacy_result.models:
+            np.testing.assert_allclose(
+                fast_result.models[name], legacy_result.models[name], rtol=1e-9
+            )
+        reference = algorithm.reference_fit(data, spec.hyperparameters, epochs=5)
+        for name in reference:
+            np.testing.assert_allclose(
+                fast_result.models[name], reference[name], rtol=1e-6
+            )
+
+    def test_training_parity_lrmf_hogwild_batches(self):
+        algorithm = LowRankMatrixFactorization()
+        spec, graph, schedule = _build(algorithm, 4, LRMF_TOPOLOGY)
+        data = _data_for(algorithm, n_features=4)
+        legacy = ExecutionEngine(graph, schedule, threads=4)
+        fast = ExecutionEngine(graph, schedule, threads=4)
+        legacy_result = legacy.train(
+            data, spec.initial_models, spec.bind_tuple, epochs=5
+        )
+        fast_result = fast.train(
+            data, spec.initial_models, None, epochs=5, bind_batch=spec.bind_batch
+        )
+        for name in ("L", "R"):
+            np.testing.assert_allclose(
+                fast_result.models[name], legacy_result.models[name], rtol=1e-9
+            )
+
+    def test_training_parity_lrmf_sequential_matches_reference(self):
+        algorithm = LowRankMatrixFactorization()
+        spec, graph, schedule = _build(algorithm, 4, LRMF_TOPOLOGY)
+        data = _data_for(algorithm, n_features=4)
+        # One thread => one tuple per batch => the engine is exactly the
+        # sequential SGD the analytical reference implements.
+        fast = ExecutionEngine(graph, schedule, threads=1)
+        fast_result = fast.train(
+            data, spec.initial_models, None, epochs=3, bind_batch=spec.bind_batch
+        )
+        hyper = spec.hyperparameters.scaled(rank=LRMF_TOPOLOGY[2])
+        reference = algorithm.reference_fit(data, hyper, epochs=3)
+        for name in ("L", "R"):
+            np.testing.assert_allclose(
+                fast_result.models[name], reference[name], rtol=1e-9
+            )
+
+    @pytest.mark.parametrize("key", ["linear", "logistic", "svm", "lrmf"])
+    def test_cycle_counters_identical(self, key):
+        algorithm = get_algorithm(key)
+        n_features = 4 if key == "lrmf" else 6
+        spec, graph, schedule = _build(algorithm, n_features, LRMF_TOPOLOGY)
+        data = _data_for(algorithm, n_tuples=100, n_features=n_features)
+        legacy = ExecutionEngine(graph, schedule, threads=8)
+        fast = ExecutionEngine(graph, schedule, threads=8)
+        legacy.train(data, spec.initial_models, spec.bind_tuple, epochs=2)
+        fast.train(data, spec.initial_models, None, epochs=2, bind_batch=spec.bind_batch)
+        assert fast.stats == legacy.stats
+        assert fast.tree_bus.stats == legacy.tree_bus.stats
+
+    def test_convergence_parity(self):
+        algorithm = LinearRegression()
+        spec, graph, schedule = _build(algorithm, tol=0.5)
+        data = _data_for(algorithm)
+        legacy = ExecutionEngine(graph, schedule, threads=8)
+        fast = ExecutionEngine(graph, schedule, threads=8)
+        legacy_result = legacy.train(
+            data, spec.initial_models, spec.bind_tuple, epochs=40
+        )
+        fast_result = fast.train(
+            data, spec.initial_models, None, epochs=40, bind_batch=spec.bind_batch
+        )
+        assert legacy_result.converged and fast_result.converged
+        assert fast_result.epochs_run == legacy_result.epochs_run
+
+    def test_shuffle_paths_agree(self):
+        algorithm = LogisticRegression()
+        spec, graph, schedule = _build(algorithm)
+        data = _data_for(algorithm)
+        legacy = ExecutionEngine(graph, schedule, threads=8)
+        fast = ExecutionEngine(graph, schedule, threads=8)
+        legacy_result = legacy.train(
+            data, spec.initial_models, spec.bind_tuple, epochs=3,
+            shuffle=True, rng=np.random.default_rng(3),
+        )
+        fast_result = fast.train(
+            data, spec.initial_models, None, epochs=3,
+            shuffle=True, rng=np.random.default_rng(3), bind_batch=spec.bind_batch,
+        )
+        np.testing.assert_allclose(
+            fast_result.models["mo"], legacy_result.models["mo"], rtol=1e-9
+        )
+
+    def test_per_tuple_convergence_with_merge_matches_lead_env(self):
+        # Convergence on a *per-tuple* value while a merge drives the model
+        # update: the oracle checks the lead (first) tuple's env, and the
+        # tape must pick the same representative tuple.
+        from repro import dana
+        from repro.algorithms.base import AlgorithmSpec
+
+        n = 4
+        mo = dana.model([n], name="mo")
+        x = dana.input([n], name="x")
+        y = dana.output(name="y")
+        lr = dana.meta(0.05, name="lr")
+        coeff = dana.meta(8.0, name="merge_coef")
+        tol = dana.meta(0.05, name="tol")
+        algo = dana.algo(mo, x, y, name="tupleConv")
+        er = dana.sigma(mo * x, 1) - y
+        merged = algo.merge(er * x, 8, "+")
+        algo.setModel(mo - lr * (merged / coeff))
+        algo.setConvergence(er * er < tol)
+        algo.setEpochs(60)
+
+        def bind(row):
+            return {"x": row[:n], "y": float(row[n])}
+
+        def bind_batch(rows):
+            return {"x": rows[:, :n], "y": rows[:, n]}
+
+        spec = AlgorithmSpec(
+            name="tupleConv", algo=algo, schema=Schema.training_schema(n),
+            bind_tuple=bind, initial_models={"mo": np.zeros(n)},
+            hyperparameters=Hyperparameters(), bind_batch=bind_batch,
+        )
+        graph = translate(spec.algo)
+        schedule = Scheduler(graph, acs_per_thread=2).schedule()
+        data = generate_for_algorithm("linear", 96, n, seed=21)
+        legacy = ExecutionEngine(graph, schedule, threads=8)
+        fast = ExecutionEngine(graph, schedule, threads=8)
+        assert fast.tape is not None
+        legacy_result = legacy.train(data, spec.initial_models, bind, epochs=60)
+        fast_result = fast.train(
+            data, spec.initial_models, None, epochs=60, bind_batch=bind_batch
+        )
+        assert fast_result.epochs_run == legacy_result.epochs_run
+        assert fast_result.converged == legacy_result.converged
+        np.testing.assert_allclose(
+            fast_result.models["mo"], legacy_result.models["mo"], rtol=1e-9
+        )
+
+    def test_per_tuple_model_update_with_merge_matches_lead_env(self):
+        # A second model is updated *per tuple* while a merge drives the
+        # first: the oracle applies the lead (first) tuple's update to the
+        # per-tuple model, and the tape must pick the same tuple.
+        from repro import dana
+        from repro.algorithms.base import AlgorithmSpec
+
+        n = 4
+        mo = dana.model([n], name="mo")
+        aux = dana.model([n], name="aux")
+        x = dana.input([n], name="x")
+        y = dana.output(name="y")
+        lr = dana.meta(0.05, name="lr")
+        coeff = dana.meta(8.0, name="merge_coef")
+        algo = dana.algo(mo, x, y, name="tupleUpdate", extra_models=(aux,))
+        er = dana.sigma(mo * x, 1) - y
+        merged = algo.merge(er * x, 8, "+")
+        algo.setModel(mo - lr * (merged / coeff))
+        algo.setModel(y * x, var=aux)  # per-tuple update, bypasses the merge
+        algo.setEpochs(4)
+
+        def bind(row):
+            return {"x": row[:n], "y": float(row[n])}
+
+        def bind_batch(rows):
+            return {"x": rows[:, :n], "y": rows[:, n]}
+
+        initial = {"mo": np.zeros(n), "aux": np.zeros(n)}
+        spec = AlgorithmSpec(
+            name="tupleUpdate", algo=algo, schema=Schema.training_schema(n),
+            bind_tuple=bind, initial_models=initial,
+            hyperparameters=Hyperparameters(), bind_batch=bind_batch,
+        )
+        graph = translate(spec.algo)
+        schedule = Scheduler(graph, acs_per_thread=2).schedule()
+        data = generate_for_algorithm("linear", 64, n, seed=22)
+        legacy = ExecutionEngine(graph, schedule, threads=8)
+        fast = ExecutionEngine(graph, schedule, threads=8)
+        assert fast.tape is not None
+        legacy_result = legacy.train(data, spec.initial_models, bind, epochs=4)
+        fast_result = fast.train(
+            data, spec.initial_models, None, epochs=4, bind_batch=bind_batch
+        )
+        for name in ("mo", "aux"):
+            np.testing.assert_allclose(
+                fast_result.models[name], legacy_result.models[name], rtol=1e-9
+            )
+
+    def test_engine_requires_some_binder(self):
+        spec, graph, schedule = _build(LinearRegression())
+        engine = ExecutionEngine(graph, schedule, threads=8)
+        from repro.exceptions import ExecutionEngineError
+
+        with pytest.raises(ExecutionEngineError):
+            engine.train(np.zeros((4, 7)), spec.initial_models, None, epochs=1)
+
+
+class TestEndToEndTapePath:
+    """The DAnA facade trains through the tape + bulk-walk pipeline."""
+
+    def test_dana_fast_and_slow_paths_match(self):
+        algorithm = LinearRegression()
+        hyper = Hyperparameters(learning_rate=0.05, merge_coefficient=16, epochs=4)
+        spec = algorithm.build_spec(8, hyper)
+        data = generate_for_algorithm("linear", 300, 8, seed=5)
+
+        results = {}
+        for label, fast in (("fast", True), ("slow", False)):
+            db = Database(page_size=8 * 1024)
+            db.load_table("t", spec.schema, data)
+            system = DAnA(db)
+            run_spec = spec if fast else dataclasses.replace(spec, bind_batch=None)
+            system.register_udf("linearR", run_spec, epochs=4)
+            accelerator = system.accelerator_for("linearR", "t")
+            accelerator.access_engine.use_bulk_walk = fast
+            results[label] = system.train("linearR", "t", epochs=4)
+
+        fast_run, slow_run = results["fast"], results["slow"]
+        np.testing.assert_allclose(
+            fast_run.models["mo"], slow_run.models["mo"], rtol=1e-9
+        )
+        assert fast_run.engine_stats == slow_run.engine_stats
+        assert fast_run.access_stats == slow_run.access_stats
+
+
+class TestBulkStriderWalk:
+    """Bulk page walk == instruction interpreter on real Database pages."""
+
+    @pytest.mark.parametrize(
+        "schema,key,n_features",
+        [
+            (Schema.training_schema(6), "linear", 6),
+            (Schema.lrmf_schema(), "lrmf", 3),
+        ],
+        ids=["dense-float", "mixed-int-float"],
+    )
+    @pytest.mark.parametrize("page_size", [8 * 1024, 32 * 1024])
+    def test_payloads_and_stats_identical(self, schema, key, n_features, page_size):
+        layout = PageLayout(page_size=page_size)
+        data = generate_for_algorithm(key, 400, n_features, LRMF_TOPOLOGY, seed=9)
+        db = Database(page_size=page_size)
+        db.load_table("t", schema, data)
+        strider = Strider(compile_strider(layout, schema).program)
+        assert strider._page_walk is not None
+        pages = 0
+        for _no, image in db.table("t").scan_pages(db.buffer_pool):
+            oracle = strider.process_page(image)
+            bulk = strider.process_page_bulk(image)
+            assert bulk.payloads == oracle.payloads
+            assert bulk.stats == oracle.stats
+            pages += 1
+        assert pages >= 1
+
+    def test_non_canonical_program_falls_back_to_interpreter(self):
+        from repro.isa.strider_isa import (
+            StriderInstruction,
+            StriderOpcode,
+            StriderProgram,
+            imm,
+            tr,
+        )
+
+        program = StriderProgram(
+            instructions=[
+                StriderInstruction(StriderOpcode.READB, imm(0), imm(8), tr(0)),
+                StriderInstruction(StriderOpcode.CLN, imm(0), imm(0), imm(2)),
+            ],
+            constants={},
+        )
+        strider = Strider(program)
+        assert strider._page_walk is None
+        page = bytes(64)
+        oracle = strider.process_page(page)
+        bulk = strider.process_page_bulk(page)
+        assert bulk.payloads == oracle.payloads
+        assert bulk.stats == oracle.stats
+
+    def test_aliased_config_register_rejected(self):
+        # A program that is shaped like the page walk but resolves a static
+        # operand from a config register that a header READB overwrites at
+        # runtime must not match: the constant-pool value would be stale.
+        from repro.isa.strider_isa import cr
+
+        layout = PageLayout(page_size=8 * 1024)
+        schema = Schema.training_schema(4)
+        result = compile_strider(layout, schema)
+        program = result.program
+        # Rewrite the cursor-init base to alias header read #1's destination
+        # (CR_FREE_START) while planting a bogus constant for it.
+        aliased_reg = program.instructions[1].op2.value
+        cursor_init = program.instructions[4]
+        patched = type(cursor_init)(
+            cursor_init.opcode, cursor_init.op0, cr(aliased_reg), cursor_init.op2
+        )
+        program.instructions[4] = patched
+        program.constants[aliased_reg] = layout.line_pointer_start + 4  # stale lie
+        strider = Strider(program)
+        assert strider._page_walk is None
+        data = generate_for_algorithm("linear", 50, 4, seed=6)
+        db = Database(page_size=8 * 1024)
+        db.load_table("t", schema, data)
+        for _no, image in db.table("t").scan_pages(db.buffer_pool):
+            oracle = strider.process_page(image)
+            bulk = strider.process_page_bulk(image)
+            assert bulk.payloads == oracle.payloads
+            assert bulk.stats == oracle.stats
+
+    def test_narrow_read_width_cycles_match(self):
+        layout = PageLayout(page_size=8 * 1024)
+        schema = Schema.training_schema(4)
+        data = generate_for_algorithm("linear", 120, 4, seed=2)
+        db = Database(page_size=8 * 1024)
+        db.load_table("t", schema, data)
+        strider = Strider(compile_strider(layout, schema).program, read_width_bytes=4)
+        for _no, image in db.table("t").scan_pages(db.buffer_pool):
+            assert strider.process_page_bulk(image).stats == strider.process_page(image).stats
+
+
+class TestVectorizedDecoder:
+    def test_matches_per_payload_decode(self):
+        for schema, key, nf in (
+            (Schema.training_schema(5), "linear", 5),
+            (Schema.lrmf_schema(), "lrmf", 3),
+        ):
+            data = generate_for_algorithm(key, 64, nf, LRMF_TOPOLOGY, seed=4)
+            decoder = PayloadDecoder(schema)
+            payloads = [schema.encode_row(tuple(row)) for row in data]
+            expected = np.vstack([decoder.decode(p) for p in payloads])
+            np.testing.assert_array_equal(decoder.decode_many(payloads), expected)
+
+    def test_empty_and_generator_inputs(self):
+        decoder = PayloadDecoder(Schema.training_schema(3))
+        assert decoder.decode_many([]).shape == (0, 4)
+        schema = Schema.training_schema(3)
+        rows = [(1.0, 2.0, 3.0, 1.0), (4.0, 5.0, 6.0, 0.0)]
+        payloads = (schema.encode_row(r) for r in rows)
+        np.testing.assert_allclose(decoder.decode_many(payloads), rows, rtol=1e-6)
+
+    def test_wrong_payload_size_rejected(self):
+        decoder = PayloadDecoder(Schema.training_schema(3))
+        with pytest.raises(HardwareError):
+            decoder.decode_many([b"\x00" * 3])
