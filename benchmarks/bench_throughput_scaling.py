@@ -16,6 +16,12 @@ schedule-derived cycle counters; the script asserts this before recording
 results in ``BENCH_throughput.json`` so future PRs have a perf trajectory
 to beat.
 
+The suite also sweeps the sharded execution subsystem (``segments=N``,
+:mod:`repro.cluster`) on a large synthetic workload: the lock-step
+executor evaluates every segment's batch in one segment-axis tape run, so
+wall-clock improves with segment count even on one core (and further on
+multicore, where the thread-pool path overlaps segments for real).
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_throughput_scaling.py [--smoke]
@@ -93,6 +99,70 @@ def bench_workload(algorithm_key: str, n_features: int, n_tuples: int, epochs: i
     }
 
 
+def bench_segment_sweep(
+    segment_counts: list[int],
+    n_tuples: int,
+    n_features: int,
+    epochs: int,
+    merge_coefficient: int = 16,
+    repeats: int = 2,
+) -> list[dict]:
+    """Wall-clock sweep of ``DAnA.train(..., segments=N)`` on one workload."""
+    algorithm_key = "linear"
+    algorithm = get_algorithm(algorithm_key)
+    hyper = Hyperparameters(
+        learning_rate=0.05, merge_coefficient=merge_coefficient, epochs=epochs
+    )
+    spec = algorithm.build_spec(n_features, hyper)
+    data = generate_for_algorithm(algorithm_key, n_tuples, n_features, seed=0)
+    database = Database(page_size=PAGE_SIZE)
+    database.load_table("t", spec.schema, data)
+    database.warm_cache("t")
+    system = DAnA(database)
+    system.register_udf(algorithm_key, spec, epochs=epochs)
+    system.compile_udf(algorithm_key, "t")  # compile outside the timed region
+    rows = []
+    baseline_s = None
+    baseline_loss = None
+    for segments in segment_counts:
+        best_s, run = None, None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run = system.train(algorithm_key, "t", epochs=epochs, segments=segments)
+            elapsed = time.perf_counter() - start
+            best_s = elapsed if best_s is None else min(best_s, elapsed)
+        # Every segment count must consume every tuple exactly once per epoch
+        # and still learn the same regression.
+        assert run.engine_stats.tuples_processed == n_tuples * epochs
+        loss = algorithm.loss(data, run.models)
+        if baseline_s is None:
+            baseline_s, baseline_loss = best_s, loss
+        assert loss <= max(baseline_loss * 1.5, 1e-6), (
+            f"segments={segments} lost model quality: {loss} vs {baseline_loss}"
+        )
+        rows.append(
+            {
+                "segments": segments,
+                "mode": run.cluster.mode,
+                "n_tuples": n_tuples,
+                "n_features": n_features,
+                "epochs": epochs,
+                "seconds": round(best_s, 6),
+                "tuples_per_sec": round(n_tuples * epochs / best_s, 1),
+                "wall_speedup_vs_1_segment": round(baseline_s / best_s, 2),
+                "critical_path_cycles": run.critical_path_cycles,
+                "loss": round(loss, 8),
+            }
+        )
+        print(
+            f"segments={segments:>2} ({run.cluster.mode:8s})  "
+            f"{rows[-1]['tuples_per_sec']:>12,.0f} t/s  "
+            f"wall speedup {rows[-1]['wall_speedup_vs_1_segment']:>5.2f}x  "
+            f"critical cycles {run.critical_path_cycles:,}"
+        )
+    return rows
+
+
 def run_suite(sizes: list[int], epochs: int) -> dict:
     rows = []
     for algorithm_key, n_features in WORKLOADS:
@@ -132,11 +202,31 @@ def main() -> None:
         default=10.0,
         help="fail unless the geomean speedup reaches this factor",
     )
+    parser.add_argument(
+        "--min-segment-speedup",
+        type=float,
+        default=1.5,
+        help="fail unless 4 segments beat 1 segment by this wall-clock factor",
+    )
     args = parser.parse_args()
     sizes = [512, 2048] if args.smoke else [1000, 4000, 16000]
     epochs = 2 if args.smoke else 3
     report = run_suite(sizes, epochs)
     print(f"geomean speedup: {report['geomean_speedup']:.1f}x")
+    print("\nsegment sweep (sharded execution, large synthetic workload):")
+    if args.smoke:
+        sweep = bench_segment_sweep([1, 2, 4], n_tuples=4096, n_features=16, epochs=2)
+    else:
+        sweep = bench_segment_sweep(
+            [1, 2, 4, 8], n_tuples=32768, n_features=32, epochs=3
+        )
+    report["segment_sweep"] = {
+        "description": (
+            "Wall-clock sweep of DAnA.train(segments=N) on the large "
+            "synthetic linear workload; lock-step segment-axis execution"
+        ),
+        "rows": sweep,
+    }
     if not args.smoke:
         RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {RESULT_PATH}")
@@ -144,6 +234,17 @@ def main() -> None:
         raise SystemExit(
             f"geomean speedup {report['geomean_speedup']:.1f}x is below the "
             f"required {args.min_speedup:.1f}x"
+        )
+    # The sharded gate holds in smoke mode too (CI regressions must fail),
+    # but capped at a noise-tolerant bar for the tiny smoke workload.
+    required = (
+        min(args.min_segment_speedup, 1.2) if args.smoke else args.min_segment_speedup
+    )
+    at_four = next(r for r in sweep if r["segments"] == 4)
+    if at_four["wall_speedup_vs_1_segment"] < required:
+        raise SystemExit(
+            f"4-segment wall speedup {at_four['wall_speedup_vs_1_segment']:.2f}x "
+            f"is below the required {required:.2f}x"
         )
 
 

@@ -53,7 +53,10 @@ class LinearRegression(Algorithm):
             return {"x": row[:n_features], "y": float(row[n_features])}
 
         def bind_batch(rows: np.ndarray) -> dict[str, np.ndarray]:
-            return {"x": rows[:, :n_features], "y": rows[:, n_features]}
+            # Ellipsis indexing keeps the binder layout-agnostic: it slices
+            # the trailing column axis of both a plain (B, cols) batch and
+            # the sharded lock-step (B, segments, cols) block.
+            return {"x": rows[..., :n_features], "y": rows[..., n_features]}
 
         return AlgorithmSpec(
             name=self.key,

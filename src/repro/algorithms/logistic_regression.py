@@ -53,7 +53,7 @@ class LogisticRegression(Algorithm):
             return {"x": row[:n_features], "y": float(row[n_features])}
 
         def bind_batch(rows: np.ndarray) -> dict[str, np.ndarray]:
-            return {"x": rows[:, :n_features], "y": rows[:, n_features]}
+            return {"x": rows[..., :n_features], "y": rows[..., n_features]}
 
         return AlgorithmSpec(
             name=self.key,

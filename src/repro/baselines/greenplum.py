@@ -18,6 +18,7 @@ import numpy as np
 from repro.algorithms import Hyperparameters, get_algorithm
 from repro.algorithms.base import AlgorithmSpec
 from repro.baselines.madlib import MADlibRunner
+from repro.cluster.aggregator import ModelAggregator
 from repro.rdbms.database import Database
 from repro.rdbms.query import QueryResult
 
@@ -52,6 +53,10 @@ class GreenplumRunner:
         self.spec = spec
         self.segments = segments
         self.epochs = epochs if epochs is not None else spec.algo.convergence.epoch_bound
+        # The UDA merge/final stage is the same ModelAggregator the sharded
+        # DAnA subsystem uses (model averaging), so the functional baseline
+        # and the accelerated path cannot drift apart.
+        self.aggregator = ModelAggregator("average")
 
     @property
     def system_name(self) -> str:
@@ -90,10 +95,7 @@ class GreenplumRunner:
         return [rows[i :: self.segments] for i in range(self.segments)]
 
     def _merge_models(self, segment_models: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
-        merged: dict[str, np.ndarray] = {}
-        for name in segment_models[0]:
-            merged[name] = np.mean([m[name] for m in segment_models], axis=0)
-        return merged
+        return self.aggregator.merge(segment_models)
 
 
 class _InMemoryMADlib:

@@ -1,0 +1,36 @@
+"""Sharded multi-segment execution: one DAnA accelerator per segment.
+
+The functional counterpart of the paper's Greenplum deployment (Figure 13):
+heap pages are partitioned across segments, each segment runs its own
+Strider page walk and execution engine, and per-segment models are merged
+every epoch on a cluster-level tree bus.
+"""
+
+from repro.cluster.aggregator import AGGREGATION_STRATEGIES, ModelAggregator
+from repro.cluster.partitioner import (
+    PARTITION_STRATEGIES,
+    PagePartition,
+    Partitioner,
+)
+from repro.cluster.segment_worker import SegmentWorker
+from repro.cluster.sharded import (
+    ClusterStats,
+    EXECUTION_STRATEGIES,
+    SegmentReport,
+    ShardedDAnA,
+    ShardedRunResult,
+)
+
+__all__ = [
+    "AGGREGATION_STRATEGIES",
+    "ClusterStats",
+    "EXECUTION_STRATEGIES",
+    "ModelAggregator",
+    "PARTITION_STRATEGIES",
+    "PagePartition",
+    "Partitioner",
+    "SegmentReport",
+    "SegmentWorker",
+    "ShardedDAnA",
+    "ShardedRunResult",
+]

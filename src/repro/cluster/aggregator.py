@@ -1,0 +1,116 @@
+"""Cross-segment model merging (the UDA ``merge``/``final`` stage).
+
+After every training epoch each segment holds its own partial model; the
+aggregator combines them into the next epoch's global model.  Two
+strategies cover the algorithms in the paper:
+
+* ``average`` — plain model averaging, the classic MADlib/Greenplum UDA
+  merge for the convex gradient-descent algorithms (linear/logistic/SVM);
+* ``gradient_sum`` — treats each segment's model as ``base + delta`` and
+  sums the deltas onto the shared base.  This is the right combination for
+  row-addressed (gathered) models such as LRMF's factor matrices: page
+  partitions touch mostly-disjoint factor rows, so summing displacements
+  applies every segment's rows while leaving untouched rows exactly at the
+  base value (averaging would shrink every update by ``1/segments``).
+
+The aggregator is the *single* merge implementation in the repo: the
+functional :class:`~repro.baselines.greenplum.GreenplumRunner` baseline and
+the sharded DAnA subsystem both consume it, so the two paths cannot drift.
+When a :class:`~repro.hw.tree_bus.TreeBus` is attached, every merge books
+its cycle cost on the bus — combining ``S`` segment models of ``E``
+elements costs ``ceil(log2(S))`` levels, exactly like the intra-engine
+thread merge.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.hw.tree_bus import TreeBus
+
+AGGREGATION_STRATEGIES = ("average", "gradient_sum")
+
+Models = dict[str, np.ndarray]
+
+
+class ModelAggregator:
+    """Combines per-segment models into one global model per epoch."""
+
+    def __init__(self, strategy: str = "average", tree_bus: TreeBus | None = None) -> None:
+        if strategy not in AGGREGATION_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown aggregation strategy {strategy!r}; "
+                f"expected one of {AGGREGATION_STRATEGIES}"
+            )
+        self.strategy = strategy
+        self.tree_bus = tree_bus
+
+    # ------------------------------------------------------------------ #
+    # merging
+    # ------------------------------------------------------------------ #
+    def merge(
+        self,
+        segment_models: Sequence[Mapping[str, np.ndarray]],
+        base: Mapping[str, np.ndarray] | None = None,
+    ) -> Models:
+        """Merge a list of per-segment model dicts.
+
+        ``base`` is the epoch-start global model; it is required by the
+        ``gradient_sum`` strategy (the value the deltas are measured from).
+        """
+        if not segment_models:
+            raise ConfigurationError("cannot merge an empty set of segment models")
+        merged: Models = {}
+        for name in segment_models[0]:
+            stacked = np.stack(
+                [np.asarray(m[name], dtype=np.float64) for m in segment_models]
+            )
+            merged[name] = self._combine(name, stacked, base)
+        return merged
+
+    def merge_stacked(
+        self,
+        stacked_models: Mapping[str, np.ndarray],
+        base: Mapping[str, np.ndarray] | None = None,
+    ) -> Models:
+        """Merge models already stacked on a leading segment axis.
+
+        This is the zero-copy entry point for the lock-step executor, which
+        keeps every model as one ``(segments, ...)`` array.
+        """
+        return {
+            name: self._combine(name, np.asarray(value, dtype=np.float64), base)
+            for name, value in stacked_models.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _combine(
+        self,
+        name: str,
+        stacked: np.ndarray,
+        base: Mapping[str, np.ndarray] | None,
+    ) -> np.ndarray:
+        segments = stacked.shape[0]
+        self._account(segments, int(np.prod(stacked.shape[1:], dtype=np.int64)))
+        if segments == 1:
+            # One segment: the merge is the identity (and must be *bitwise*
+            # the identity, so segments=1 reproduces the single-engine path
+            # exactly under either strategy).
+            return np.array(stacked[0], dtype=np.float64)
+        if self.strategy == "average":
+            return np.mean(stacked, axis=0)
+        if base is None or name not in base:
+            raise ConfigurationError(
+                "gradient_sum aggregation needs the epoch-start base model"
+            )
+        base_value = np.asarray(base[name], dtype=np.float64)
+        return base_value + np.sum(stacked - base_value, axis=0)
+
+    def _account(self, segments: int, element_count: int) -> None:
+        if self.tree_bus is not None and segments >= 1 and element_count > 0:
+            self.tree_bus.account_merge(segments, element_count)

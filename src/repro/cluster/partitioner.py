@@ -1,0 +1,90 @@
+"""Heap-page partitioning across segments (Greenplum-style distribution).
+
+Greenplum distributes a table's tuples across segments at load time; each
+segment's MADlib instance (or, in the paper's deployment, its attached DAnA
+accelerator) then trains on its local slice.  The reproduction keeps one
+heap file per table, so distribution happens at *page* granularity instead:
+the :class:`Partitioner` assigns every heap page of a table to exactly one
+segment, and each :class:`~repro.cluster.segment_worker.SegmentWorker`
+streams only its own pages through its own Strider-based access engine.
+
+Two strategies are provided:
+
+* ``round_robin`` — page ``i`` goes to segment ``i % segments``; partitions
+  differ in size by at most one page and preserve storage order inside a
+  segment (the default, and what Greenplum's ``DISTRIBUTED RANDOMLY``
+  degenerates to for a bulk-loaded table);
+* ``hash`` — a seeded multiplicative hash of the page number (Knuth's
+  2654435761 constant) picks the segment, modelling hash distribution on a
+  synthetic distribution key.
+
+Both strategies are pure functions of ``(page_count, segments, seed)``, so
+a fixed seed makes the whole sharded run reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rdbms.database import Database
+
+#: Knuth's multiplicative hashing constant (golden ratio of 2**32).
+_KNUTH_MIX = 2654435761
+_HASH_MOD = 1 << 32
+
+PARTITION_STRATEGIES = ("round_robin", "hash")
+
+
+@dataclass(frozen=True)
+class PagePartition:
+    """The heap pages one segment owns."""
+
+    segment_id: int
+    page_nos: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.page_nos)
+
+
+class Partitioner:
+    """Deterministically assigns a table's heap pages to segments."""
+
+    def __init__(self, strategy: str = "round_robin", seed: int = 0) -> None:
+        if strategy not in PARTITION_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown partition strategy {strategy!r}; "
+                f"expected one of {PARTITION_STRATEGIES}"
+            )
+        self.strategy = strategy
+        self.seed = int(seed)
+
+    def partition(self, page_count: int, segments: int) -> list[PagePartition]:
+        """Split ``page_count`` heap pages into ``segments`` partitions."""
+        if segments < 1:
+            raise ConfigurationError("a sharded run needs at least one segment")
+        if page_count < 0:
+            raise ConfigurationError("page_count cannot be negative")
+        assignments: list[list[int]] = [[] for _ in range(segments)]
+        if self.strategy == "round_robin":
+            for page_no in range(page_count):
+                assignments[page_no % segments].append(page_no)
+        else:  # hash
+            for page_no in range(page_count):
+                mixed = ((page_no + 1) * _KNUTH_MIX + self.seed) % _HASH_MOD
+                assignments[mixed % segments].append(page_no)
+        return [
+            PagePartition(segment_id=i, page_nos=tuple(pages))
+            for i, pages in enumerate(assignments)
+        ]
+
+    def partition_table(
+        self, database: "Database", table_name: str, segments: int
+    ) -> list[PagePartition]:
+        """Partition a catalogued table's heap pages across segments."""
+        entry = database.catalog.table(table_name)  # raises for unknown tables
+        page_count = database.storage.page_count(entry.file_name)
+        return self.partition(page_count, segments)

@@ -1,0 +1,118 @@
+"""One segment's slice of a sharded run: its own DAnA accelerator.
+
+The paper's Greenplum deployment attaches one DAnA accelerator to every
+segment; a :class:`SegmentWorker` is that pairing in the reproduction.  It
+owns a full :class:`~repro.hw.accelerator.DAnAAccelerator` instance
+(access engine with its own Striders + execution engine with its own
+thread schedule and tree bus), streams only its partition's heap pages,
+and trains one epoch at a time from whatever global model the cross-segment
+merge produced — so per-segment hardware counters are exactly what a
+stand-alone accelerator over the same pages would report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.partitioner import PagePartition
+from repro.hw.accelerator import DAnAAccelerator
+from repro.hw.execution_engine import TrainingResult
+from repro.rdbms.buffer_pool import BufferPool
+from repro.rdbms.heapfile import HeapFile
+
+from repro.algorithms.base import AlgorithmSpec
+
+
+@dataclass
+class SegmentWorker:
+    """One segment: a page partition bound to its own accelerator."""
+
+    segment_id: int
+    accelerator: DAnAAccelerator
+    partition: PagePartition
+    rng: np.random.Generator | None = None
+    rows: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def engine(self):
+        return self.accelerator.execution_engine
+
+    @property
+    def access_stats(self):
+        return self.accelerator.access_engine.stats
+
+    @property
+    def tuples_extracted(self) -> int:
+        return 0 if self.rows is None else len(self.rows)
+
+    # ------------------------------------------------------------------ #
+    # access engine: partition extraction
+    # ------------------------------------------------------------------ #
+    def extract(
+        self, heapfile: HeapFile, pool: BufferPool, use_striders: bool = True
+    ) -> np.ndarray:
+        """Materialise this segment's pages as the training-tuple matrix.
+
+        ``use_striders=True`` streams the raw page images through this
+        segment's access engine (the paper's path, with cycle accounting);
+        ``False`` models the CPU feeding the engine directly — the tuples
+        are decoded by the RDBMS layer and no Strider activity is booked.
+        """
+        if use_striders:
+            images = (
+                image
+                for _no, image in heapfile.scan_pages(pool, self.partition.page_nos)
+            )
+            self.rows = self.accelerator.access_engine.extract_table(images)
+            return self.rows
+        from repro.rdbms.page import HeapPage
+
+        tuples: list[tuple] = []
+        for _no, image in heapfile.scan_pages(pool, self.partition.page_nos):
+            page = HeapPage.from_bytes(image, heapfile.layout)
+            tuples.extend(page.tuples(heapfile.schema))
+        self.rows = (
+            np.asarray(tuples, dtype=np.float64)
+            if tuples
+            else np.empty((0, len(heapfile.schema)))
+        )
+        return self.rows
+
+    def epoch_rows(self, shuffle: bool) -> np.ndarray:
+        """This epoch's tuple order (per-segment seeded shuffle)."""
+        assert self.rows is not None, "extract() must run before training"
+        if not shuffle or len(self.rows) == 0:
+            return self.rows
+        if self.rng is None:
+            # Materialise the fallback generator once so its stream advances
+            # across epochs (a fresh rng per call would replay one
+            # permutation forever).
+            self.rng = np.random.default_rng(0)
+        order = np.arange(len(self.rows))
+        self.rng.shuffle(order)
+        return self.rows[order]
+
+    # ------------------------------------------------------------------ #
+    # execution engine: one epoch from the merged global model
+    # ------------------------------------------------------------------ #
+    def train_epoch(
+        self,
+        models: dict[str, np.ndarray],
+        spec: AlgorithmSpec,
+        shuffle: bool = False,
+        convergence_check: bool = True,
+    ) -> TrainingResult:
+        """Run one local epoch starting from the merged global model."""
+        assert self.rows is not None, "extract() must run before training"
+        return self.engine.train(
+            rows=self.rows,
+            initial_models=models,
+            bind_tuple=spec.bind_tuple,
+            epochs=1,
+            convergence_check=convergence_check,
+            bind_batch=spec.bind_batch,
+            shuffle=shuffle,
+            rng=self.rng,
+        )

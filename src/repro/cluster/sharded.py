@@ -1,0 +1,429 @@
+"""Sharded multi-segment execution: one DAnA accelerator per segment.
+
+The paper's scale-out deployment (Figure 13) attaches one DAnA accelerator
+to every Greenplum segment; each accelerator trains on its segment's slice
+of the table and the per-segment models are combined every epoch — the
+classic UDA ``transition``/``merge``/``final`` structure that MADlib-style
+in-database analytics is built on.  :class:`ShardedDAnA` reproduces that
+deployment functionally on top of the PR-1 batched pipeline:
+
+* a :class:`~repro.cluster.partitioner.Partitioner` assigns heap pages to
+  segments through the RDBMS catalog;
+* every segment is a :class:`~repro.cluster.segment_worker.SegmentWorker`
+  owning a full accelerator instance (its own Striders, execution engine,
+  schedule-derived counters);
+* per-segment models are combined each epoch by a
+  :class:`~repro.cluster.aggregator.ModelAggregator`, whose cycle cost is
+  booked on a cluster-level :class:`~repro.hw.tree_bus.TreeBus` — the
+  software stand-in for the host-side merge the paper performs between
+  FPGAs.
+
+Two execution strategies produce identical per-segment counters:
+
+* ``lockstep`` (default for merge-based graphs with 2+ segments) — all
+  segments advance through their batch streams in lock step, and each step
+  is evaluated by **one** segment-axis :class:`CompiledTape` run over a
+  ``(B, S, ...)`` block.  This amortises the Python-side per-batch cost
+  over the segment axis, so sharding speeds the simulation up even on a
+  single core — and the NumPy kernels still release the GIL, so it scales
+  further with real cores;
+* ``threads`` — each segment trains its epoch independently on a thread
+  pool (NumPy kernels drop the GIL).  This is the only strategy for
+  row-addressed graphs (LRMF gathers cannot carry a segment axis) and the
+  parity oracle for ``lockstep``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cluster.aggregator import ModelAggregator
+from repro.cluster.partitioner import Partitioner
+from repro.cluster.segment_worker import SegmentWorker
+from repro.exceptions import ConfigurationError
+from repro.hw.access_engine import AccessEngineStats
+from repro.hw.accelerator import DAnAAccelerator
+from repro.hw.execution_engine import EngineRunStats
+from repro.hw.fpga import DEFAULT_FPGA, FPGASpec
+from repro.hw.tree_bus import TreeBus, TreeBusStats
+from repro.translator.hdfg import NodeKind
+from repro.translator.tape import CompiledTape, TapeCompilationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.base import AlgorithmSpec
+    from repro.compiler.execution_binary import ExecutionBinary
+    from repro.rdbms.database import Database
+
+EXECUTION_STRATEGIES = ("auto", "lockstep", "threads")
+
+
+@dataclass
+class SegmentReport:
+    """One segment's contribution to a sharded run."""
+
+    segment_id: int
+    pages: int
+    tuples_extracted: int
+    engine_stats: EngineRunStats
+    access_stats: AccessEngineStats
+
+    @property
+    def cycles(self) -> int:
+        """This segment's modelled path: AXI transfer + Striders + engine.
+
+        The single definition of a segment's cycle cost — the run result
+        and :mod:`repro.perf.segment_model` both derive their critical
+        paths from it.
+        """
+        return (
+            self.engine_stats.total_cycles
+            + self.access_stats.strider_cycles_critical
+            + self.access_stats.axi_cycles
+        )
+
+
+@dataclass
+class ClusterStats:
+    """Cross-segment activity of one sharded run."""
+
+    segments: int
+    mode: str
+    partition_strategy: str
+    aggregation_strategy: str
+    epochs_run: int = 0
+    merges_performed: int = 0
+    tree_bus: TreeBusStats = field(default_factory=TreeBusStats)
+
+    @property
+    def cross_merge_cycles(self) -> int:
+        return self.tree_bus.cycles
+
+
+@dataclass
+class ShardedRunResult:
+    """Functional result + per-segment hardware activity of a sharded run."""
+
+    models: dict[str, np.ndarray]
+    epochs_run: int
+    converged: bool
+    segments: list[SegmentReport]
+    cluster: ClusterStats
+
+    # -- AcceleratorRunResult-compatible surface ------------------------ #
+    @property
+    def tuples_extracted(self) -> int:
+        return sum(s.tuples_extracted for s in self.segments)
+
+    @property
+    def engine_stats(self) -> EngineRunStats:
+        """Aggregate (summed) engine counters across segments."""
+        total = EngineRunStats()
+        for seg in self.segments:
+            total.tuples_processed += seg.engine_stats.tuples_processed
+            total.batches_processed += seg.engine_stats.batches_processed
+            total.update_rule_cycles += seg.engine_stats.update_rule_cycles
+            total.merge_cycles += seg.engine_stats.merge_cycles
+            total.post_merge_cycles += seg.engine_stats.post_merge_cycles
+            total.convergence_cycles += seg.engine_stats.convergence_cycles
+        total.epochs_completed = self.epochs_run
+        return total
+
+    @property
+    def access_stats(self) -> AccessEngineStats:
+        """Aggregate access counters (critical path = slowest segment)."""
+        total = AccessEngineStats()
+        for seg in self.segments:
+            total.pages_processed += seg.access_stats.pages_processed
+            total.tuples_extracted += seg.access_stats.tuples_extracted
+            total.bytes_transferred += seg.access_stats.bytes_transferred
+            total.axi_cycles += seg.access_stats.axi_cycles
+            total.strider_cycles_total += seg.access_stats.strider_cycles_total
+            total.shifter_cycles += seg.access_stats.shifter_cycles
+        if self.segments:
+            total.strider_cycles_critical = max(
+                seg.access_stats.strider_cycles_critical for seg in self.segments
+            )
+        return total
+
+    @property
+    def critical_path_cycles(self) -> int:
+        """Modelled wall-clock cycles: slowest segment + cross-segment merge.
+
+        Segments run concurrently (one accelerator each), so the epoch
+        critical path is the slowest segment's engine + access time plus
+        the serial cross-segment merge on the cluster tree bus.
+        """
+        if not self.segments:
+            return self.cluster.cross_merge_cycles
+        slowest = max(seg.cycles for seg in self.segments)
+        return slowest + self.cluster.cross_merge_cycles
+
+
+class ShardedDAnA:
+    """Executes one compiled UDF across N per-segment DAnA accelerators."""
+
+    def __init__(
+        self,
+        database: "Database",
+        binary: "ExecutionBinary",
+        spec: "AlgorithmSpec",
+        segments: int,
+        fpga: FPGASpec = DEFAULT_FPGA,
+        partition_strategy: str = "round_robin",
+        aggregation: str | None = None,
+        execution: str = "auto",
+        seed: int = 0,
+        use_striders: bool = True,
+    ) -> None:
+        if segments < 1:
+            raise ConfigurationError("a sharded run needs at least one segment")
+        if execution not in EXECUTION_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown execution strategy {execution!r}; "
+                f"expected one of {EXECUTION_STRATEGIES}"
+            )
+        self.database = database
+        self.binary = binary
+        self.spec = spec
+        self.segments = segments
+        self.fpga = fpga
+        self.seed = int(seed)
+        self.use_striders = use_striders
+        self.partitioner = Partitioner(partition_strategy, seed=seed)
+        self._row_addressed = any(
+            node.kind is NodeKind.GATHER for node in binary.graph.nodes()
+        )
+        self.aggregation_strategy = aggregation or (
+            "gradient_sum" if self._row_addressed else "average"
+        )
+        ModelAggregator(self.aggregation_strategy)  # fail fast on bad strategy
+        self.execution = execution
+        #: workers of the most recent :meth:`train` call (for introspection).
+        self.workers: list[SegmentWorker] = []
+        # The segment-axis tape is compiled once per sharded run; graphs it
+        # cannot carry (gathers) fall back to per-segment execution.
+        self._segment_tape: CompiledTape | None = None
+        if segments > 1 and spec.bind_batch is not None and execution != "threads":
+            try:
+                self._segment_tape = CompiledTape(binary.graph, segment_axis=True)
+            except TapeCompilationError:
+                self._segment_tape = None
+        if execution == "lockstep" and self._segment_tape is None:
+            raise ConfigurationError(
+                "lockstep execution requires a merge-based graph with a batch "
+                "binder and at least two segments"
+            )
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    @property
+    def mode(self) -> str:
+        return "lockstep" if self._segment_tape is not None else "threads"
+
+    def train(
+        self,
+        table_name: str,
+        epochs: int,
+        shuffle: bool = False,
+        convergence_check: bool = True,
+    ) -> ShardedRunResult:
+        """Extract every partition, then run merge-synchronised epochs."""
+        heapfile = self.database.table(table_name)
+        pool = self.database.buffer_pool
+        # One accelerator per segment, all generated from the same compiled
+        # binary (same design, same Strider program, same schedule).  Fresh
+        # instances per run keep per-segment counters clean, and re-deriving
+        # the spawned seeds makes repeated runs bit-identical.  A single
+        # segment draws from default_rng(seed) directly — the same stream
+        # the single-engine path consumes — so segments=1 stays bit-exact
+        # even with shuffle=True.
+        if self.segments == 1:
+            rngs = [np.random.default_rng(self.seed)]
+        else:
+            rngs = [
+                np.random.default_rng(s)
+                for s in np.random.SeedSequence(self.seed).spawn(self.segments)
+            ]
+        self.workers = [
+            SegmentWorker(
+                segment_id=i,
+                accelerator=DAnAAccelerator(
+                    binary=self.binary, schema=self.spec.schema, fpga=self.fpga
+                ),
+                partition=part,
+                rng=rngs[i],
+            )
+            for i, part in enumerate(
+                self.partitioner.partition_table(self.database, table_name, self.segments)
+            )
+        ]
+        for worker in self.workers:
+            worker.extract(heapfile, pool, use_striders=self.use_striders)
+        models = {
+            k: np.array(v, dtype=np.float64) for k, v in self.spec.initial_models.items()
+        }
+        # Fresh cluster bus + aggregator per run so counters describe this
+        # run only (the aggregator books every cross-segment merge on it).
+        self.cluster_bus = TreeBus(alu_count=self.binary.design.aus_per_cluster)
+        self.aggregator = ModelAggregator(
+            self.aggregation_strategy, tree_bus=self.cluster_bus
+        )
+        cluster = ClusterStats(
+            segments=self.segments,
+            mode=self.mode,
+            partition_strategy=self.partitioner.strategy,
+            aggregation_strategy=self.aggregator.strategy,
+            tree_bus=self.cluster_bus.stats,
+        )
+        converged = False
+        executor: ThreadPoolExecutor | None = None
+        if self.mode == "lockstep":
+            run_epoch = self._lockstep_runner(shuffle, convergence_check)
+        else:
+            max_workers = min(self.segments, max(1, os.cpu_count() or 1))
+            active = sum(1 for w in self.workers if len(w.rows))
+            if max_workers > 1 and active > 1:
+                # NumPy kernels release the GIL, so per-segment epochs run
+                # with real wall-clock overlap on multicore hosts; one
+                # executor serves every epoch of the run.
+                executor = ThreadPoolExecutor(max_workers=max_workers)
+            run_epoch = self._threads_runner(shuffle, convergence_check, executor)
+        has_rows = any(len(w.rows) for w in self.workers)
+        try:
+            for _epoch in range(epochs):
+                models, epoch_converged = run_epoch(models)
+                cluster.epochs_run += 1
+                if has_rows:
+                    cluster.merges_performed += 1
+                if convergence_check and epoch_converged:
+                    converged = True
+                    break
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+        reports = [
+            SegmentReport(
+                segment_id=w.segment_id,
+                pages=len(w.partition),
+                tuples_extracted=w.tuples_extracted,
+                engine_stats=w.engine.stats,
+                access_stats=w.access_stats,
+            )
+            for w in self.workers
+        ]
+        return ShardedRunResult(
+            models=models,
+            epochs_run=cluster.epochs_run,
+            converged=converged,
+            segments=reports,
+            cluster=cluster,
+        )
+
+    # ------------------------------------------------------------------ #
+    # threads strategy (per-segment engines on a pool; LRMF + oracle)
+    # ------------------------------------------------------------------ #
+    def _threads_runner(self, shuffle, convergence_check, executor):
+        active = [w for w in self.workers if len(w.rows)]
+
+        def run_epoch(models):
+            if not active:
+                return models, False
+            if executor is not None:
+                futures = [
+                    executor.submit(
+                        w.train_epoch, models, self.spec, shuffle, convergence_check
+                    )
+                    for w in active
+                ]
+                results = [f.result() for f in futures]
+            else:
+                results = [
+                    w.train_epoch(models, self.spec, shuffle, convergence_check)
+                    for w in active
+                ]
+            merged = self.aggregator.merge([r.models for r in results], base=models)
+            return merged, all(r.converged for r in results)
+
+        return run_epoch
+
+    # ------------------------------------------------------------------ #
+    # lockstep strategy (segment-axis tape; merge-based graphs)
+    # ------------------------------------------------------------------ #
+    def _lockstep_runner(self, shuffle, convergence_check):
+        tape = self._segment_tape
+        workers = [w for w in self.workers if len(w.rows)]
+        batch_size = self.workers[0].engine.batch_size
+        bind_batch = self.spec.bind_batch
+        # Without shuffling the (steps*B, S, cols) block is identical every
+        # epoch; stack it once instead of once per epoch.
+        static_block: np.ndarray | None = None
+
+        def run_epoch(models):
+            nonlocal static_block
+            if not workers:
+                return models, False
+            stacked_models = {
+                name: np.broadcast_to(
+                    np.asarray(value, dtype=np.float64), (len(workers),) + np.shape(value)
+                ).copy()
+                for name, value in models.items()
+            }
+            epoch_rows = [w.epoch_rows(shuffle) for w in workers]
+            steps = min(len(rows) // batch_size for rows in epoch_rows)
+            env = None
+            if steps:
+                if shuffle or static_block is None:
+                    block = np.stack(
+                        [rows[: steps * batch_size] for rows in epoch_rows], axis=1
+                    )
+                    if not shuffle:
+                        static_block = block
+                else:
+                    block = static_block
+                for k in range(steps):
+                    chunk = block[k * batch_size : (k + 1) * batch_size]
+                    env = tape.run(bind_batch(chunk), stacked_models)
+                    tape.apply_updates(env, stacked_models)
+                for w in workers:
+                    w.engine.account_batches(batch_size, steps)
+            # Per-segment convergence verdicts from the last vector step;
+            # segments with tail batches get their verdict overwritten below
+            # from their true final batch — exactly what the threads oracle
+            # (one engine epoch per segment) reports.
+            flags = np.zeros(len(workers), dtype=bool)
+            if convergence_check and env is not None:
+                value = tape.convergence_value(env)
+                if value is not None:
+                    flags = np.broadcast_to(
+                        np.atleast_1d(value) > 0.5, (len(workers),)
+                    ).copy()
+            # Ragged tails (uneven partitions) run per segment through each
+            # worker's own single-segment tape, so every tuple is consumed.
+            for s, w in enumerate(workers):
+                rows = epoch_rows[s]
+                seg_tape = w.engine.tape
+                seg_models = {name: stacked_models[name][s] for name in stacked_models}
+                tail_env = None
+                for start in range(steps * batch_size, len(rows), batch_size):
+                    batch = rows[start : start + batch_size]
+                    tail_env = seg_tape.run(bind_batch(batch), seg_models)
+                    seg_tape.apply_updates(tail_env, seg_models)
+                    w.engine.account_batch(len(batch))
+                if tail_env is not None:
+                    for name in stacked_models:
+                        stacked_models[name][s] = seg_models[name]
+                    if convergence_check:
+                        flags[s] = seg_tape.convergence_reached(tail_env)
+                w.engine.account_epoch_end()
+                w.engine.stats.epochs_completed += 1
+            converged = convergence_check and bool(flags.all())
+            merged = self.aggregator.merge_stacked(stacked_models, base=models)
+            return merged, converged
+
+        return run_epoch

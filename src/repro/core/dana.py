@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.algorithms import Hyperparameters, get_algorithm
 from repro.algorithms.base import AlgorithmSpec
+from repro.cluster import ShardedDAnA, ShardedRunResult
 from repro.compiler import ExecutionBinary, HardwareGenerator, Scheduler
 from repro.exceptions import ConfigurationError
 from repro.hw import DAnAAccelerator, DEFAULT_FPGA, FPGASpec
@@ -158,11 +159,44 @@ class DAnA:
         return self.database.execute(sql)
 
     def train(
-        self, udf_name: str, table_name: str, epochs: int | None = None
-    ) -> AcceleratorRunResult:
-        """Train a registered UDF over a table without going through SQL."""
+        self,
+        udf_name: str,
+        table_name: str,
+        epochs: int | None = None,
+        segments: int | None = None,
+        partition_strategy: str = "round_robin",
+        aggregation: str | None = None,
+        execution: str = "auto",
+        shuffle: bool = False,
+        seed: int = 0,
+    ) -> AcceleratorRunResult | ShardedRunResult:
+        """Train a registered UDF over a table without going through SQL.
+
+        ``segments=None`` (the default) runs the classic single-accelerator
+        path.  ``segments=N`` deploys one DAnA accelerator per segment
+        (:mod:`repro.cluster`): heap pages are partitioned with
+        ``partition_strategy``, per-segment models are combined every epoch
+        with ``aggregation`` (auto-selected per algorithm when ``None``),
+        and ``execution`` picks the lock-step vectorized or thread-pool
+        strategy.  A fixed ``seed`` makes sharded runs — including
+        ``shuffle=True`` epoch orders — bit-reproducible.
+        """
         registered = self._registered(udf_name)
-        return self._run_accelerator(registered, table_name, epochs)
+        if segments is None:
+            return self._run_accelerator(
+                registered, table_name, epochs, shuffle=shuffle, seed=seed
+            )
+        return self._run_sharded(
+            registered,
+            table_name,
+            epochs,
+            segments=segments,
+            partition_strategy=partition_strategy,
+            aggregation=aggregation,
+            execution=execution,
+            shuffle=shuffle,
+            seed=seed,
+        )
 
     # ------------------------------------------------------------------ #
     # internals
@@ -189,13 +223,19 @@ class DAnA:
         )
 
     def _run_accelerator(
-        self, registered: RegisteredUDF, table_name: str, epochs: int | None
+        self,
+        registered: RegisteredUDF,
+        table_name: str,
+        epochs: int | None,
+        shuffle: bool = False,
+        seed: int = 0,
     ) -> AcceleratorRunResult:
         self.compile_udf(registered.name, table_name)
         accelerator = registered.accelerators[table_name]
         spec = registered.spec
         table = self.database.table(table_name)
         run_epochs = epochs or registered.epochs or spec.algo.convergence.epoch_bound
+        rng = np.random.default_rng(seed) if shuffle else None
         page_images = (image for _no, image in table.scan_pages(self.database.buffer_pool))
         if self.use_striders:
             return accelerator.train_from_pages(
@@ -204,6 +244,8 @@ class DAnA:
                 bind_tuple=spec.bind_tuple,
                 epochs=run_epochs,
                 bind_batch=spec.bind_batch,
+                shuffle=shuffle,
+                rng=rng,
             )
         rows = table.read_all(self.database.buffer_pool)
         return accelerator.train_from_rows(
@@ -212,4 +254,36 @@ class DAnA:
             bind_tuple=spec.bind_tuple,
             epochs=run_epochs,
             bind_batch=spec.bind_batch,
+            shuffle=shuffle,
+            rng=rng,
         )
+
+    def _run_sharded(
+        self,
+        registered: RegisteredUDF,
+        table_name: str,
+        epochs: int | None,
+        segments: int,
+        partition_strategy: str,
+        aggregation: str | None,
+        execution: str,
+        shuffle: bool,
+        seed: int,
+    ) -> ShardedRunResult:
+        """Deploy one accelerator per segment and train with epoch merges."""
+        binary = self.compile_udf(registered.name, table_name)
+        spec = registered.spec
+        run_epochs = epochs or registered.epochs or spec.algo.convergence.epoch_bound
+        sharded = ShardedDAnA(
+            database=self.database,
+            binary=binary,
+            spec=spec,
+            segments=segments,
+            fpga=self.fpga,
+            partition_strategy=partition_strategy,
+            aggregation=aggregation,
+            execution=execution,
+            seed=seed,
+            use_striders=self.use_striders,
+        )
+        return sharded.train(table_name, epochs=run_epochs, shuffle=shuffle)

@@ -259,20 +259,96 @@ def fig12_thread_sweep(
 # ---------------------------------------------------------------------- #
 # Figure 13 — Greenplum segment sweep
 # ---------------------------------------------------------------------- #
-def fig13_greenplum_segments(segment_counts: Iterable[int] = (4, 8, 16)) -> list[dict]:
+#: Workloads whose functional sharded-DAnA column is populated by default
+#: (one merge-based and one row-addressed algorithm keeps the harness fast;
+#: pass ``functional_workloads=None`` to measure every real workload).
+FIG13_FUNCTIONAL_WORKLOADS = ("Remote Sensing LR", "Netflix")
+
+
+def _functional_segment_speedups(
+    workload: Workload,
+    segment_counts: Iterable[int],
+    epochs: int = 2,
+    seed: int = 0,
+) -> dict[int, float]:
+    """Measured sharded-DAnA speedups (vs 8 segments) at functional scale.
+
+    Runs the *functional* sharded subsystem (:mod:`repro.cluster`) on the
+    workload's laptop-scale dataset and normalises the measured
+    critical-path cycles — slowest segment plus cross-segment merge — to
+    the 8-segment deployment, mirroring the analytical column.
+    """
+    from repro.algorithms import Hyperparameters, get_algorithm
+    from repro.core import DAnA
+    from repro.perf.segment_model import measured_segment_sweep
+    from repro.rdbms import Database
+
+    algorithm = get_algorithm(workload.algorithm_key)
+    hyper = Hyperparameters(
+        learning_rate=workload.learning_rate,
+        merge_coefficient=workload.merge_coefficient,
+        epochs=epochs,
+    )
+    topology = workload.functional_topology()
+    n_features = (
+        topology[0] if workload.algorithm_key != "lrmf" else workload.func_features
+    )
+    spec = algorithm.build_spec(n_features, hyper, topology)
+    database = Database(page_size=8 * 1024)
+    database.load_table("training_data_table", spec.schema, workload.generate(seed=seed))
+    database.warm_cache("training_data_table")
+    system = DAnA(database)
+    system.register_udf("fig13", spec, epochs=epochs)
+    runs = {
+        segments: system.train(
+            "fig13", "training_data_table", epochs=epochs, segments=segments, seed=seed
+        )
+        for segments in sorted(set(segment_counts) | {8})
+    }
+    sweep = measured_segment_sweep(runs, reference_segments=8)
+    return {segments: row["speedup_vs_reference"] for segments, row in sweep.items()}
+
+
+def fig13_greenplum_segments(
+    segment_counts: Iterable[int] = (4, 8, 16),
+    functional_workloads: Iterable[str] | None = FIG13_FUNCTIONAL_WORKLOADS,
+    functional_epochs: int = 2,
+) -> list[dict]:
+    """Analytical Greenplum sweep + measured functional sharded-DAnA column.
+
+    The ``speedup_vs_8_segments`` column reproduces the paper's analytical
+    sweep; ``functional_speedup_vs_8_segments`` holds the same ratio
+    measured on the sharded execution subsystem's cycle counters (None for
+    the plain-PostgreSQL row and for workloads outside
+    ``functional_workloads``).
+    """
+    segment_counts = tuple(segment_counts)
     rows = []
     madlib = MADlibPostgresModel()
     reference = GreenplumModel(segments=8)
+    selected = (
+        {w.name for w in real_workloads()}
+        if functional_workloads is None
+        else set(functional_workloads)
+    )
     for workload in real_workloads():
         epochs = epochs_for(workload)
         reference_total = reference.estimate(workload, epochs).total
         paper = paper_values.FIG13_SEGMENTS.get(workload.name, {})
         postgres_total = madlib.estimate(workload, epochs).total
+        functional = (
+            _functional_segment_speedups(
+                workload, segment_counts, epochs=functional_epochs
+            )
+            if workload.name in selected
+            else {}
+        )
         rows.append(
             {
                 "workload": workload.name,
                 "segments": "postgres",
                 "speedup_vs_8_segments": round(reference_total / postgres_total, 2),
+                "functional_speedup_vs_8_segments": None,
                 "paper_value": paper.get("postgres"),
             }
         )
@@ -283,6 +359,7 @@ def fig13_greenplum_segments(segment_counts: Iterable[int] = (4, 8, 16)) -> list
                     "workload": workload.name,
                     "segments": segments,
                     "speedup_vs_8_segments": round(reference_total / total, 2),
+                    "functional_speedup_vs_8_segments": functional.get(segments),
                     "paper_value": paper.get(segments),
                 }
             )

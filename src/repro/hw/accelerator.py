@@ -82,6 +82,8 @@ class DAnAAccelerator:
         epochs: int,
         convergence_check: bool = True,
         bind_batch: BatchBinder | None = None,
+        shuffle: bool = False,
+        rng: np.random.Generator | None = None,
     ) -> AcceleratorRunResult:
         """Extract tuples with Striders, then train on the execution engine."""
         rows = self.access_engine.extract_table(page_images)
@@ -92,6 +94,8 @@ class DAnAAccelerator:
             epochs=epochs,
             convergence_check=convergence_check,
             bind_batch=bind_batch,
+            shuffle=shuffle,
+            rng=rng,
         )
         return AcceleratorRunResult(
             training=training,
@@ -108,6 +112,8 @@ class DAnAAccelerator:
         epochs: int,
         convergence_check: bool = True,
         bind_batch: BatchBinder | None = None,
+        shuffle: bool = False,
+        rng: np.random.Generator | None = None,
     ) -> AcceleratorRunResult:
         """Train on already-extracted tuples (the "without Striders" path)."""
         training = self.execution_engine.train(
@@ -117,6 +123,8 @@ class DAnAAccelerator:
             epochs=epochs,
             convergence_check=convergence_check,
             bind_batch=bind_batch,
+            shuffle=shuffle,
+            rng=rng,
         )
         return AcceleratorRunResult(
             training=training,

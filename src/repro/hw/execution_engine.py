@@ -194,6 +194,50 @@ class ExecutionEngine:
             models=models, epochs_run=epochs_run, converged=converged, stats=self.stats
         )
 
+    def account_batch(self, batch_len: int, account_tree_bus: bool = True) -> None:
+        """Book the schedule-derived cycle cost of one consumed batch.
+
+        Single source of truth for the engine cycle model: the engine's own
+        epoch loops call it per batch, and the cluster layer's lock-step
+        executor — which evaluates the same batch for many segments in one
+        tape run — calls it on each segment's engine, so sharded and
+        single-engine runs report identical per-segment counters.
+        ``account_tree_bus`` is False on paths where :meth:`TreeBus.merge`
+        itself books the bus activity.
+        """
+        self.account_batches(batch_len, 1, account_tree_bus=account_tree_bus)
+
+    def account_batches(
+        self, batch_len: int, count: int, account_tree_bus: bool = True
+    ) -> None:
+        """Bulk-book ``count`` identical batches of ``batch_len`` tuples.
+
+        Equivalent to ``count`` calls of :meth:`account_batch`; the sharded
+        lock-step executor uses it to book a whole epoch's full batches per
+        segment in O(1) instead of once per vector step.
+        """
+        if count < 1:
+            return
+        self.stats.batches_processed += count
+        self.stats.tuples_processed += count * batch_len
+        # Timing: the threads run in lock-step, so a batch needs
+        # ceil(batch / threads) engine rounds before the merge.
+        rounds = math.ceil(batch_len / self.threads)
+        self.stats.update_rule_cycles += count * rounds * self.schedule.update_rule_cycles
+        self.stats.merge_cycles += count * self.tree_bus.merge_cycles(
+            min(batch_len, self.threads), self._merge_elements
+        )
+        self.stats.post_merge_cycles += count * self.schedule.post_merge_cycles
+        if account_tree_bus:
+            for merge_node in self._merge_nodes:
+                self.tree_bus.account_merge(
+                    batch_len, merge_node.element_count, repeat=count
+                )
+
+    def account_epoch_end(self) -> None:
+        """Book the once-per-epoch convergence-check cycles."""
+        self.stats.convergence_cycles += self.schedule.convergence_cycles
+
     def _train_one_epoch_tape(
         self,
         rows: np.ndarray,
@@ -208,17 +252,8 @@ class ExecutionEngine:
             batch = rows[start : start + batch_size]
             env = tape.run(bind_batch(batch), models)
             tape.apply_updates(env, models)
-            self.stats.batches_processed += 1
-            self.stats.tuples_processed += len(batch)
-            rounds = math.ceil(len(batch) / self.threads)
-            self.stats.update_rule_cycles += rounds * self.schedule.update_rule_cycles
-            self.stats.merge_cycles += self.tree_bus.merge_cycles(
-                min(len(batch), self.threads), self._merge_elements
-            )
-            self.stats.post_merge_cycles += self.schedule.post_merge_cycles
-            for merge_node in self._merge_nodes:
-                self.tree_bus.account_merge(len(batch), merge_node.element_count)
-        self.stats.convergence_cycles += self.schedule.convergence_cycles
+            self.account_batch(len(batch))
+        self.account_epoch_end()
         return env
 
     def _train_one_epoch(
@@ -232,17 +267,8 @@ class ExecutionEngine:
         for start in range(0, len(rows), batch_size):
             batch = rows[start : start + batch_size]
             last_env = self._process_batch(batch, models, bind_tuple)
-            self.stats.batches_processed += 1
-            self.stats.tuples_processed += len(batch)
-            # Timing: the threads run in lock-step, so a batch needs
-            # ceil(batch / threads) engine rounds before the merge.
-            rounds = math.ceil(len(batch) / self.threads)
-            self.stats.update_rule_cycles += rounds * self.schedule.update_rule_cycles
-            self.stats.merge_cycles += self.tree_bus.merge_cycles(
-                min(len(batch), self.threads), self._merge_elements
-            )
-            self.stats.post_merge_cycles += self.schedule.post_merge_cycles
-        self.stats.convergence_cycles += self.schedule.convergence_cycles
+            self.account_batch(len(batch), account_tree_bus=False)
+        self.account_epoch_end()
         return last_env
 
     def _process_batch(

@@ -61,27 +61,31 @@ class TreeBus:
         self.account_merge(value_count, element_count)
         return current[0]
 
-    def account_merge(self, value_count: int, element_count: int) -> None:
-        """Book the stats of one pairwise merge of ``value_count`` values.
+    def account_merge(self, value_count: int, element_count: int, repeat: int = 1) -> None:
+        """Book the stats of ``repeat`` pairwise merges of ``value_count`` values.
 
         Single source of truth for the bus cost model: :meth:`merge` calls
         it after materialising the reduction, and the batched execution
         tape — which folds the reduction into one ``ufunc.reduce`` over the
         batch axis — calls it directly, so both paths record identical
-        counters.
+        counters.  ``repeat`` bulk-books a run of identical merges (the
+        sharded lock-step executor performs one per vector step) without
+        re-walking the levels per merge.
         """
         if value_count < 1:
             raise ExecutionEngineError("cannot merge an empty set of thread results")
+        if repeat < 1:
+            return
         remaining = value_count
         levels = 0
         while remaining > 1:
             pairs = remaining // 2
-            self.stats.operations_executed += pairs * element_count
-            self.stats.cycles += math.ceil(element_count / self.alu_count)
+            self.stats.operations_executed += repeat * pairs * element_count
+            self.stats.cycles += repeat * math.ceil(element_count / self.alu_count)
             remaining -= pairs
             levels += 1
-        self.stats.merges_performed += 1
-        self.stats.levels_traversed += levels
+        self.stats.merges_performed += repeat
+        self.stats.levels_traversed += repeat * levels
 
     def merge_cycles(self, thread_count: int, element_count: int) -> int:
         """Analytic cycle cost of merging without executing it."""

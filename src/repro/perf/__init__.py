@@ -14,6 +14,11 @@ from repro.perf.cpu_model import ExternalLibraryModel, GreenplumModel, MADlibPos
 from repro.perf.fpga_model import DAnAModel, EpochCost, TABLAModel
 from repro.perf.io_model import IOEstimate, IOModel
 from repro.perf.report import RuntimeBreakdown, format_seconds, geomean, speedup_table
+from repro.perf.segment_model import (
+    SegmentScalingModel,
+    ShardedRunCost,
+    measured_segment_sweep,
+)
 
 __all__ = [
     "CPUCostModel",
@@ -32,7 +37,10 @@ __all__ = [
     "MADlibPostgresModel",
     "PAPER_EPOCHS",
     "RuntimeBreakdown",
+    "SegmentScalingModel",
+    "ShardedRunCost",
     "StorageCostModel",
+    "measured_segment_sweep",
     "TABLAModel",
     "epochs_for",
     "format_seconds",

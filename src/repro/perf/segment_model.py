@@ -1,0 +1,132 @@
+"""Segment-sweep cost model hooked to measured sharded-run counters.
+
+The analytical Greenplum model (:class:`~repro.perf.cpu_model.GreenplumModel`)
+regenerates Figure 13 from calibrated constants.  This module is its
+functional twin for the sharded DAnA subsystem: it converts the *measured*
+schedule-derived counters of a :class:`~repro.cluster.sharded.ShardedRunResult`
+into modelled wall-clock seconds on the FPGA (segments run concurrently, so
+the critical path is the slowest segment plus the serial cross-segment
+merge), and predicts how a measured single-segment run would scale to other
+segment counts — with the cross-segment merge cost taken from the same
+:class:`~repro.hw.tree_bus.TreeBus` cycle model the engines use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, TYPE_CHECKING
+
+from repro.hw.fpga import DEFAULT_FPGA, FPGASpec
+from repro.hw.tree_bus import TreeBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.sharded import ShardedRunResult
+
+
+@dataclass(frozen=True)
+class ShardedRunCost:
+    """Critical-path cycle decomposition of one measured sharded run."""
+
+    segments: int
+    epochs_run: int
+    #: the slowest segment's AXI + Strider + engine cycles (the single
+    #: per-segment cost definition lives on ``SegmentReport.cycles``).
+    critical_segment_cycles: int
+    cross_merge_cycles: int
+    model_elements: int
+
+    @classmethod
+    def from_run(cls, run: "ShardedRunResult") -> "ShardedRunCost":
+        """Lift the measured per-segment counters into a cost summary."""
+        elements = sum(int(v.size) for v in run.models.values())
+        return cls(
+            segments=run.cluster.segments,
+            epochs_run=run.epochs_run,
+            critical_segment_cycles=max(
+                (seg.cycles for seg in run.segments), default=0
+            ),
+            cross_merge_cycles=run.cluster.cross_merge_cycles,
+            model_elements=elements,
+        )
+
+    @property
+    def critical_path_cycles(self) -> int:
+        """Same quantity as ``ShardedRunResult.critical_path_cycles``."""
+        return self.critical_segment_cycles + self.cross_merge_cycles
+
+    def seconds(self, fpga: FPGASpec = DEFAULT_FPGA) -> float:
+        """Modelled wall-clock of the run at the FPGA's clock."""
+        return self.critical_path_cycles * fpga.cycle_time_s
+
+
+class SegmentScalingModel:
+    """Predicts sharded critical-path cycles from one measured run.
+
+    Per-segment work (engine + access) scales with the partition size,
+    i.e. ``1/segments`` of the measured single-segment cycles; the
+    cross-segment merge adds ``ceil(log2(segments))`` tree-bus levels per
+    model merge per epoch, priced by the same :class:`TreeBus` cycle model
+    that the execution engines use for their thread merges.
+    """
+
+    def __init__(self, base: ShardedRunCost, tree_bus_alus: int = 8) -> None:
+        if base.segments != 1:
+            raise ValueError(
+                "the scaling model extrapolates from a 1-segment measurement"
+            )
+        self.base = base
+        self.bus = TreeBus(alu_count=tree_bus_alus)
+
+    def predict_cycles(self, segments: int) -> int:
+        if segments < 1:
+            raise ValueError("segment counts start at 1")
+        per_segment = self.base.critical_segment_cycles / segments
+        merge = (
+            self.base.epochs_run
+            * self.bus.merge_cycles(segments, self.base.model_elements)
+        )
+        return int(round(per_segment + merge))
+
+    def sweep(self, segment_counts: Iterable[int]) -> list[dict]:
+        rows = []
+        for segments in segment_counts:
+            cycles = self.predict_cycles(segments)
+            rows.append(
+                {
+                    "segments": segments,
+                    "predicted_cycles": cycles,
+                    "predicted_speedup_vs_1": round(
+                        self.base.critical_path_cycles / max(1, cycles), 3
+                    ),
+                }
+            )
+        return rows
+
+
+def measured_segment_sweep(
+    runs: dict[int, "ShardedRunResult"],
+    reference_segments: int = 8,
+    fpga: FPGASpec = DEFAULT_FPGA,
+) -> dict[int, dict]:
+    """Normalised critical-path comparison of measured sharded runs.
+
+    ``runs`` maps segment count to its run; the result maps segment count
+    to ``{cycles, seconds, speedup_vs_reference}``, the functional-path
+    columns of the Figure 13 harness.
+    """
+    if reference_segments not in runs:
+        raise ValueError(
+            f"reference segment count {reference_segments} missing from runs"
+        )
+    reference = ShardedRunCost.from_run(runs[reference_segments]).critical_path_cycles
+    table: dict[int, dict] = {}
+    for segments, run in sorted(runs.items()):
+        cost = ShardedRunCost.from_run(run)
+        table[segments] = {
+            "cycles": cost.critical_path_cycles,
+            "seconds": cost.seconds(fpga),
+            "speedup_vs_reference": round(
+                reference / max(1, cost.critical_path_cycles), 3
+            ),
+        }
+    return table

@@ -86,9 +86,24 @@ class HeapFile:
     # ------------------------------------------------------------------ #
     # scanning
     # ------------------------------------------------------------------ #
-    def scan_pages(self, pool: BufferPool) -> Iterator[tuple[int, bytes]]:
-        """Yield ``(page_no, raw_page_image)`` for every page via the pool."""
-        for page_no in range(self.page_count):
+    def scan_pages(
+        self, pool: BufferPool, page_nos: Sequence[int] | None = None
+    ) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(page_no, raw_page_image)`` via the pool.
+
+        ``page_nos`` restricts the scan to one partition's pages (the
+        sharded execution subsystem assigns each segment a subset of the
+        heap); the default scans every page in storage order.
+        """
+        if page_nos is None:
+            page_nos = range(self.page_count)
+        page_count = self.page_count
+        for page_no in page_nos:
+            if not 0 <= page_no < page_count:
+                raise RDBMSError(
+                    f"page {page_no} is out of range for table {self.name!r} "
+                    f"({page_count} pages)"
+                )
             yield page_no, pool.get_page(self.name, page_no)
 
     def scan_tuples(self, pool: BufferPool) -> Iterator[tuple[float | int, ...]]:

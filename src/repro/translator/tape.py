@@ -16,6 +16,17 @@ into a flat list of NumPy kernel closures:
   (LRMF row addressing via fancy indexing) and the tree-bus merge, which
   becomes a single ``ufunc.reduce`` over the batch axis.
 
+A tape can additionally be compiled with ``segment_axis=True`` for the
+sharded execution subsystem (:mod:`repro.cluster`): model values then carry
+a leading **segment axis** ``S`` (one independent model replica per DAnA
+accelerator/segment) and per-tuple values are laid out as ``(B, S, ...)``,
+so one :meth:`run` call executes the same lock-step batch for *every*
+segment at once.  The batch-axis merge still reduces over axis 0 and leaves
+one merged value per segment.  Graphs whose lowering cannot carry the
+extra axis (gathers, outer-product contractions) raise
+:class:`TapeCompilationError` under ``segment_axis=True`` and the cluster
+layer falls back to per-segment execution.
+
 The tape computes exactly what the per-tuple evaluator computes (the
 microcode path and :class:`HDFGEvaluator` remain the correctness oracles);
 graphs that use constructs the batched lowering cannot prove equivalent
@@ -62,17 +73,18 @@ _ASSOCIATIVE_MERGE_UFUNCS = {
 }
 
 
-def _pad_after_batch(pad: int) -> Callable[[np.ndarray], np.ndarray]:
-    """Insert ``pad`` singleton axes right after the leading batch axis.
+def _pad_after_lead(lead: int, pad: int) -> Callable[[np.ndarray], np.ndarray]:
+    """Insert ``pad`` singleton axes right after the ``lead`` structure axes.
 
-    A batched operand stores its logical dims after the batch axis, so
-    right-aligning it against a higher-rank operand needs the singletons
-    *between* the batch axis and the logical dims (a plain NumPy broadcast
-    would misalign the batch axis with a logical axis).
+    An operand stores its logical dims after its structure axes (the batch
+    axis, and in segment mode the segment axis), so right-aligning it
+    against a higher-rank operand needs the singletons *between* the
+    structure axes and the logical dims (a plain NumPy broadcast would
+    misalign a structure axis with a logical axis).
     """
 
     def prep(value: np.ndarray) -> np.ndarray:
-        return value.reshape(value.shape[:1] + (1,) * pad + value.shape[1:])
+        return value.reshape(value.shape[:lead] + (1,) * pad + value.shape[lead:])
 
     return prep
 
@@ -90,11 +102,16 @@ def _reducer(op: Operator, axis: int) -> Callable[[np.ndarray], np.ndarray]:
 class CompiledTape:
     """One hDFG lowered into a flat list of batched NumPy kernels."""
 
-    def __init__(self, graph: HDFG) -> None:
+    def __init__(self, graph: HDFG, segment_axis: bool = False) -> None:
         self.graph = graph
+        self.segment_axis = segment_axis
         self._slots = (max(n.node_id for n in graph.nodes()) + 1) if len(graph) else 0
         #: per-node flag: does the value carry a leading batch axis?
         self._batched: list[bool] = [False] * self._slots
+        #: per-node flag (segment mode only): does the value carry a segment
+        #: axis?  Batched values are laid out ``(B, S, ...)``, model-derived
+        #: values ``(S, ...)``; metas and constants stay shared/scalar.
+        self._segmented: list[bool] = [False] * self._slots
         self._steps: list[Callable[[BatchEnv], None]] = []
         # environment seeding, resolved once:
         #   (name, node_id, required) for per-tuple variables,
@@ -135,8 +152,12 @@ class CompiledTape:
             bound_names.add(binding.node_id)
             if binding.kind in ("input", "output"):
                 self._batched[binding.node_id] = True
+                if self.segment_axis:
+                    self._segmented[binding.node_id] = True
                 self._batch_vars.append((binding.name, binding.node_id))
             else:
+                if self.segment_axis and binding.kind == "model":
+                    self._segmented[binding.node_id] = True
                 default = (
                     np.asarray(binding.value, dtype=np.float64)
                     if binding.value is not None
@@ -175,16 +196,21 @@ class CompiledTape:
     def _input_dims(self, node_id: int) -> tuple[int, ...]:
         return self.graph.node(node_id).dims
 
+    def _lead_axes(self, node_id: int) -> int:
+        """Number of structure axes ahead of the node's logical dims."""
+        return int(self._batched[node_id]) + int(self._segmented[node_id])
+
     def _elementwise_preps(
         self, input_ids: tuple[int, ...]
     ) -> list[Callable[[np.ndarray], np.ndarray] | None]:
-        """Broadcast fix-ups so batched operands right-align their logical dims."""
+        """Broadcast fix-ups so structured operands right-align their logical dims."""
         target_rank = max(len(self._input_dims(i)) for i in input_ids)
         preps: list[Callable[[np.ndarray], np.ndarray] | None] = []
         for i in input_ids:
             pad = target_rank - len(self._input_dims(i))
-            if self._batched[i] and pad:
-                preps.append(_pad_after_batch(pad))
+            lead = self._lead_axes(i)
+            if lead and pad:
+                preps.append(_pad_after_lead(lead, pad))
             else:
                 preps.append(None)
         return preps
@@ -193,6 +219,7 @@ class CompiledTape:
         a, b = node.inputs
         nid = node.node_id
         self._batched[nid] = self._batched[a] or self._batched[b]
+        self._segmented[nid] = self._segmented[a] or self._segmented[b]
         prep_a, prep_b = self._elementwise_preps(node.inputs)
         if node.op in _PRIMARY_UFUNCS:
             ufunc = _PRIMARY_UFUNCS[node.op]
@@ -224,6 +251,7 @@ class CompiledTape:
         (operand,) = node.inputs
         nid = node.node_id
         self._batched[nid] = self._batched[operand]
+        self._segmented[nid] = self._segmented[operand]
         if node.op is Operator.SIGMOID:
             return lambda env: env.__setitem__(
                 nid, 1.0 / (1.0 + np.exp(-env[operand]))
@@ -238,9 +266,10 @@ class CompiledTape:
         nid = node.node_id
         axis0 = (node.axis or 1) - 1
         self._batched[nid] = any(self._batched[i] for i in node.inputs)
+        self._segmented[nid] = any(self._segmented[i] for i in node.inputs)
         if node.inner_op is None or len(node.inputs) == 1:
             (operand,) = node.inputs
-            reduce_fn = _reducer(node.op, axis0 + (1 if self._batched[operand] else 0))
+            reduce_fn = _reducer(node.op, axis0 + self._lead_axes(operand))
             return lambda env: env.__setitem__(nid, reduce_fn(env[operand]))
         a, b = node.inputs
         ldims, rdims = self._input_dims(a), self._input_dims(b)
@@ -251,7 +280,7 @@ class CompiledTape:
                     f"cannot fuse {node.inner_op!r} into a batched group operation"
                 )
             prep_a, prep_b = self._elementwise_preps(node.inputs)
-            reduce_fn = _reducer(node.op, axis0 + (1 if self._batched[nid] else 0))
+            reduce_fn = _reducer(node.op, axis0 + self._lead_axes(nid))
 
             def step(env: BatchEnv) -> None:
                 va, vb = env[a], env[b]
@@ -269,6 +298,11 @@ class CompiledTape:
             raise TapeCompilationError(
                 f"group node {node.name!r} outer-combines batched operands of "
                 f"shapes {list(ldims)} and {list(rdims)}"
+            )
+        if self._segmented[a] or self._segmented[b]:
+            raise TapeCompilationError(
+                f"group node {node.name!r} outer-combines segment-replicated "
+                "operands; the contraction plan cannot carry a segment axis"
             )
         inner = _PRIMARY_UFUNCS.get(node.inner_op)
         if inner is None:
@@ -291,6 +325,13 @@ class CompiledTape:
     def _compile_gather(self, node: HDFGNode) -> Callable[[BatchEnv], None]:
         source, index = node.inputs
         nid = node.node_id
+        if self.segment_axis:
+            # A gathered row would need per-segment fancy indexing over the
+            # stacked source; the cluster layer executes gather graphs
+            # (LRMF) per segment instead.
+            raise TapeCompilationError(
+                f"gather node {node.name!r} cannot be lowered with a segment axis"
+            )
         if self._batched[source]:
             raise TapeCompilationError(
                 f"gather node {node.name!r} selects from a per-tuple source"
@@ -326,12 +367,16 @@ class CompiledTape:
             )
         ufunc = _ASSOCIATIVE_MERGE_UFUNCS[node.merge_operator]
         self._batched[nid] = False
+        # The reduction collapses the batch axis only; in segment mode the
+        # result keeps one merged value per segment ((S, ...) layout).
+        self._segmented[nid] = self._segmented[operand]
         return lambda env: env.__setitem__(nid, ufunc.reduce(env[operand], axis=0))
 
     def _compile_update_node(self, node: HDFGNode) -> Callable[[BatchEnv], None]:
         (operand,) = node.inputs
         nid = node.node_id
         self._batched[nid] = self._batched[operand]
+        self._segmented[nid] = self._segmented[operand]
         return lambda env: env.__setitem__(nid, env[operand])
 
     def _compile_updates(self) -> list[tuple[str, int, bool, int | None]]:
@@ -431,21 +476,32 @@ class CompiledTape:
             else:
                 models[name] = np.asarray(value, dtype=np.float64)
 
-    def convergence_reached(self, env: BatchEnv | None) -> bool:
-        """Evaluate the convergence condition on a finished batch env.
+    def convergence_value(self, env: BatchEnv | None) -> np.ndarray | None:
+        """Evaluate the convergence predicate on a finished batch env.
 
         Convergence kernels were kept off the per-batch hot path, so they
         are evaluated here, once per epoch, against the last batch's env.
+        Returns the raw predicate value (``> 0.5`` means converged) — a
+        scalar for a plain tape, one verdict per segment for a
+        ``segment_axis`` tape — or None when the graph has no convergence
+        condition or the env is empty.
         """
         if self._conv_id is None or env is None:
-            return False
+            return None
         for step in self._conv_steps:
             step(env)
         value = env[self._conv_id]
         if value is None:
-            return False
+            return None
         value = np.asarray(value)
         if self._conv_batched:
             # Match the env the per-tuple engine checks convergence on.
             value = value[self._lead_index]
+        return value
+
+    def convergence_reached(self, env: BatchEnv | None) -> bool:
+        """True when every lane of the convergence predicate holds."""
+        value = self.convergence_value(env)
+        if value is None:
+            return False
         return bool(np.all(value > 0.5))

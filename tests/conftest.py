@@ -5,6 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "smoke: end-to-end smoke tests (example scripts, CLI entry points)"
+    )
+    config.addinivalue_line(
+        "markers", "slow: tests that take more than a couple of seconds"
+    )
+
 from repro import dana
 from repro.algorithms import Hyperparameters, LinearRegression
 from repro.rdbms import Database, Schema
