@@ -22,6 +22,13 @@ executor evaluates every segment's batch in one segment-axis tape run, so
 wall-clock improves with segment count even on one core (and further on
 multicore, where the thread-pool path overlaps segments for real).
 
+Finally, the ``pipeline_sweep`` measures the pipelined epoch runtime
+(:mod:`repro.runtime`) on the barrier-heavy ``threads`` execution mode:
+extraction overlap on/off × merge staleness (``sync="stale_synchronous"``)
+plus the overlapped ``async_merge`` policy.  The pipelined configurations
+must beat the fully barriered threads mode (the CI smoke gate) while the
+stale-synchronous final loss stays within tolerance of bulk-synchronous.
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_throughput_scaling.py [--smoke]
@@ -163,6 +170,90 @@ def bench_segment_sweep(
     return rows
 
 
+def bench_pipeline_sweep(
+    n_tuples: int,
+    n_features: int,
+    epochs: int,
+    segments: int = 4,
+    merge_coefficient: int = 16,
+    repeats: int = 3,
+) -> list[dict]:
+    """Overlap on/off × staleness sweep of the pipelined epoch runtime.
+
+    All configurations run the ``threads`` execution mode — the one that
+    pays a real pool-dispatch barrier per merge — so the sweep isolates
+    what the pipeline runtime buys: streaming extraction overlap and fewer
+    / overlapped cross-segment merges.  Row 0 (overlap off, staleness 1)
+    is the fully barriered PR-2 behaviour every other row is normalised to.
+    """
+    algorithm_key = "linear"
+    algorithm = get_algorithm(algorithm_key)
+    hyper = Hyperparameters(
+        learning_rate=0.05, merge_coefficient=merge_coefficient, epochs=epochs
+    )
+    spec = algorithm.build_spec(n_features, hyper)
+    data = generate_for_algorithm(algorithm_key, n_tuples, n_features, seed=0)
+    database = Database(page_size=PAGE_SIZE)
+    database.load_table("t", spec.schema, data)
+    database.warm_cache("t")
+    system = DAnA(database)
+    system.register_udf(algorithm_key, spec, epochs=epochs)
+    system.compile_udf(algorithm_key, "t")  # compile outside the timed region
+    configs = [
+        dict(stream=stream, sync="stale_synchronous", staleness=staleness)
+        for stream in (False, True)
+        for staleness in (1, 2, 8)
+    ] + [
+        dict(stream=False, sync="async_merge", staleness=1),
+        dict(stream=True, sync="async_merge", staleness=1),
+    ]
+    rows = []
+    baseline_s = None
+    baseline_loss = None
+    for config in configs:
+        best_s, run = None, None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run = system.train(
+                algorithm_key,
+                "t",
+                epochs=epochs,
+                segments=segments,
+                execution="threads",
+                **config,
+            )
+            elapsed = time.perf_counter() - start
+            best_s = elapsed if best_s is None else min(best_s, elapsed)
+        assert run.engine_stats.tuples_processed == n_tuples * epochs
+        loss = algorithm.loss(data, run.models)
+        if baseline_s is None:
+            baseline_s, baseline_loss = best_s, loss
+        # Relaxing synchronization must never cost real model quality.
+        assert loss <= max(baseline_loss * 1.5, 1e-6), (
+            f"{config} lost model quality: {loss} vs BSP {baseline_loss}"
+        )
+        rows.append(
+            {
+                **config,
+                "segments": segments,
+                "n_tuples": n_tuples,
+                "epochs": epochs,
+                "merges_performed": run.cluster.merges_performed,
+                "seconds": round(best_s, 6),
+                "tuples_per_sec": round(n_tuples * epochs / best_s, 1),
+                "speedup_vs_barriered": round(baseline_s / best_s, 3),
+                "loss": round(loss, 8),
+            }
+        )
+        print(
+            f"stream={str(config['stream']):5s} sync={config['sync']:<18s} "
+            f"staleness={config['staleness']}  {rows[-1]['seconds']*1e3:8.1f} ms  "
+            f"speedup {rows[-1]['speedup_vs_barriered']:>5.2f}x  "
+            f"merges {run.cluster.merges_performed}  loss {loss:.6f}"
+        )
+    return rows
+
+
 def run_suite(sizes: list[int], epochs: int) -> dict:
     rows = []
     for algorithm_key, n_features in WORKLOADS:
@@ -208,6 +299,16 @@ def main() -> None:
         default=1.5,
         help="fail unless 4 segments beat 1 segment by this wall-clock factor",
     )
+    parser.add_argument(
+        "--min-pipeline-speedup",
+        type=float,
+        default=1.03,
+        help=(
+            "fail unless the pipelined runtime (streaming overlap / stale "
+            "windows / overlapped merges) beats the barriered threads mode "
+            "by this wall-clock factor"
+        ),
+    )
     args = parser.parse_args()
     sizes = [512, 2048] if args.smoke else [1000, 4000, 16000]
     epochs = 2 if args.smoke else 3
@@ -215,7 +316,7 @@ def main() -> None:
     print(f"geomean speedup: {report['geomean_speedup']:.1f}x")
     print("\nsegment sweep (sharded execution, large synthetic workload):")
     if args.smoke:
-        sweep = bench_segment_sweep([1, 2, 4], n_tuples=4096, n_features=16, epochs=2)
+        sweep = bench_segment_sweep([1, 2, 4], n_tuples=8192, n_features=16, epochs=3)
     else:
         sweep = bench_segment_sweep(
             [1, 2, 4, 8], n_tuples=32768, n_features=32, epochs=3
@@ -226,6 +327,26 @@ def main() -> None:
             "synthetic linear workload; lock-step segment-axis execution"
         ),
         "rows": sweep,
+    }
+    print("\npipeline sweep (pipelined epoch runtime, threads execution):")
+    # Epoch-heavy shapes keep the per-epoch synchronization cost visible
+    # relative to per-epoch compute — that is the regime the sync policies
+    # target (the segment sweep above covers the compute-heavy regime).
+    if args.smoke:
+        pipeline = bench_pipeline_sweep(
+            n_tuples=512, n_features=16, epochs=32, segments=4
+        )
+    else:
+        pipeline = bench_pipeline_sweep(
+            n_tuples=512, n_features=16, epochs=48, segments=4, repeats=5
+        )
+    report["pipeline_sweep"] = {
+        "description": (
+            "Pipelined epoch runtime on the barrier-heavy threads mode: "
+            "extraction overlap on/off x merge staleness (plus async_merge); "
+            "speedups are vs the fully barriered stream=False/staleness=1 row"
+        ),
+        "rows": pipeline,
     }
     if not args.smoke:
         RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -245,6 +366,24 @@ def main() -> None:
         raise SystemExit(
             f"4-segment wall speedup {at_four['wall_speedup_vs_1_segment']:.2f}x "
             f"is below the required {required:.2f}x"
+        )
+    # The pipelined path must beat the fully barriered threads mode — in
+    # smoke mode too (CI regressions must fail), at a noise-tolerant bar.
+    pipeline_required = (
+        min(args.min_pipeline_speedup, 1.02) if args.smoke else args.min_pipeline_speedup
+    )
+    # "Pipelined" = any non-barriered configuration the runtime offers
+    # (streaming overlap, stale windows, overlapped merges).  Multicore
+    # hosts favour the streamed rows; single-core hosts the stale windows.
+    pipelined_best = max(
+        r["speedup_vs_barriered"]
+        for r in pipeline
+        if r["stream"] or r["staleness"] > 1 or r["sync"] == "async_merge"
+    )
+    if pipelined_best < pipeline_required:
+        raise SystemExit(
+            f"pipelined speedup {pipelined_best:.2f}x over the barriered "
+            f"threads mode is below the required {pipeline_required:.2f}x"
         )
 
 

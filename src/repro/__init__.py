@@ -11,6 +11,8 @@ cycle-approximate simulation:
 * :mod:`repro.isa` — the Strider and execution-engine instruction sets;
 * :mod:`repro.hw` — simulation of the accelerator (Striders, access engine,
   analytic clusters/units, tree bus) on a VU9P-class FPGA;
+* :mod:`repro.runtime` — the pipelined epoch runtime: streaming batch
+  sources, synchronization policies and the shared epoch driver;
 * :mod:`repro.rdbms` — a miniature PostgreSQL-style storage engine (pages,
   buffer pool, catalog, SQL front end with UDF support);
 * :mod:`repro.algorithms` — Linear/Logistic Regression, SVM and LRMF;

@@ -5,9 +5,16 @@ segment; a :class:`SegmentWorker` is that pairing in the reproduction.  It
 owns a full :class:`~repro.hw.accelerator.DAnAAccelerator` instance
 (access engine with its own Striders + execution engine with its own
 thread schedule and tree bus), streams only its partition's heap pages,
-and trains one epoch at a time from whatever global model the cross-segment
-merge produced — so per-segment hardware counters are exactly what a
-stand-alone accelerator over the same pages would report.
+and trains one or more epochs at a time from whatever global model the
+cross-segment merge produced — so per-segment hardware counters are
+exactly what a stand-alone accelerator over the same pages would report.
+
+Extraction comes in two flavours: :meth:`extract` materialises the whole
+partition up front (the PR-2 behaviour, kept as the pipelining oracle),
+while :meth:`open_source` starts a streaming
+:class:`~repro.runtime.BatchSource` whose producer thread runs this
+segment's Strider walk concurrently with training — and concurrently with
+every *other* segment's extraction.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from repro.hw.accelerator import DAnAAccelerator
 from repro.hw.execution_engine import TrainingResult
 from repro.rdbms.buffer_pool import BufferPool
 from repro.rdbms.heapfile import HeapFile
+from repro.runtime import BatchSource
 
 from repro.algorithms.base import AlgorithmSpec
 
@@ -33,7 +41,8 @@ class SegmentWorker:
     accelerator: DAnAAccelerator
     partition: PagePartition
     rng: np.random.Generator | None = None
-    rows: np.ndarray | None = field(default=None, repr=False)
+    source: BatchSource | None = field(default=None, repr=False)
+    _rows: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def engine(self):
@@ -44,12 +53,38 @@ class SegmentWorker:
         return self.accelerator.access_engine.stats
 
     @property
+    def rows(self) -> np.ndarray | None:
+        """The partition's tuple matrix (drains the stream if needed)."""
+        if self._rows is None and self.source is not None:
+            self._rows = self.source.rows()
+        return self._rows
+
+    @property
     def tuples_extracted(self) -> int:
-        return 0 if self.rows is None else len(self.rows)
+        if self._rows is None and self.source is None:
+            return 0
+        return len(self.rows)
+
+    def has_rows(self) -> bool:
+        """True once the partition is known to hold at least one tuple.
+
+        On a streaming source this peeks only as far as the first decoded
+        page — the whole partition is *not* materialised.
+        """
+        if self._rows is not None:
+            return len(self._rows) > 0
+        if self.source is not None:
+            return self.source.has_rows()
+        return False
 
     # ------------------------------------------------------------------ #
     # access engine: partition extraction
     # ------------------------------------------------------------------ #
+    def _page_images(self, heapfile: HeapFile, pool: BufferPool) -> list[bytes]:
+        # The buffer pool is not thread-safe; images are pulled on the
+        # caller's thread so producer threads only run Strider/decode work.
+        return [image for _no, image in heapfile.scan_pages(pool, self.partition.page_nos)]
+
     def extract(
         self, heapfile: HeapFile, pool: BufferPool, use_striders: bool = True
     ) -> np.ndarray:
@@ -61,41 +96,76 @@ class SegmentWorker:
         are decoded by the RDBMS layer and no Strider activity is booked.
         """
         if use_striders:
-            images = (
-                image
-                for _no, image in heapfile.scan_pages(pool, self.partition.page_nos)
+            self._rows = self.accelerator.access_engine.extract_table(
+                self._page_images(heapfile, pool)
             )
-            self.rows = self.accelerator.access_engine.extract_table(images)
-            return self.rows
+            return self._rows
+        chunks = list(self._cpu_decode_chunks(heapfile, pool))
+        self._rows = (
+            np.vstack(chunks) if chunks else np.empty((0, len(heapfile.schema)))
+        )
+        return self._rows
+
+    def open_source(
+        self,
+        heapfile: HeapFile,
+        pool: BufferPool,
+        use_striders: bool = True,
+        queue_depth: int = 2,
+    ) -> BatchSource:
+        """Start this segment's streaming extraction (producer thread).
+
+        The returned source yields decoded per-page chunks through a
+        bounded double buffer; training can consume the first batch while
+        later pages are still being cleansed.  Payloads and counters are
+        identical to :meth:`extract`.
+        """
+        if use_striders:
+            self.source = self.accelerator.access_engine.stream_table(
+                self._page_images(heapfile, pool), queue_depth=queue_depth
+            )
+        else:
+            self.source = BatchSource(
+                self._cpu_decode_chunks(heapfile, pool),
+                n_columns=len(heapfile.schema),
+                queue_depth=queue_depth,
+            )
+        return self.source
+
+    def _cpu_decode_chunks(self, heapfile: HeapFile, pool: BufferPool):
+        """Per-page RDBMS-side decode (the ``use_striders=False`` model)."""
         from repro.rdbms.page import HeapPage
 
-        tuples: list[tuple] = []
-        for _no, image in heapfile.scan_pages(pool, self.partition.page_nos):
-            page = HeapPage.from_bytes(image, heapfile.layout)
-            tuples.extend(page.tuples(heapfile.schema))
-        self.rows = (
-            np.asarray(tuples, dtype=np.float64)
-            if tuples
-            else np.empty((0, len(heapfile.schema)))
-        )
-        return self.rows
+        schema, layout = heapfile.schema, heapfile.layout
+        images = self._page_images(heapfile, pool)
+
+        def chunks():
+            for image in images:
+                tuples = list(HeapPage.from_bytes(image, layout).tuples(schema))
+                if tuples:
+                    yield np.asarray(tuples, dtype=np.float64)
+                else:
+                    yield np.empty((0, len(schema)))
+
+        return chunks()
 
     def epoch_rows(self, shuffle: bool) -> np.ndarray:
         """This epoch's tuple order (per-segment seeded shuffle)."""
-        assert self.rows is not None, "extract() must run before training"
-        if not shuffle or len(self.rows) == 0:
-            return self.rows
+        rows = self.rows
+        assert rows is not None, "extract()/open_source() must run before training"
+        if not shuffle or len(rows) == 0:
+            return rows
         if self.rng is None:
             # Materialise the fallback generator once so its stream advances
             # across epochs (a fresh rng per call would replay one
             # permutation forever).
             self.rng = np.random.default_rng(0)
-        order = np.arange(len(self.rows))
+        order = np.arange(len(rows))
         self.rng.shuffle(order)
-        return self.rows[order]
+        return rows[order]
 
     # ------------------------------------------------------------------ #
-    # execution engine: one epoch from the merged global model
+    # execution engine: local epochs from the merged global model
     # ------------------------------------------------------------------ #
     def train_epoch(
         self,
@@ -105,14 +175,36 @@ class SegmentWorker:
         convergence_check: bool = True,
     ) -> TrainingResult:
         """Run one local epoch starting from the merged global model."""
-        assert self.rows is not None, "extract() must run before training"
-        return self.engine.train(
-            rows=self.rows,
+        return self.train_epochs(models, spec, 1, shuffle, convergence_check)
+
+    def train_epochs(
+        self,
+        models: dict[str, np.ndarray],
+        spec: AlgorithmSpec,
+        epochs: int,
+        shuffle: bool = False,
+        convergence_check: bool = True,
+    ) -> TrainingResult:
+        """Run ``epochs`` local epochs (one stale-synchronous window).
+
+        When the partition is still streaming, the first epoch consumes
+        batches straight off the source; the stream is materialised before
+        the call returns so later windows train from memory.
+        """
+        assert self._rows is not None or self.source is not None, (
+            "extract()/open_source() must run before training"
+        )
+        result = self.engine.train(
+            rows=self._rows,
             initial_models=models,
             bind_tuple=spec.bind_tuple,
-            epochs=1,
+            epochs=epochs,
             convergence_check=convergence_check,
             bind_batch=spec.bind_batch,
             shuffle=shuffle,
             rng=self.rng,
+            source=self.source if self._rows is None else None,
         )
+        if self._rows is None:
+            self._rows = self.source.rows()
+        return result

@@ -12,13 +12,24 @@ deployment functionally on top of the PR-1 batched pipeline:
 * every segment is a :class:`~repro.cluster.segment_worker.SegmentWorker`
   owning a full accelerator instance (its own Striders, execution engine,
   schedule-derived counters);
-* per-segment models are combined each epoch by a
+* per-segment models are combined by a
   :class:`~repro.cluster.aggregator.ModelAggregator`, whose cycle cost is
   booked on a cluster-level :class:`~repro.hw.tree_bus.TreeBus` — the
   software stand-in for the host-side merge the paper performs between
   FPGAs.
 
-Two execution strategies produce identical per-segment counters:
+Epoch scheduling lives in the shared pipeline runtime
+(:mod:`repro.runtime`): both execution strategies are
+:class:`~repro.runtime.EpochStep` plugins for the one
+:class:`~repro.runtime.EpochDriver` loop, extraction streams through
+bounded :class:`~repro.runtime.BatchSource` double buffers (each segment's
+Strider walk overlaps training and the other segments' walks), and a
+:class:`~repro.runtime.SyncPolicy` decides the merge cadence —
+``bulk_synchronous`` (barriered, bit-identical to the pre-runtime path),
+``stale_synchronous`` (windows of merge-free local epochs) or
+``async_merge`` (per-epoch merge overlapped with next-epoch preparation).
+
+The two strategies produce identical per-segment counters:
 
 * ``lockstep`` (default for merge-based graphs with 2+ segments) — all
   segments advance through their batch streams in lock step, and each step
@@ -27,7 +38,7 @@ Two execution strategies produce identical per-segment counters:
   over the segment axis, so sharding speeds the simulation up even on a
   single core — and the NumPy kernels still release the GIL, so it scales
   further with real cores;
-* ``threads`` — each segment trains its epoch independently on a thread
+* ``threads`` — each segment trains its window independently on a thread
   pool (NumPy kernels drop the GIL).  This is the only strategy for
   row-addressed graphs (LRMF gathers cannot carry a segment axis) and the
   parity oracle for ``lockstep``.
@@ -48,9 +59,10 @@ from repro.cluster.segment_worker import SegmentWorker
 from repro.exceptions import ConfigurationError
 from repro.hw.access_engine import AccessEngineStats
 from repro.hw.accelerator import DAnAAccelerator
-from repro.hw.execution_engine import EngineRunStats
+from repro.hw.execution_engine import EngineRunStats, TrainingResult
 from repro.hw.fpga import DEFAULT_FPGA, FPGASpec
 from repro.hw.tree_bus import TreeBus, TreeBusStats
+from repro.runtime import EpochDriver, EpochStep, SyncPolicy, make_sync_policy
 from repro.translator.hdfg import NodeKind
 from repro.translator.tape import CompiledTape, TapeCompilationError
 
@@ -73,18 +85,27 @@ class SegmentReport:
     access_stats: AccessEngineStats
 
     @property
+    def access_cycles(self) -> int:
+        """This segment's extraction stage: AXI transfer + Strider walk."""
+        return (
+            self.access_stats.strider_cycles_critical + self.access_stats.axi_cycles
+        )
+
+    @property
+    def engine_cycles(self) -> int:
+        """This segment's compute stage (schedule-derived engine cycles)."""
+        return self.engine_stats.total_cycles
+
+    @property
     def cycles(self) -> int:
-        """This segment's modelled path: AXI transfer + Striders + engine.
+        """This segment's serial path: AXI transfer + Striders + engine.
 
         The single definition of a segment's cycle cost — the run result
         and :mod:`repro.perf.segment_model` both derive their critical
-        paths from it.
+        paths from it (the perf model also books the *pipelined* variant,
+        ``max(access, engine)``, for streaming runs).
         """
-        return (
-            self.engine_stats.total_cycles
-            + self.access_stats.strider_cycles_critical
-            + self.access_stats.axi_cycles
-        )
+        return self.engine_cycles + self.access_cycles
 
 
 @dataclass
@@ -98,6 +119,11 @@ class ClusterStats:
     epochs_run: int = 0
     merges_performed: int = 0
     tree_bus: TreeBusStats = field(default_factory=TreeBusStats)
+    #: synchronization policy of the run (see :mod:`repro.runtime`).
+    sync: str = "bulk_synchronous"
+    staleness: int = 1
+    #: True when extraction streamed through the double-buffer pipeline.
+    stream: bool = False
 
     @property
     def cross_merge_cycles(self) -> int:
@@ -156,7 +182,10 @@ class ShardedRunResult:
 
         Segments run concurrently (one accelerator each), so the epoch
         critical path is the slowest segment's engine + access time plus
-        the serial cross-segment merge on the cluster tree bus.
+        the serial cross-segment merge on the cluster tree bus.  This is
+        the *barriered* (bulk-synchronous, no-overlap) book-keeping; the
+        pipelined variant lives in
+        :meth:`repro.perf.segment_model.ShardedRunCost.pipelined_critical_path_cycles`.
         """
         if not self.segments:
             return self.cluster.cross_merge_cycles
@@ -179,6 +208,9 @@ class ShardedDAnA:
         execution: str = "auto",
         seed: int = 0,
         use_striders: bool = True,
+        sync: str | SyncPolicy = "bulk_synchronous",
+        staleness: int = 1,
+        stream: bool = True,
     ) -> None:
         if segments < 1:
             raise ConfigurationError("a sharded run needs at least one segment")
@@ -194,6 +226,10 @@ class ShardedDAnA:
         self.fpga = fpga
         self.seed = int(seed)
         self.use_striders = use_striders
+        self.stream = stream
+        self.sync_policy = (
+            sync if isinstance(sync, SyncPolicy) else make_sync_policy(sync, staleness)
+        )
         self.partitioner = Partitioner(partition_strategy, seed=seed)
         self._row_addressed = any(
             node.kind is NodeKind.GATHER for node in binary.graph.nodes()
@@ -233,7 +269,7 @@ class ShardedDAnA:
         shuffle: bool = False,
         convergence_check: bool = True,
     ) -> ShardedRunResult:
-        """Extract every partition, then run merge-synchronised epochs."""
+        """Run sync-policy-scheduled epochs over streaming partition sources."""
         heapfile = self.database.table(table_name)
         pool = self.database.buffer_pool
         # One accelerator per segment, all generated from the same compiled
@@ -264,10 +300,13 @@ class ShardedDAnA:
             )
         ]
         for worker in self.workers:
-            worker.extract(heapfile, pool, use_striders=self.use_striders)
-        models = {
-            k: np.array(v, dtype=np.float64) for k, v in self.spec.initial_models.items()
-        }
+            if self.stream:
+                # Streaming: every segment's Strider walk starts now, on its
+                # own producer thread; the first epoch consumes batches as
+                # pages decode instead of waiting for full materialisation.
+                worker.open_source(heapfile, pool, use_striders=self.use_striders)
+            else:
+                worker.extract(heapfile, pool, use_striders=self.use_striders)
         # Fresh cluster bus + aggregator per run so counters describe this
         # run only (the aggregator books every cross-segment merge on it).
         self.cluster_bus = TreeBus(alu_count=self.binary.design.aus_per_cluster)
@@ -280,33 +319,31 @@ class ShardedDAnA:
             partition_strategy=self.partitioner.strategy,
             aggregation_strategy=self.aggregator.strategy,
             tree_bus=self.cluster_bus.stats,
+            sync=self.sync_policy.name,
+            staleness=self.sync_policy.staleness,
+            stream=self.stream,
         )
-        converged = False
-        executor: ThreadPoolExecutor | None = None
         if self.mode == "lockstep":
-            run_epoch = self._lockstep_runner(shuffle, convergence_check)
+            step: EpochStep = _LockstepStep(self, shuffle, convergence_check)
         else:
-            max_workers = min(self.segments, max(1, os.cpu_count() or 1))
-            active = sum(1 for w in self.workers if len(w.rows))
-            if max_workers > 1 and active > 1:
-                # NumPy kernels release the GIL, so per-segment epochs run
-                # with real wall-clock overlap on multicore hosts; one
-                # executor serves every epoch of the run.
-                executor = ThreadPoolExecutor(max_workers=max_workers)
-            run_epoch = self._threads_runner(shuffle, convergence_check, executor)
-        has_rows = any(len(w.rows) for w in self.workers)
+            step = _ThreadsStep(self, shuffle, convergence_check)
+        driver = EpochDriver(step, self.sync_policy, convergence_check)
+        models = {
+            k: np.array(v, dtype=np.float64) for k, v in self.spec.initial_models.items()
+        }
         try:
-            for _epoch in range(epochs):
-                models, epoch_converged = run_epoch(models)
-                cluster.epochs_run += 1
-                if has_rows:
-                    cluster.merges_performed += 1
-                if convergence_check and epoch_converged:
-                    converged = True
-                    break
+            result = driver.run(models, epochs)
+        except BaseException:
+            # Error path: release producer threads still blocked on their
+            # bounded queues (successful runs drain every source instead).
+            for worker in self.workers:
+                if worker.source is not None:
+                    worker.source.abort()
+            raise
         finally:
-            if executor is not None:
-                executor.shutdown(wait=True)
+            step.finish()
+        cluster.epochs_run = result.epochs_run
+        cluster.merges_performed = result.merges_performed
         reports = [
             SegmentReport(
                 segment_id=w.segment_id,
@@ -318,112 +355,289 @@ class ShardedDAnA:
             for w in self.workers
         ]
         return ShardedRunResult(
-            models=models,
-            epochs_run=cluster.epochs_run,
-            converged=converged,
+            models=result.models,
+            epochs_run=result.epochs_run,
+            converged=result.converged,
             segments=reports,
             cluster=cluster,
         )
 
-    # ------------------------------------------------------------------ #
-    # threads strategy (per-segment engines on a pool; LRMF + oracle)
-    # ------------------------------------------------------------------ #
-    def _threads_runner(self, shuffle, convergence_check, executor):
-        active = [w for w in self.workers if len(w.rows)]
 
-        def run_epoch(models):
-            if not active:
-                return models, False
-            if executor is not None:
-                futures = [
-                    executor.submit(
-                        w.train_epoch, models, self.spec, shuffle, convergence_check
-                    )
-                    for w in active
-                ]
-                results = [f.result() for f in futures]
+# ---------------------------------------------------------------------- #
+# threads strategy (per-segment engines on a pool; LRMF + oracle)
+# ---------------------------------------------------------------------- #
+class _ThreadsStep(EpochStep):
+    """Per-segment engines trained concurrently on a thread pool.
+
+    State is the list of each active segment's current model mapping.  A
+    stale-synchronous window of ``k`` epochs is one pool dispatch per
+    segment (``engine.train(epochs=k)``) — ``k``× fewer barrier joins than
+    the per-epoch bulk-synchronous cadence, which is where the measured
+    pipeline speedup of the threads mode comes from.
+    """
+
+    merges = True
+
+    def __init__(
+        self, sharded: ShardedDAnA, shuffle: bool, convergence_check: bool
+    ) -> None:
+        self.spec = sharded.spec
+        self.aggregator = sharded.aggregator
+        self.shuffle = shuffle
+        self.convergence_check = convergence_check
+        self.workers = [w for w in sharded.workers if w.has_rows()]
+        self.executor: ThreadPoolExecutor | None = None
+        max_workers = min(sharded.segments, max(1, os.cpu_count() or 1))
+        if max_workers > 1 and len(self.workers) > 1:
+            # NumPy kernels release the GIL, so per-segment windows run
+            # with real wall-clock overlap on multicore hosts; one
+            # executor serves every window of the run.
+            self.executor = ThreadPoolExecutor(max_workers=max_workers)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.workers)
+
+    def begin(self, models):
+        return [models for _ in self.workers]
+
+    def run_epoch(self, state, epoch_index):
+        state, converged, _executed = self.run_window(state, epoch_index, 1)
+        return state, converged
+
+    def run_window(self, state, epoch_index, count):
+        if not self.workers:
+            return state, False, count
+        if self.executor is not None:
+            futures = [
+                self.executor.submit(self._worker_window, w, state[i], count)
+                for i, w in enumerate(self.workers)
+            ]
+            results = [f.result() for f in futures]
+        else:
+            results = [
+                self._worker_window(w, state[i], count)
+                for i, w in enumerate(self.workers)
+            ]
+        state = [r.models for r in results]
+        executed = max(r.epochs_run for r in results)
+        return state, all(r.converged for r in results), executed
+
+    def _worker_window(self, worker: SegmentWorker, models, count: int):
+        """One segment's stale window as a single pool task.
+
+        Convergence is judged only at the merge boundary (the window's last
+        epoch): the merge-free prefix runs without an early exit so every
+        segment trains exactly ``count`` epochs per window — no segment can
+        stop mid-window and smuggle a less-trained model into the merge.
+        """
+        if count > 1 and self.convergence_check:
+            prefix = worker.train_epochs(
+                models, self.spec, count - 1, self.shuffle, convergence_check=False
+            )
+            boundary = worker.train_epochs(
+                prefix.models, self.spec, 1, self.shuffle, self.convergence_check
+            )
+            return TrainingResult(
+                models=boundary.models,
+                epochs_run=prefix.epochs_run + boundary.epochs_run,
+                converged=boundary.converged,
+                stats=boundary.stats,
+            )
+        return worker.train_epochs(
+            models, self.spec, count, self.shuffle, self.convergence_check
+        )
+
+    def merge(self, state, base):
+        return self.aggregator.merge(state, base=base)
+
+    def broadcast(self, models, state):
+        return [models for _ in self.workers]
+
+    def finish(self) -> None:
+        if self.executor is not None:
+            self.executor.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------- #
+# lockstep strategy (segment-axis tape; merge-based graphs)
+# ---------------------------------------------------------------------- #
+class _LockstepStep(EpochStep):
+    """All segments advance in lock step through one segment-axis tape.
+
+    State is the stacked ``(segments, ...)`` model block; between merge
+    boundaries it simply keeps diverging per segment (that is
+    stale-synchronous training).  The first epoch of a streaming run zips
+    the per-segment batch streams — vector step ``k`` runs as soon as every
+    segment's ``k``-th batch has decoded — and the epoch block of a
+    ``shuffle=False`` run is planned once and reused every later epoch.
+    """
+
+    merges = True
+
+    def __init__(
+        self, sharded: ShardedDAnA, shuffle: bool, convergence_check: bool
+    ) -> None:
+        self.tape = sharded._segment_tape
+        self.bind_batch = sharded.spec.bind_batch
+        self.aggregator = sharded.aggregator
+        self.shuffle = shuffle
+        self.convergence_check = convergence_check
+        self.workers = [w for w in sharded.workers if w.has_rows()]
+        self.batch_size = sharded.workers[0].engine.batch_size
+        self.streaming = sharded.stream
+        #: cached (epoch_rows, steps, block) of the static shuffle=False
+        #: epoch — stacked once, reused every epoch (satellite: no
+        #: re-trimming / re-stacking of identical blocks).
+        self._static_plan: tuple[list[np.ndarray], int, np.ndarray | None] | None = None
+        self._prefetched_rows: list[np.ndarray] | None = None
+
+    @property
+    def active(self) -> bool:
+        return bool(self.workers)
+
+    def begin(self, models):
+        return self.broadcast(models, None)
+
+    def broadcast(self, models, state):
+        return {
+            name: np.broadcast_to(
+                np.asarray(value, dtype=np.float64),
+                (len(self.workers),) + np.shape(value),
+            ).copy()
+            for name, value in models.items()
+        }
+
+    def merge(self, state, base):
+        return self.aggregator.merge_stacked(state, base=base)
+
+    def prefetch(self, epoch_index: int) -> None:
+        """Prepare the next epoch's row orders while the merge overlaps.
+
+        Consumes each segment's rng exactly once, in epoch order — the
+        same stream a non-overlapped run would consume — so ``async_merge``
+        stays bit-identical to ``bulk_synchronous``.
+        """
+        if self.workers and self._static_plan is None:
+            self._prefetched_rows = [w.epoch_rows(self.shuffle) for w in self.workers]
+
+    def run_window(self, state, epoch_index, count):
+        """Run ``count`` merge-free epochs, judging convergence only on the
+        window's last epoch — the merge boundary — exactly like the threads
+        strategy's :meth:`_ThreadsStep._worker_window`, so the two
+        strategies stay parity oracles under ``stale_synchronous`` too."""
+        converged = False
+        for offset in range(count):
+            state, converged = self.run_epoch(
+                state,
+                epoch_index + offset,
+                check_convergence=self.convergence_check and offset == count - 1,
+            )
+        return state, converged, count
+
+    def run_epoch(self, state, epoch_index, check_convergence: bool | None = None):
+        workers = self.workers
+        if check_convergence is None:
+            check_convergence = self.convergence_check
+        if not workers:
+            return state, False
+        stacked_models = state
+        tape, bind_batch, batch_size = self.tape, self.bind_batch, self.batch_size
+        env = None
+        if (
+            epoch_index == 0
+            and self.streaming
+            and not self.shuffle
+            and all(w.source is not None for w in workers)
+        ):
+            # Pipelined first epoch: zip the per-segment batch streams.
+            # Vector step k runs as soon as every segment's k-th full batch
+            # has decoded; the producers keep walking later pages meanwhile.
+            steps, env = self._run_streamed_steps(stacked_models)
+            epoch_rows = [w.epoch_rows(False) for w in workers]  # drains tails
+        else:
+            if self._static_plan is not None:
+                epoch_rows, steps, block = self._static_plan
             else:
-                results = [
-                    w.train_epoch(models, self.spec, shuffle, convergence_check)
-                    for w in active
+                epoch_rows = self._prefetched_rows or [
+                    w.epoch_rows(self.shuffle) for w in workers
                 ]
-            merged = self.aggregator.merge([r.models for r in results], base=models)
-            return merged, all(r.converged for r in results)
-
-        return run_epoch
-
-    # ------------------------------------------------------------------ #
-    # lockstep strategy (segment-axis tape; merge-based graphs)
-    # ------------------------------------------------------------------ #
-    def _lockstep_runner(self, shuffle, convergence_check):
-        tape = self._segment_tape
-        workers = [w for w in self.workers if len(w.rows)]
-        batch_size = self.workers[0].engine.batch_size
-        bind_batch = self.spec.bind_batch
-        # Without shuffling the (steps*B, S, cols) block is identical every
-        # epoch; stack it once instead of once per epoch.
-        static_block: np.ndarray | None = None
-
-        def run_epoch(models):
-            nonlocal static_block
-            if not workers:
-                return models, False
-            stacked_models = {
-                name: np.broadcast_to(
-                    np.asarray(value, dtype=np.float64), (len(workers),) + np.shape(value)
-                ).copy()
-                for name, value in models.items()
-            }
-            epoch_rows = [w.epoch_rows(shuffle) for w in workers]
-            steps = min(len(rows) // batch_size for rows in epoch_rows)
-            env = None
-            if steps:
-                if shuffle or static_block is None:
-                    block = np.stack(
+                steps = min(len(rows) // batch_size for rows in epoch_rows)
+                block = (
+                    np.stack(
                         [rows[: steps * batch_size] for rows in epoch_rows], axis=1
                     )
-                    if not shuffle:
-                        static_block = block
-                else:
-                    block = static_block
-                for k in range(steps):
-                    chunk = block[k * batch_size : (k + 1) * batch_size]
-                    env = tape.run(bind_batch(chunk), stacked_models)
-                    tape.apply_updates(env, stacked_models)
-                for w in workers:
-                    w.engine.account_batches(batch_size, steps)
-            # Per-segment convergence verdicts from the last vector step;
-            # segments with tail batches get their verdict overwritten below
-            # from their true final batch — exactly what the threads oracle
-            # (one engine epoch per segment) reports.
-            flags = np.zeros(len(workers), dtype=bool)
-            if convergence_check and env is not None:
-                value = tape.convergence_value(env)
-                if value is not None:
-                    flags = np.broadcast_to(
-                        np.atleast_1d(value) > 0.5, (len(workers),)
-                    ).copy()
-            # Ragged tails (uneven partitions) run per segment through each
-            # worker's own single-segment tape, so every tuple is consumed.
-            for s, w in enumerate(workers):
-                rows = epoch_rows[s]
-                seg_tape = w.engine.tape
-                seg_models = {name: stacked_models[name][s] for name in stacked_models}
-                tail_env = None
-                for start in range(steps * batch_size, len(rows), batch_size):
-                    batch = rows[start : start + batch_size]
-                    tail_env = seg_tape.run(bind_batch(batch), seg_models)
-                    seg_tape.apply_updates(tail_env, seg_models)
-                    w.engine.account_batch(len(batch))
-                if tail_env is not None:
-                    for name in stacked_models:
-                        stacked_models[name][s] = seg_models[name]
-                    if convergence_check:
-                        flags[s] = seg_tape.convergence_reached(tail_env)
-                w.engine.account_epoch_end()
-                w.engine.stats.epochs_completed += 1
-            converged = convergence_check and bool(flags.all())
-            merged = self.aggregator.merge_stacked(stacked_models, base=models)
-            return merged, converged
+                    if steps
+                    else None
+                )
+                if not self.shuffle:
+                    self._static_plan = (epoch_rows, steps, block)
+            self._prefetched_rows = None
+            for k in range(steps):
+                chunk = block[k * batch_size : (k + 1) * batch_size]
+                env = tape.run(bind_batch(chunk), stacked_models)
+                tape.apply_updates(env, stacked_models)
+        for w in workers:
+            w.engine.account_batches(batch_size, steps)
+        # Per-segment convergence verdicts from the last vector step;
+        # segments with tail batches get their verdict overwritten below
+        # from their true final batch — exactly what the threads oracle
+        # (one engine epoch per segment) reports.
+        flags = np.zeros(len(workers), dtype=bool)
+        if check_convergence and env is not None:
+            value = tape.convergence_value(env)
+            if value is not None:
+                flags = np.broadcast_to(
+                    np.atleast_1d(value) > 0.5, (len(workers),)
+                ).copy()
+        # Ragged tails (uneven partitions) run per segment through each
+        # worker's own single-segment tape, so every tuple is consumed.
+        for s, w in enumerate(workers):
+            rows = epoch_rows[s]
+            seg_tape = w.engine.tape
+            seg_models = {name: stacked_models[name][s] for name in stacked_models}
+            tail_env = None
+            for start in range(steps * batch_size, len(rows), batch_size):
+                batch = rows[start : start + batch_size]
+                tail_env = seg_tape.run(bind_batch(batch), seg_models)
+                seg_tape.apply_updates(tail_env, seg_models)
+                w.engine.account_batch(len(batch))
+            if tail_env is not None:
+                for name in stacked_models:
+                    stacked_models[name][s] = seg_models[name]
+                if check_convergence:
+                    flags[s] = seg_tape.convergence_reached(tail_env)
+            w.engine.account_epoch_end()
+            w.engine.stats.epochs_completed += 1
+        converged = check_convergence and bool(flags.all())
+        return stacked_models, converged
 
-        return run_epoch
+    def _run_streamed_steps(self, stacked_models) -> tuple[int, list | None]:
+        """Vector steps over zipped per-segment streams; returns (steps, env).
+
+        Stops at the first round where any segment cannot produce a full
+        batch — exactly ``min(len(rows_s) // batch_size)`` rounds, the same
+        step count the materialized plan computes.  Rows pulled past that
+        point stay available (the sources cache their chunks), so the tail
+        loop consumes them from ``rows[steps * batch_size:]`` as usual.
+        """
+        tape, bind_batch, batch_size = self.tape, self.bind_batch, self.batch_size
+        iters = [w.source.batches(batch_size) for w in self.workers]
+        steps = 0
+        env = None
+        while True:
+            round_batches = []
+            complete = True
+            for it in iters:
+                batch = next(it, None)
+                if batch is None or len(batch) < batch_size:
+                    complete = False
+                    break
+                round_batches.append(batch)
+            if not complete:
+                break
+            chunk = np.stack(round_batches, axis=1)
+            env = tape.run(bind_batch(chunk), stacked_models)
+            tape.apply_updates(env, stacked_models)
+            steps += 1
+        return steps, env

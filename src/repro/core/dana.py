@@ -30,13 +30,20 @@ import numpy as np
 
 from repro.algorithms import Hyperparameters, get_algorithm
 from repro.algorithms.base import AlgorithmSpec
-from repro.cluster import ShardedDAnA, ShardedRunResult
+from repro.cluster import (
+    AGGREGATION_STRATEGIES,
+    EXECUTION_STRATEGIES,
+    PARTITION_STRATEGIES,
+    ShardedDAnA,
+    ShardedRunResult,
+)
 from repro.compiler import ExecutionBinary, HardwareGenerator, Scheduler
 from repro.exceptions import ConfigurationError
 from repro.hw import DAnAAccelerator, DEFAULT_FPGA, FPGASpec
 from repro.hw.accelerator import AcceleratorRunResult
 from repro.rdbms import AcceleratorEntry, Database
 from repro.rdbms.query import QueryResult
+from repro.runtime import SYNC_POLICIES
 from repro.translator import translate
 
 
@@ -169,22 +176,44 @@ class DAnA:
         execution: str = "auto",
         shuffle: bool = False,
         seed: int = 0,
+        sync: str = "bulk_synchronous",
+        staleness: int = 1,
+        stream: bool = True,
     ) -> AcceleratorRunResult | ShardedRunResult:
         """Train a registered UDF over a table without going through SQL.
 
         ``segments=None`` (the default) runs the classic single-accelerator
         path.  ``segments=N`` deploys one DAnA accelerator per segment
         (:mod:`repro.cluster`): heap pages are partitioned with
-        ``partition_strategy``, per-segment models are combined every epoch
-        with ``aggregation`` (auto-selected per algorithm when ``None``),
+        ``partition_strategy``, per-segment models are combined with
+        ``aggregation`` (auto-selected per algorithm when ``None``),
         and ``execution`` picks the lock-step vectorized or thread-pool
         strategy.  A fixed ``seed`` makes sharded runs — including
         ``shuffle=True`` epoch orders — bit-reproducible.
+
+        The epoch runtime (:mod:`repro.runtime`) is pipelined: with
+        ``stream=True`` (default) extraction feeds training through bounded
+        double buffers, and ``sync`` picks the cross-segment merge policy —
+        ``"bulk_synchronous"`` (barriered every epoch; bit-identical to the
+        unpipelined path), ``"stale_synchronous"`` (merge every
+        ``staleness`` epochs; fast segments run ahead between merges) or
+        ``"async_merge"`` (per-epoch merges overlapped with the next
+        epoch's preparation; models bit-identical to bulk-synchronous).
         """
+        _validate_train_config(
+            epochs=epochs,
+            segments=segments,
+            partition_strategy=partition_strategy,
+            aggregation=aggregation,
+            execution=execution,
+            sync=sync,
+            staleness=staleness,
+        )
         registered = self._registered(udf_name)
         if segments is None:
             return self._run_accelerator(
-                registered, table_name, epochs, shuffle=shuffle, seed=seed
+                registered, table_name, epochs, shuffle=shuffle, seed=seed,
+                stream=stream,
             )
         return self._run_sharded(
             registered,
@@ -196,6 +225,9 @@ class DAnA:
             execution=execution,
             shuffle=shuffle,
             seed=seed,
+            sync=sync,
+            staleness=staleness,
+            stream=stream,
         )
 
     # ------------------------------------------------------------------ #
@@ -229,6 +261,7 @@ class DAnA:
         epochs: int | None,
         shuffle: bool = False,
         seed: int = 0,
+        stream: bool = True,
     ) -> AcceleratorRunResult:
         self.compile_udf(registered.name, table_name)
         accelerator = registered.accelerators[table_name]
@@ -246,6 +279,7 @@ class DAnA:
                 bind_batch=spec.bind_batch,
                 shuffle=shuffle,
                 rng=rng,
+                stream=stream,
             )
         rows = table.read_all(self.database.buffer_pool)
         return accelerator.train_from_rows(
@@ -269,6 +303,9 @@ class DAnA:
         execution: str,
         shuffle: bool,
         seed: int,
+        sync: str = "bulk_synchronous",
+        staleness: int = 1,
+        stream: bool = True,
     ) -> ShardedRunResult:
         """Deploy one accelerator per segment and train with epoch merges."""
         binary = self.compile_udf(registered.name, table_name)
@@ -285,5 +322,58 @@ class DAnA:
             execution=execution,
             seed=seed,
             use_striders=self.use_striders,
+            sync=sync,
+            staleness=staleness,
+            stream=stream,
         )
         return sharded.train(table_name, epochs=run_epochs, shuffle=shuffle)
+
+
+def _validate_train_config(
+    epochs: int | None,
+    segments: int | None,
+    partition_strategy: str,
+    aggregation: str | None,
+    execution: str,
+    sync: str,
+    staleness: int,
+) -> None:
+    """Fail fast on invalid ``DAnA.train`` configuration.
+
+    Every invalid value raises :class:`ConfigurationError` naming the valid
+    choices, instead of surfacing later as a deep ``KeyError``/``IndexError``
+    from the cluster or runtime internals.
+    """
+    if epochs is not None and (not isinstance(epochs, int) or epochs < 1):
+        raise ConfigurationError(
+            f"epochs must be an integer >= 1 (or None for the registered / "
+            f"convergence-bound default), got {epochs!r}"
+        )
+    if segments is not None and (not isinstance(segments, int) or segments < 1):
+        raise ConfigurationError(
+            f"segments must be an integer >= 1 (or None for the "
+            f"single-accelerator path), got {segments!r}"
+        )
+    if partition_strategy not in PARTITION_STRATEGIES:
+        raise ConfigurationError(
+            f"unknown partition strategy {partition_strategy!r}; "
+            f"expected one of {PARTITION_STRATEGIES}"
+        )
+    if execution not in EXECUTION_STRATEGIES:
+        raise ConfigurationError(
+            f"unknown execution strategy {execution!r}; "
+            f"expected one of {EXECUTION_STRATEGIES}"
+        )
+    if aggregation is not None and aggregation not in AGGREGATION_STRATEGIES:
+        raise ConfigurationError(
+            f"unknown aggregation strategy {aggregation!r}; "
+            f"expected one of {AGGREGATION_STRATEGIES} (or None to auto-select)"
+        )
+    if sync not in SYNC_POLICIES:
+        raise ConfigurationError(
+            f"unknown sync policy {sync!r}; expected one of {SYNC_POLICIES}"
+        )
+    if not isinstance(staleness, int) or staleness < 1:
+        raise ConfigurationError(
+            f"staleness must be an integer >= 1, got {staleness!r}"
+        )

@@ -84,24 +84,56 @@ class DAnAAccelerator:
         bind_batch: BatchBinder | None = None,
         shuffle: bool = False,
         rng: np.random.Generator | None = None,
+        stream: bool = True,
     ) -> AcceleratorRunResult:
-        """Extract tuples with Striders, then train on the execution engine."""
-        rows = self.access_engine.extract_table(page_images)
-        training = self.execution_engine.train(
-            rows=rows,
-            initial_models=initial_models,
-            bind_tuple=bind_tuple,
-            epochs=epochs,
-            convergence_check=convergence_check,
-            bind_batch=bind_batch,
-            shuffle=shuffle,
-            rng=rng,
-        )
+        """Extract tuples with Striders, then train on the execution engine.
+
+        ``stream=True`` (the default) pipelines the two engines like the
+        paper's hardware: the Strider page walk runs on a producer thread
+        behind a bounded double buffer and the first training epoch
+        consumes batches as they decode.  ``stream=False`` materialises the
+        whole table first — the PR-2 behaviour, kept as the overlap oracle.
+        Models and counters are identical either way.
+        """
+        if stream:
+            # The buffer pool is not thread-safe, so page images are pulled
+            # on this thread; only the Strider walk + decode move to the
+            # producer thread (that is where the extraction time goes).
+            source = self.access_engine.stream_table(list(page_images))
+            try:
+                training = self.execution_engine.train(
+                    rows=None,
+                    initial_models=initial_models,
+                    bind_tuple=bind_tuple,
+                    epochs=epochs,
+                    convergence_check=convergence_check,
+                    bind_batch=bind_batch,
+                    shuffle=shuffle,
+                    rng=rng,
+                    source=source,
+                )
+            except BaseException:
+                source.abort()  # release a producer blocked mid-stream
+                raise
+            tuples_extracted = len(source.rows())
+        else:
+            rows = self.access_engine.extract_table(page_images)
+            training = self.execution_engine.train(
+                rows=rows,
+                initial_models=initial_models,
+                bind_tuple=bind_tuple,
+                epochs=epochs,
+                convergence_check=convergence_check,
+                bind_batch=bind_batch,
+                shuffle=shuffle,
+                rng=rng,
+            )
+            tuples_extracted = len(rows)
         return AcceleratorRunResult(
             training=training,
             access_stats=self.access_engine.stats,
             engine_stats=self.execution_engine.stats,
-            tuples_extracted=len(rows),
+            tuples_extracted=tuples_extracted,
         )
 
     def train_from_rows(

@@ -32,6 +32,7 @@ from repro.hw.fpga import FPGASpec
 from repro.hw.strider import Strider, StriderResult
 from repro.isa.strider_isa import StriderProgram
 from repro.rdbms.types import Schema
+from repro.runtime import BatchSource
 
 
 @dataclass
@@ -187,6 +188,25 @@ class AccessEngine:
         if not chunks:
             return np.empty((0, len(self.schema)))
         return np.vstack(chunks)
+
+    def stream_table(
+        self, page_images: Iterable[bytes], queue_depth: int = 2
+    ) -> BatchSource:
+        """Stream the page walk through a bounded double buffer.
+
+        The returned :class:`~repro.runtime.BatchSource` runs
+        :meth:`process_pages` on a producer thread, so Strider extraction
+        overlaps the execution engine's compute exactly like the paper's
+        page buffers feed the engine while later pages are still being
+        cleansed.  Payloads and cycle counters are identical to
+        :meth:`extract_table` (read :attr:`stats` only after the stream is
+        drained — the producer thread owns them until then).
+        """
+        return BatchSource(
+            self.process_pages(page_images),
+            n_columns=len(self.schema),
+            queue_depth=queue_depth,
+        )
 
     def _process_batch(self, batch: list[bytes]) -> Iterator[np.ndarray]:
         results: list[StriderResult] = []

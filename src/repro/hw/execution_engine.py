@@ -39,6 +39,7 @@ from repro.hw.alu import ALU
 from repro.hw.analytic_cluster import AnalyticCluster
 from repro.hw.tree_bus import TreeBus
 from repro.isa.engine_isa import SourceKind
+from repro.runtime import BatchSource, EpochDriver, EpochStep
 from repro.translator.evaluator import HDFGEvaluator
 from repro.translator.hdfg import HDFG, NodeKind, Region
 from repro.translator.tape import BatchBinder, CompiledTape, TapeCompilationError
@@ -135,6 +136,14 @@ class ExecutionEngine:
             )
         self._gather_updates = self._compute_gather_updates()
         self._merge_elements = self._merge_element_count()
+        # The schedule is static, so its region lengths are too — hoist
+        # them (and the per-batch-size tree-bus merge cost) out of the
+        # per-batch accounting hot path instead of re-deriving them from
+        # the instruction stream on every consumed batch.
+        self._update_rule_cycles = self.schedule.update_rule_cycles
+        self._post_merge_cycles = self.schedule.post_merge_cycles
+        self._convergence_cycles = self.schedule.convergence_cycles
+        self._merge_cycles_by_batch: dict[int, int] = {}
         # Compile the batched tape once; graphs the tape cannot lower
         # faithfully keep the per-tuple evaluator as their only fast path.
         try:
@@ -147,7 +156,7 @@ class ExecutionEngine:
     # ------------------------------------------------------------------ #
     def train(
         self,
-        rows: np.ndarray,
+        rows: np.ndarray | None,
         initial_models: Mapping[str, np.ndarray],
         bind_tuple: TupleBinder | None,
         epochs: int,
@@ -155,44 +164,56 @@ class ExecutionEngine:
         rng: np.random.Generator | None = None,
         shuffle: bool = False,
         bind_batch: BatchBinder | None = None,
+        source: BatchSource | None = None,
     ) -> TrainingResult:
-        """Train over ``rows`` for up to ``epochs`` passes.
+        """Train over ``rows`` (or a streaming ``source``) for up to ``epochs``.
 
         When ``bind_batch`` is supplied and the graph lowered to a
         :class:`CompiledTape`, whole merge batches are evaluated in one
         NumPy shot; otherwise each tuple is bound with ``bind_tuple`` and
         evaluated through the per-tuple oracle.  Both paths produce the
         same models and the same schedule-derived cycle counters.
+
+        With ``source`` (a :class:`~repro.runtime.BatchSource`) and no
+        pre-extracted ``rows``, the first epoch consumes batches straight
+        off the streaming extraction — the access engine's page walk
+        overlaps this engine's compute — and later epochs train from the
+        matrix the stream materialized.  Models, batch boundaries and cycle
+        counters are identical to the fully-extracted path.
         """
+        if rows is None and source is None:
+            raise ExecutionEngineError("train needs rows or a batch source")
         use_tape = bind_batch is not None and self.tape is not None
         if not use_tape and bind_tuple is None:
             raise ExecutionEngineError(
                 "per-tuple training requires a bind_tuple binder"
             )
-        models = {k: np.array(v, dtype=np.float64) for k, v in initial_models.items()}
-        converged = False
-        epochs_run = 0
-        for _epoch in range(epochs):
-            if shuffle:
-                order = np.arange(len(rows))
-                (rng or np.random.default_rng(0)).shuffle(order)
-                epoch_rows = rows[order]
-            else:
-                epoch_rows = rows
-            if use_tape:
-                last_env = self._train_one_epoch_tape(epoch_rows, models, bind_batch)
-                reached = convergence_check and self.tape.convergence_reached(last_env)
-            else:
-                tuple_env = self._train_one_epoch(epoch_rows, models, bind_tuple)
-                reached = convergence_check and self._convergence_reached(tuple_env)
-            epochs_run += 1
-            self.stats.epochs_completed += 1
-            if reached:
-                converged = True
-                break
-        return TrainingResult(
-            models=models, epochs_run=epochs_run, converged=converged, stats=self.stats
+        step = _SingleEngineStep(
+            engine=self,
+            rows=rows,
+            source=source,
+            bind_tuple=bind_tuple,
+            bind_batch=bind_batch,
+            use_tape=use_tape,
+            shuffle=shuffle,
+            rng=rng,
+            convergence_check=convergence_check,
         )
+        result = EpochDriver(step, convergence_check=convergence_check).run(
+            initial_models, epochs
+        )
+        return TrainingResult(
+            models=result.models,
+            epochs_run=result.epochs_run,
+            converged=result.converged,
+            stats=self.stats,
+        )
+
+    def iter_batches(self, rows: np.ndarray):
+        """Slice ``rows`` into the engine's consecutive merge batches."""
+        batch_size = self.batch_size
+        for start in range(0, len(rows), batch_size):
+            yield rows[start : start + batch_size]
 
     def account_batch(self, batch_len: int, account_tree_bus: bool = True) -> None:
         """Book the schedule-derived cycle cost of one consumed batch.
@@ -223,11 +244,15 @@ class ExecutionEngine:
         # Timing: the threads run in lock-step, so a batch needs
         # ceil(batch / threads) engine rounds before the merge.
         rounds = math.ceil(batch_len / self.threads)
-        self.stats.update_rule_cycles += count * rounds * self.schedule.update_rule_cycles
-        self.stats.merge_cycles += count * self.tree_bus.merge_cycles(
-            min(batch_len, self.threads), self._merge_elements
-        )
-        self.stats.post_merge_cycles += count * self.schedule.post_merge_cycles
+        merge_cycles = self._merge_cycles_by_batch.get(batch_len)
+        if merge_cycles is None:
+            merge_cycles = self.tree_bus.merge_cycles(
+                min(batch_len, self.threads), self._merge_elements
+            )
+            self._merge_cycles_by_batch[batch_len] = merge_cycles
+        self.stats.update_rule_cycles += count * rounds * self._update_rule_cycles
+        self.stats.merge_cycles += count * merge_cycles
+        self.stats.post_merge_cycles += count * self._post_merge_cycles
         if account_tree_bus:
             for merge_node in self._merge_nodes:
                 self.tree_bus.account_merge(
@@ -236,20 +261,18 @@ class ExecutionEngine:
 
     def account_epoch_end(self) -> None:
         """Book the once-per-epoch convergence-check cycles."""
-        self.stats.convergence_cycles += self.schedule.convergence_cycles
+        self.stats.convergence_cycles += self._convergence_cycles
 
     def _train_one_epoch_tape(
         self,
-        rows: np.ndarray,
+        batches: Iterable[np.ndarray],
         models: dict[str, np.ndarray],
         bind_batch: BatchBinder,
     ) -> list | None:
         """One epoch on the batched tape; accounting matches the tuple path."""
         env: list | None = None
-        batch_size = self.batch_size
         tape = self.tape
-        for start in range(0, len(rows), batch_size):
-            batch = rows[start : start + batch_size]
+        for batch in batches:
             env = tape.run(bind_batch(batch), models)
             tape.apply_updates(env, models)
             self.account_batch(len(batch))
@@ -258,14 +281,12 @@ class ExecutionEngine:
 
     def _train_one_epoch(
         self,
-        rows: np.ndarray,
+        batches: Iterable[np.ndarray],
         models: dict[str, np.ndarray],
         bind_tuple: TupleBinder,
     ) -> dict:
         last_env: dict = {}
-        batch_size = self.batch_size
-        for start in range(0, len(rows), batch_size):
-            batch = rows[start : start + batch_size]
+        for batch in batches:
             last_env = self._process_batch(batch, models, bind_tuple)
             self.account_batch(len(batch), account_tree_bus=False)
         self.account_epoch_end()
@@ -471,3 +492,69 @@ class ExecutionEngine:
                 key = node_ref(node.node_id, i)
                 if address_map.known(key):
                     memory[address_map.address_of(key)] = float(value)
+
+
+class _SingleEngineStep(EpochStep):
+    """The single-engine strategy for the shared :class:`EpochDriver` loop.
+
+    The state *is* the model dict (the tape / evaluator update it in
+    place), there is nothing to merge, and the only pipelining decision is
+    whether the first epoch may consume batches straight off a streaming
+    :class:`BatchSource` (possible when the epoch order is the storage
+    order, i.e. ``shuffle=False``).
+    """
+
+    merges = False
+
+    def __init__(
+        self,
+        engine: ExecutionEngine,
+        rows: np.ndarray | None,
+        source: BatchSource | None,
+        bind_tuple: TupleBinder | None,
+        bind_batch: BatchBinder | None,
+        use_tape: bool,
+        shuffle: bool,
+        rng: np.random.Generator | None,
+        convergence_check: bool,
+    ) -> None:
+        self.engine = engine
+        self._rows = rows
+        self._source = source
+        self.bind_tuple = bind_tuple
+        self.bind_batch = bind_batch
+        self.use_tape = use_tape
+        self.shuffle = shuffle
+        self.rng = rng
+        self.convergence_check = convergence_check
+
+    def _materialized_rows(self) -> np.ndarray:
+        if self._rows is None:
+            self._rows = self._source.rows()
+        return self._rows
+
+    def run_epoch(self, models: dict[str, np.ndarray], epoch_index: int):
+        engine = self.engine
+        stream = (
+            epoch_index == 0
+            and self._rows is None
+            and self._source is not None
+            and not self.shuffle
+        )
+        if stream:
+            batches = self._source.batches(engine.batch_size)
+        else:
+            epoch_rows = self._materialized_rows()
+            if self.shuffle:
+                order = np.arange(len(epoch_rows))
+                (self.rng or np.random.default_rng(0)).shuffle(order)
+                epoch_rows = epoch_rows[order]
+            batches = engine.iter_batches(epoch_rows)
+        if self.use_tape:
+            env = engine._train_one_epoch_tape(batches, models, self.bind_batch)
+            reached = self.convergence_check and engine.tape.convergence_reached(env)
+        else:
+            env = engine._train_one_epoch(batches, models, self.bind_tuple)
+            reached = self.convergence_check and engine._convergence_reached(env)
+        engine.stats.epochs_completed += 1
+        return models, reached

@@ -13,6 +13,7 @@ segment counts — with the cross-segment merge cost taken from the same
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, TYPE_CHECKING
 
@@ -34,6 +35,14 @@ class ShardedRunCost:
     critical_segment_cycles: int
     cross_merge_cycles: int
     model_elements: int
+    #: per-segment stage split for the pipelined book-keeping: extraction
+    #: (AXI + Strider) vs execution-engine cycles, in segment order.
+    segment_access_cycles: tuple[int, ...] = ()
+    segment_engine_cycles: tuple[int, ...] = ()
+    #: the run's synchronization policy and merge count (drive how much of
+    #: the cross-segment merge the pipelined path can hide).
+    sync: str = "bulk_synchronous"
+    merges_performed: int = 0
 
     @classmethod
     def from_run(cls, run: "ShardedRunResult") -> "ShardedRunCost":
@@ -47,6 +56,10 @@ class ShardedRunCost:
             ),
             cross_merge_cycles=run.cluster.cross_merge_cycles,
             model_elements=elements,
+            segment_access_cycles=tuple(seg.access_cycles for seg in run.segments),
+            segment_engine_cycles=tuple(seg.engine_cycles for seg in run.segments),
+            sync=run.cluster.sync,
+            merges_performed=run.cluster.merges_performed,
         )
 
     @property
@@ -54,9 +67,46 @@ class ShardedRunCost:
         """Same quantity as ``ShardedRunResult.critical_path_cycles``."""
         return self.critical_segment_cycles + self.cross_merge_cycles
 
+    @property
+    def pipelined_critical_path_cycles(self) -> int:
+        """Critical path when the epoch runtime pipelines its stages.
+
+        Streaming extraction overlaps the Strider page walk with engine
+        compute, so a pipelined segment books ``max(extract, exec)`` per
+        stage instead of their sum (the serial book-keeping of
+        :attr:`critical_path_cycles`).  The cross-segment merge stays
+        serial under ``bulk_synchronous``/``stale_synchronous``; with
+        ``async_merge`` every merge but the run's final drain merge hides
+        under the next epoch's first batches, so only one merge's cycles
+        remain exposed.
+        """
+        if not self.segment_access_cycles and not self.segment_engine_cycles:
+            slowest = 0
+        else:
+            slowest = max(
+                max(access, engine)
+                for access, engine in zip(
+                    self.segment_access_cycles or (0,) * len(self.segment_engine_cycles),
+                    self.segment_engine_cycles or (0,) * len(self.segment_access_cycles),
+                )
+            )
+        merge = self.cross_merge_cycles
+        if self.sync == "async_merge" and self.merges_performed > 1:
+            merge = math.ceil(merge / self.merges_performed)
+        return slowest + merge
+
+    @property
+    def pipeline_speedup(self) -> float:
+        """Modelled serial / pipelined critical-path ratio (>= 1.0)."""
+        return self.critical_path_cycles / max(1, self.pipelined_critical_path_cycles)
+
     def seconds(self, fpga: FPGASpec = DEFAULT_FPGA) -> float:
         """Modelled wall-clock of the run at the FPGA's clock."""
         return self.critical_path_cycles * fpga.cycle_time_s
+
+    def pipelined_seconds(self, fpga: FPGASpec = DEFAULT_FPGA) -> float:
+        """Modelled wall-clock of the pipelined run at the FPGA's clock."""
+        return self.pipelined_critical_path_cycles * fpga.cycle_time_s
 
 
 class SegmentScalingModel:
@@ -128,5 +178,7 @@ def measured_segment_sweep(
             "speedup_vs_reference": round(
                 reference / max(1, cost.critical_path_cycles), 3
             ),
+            "pipelined_cycles": cost.pipelined_critical_path_cycles,
+            "pipeline_speedup": round(cost.pipeline_speedup, 3),
         }
     return table

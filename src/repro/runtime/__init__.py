@@ -1,0 +1,39 @@
+"""Pipelined epoch runtime: streaming extraction + synchronization policies.
+
+This layer turns the reproduction's epoch execution into the pipeline the
+paper's hardware actually is: a :class:`BatchSource` overlaps the access
+engine's page walk with the execution engine's compute through a bounded
+double-buffer queue, a :class:`SyncPolicy` decides when (and how eagerly)
+per-segment models are merged, and the :class:`EpochDriver` is the single
+epoch loop shared by the single-engine, sharded lock-step and sharded
+thread-pool execution strategies.
+
+The layer is dependency-light by design (NumPy and the exception hierarchy
+only): ``hw`` and ``cluster`` plug their strategies *into* it, never the
+other way around.
+"""
+
+from repro.runtime.batch_source import BatchSource, DEFAULT_QUEUE_DEPTH
+from repro.runtime.epoch_driver import DriverResult, EpochDriver, EpochStep
+from repro.runtime.sync_policy import (
+    AsyncMerge,
+    BulkSynchronous,
+    StaleSynchronous,
+    SYNC_POLICIES,
+    SyncPolicy,
+    make_sync_policy,
+)
+
+__all__ = [
+    "AsyncMerge",
+    "BatchSource",
+    "BulkSynchronous",
+    "DEFAULT_QUEUE_DEPTH",
+    "DriverResult",
+    "EpochDriver",
+    "EpochStep",
+    "StaleSynchronous",
+    "SYNC_POLICIES",
+    "SyncPolicy",
+    "make_sync_policy",
+]

@@ -1,0 +1,247 @@
+"""Streaming batch source: a bounded double-buffer between the engines.
+
+The paper's accelerator is a pipeline: Striders fill page buffers and emit
+cleansed tuples *while* the execution engine consumes earlier ones.  A
+:class:`BatchSource` reproduces that overlap in software.  A producer
+thread walks the access engine's page stream (bulk Strider walk + one-shot
+payload decode) and pushes per-page tuple chunks into a bounded queue — the
+software double buffer — while the consumer (the epoch loop) assembles
+exactly the merge batches the materialized path would have sliced from the
+fully-extracted matrix.
+
+Two invariants make streaming safe to use on the default path:
+
+* **identical batches** — batch boundaries are computed over the logical
+  concatenation of the chunk stream, so every yielded batch is value-equal
+  to ``rows[start:start+batch_size]`` of the materialized extraction, and
+  :meth:`rows` returns that very matrix (consumed chunks are cached, so the
+  second and later epochs train from memory like before);
+* **identical counters** — the producer runs the *same* page walk in the
+  same page order, so Strider/AXI counters are byte-for-byte those of the
+  up-front extraction.
+
+A source built with :meth:`from_rows` is the degenerate, already-extracted
+case (overlap off); it lets every execution path consume one interface.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable, Iterator
+
+import numpy as np
+
+#: queue sentinel: the producer is done.
+_DONE = object()
+
+#: default queue depth — one chunk being consumed, one being produced.
+DEFAULT_QUEUE_DEPTH = 2
+
+
+class _ProducerError:
+    """Wrapper carrying a producer-thread exception to the consumer."""
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class BatchSource:
+    """Bounded, restartable stream of decoded training-tuple chunks."""
+
+    def __init__(
+        self,
+        chunks: Iterable[np.ndarray],
+        n_columns: int,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        start: bool = True,
+    ) -> None:
+        self.n_columns = n_columns
+        self._chunk_iter = iter(chunks)
+        #: chunks pulled off the queue so far, in stream order.  Batch
+        #: iteration reads from this cache first, so the stream can be
+        #: re-walked (later epochs, tail batches) without re-extraction.
+        self._cache: list[np.ndarray] = []
+        self._exhausted = False
+        self._rows: np.ndarray | None = None
+        self._queue: queue.Queue | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        if start:
+            self.start(queue_depth)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(cls, rows: np.ndarray) -> "BatchSource":
+        """A pre-extracted source (the overlap-off / oracle configuration)."""
+        rows = np.asarray(rows)
+        n_columns = rows.shape[1] if rows.ndim > 1 else 0
+        source = cls(iter(()), n_columns=n_columns, start=False)
+        source._cache = [rows]
+        source._exhausted = True
+        source._rows = rows
+        return source
+
+    # ------------------------------------------------------------------ #
+    # producer
+    # ------------------------------------------------------------------ #
+    def start(self, queue_depth: int = DEFAULT_QUEUE_DEPTH) -> None:
+        """Spawn the producer thread filling the bounded chunk queue."""
+        if self._thread is not None or self._exhausted:
+            return
+        self._queue = queue.Queue(maxsize=max(1, queue_depth))
+        self._thread = threading.Thread(
+            target=self._produce, name="batch-source-producer", daemon=True
+        )
+        self._thread.start()
+
+    def _produce(self) -> None:
+        try:
+            for chunk in self._chunk_iter:
+                if not self._put(chunk):
+                    return
+        except BaseException as error:  # noqa: BLE001 - forwarded to consumer
+            self._put(_ProducerError(error))
+            return
+        self._put(_DONE)
+
+    def _put(self, item) -> bool:
+        """Blocking put that still honours :meth:`abort`."""
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.1)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def abort(self) -> None:
+        """Release a producer blocked on a full queue (consumer gave up).
+
+        Call on error paths only: the producer exits at its next put, the
+        queue is drained so that exit is immediate, and any later attempt
+        to consume the stream raises instead of blocking on data that will
+        never arrive.
+        """
+        self._stop.set()
+        if self._queue is not None:
+            while True:
+                try:
+                    self._queue.get_nowait()
+                except queue.Empty:
+                    break
+
+    # ------------------------------------------------------------------ #
+    # consumer
+    # ------------------------------------------------------------------ #
+    def _chunk_at(self, index: int) -> np.ndarray | None:
+        """The ``index``-th chunk of the stream, pulling as needed."""
+        while len(self._cache) <= index:
+            if self._exhausted:
+                return None
+            item = self._get()
+            if item is _DONE:
+                self._exhausted = True
+                return None
+            if isinstance(item, _ProducerError):
+                self._exhausted = True
+                raise item.error
+            self._cache.append(item)
+        return self._cache[index]
+
+    def _get(self):
+        """Blocking get that still honours :meth:`abort`.
+
+        An aborted producer exits without enqueuing ``_DONE``, so a plain
+        ``Queue.get`` could block forever; polling with a timeout lets a
+        consumer that was already parked on the queue observe the stop
+        flag and fail instead of deadlocking.
+        """
+        while True:
+            if self._stop.is_set():
+                raise RuntimeError("batch source was aborted before draining")
+            try:
+                return self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+
+    def has_rows(self) -> bool:
+        """True once the stream is known to contain at least one tuple.
+
+        Blocks only until the first non-empty chunk (usually the first
+        decoded page) or the end of an empty stream — the cheap peek the
+        sharded runtime uses to pick its active segments without
+        materializing whole partitions.
+        """
+        index = 0
+        while True:
+            chunk = self._chunk_at(index)
+            if chunk is None:
+                return False
+            if len(chunk):
+                return True
+            index += 1
+
+    def batches(self, batch_size: int) -> Iterator[np.ndarray]:
+        """Yield consecutive ``batch_size``-row batches (tail may be short).
+
+        Boundaries are identical to slicing the materialized matrix, even
+        when batches span page chunks.  The iterator is restartable: chunks
+        already consumed are served from the cache.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        pending: list[np.ndarray] = []
+        have = 0
+        index = 0
+        while True:
+            chunk = self._chunk_at(index)
+            if chunk is None:
+                break
+            index += 1
+            if not len(chunk):
+                continue
+            pending.append(chunk)
+            have += len(chunk)
+            while have >= batch_size:
+                yield _take(pending, batch_size)
+                have -= batch_size
+        if have:
+            yield _take(pending, have)
+
+    def rows(self) -> np.ndarray:
+        """Drain the stream and return the full extracted matrix (cached)."""
+        if self._rows is None:
+            index = len(self._cache)
+            while self._chunk_at(index) is not None:
+                index += 1
+            if self._cache:
+                self._rows = np.vstack(self._cache)
+            else:
+                self._rows = np.empty((0, self.n_columns))
+            # Collapse the per-chunk cache onto the stacked matrix so the
+            # source does not hold the partition in memory twice; batch
+            # iteration keeps working off the single remaining chunk.
+            self._cache = [self._rows]
+        return self._rows
+
+
+def _take(pending: list[np.ndarray], count: int) -> np.ndarray:
+    """Remove exactly ``count`` rows from the front of ``pending``."""
+    taken: list[np.ndarray] = []
+    need = count
+    while need:
+        head = pending[0]
+        if len(head) <= need:
+            taken.append(head)
+            pending.pop(0)
+            need -= len(head)
+        else:
+            taken.append(head[:need])
+            pending[0] = head[need:]
+            need = 0
+    if len(taken) == 1:
+        return taken[0]
+    return np.concatenate(taken, axis=0)

@@ -1,0 +1,166 @@
+"""The shared pipelined epoch loop behind every DAnA execution path.
+
+Before this layer existed the repo ran three divergent epoch loops: the
+single-engine ``ExecutionEngine.train`` loop, the sharded lock-step runner
+and the sharded thread-pool runner.  :class:`EpochDriver` is the single
+loop they all share now.  A path plugs in an :class:`EpochStep` — its
+strategy for computing one local epoch — and a
+:class:`~repro.runtime.sync_policy.SyncPolicy` deciding when per-segment
+models are merged into a global one and whether that merge may overlap with
+the next epoch's preparation.
+
+The driver is deliberately dumb about *what* an epoch computes: the step
+owns batch iteration, cycle accounting and convergence evaluation.  The
+driver owns the schedule — window sizing from the sync policy, the merge /
+broadcast cadence, the overlap executor, and the run-level counters — so a
+scheduling change (a new sync policy, a different overlap strategy) never
+touches engine code again.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.runtime.sync_policy import BulkSynchronous, SyncPolicy
+
+
+class EpochStep:
+    """One execution strategy's contribution to the shared epoch loop.
+
+    ``state`` is strategy-defined: the model dict itself for a single
+    engine, a per-segment list for the thread-pool strategy, a stacked
+    ``(segments, ...)`` block for the lock-step strategy.  Only the step
+    interprets it; the driver just threads it through the loop.
+    """
+
+    #: True when this step produces per-segment models that need merging.
+    merges: bool = False
+
+    @property
+    def active(self) -> bool:
+        """False when there is no data to train on (epochs still count)."""
+        return True
+
+    def begin(self, models: dict[str, np.ndarray]) -> Any:
+        """Build the initial state from the global model."""
+        return models
+
+    def run_epoch(self, state: Any, epoch_index: int) -> tuple[Any, bool]:
+        """Run one local epoch; returns ``(state, converged)``."""
+        raise NotImplementedError
+
+    def run_window(
+        self, state: Any, epoch_index: int, count: int
+    ) -> tuple[Any, bool, int]:
+        """Run up to ``count`` merge-free epochs; default loops run_epoch.
+
+        Returns ``(state, converged, epochs_executed)``.  Strategies that
+        can amortise dispatch overhead across a whole staleness window
+        (e.g. one thread-pool submission for ``count`` local epochs)
+        override this.
+        """
+        executed = 0
+        converged = False
+        for offset in range(count):
+            state, converged = self.run_epoch(state, epoch_index + offset)
+            executed += 1
+            if converged:
+                break
+        return state, converged, executed
+
+    def merge(self, state: Any, base: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Collapse per-segment state into a global model (``merges`` only)."""
+        raise NotImplementedError
+
+    def broadcast(self, models: dict[str, np.ndarray], state: Any) -> Any:
+        """Re-seed the state from a freshly merged global model."""
+        return models
+
+    def prefetch(self, epoch_index: int) -> None:
+        """Prepare the next epoch's inputs; runs concurrently with an
+        overlapped merge under ``async_merge`` (no-op by default)."""
+
+    def finish(self) -> None:
+        """Release resources owned by the step (thread pools, sources)."""
+
+
+@dataclass
+class DriverResult:
+    """Outcome of one :meth:`EpochDriver.run`."""
+
+    models: dict[str, np.ndarray]
+    epochs_run: int
+    merges_performed: int
+    converged: bool
+
+
+class EpochDriver:
+    """Runs the epoch schedule for one training call."""
+
+    def __init__(
+        self,
+        step: EpochStep,
+        policy: SyncPolicy | None = None,
+        convergence_check: bool = True,
+    ) -> None:
+        self.step = step
+        self.policy = policy or BulkSynchronous()
+        self.convergence_check = convergence_check
+
+    def run(
+        self, initial_models: Mapping[str, np.ndarray], epochs: int
+    ) -> DriverResult:
+        models = {
+            k: np.array(v, dtype=np.float64) for k, v in initial_models.items()
+        }
+        step, policy = self.step, self.policy
+        state = step.begin(models)
+        epochs_run = 0
+        merges = 0
+        converged = False
+        overlap_pool: ThreadPoolExecutor | None = None
+        try:
+            epoch = 0
+            while epoch < epochs:
+                boundary = policy.next_boundary(epoch, epochs)
+                window = max(1, boundary - epoch + 1)
+                state, window_converged, executed = step.run_window(
+                    state, epoch, window
+                )
+                executed = max(1, executed)
+                epochs_run += executed
+                epoch += executed
+                stop = self.convergence_check and window_converged
+                if step.merges and step.active:
+                    if policy.overlap_merge and epoch < epochs and not stop:
+                        # Pipelined merge: combine the segments on a
+                        # background thread while the step prepares the next
+                        # epoch's first batches, then block on the merged
+                        # model right before it is actually consumed.
+                        if overlap_pool is None:
+                            overlap_pool = ThreadPoolExecutor(
+                                max_workers=1, thread_name_prefix="merge-overlap"
+                            )
+                        future = overlap_pool.submit(step.merge, state, models)
+                        step.prefetch(epoch)
+                        models = future.result()
+                    else:
+                        models = step.merge(state, models)
+                    merges += 1
+                    state = step.broadcast(models, state)
+                if stop:
+                    converged = True
+                    break
+        finally:
+            if overlap_pool is not None:
+                overlap_pool.shutdown(wait=True)
+        return DriverResult(
+            models=models,
+            epochs_run=epochs_run,
+            merges_performed=merges,
+            converged=converged,
+        )

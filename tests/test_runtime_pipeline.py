@@ -1,0 +1,473 @@
+"""Tests for the pipelined epoch runtime (repro.runtime).
+
+Invariants enforced here:
+
+* **streaming changes nothing but wall-clock** — with
+  ``sync="bulk_synchronous"`` the pipelined path (streamed extraction,
+  shared ``EpochDriver`` loop) is bit-identical — models *and*
+  schedule-derived counters — to the barriered/materialized path for all
+  four algorithms at segments ∈ {1, 2, 4}, and on the single-engine path;
+* **``async_merge`` is BSP in disguise** — the overlapped merge produces
+  bit-identical models (only the schedule pipelines);
+* **``stale_synchronous`` trades merges for staleness, boundedly** — the
+  merge cadence is ``ceil(epochs / staleness)`` and the final loss stays
+  within tolerance of the bulk-synchronous fit;
+* **configuration fails fast** — invalid ``DAnA.train`` arguments raise
+  ``ConfigurationError`` naming the valid choices;
+* **the lock-step epoch plan is cached** — a ``shuffle=False`` epoch block
+  is stacked once and reused, never re-trimmed per epoch.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Hyperparameters, get_algorithm
+from repro.cluster import ShardedDAnA
+from repro.cluster.sharded import _LockstepStep
+from repro.core import DAnA
+from repro.data.synthetic import generate_for_algorithm
+from repro.exceptions import ConfigurationError, HardwareError
+from repro.perf.segment_model import ShardedRunCost
+from repro.rdbms import Database
+from repro.runtime import (
+    BatchSource,
+    BulkSynchronous,
+    StaleSynchronous,
+    SYNC_POLICIES,
+    make_sync_policy,
+)
+
+LRMF_TOPOLOGY = (24, 18, 4)
+EPOCHS = 4
+
+
+def _system(key, n_tuples=640, merge=8, epochs=EPOCHS, seed=11):
+    algorithm = get_algorithm(key)
+    n_features = 4 if key == "lrmf" else 6
+    topology = LRMF_TOPOLOGY if key == "lrmf" else ()
+    hyper = Hyperparameters(learning_rate=0.05, merge_coefficient=merge, epochs=epochs)
+    spec = algorithm.build_spec(n_features, hyper, topology)
+    data = generate_for_algorithm(key, n_tuples, n_features, LRMF_TOPOLOGY, seed=seed)
+    database = Database(page_size=8 * 1024)
+    database.load_table("train", spec.schema, data)
+    database.warm_cache("train")
+    system = DAnA(database)
+    system.register_udf(key, spec, epochs=epochs)
+    return system, spec, algorithm, data
+
+
+# ---------------------------------------------------------------------- #
+# BatchSource: the bounded double buffer
+# ---------------------------------------------------------------------- #
+class TestBatchSource:
+    def _chunks(self, sizes, n_cols=3, start=0):
+        offset = start
+        for size in sizes:
+            chunk = np.arange(offset, offset + size * n_cols, dtype=np.float64)
+            yield chunk.reshape(size, n_cols)
+            offset += size * n_cols
+
+    def test_batches_match_materialized_slicing(self):
+        chunks = list(self._chunks([5, 1, 7, 0, 4]))
+        rows = np.vstack(chunks)
+        source = BatchSource(iter(chunks), n_columns=3)
+        batches = list(source.batches(4))
+        expected = [rows[s : s + 4] for s in range(0, len(rows), 4)]
+        assert len(batches) == len(expected)
+        for got, want in zip(batches, expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_rows_equals_vstack_and_is_cached(self):
+        chunks = list(self._chunks([3, 2]))
+        source = BatchSource(iter(chunks), n_columns=3)
+        rows = source.rows()
+        np.testing.assert_array_equal(rows, np.vstack(chunks))
+        assert source.rows() is rows
+
+    def test_batches_are_restartable_after_partial_consumption(self):
+        chunks = list(self._chunks([4, 4, 4]))
+        source = BatchSource(iter(chunks), n_columns=3)
+        first = next(iter(source.batches(5)))
+        again = list(source.batches(5))
+        np.testing.assert_array_equal(again[0], first)
+        np.testing.assert_array_equal(np.vstack(again), np.vstack(chunks))
+
+    def test_has_rows_peeks_past_empty_chunks(self):
+        source = BatchSource(self._chunks([0, 0, 2]), n_columns=3)
+        assert source.has_rows()
+        empty = BatchSource(self._chunks([0, 0]), n_columns=3)
+        assert not empty.has_rows()
+
+    def test_empty_stream(self):
+        source = BatchSource(iter(()), n_columns=4)
+        assert list(source.batches(8)) == []
+        assert source.rows().shape == (0, 4)
+
+    def test_from_rows_is_the_degenerate_source(self):
+        rows = np.arange(12.0).reshape(4, 3)
+        source = BatchSource.from_rows(rows)
+        assert source.has_rows()
+        np.testing.assert_array_equal(source.rows(), rows)
+        np.testing.assert_array_equal(next(iter(source.batches(2))), rows[:2])
+
+    def test_producer_errors_propagate_to_consumer(self):
+        def chunks():
+            yield np.ones((2, 3))
+            raise HardwareError("page walk failed")
+
+        source = BatchSource(chunks(), n_columns=3)
+        with pytest.raises(HardwareError, match="page walk failed"):
+            source.rows()
+
+
+# ---------------------------------------------------------------------- #
+# SyncPolicy schedule objects
+# ---------------------------------------------------------------------- #
+class TestSyncPolicies:
+    def test_factory_validates_names_and_staleness(self):
+        with pytest.raises(ConfigurationError, match="bulk_synchronous"):
+            make_sync_policy("gossip")
+        with pytest.raises(ConfigurationError):
+            make_sync_policy("stale_synchronous", staleness=0)
+        assert make_sync_policy("bulk_synchronous").name in SYNC_POLICIES
+
+    def test_bulk_merges_every_epoch(self):
+        policy = BulkSynchronous()
+        assert [policy.next_boundary(e, 10) for e in range(4)] == [0, 1, 2, 3]
+        assert not policy.overlap_merge
+
+    def test_stale_boundaries_every_k_epochs_and_final(self):
+        policy = StaleSynchronous(3)
+        # boundaries at epochs 2, 5, ... and always the final epoch
+        assert policy.next_boundary(0, 10) == 2
+        assert policy.next_boundary(3, 10) == 5
+        assert policy.next_boundary(9, 10) == 9
+        assert policy.next_boundary(7, 8) == 7
+        assert StaleSynchronous(1).next_boundary(4, 10) == 4
+
+    def test_async_merge_overlaps(self):
+        policy = make_sync_policy("async_merge")
+        assert policy.overlap_merge
+        assert policy.next_boundary(2, 10) == 2
+
+
+# ---------------------------------------------------------------------- #
+# bulk_synchronous pipelined == barriered, bit for bit
+# ---------------------------------------------------------------------- #
+class TestStreamingParity:
+    @pytest.mark.parametrize("key", ["linear", "logistic", "svm", "lrmf"])
+    @pytest.mark.parametrize("segments", [1, 2, 4])
+    def test_sharded_stream_parity(self, key, segments):
+        system, spec, _algo, _data = _system(key)
+        streamed = system.train(key, "train", epochs=EPOCHS, segments=segments)
+        barriered = system.train(
+            key, "train", epochs=EPOCHS, segments=segments, stream=False
+        )
+        assert streamed.cluster.stream and not barriered.cluster.stream
+        assert streamed.cluster.sync == "bulk_synchronous"
+        for name in streamed.models:
+            np.testing.assert_array_equal(streamed.models[name], barriered.models[name])
+        assert streamed.engine_stats == barriered.engine_stats
+        assert streamed.access_stats == barriered.access_stats
+        assert streamed.tuples_extracted == barriered.tuples_extracted
+        assert streamed.cluster.merges_performed == barriered.cluster.merges_performed
+        assert (
+            streamed.cluster.cross_merge_cycles == barriered.cluster.cross_merge_cycles
+        )
+
+    @pytest.mark.parametrize("key", ["linear", "lrmf"])
+    def test_single_engine_stream_parity(self, key):
+        system, spec, _algo, _data = _system(key)
+        streamed = system.train(key, "train", epochs=EPOCHS)
+        barriered = system.train(key, "train", epochs=EPOCHS, stream=False)
+        for name in streamed.models:
+            np.testing.assert_array_equal(streamed.models[name], barriered.models[name])
+        assert streamed.engine_stats == barriered.engine_stats
+        assert streamed.access_stats == barriered.access_stats
+
+    def test_shuffled_stream_parity(self):
+        """Shuffled epochs materialise first but must stay bit-identical."""
+        system, spec, _algo, _data = _system("linear")
+        a = system.train("linear", "train", epochs=4, segments=4, shuffle=True, seed=7)
+        b = system.train(
+            "linear", "train", epochs=4, segments=4, shuffle=True, seed=7, stream=False
+        )
+        for name in a.models:
+            np.testing.assert_array_equal(a.models[name], b.models[name])
+        assert a.engine_stats == b.engine_stats
+
+    @pytest.mark.parametrize("execution", ["auto", "threads"])
+    def test_async_merge_is_bitwise_bsp(self, execution):
+        system, spec, _algo, _data = _system("linear")
+        bsp = system.train(
+            "linear", "train", epochs=EPOCHS, segments=4, execution=execution
+        )
+        overlapped = system.train(
+            "linear",
+            "train",
+            epochs=EPOCHS,
+            segments=4,
+            execution=execution,
+            sync="async_merge",
+        )
+        for name in bsp.models:
+            np.testing.assert_array_equal(overlapped.models[name], bsp.models[name])
+        assert overlapped.engine_stats == bsp.engine_stats
+        assert overlapped.cluster.merges_performed == bsp.cluster.merges_performed
+
+    def test_async_merge_shuffled_is_bitwise_bsp(self):
+        """Prefetch must consume the per-segment rng streams in epoch order."""
+        system, spec, _algo, _data = _system("linear")
+        kwargs = dict(epochs=EPOCHS, segments=4, shuffle=True, seed=3)
+        bsp = system.train("linear", "train", **kwargs)
+        overlapped = system.train("linear", "train", sync="async_merge", **kwargs)
+        for name in bsp.models:
+            np.testing.assert_array_equal(overlapped.models[name], bsp.models[name])
+        assert overlapped.engine_stats == bsp.engine_stats
+
+
+# ---------------------------------------------------------------------- #
+# stale_synchronous: bounded staleness semantics + quality
+# ---------------------------------------------------------------------- #
+class TestStaleSynchronous:
+    @pytest.mark.parametrize("staleness", [1, 2, 3, 4])
+    def test_merge_cadence(self, staleness):
+        system, spec, _algo, _data = _system("linear", epochs=6)
+        run = system.train(
+            "linear",
+            "train",
+            epochs=6,
+            segments=4,
+            sync="stale_synchronous",
+            staleness=staleness,
+        )
+        assert run.epochs_run == 6
+        assert run.cluster.merges_performed == math.ceil(6 / staleness)
+        assert run.cluster.sync == "stale_synchronous"
+        assert run.cluster.staleness == staleness
+        # every tuple still trained exactly once per epoch
+        assert run.engine_stats.tuples_processed == 640 * 6
+
+    def test_staleness_one_is_bitwise_bsp(self):
+        system, spec, _algo, _data = _system("linear")
+        bsp = system.train("linear", "train", epochs=EPOCHS, segments=4)
+        stale = system.train(
+            "linear",
+            "train",
+            epochs=EPOCHS,
+            segments=4,
+            sync="stale_synchronous",
+            staleness=1,
+        )
+        for name in bsp.models:
+            np.testing.assert_array_equal(stale.models[name], bsp.models[name])
+        assert stale.engine_stats == bsp.engine_stats
+
+    @pytest.mark.parametrize("key", ["linear", "logistic", "svm", "lrmf"])
+    @pytest.mark.parametrize("execution", ["auto", "threads"])
+    def test_convergence_quality_within_tolerance_of_bsp(self, key, execution):
+        system, spec, algorithm, data = _system(key, epochs=6)
+        bsp = system.train(key, "train", epochs=6, segments=4, execution=execution)
+        stale = system.train(
+            key,
+            "train",
+            epochs=6,
+            segments=4,
+            execution=execution,
+            sync="stale_synchronous",
+            staleness=3,
+        )
+        initial_loss = algorithm.loss(data, spec.initial_models)
+        bsp_loss = algorithm.loss(data, bsp.models)
+        stale_loss = algorithm.loss(data, stale.models)
+        # Learning happened, and bounded staleness stays near the BSP fit.
+        assert stale_loss < 0.6 * initial_loss
+        assert stale_loss <= 2.0 * bsp_loss + 1e-9
+
+    @pytest.mark.parametrize("staleness", [2, 4])
+    def test_lockstep_matches_threads_under_staleness(self, staleness):
+        """The strategies stay parity oracles with merge-free windows."""
+        system, spec, _algo, _data = _system("linear", epochs=6)
+        lock = system.train(
+            "linear", "train", epochs=6, segments=4,
+            sync="stale_synchronous", staleness=staleness,
+        )
+        thr = system.train(
+            "linear", "train", epochs=6, segments=4, execution="threads",
+            sync="stale_synchronous", staleness=staleness,
+        )
+        assert lock.cluster.mode == "lockstep" and thr.cluster.mode == "threads"
+        for name in lock.models:
+            np.testing.assert_allclose(
+                lock.models[name], thr.models[name], rtol=1e-9, atol=1e-12
+            )
+        assert lock.engine_stats == thr.engine_stats
+        assert lock.epochs_run == thr.epochs_run
+        assert lock.cluster.merges_performed == thr.cluster.merges_performed
+
+    def test_convergence_stops_only_at_window_boundaries(self):
+        """Threads + staleness: every window trains count epochs per segment,
+        so a converging run stops on a merge boundary with consistent
+        tuple/epoch accounting (no mixed-staleness merges)."""
+        algorithm = get_algorithm("linear")
+        hyper = Hyperparameters(
+            learning_rate=0.05,
+            merge_coefficient=8,
+            epochs=40,
+            convergence_tolerance=0.5,
+        )
+        spec = algorithm.build_spec(6, hyper)
+        data = generate_for_algorithm("linear", 650, 6, seed=11)
+        database = Database(page_size=8 * 1024)
+        database.load_table("train", spec.schema, data)
+        database.warm_cache("train")
+        system = DAnA(database)
+        system.register_udf("linear", spec, epochs=40)
+        run = system.train(
+            "linear",
+            "train",
+            epochs=40,
+            segments=2,
+            execution="threads",
+            sync="stale_synchronous",
+            staleness=4,
+        )
+        assert run.converged
+        assert run.epochs_run < 40
+        assert run.epochs_run % 4 == 0  # stopped on a merge boundary
+        assert run.engine_stats.tuples_processed == len(data) * run.epochs_run
+
+    def test_stale_runs_are_reproducible(self):
+        system, spec, _algo, _data = _system("linear")
+        kwargs = dict(
+            epochs=6, segments=4, shuffle=True, seed=42,
+            sync="stale_synchronous", staleness=2,
+        )
+        a = system.train("linear", "train", **kwargs)
+        b = system.train("linear", "train", **kwargs)
+        for name in a.models:
+            np.testing.assert_array_equal(a.models[name], b.models[name])
+        assert a.engine_stats == b.engine_stats
+
+
+# ---------------------------------------------------------------------- #
+# DAnA.train configuration validation (fail fast, name the choices)
+# ---------------------------------------------------------------------- #
+class TestConfigValidation:
+    @pytest.fixture()
+    def system(self):
+        system, _spec, _algo, _data = _system("linear")
+        return system
+
+    def test_segments_below_one(self, system):
+        with pytest.raises(ConfigurationError, match="segments"):
+            system.train("linear", "train", epochs=2, segments=0)
+        with pytest.raises(ConfigurationError, match="segments"):
+            system.train("linear", "train", epochs=2, segments=-3)
+
+    def test_unknown_partition_strategy(self, system):
+        with pytest.raises(ConfigurationError, match="round_robin"):
+            system.train(
+                "linear", "train", epochs=2, segments=2, partition_strategy="range"
+            )
+
+    def test_unknown_execution_strategy(self, system):
+        with pytest.raises(ConfigurationError, match="lockstep"):
+            system.train("linear", "train", epochs=2, segments=2, execution="warp")
+
+    def test_unknown_aggregation_strategy(self, system):
+        with pytest.raises(ConfigurationError, match="average"):
+            system.train("linear", "train", epochs=2, segments=2, aggregation="median")
+
+    def test_unknown_sync_policy(self, system):
+        with pytest.raises(ConfigurationError, match="stale_synchronous"):
+            system.train("linear", "train", epochs=2, segments=2, sync="gossip")
+
+    def test_invalid_staleness(self, system):
+        with pytest.raises(ConfigurationError, match="staleness"):
+            system.train("linear", "train", epochs=2, segments=2, staleness=0)
+
+    def test_validation_applies_to_single_path_too(self, system):
+        with pytest.raises(ConfigurationError, match="sync"):
+            system.train("linear", "train", epochs=2, sync="nope")
+
+    def test_invalid_epochs(self, system):
+        with pytest.raises(ConfigurationError, match="epochs"):
+            system.train("linear", "train", epochs=0)
+        with pytest.raises(ConfigurationError, match="epochs"):
+            system.train("linear", "train", epochs=-2, segments=2)
+
+
+# ---------------------------------------------------------------------- #
+# lock-step epoch plan caching (shuffle=False blocks stacked once)
+# ---------------------------------------------------------------------- #
+class TestLockstepPlanCache:
+    def _sharded(self):
+        system, spec, _algo, _data = _system("linear")
+        binary = system.compile_udf("linear", "train")
+        sharded = ShardedDAnA(
+            system.database, binary, spec, segments=4, stream=False
+        )
+        # One run materialises workers + aggregator for direct step access.
+        sharded.train("train", epochs=1)
+        return sharded
+
+    def test_static_epoch_plan_is_reused(self):
+        sharded = self._sharded()
+        step = _LockstepStep(sharded, shuffle=False, convergence_check=True)
+        state = step.begin(
+            {k: np.array(v) for k, v in sharded.spec.initial_models.items()}
+        )
+        assert step._static_plan is None
+        state, _ = step.run_epoch(state, 0)
+        plan = step._static_plan
+        assert plan is not None
+        state, _ = step.run_epoch(state, 1)
+        assert step._static_plan is plan  # stacked once, reused verbatim
+
+    def test_shuffled_epochs_never_cache_a_plan(self):
+        sharded = self._sharded()
+        step = _LockstepStep(sharded, shuffle=True, convergence_check=True)
+        state = step.begin(
+            {k: np.array(v) for k, v in sharded.spec.initial_models.items()}
+        )
+        state, _ = step.run_epoch(state, 0)
+        assert step._static_plan is None
+
+
+# ---------------------------------------------------------------------- #
+# pipelined critical-path book-keeping (perf.segment_model)
+# ---------------------------------------------------------------------- #
+class TestPipelinedCostModel:
+    def test_pipelined_books_max_not_sum(self):
+        system, spec, _algo, _data = _system("linear")
+        run = system.train("linear", "train", epochs=EPOCHS, segments=4)
+        cost = ShardedRunCost.from_run(run)
+        slowest_overlap = max(
+            max(a, e)
+            for a, e in zip(cost.segment_access_cycles, cost.segment_engine_cycles)
+        )
+        assert (
+            cost.pipelined_critical_path_cycles
+            == slowest_overlap + cost.cross_merge_cycles
+        )
+        assert cost.pipelined_critical_path_cycles < cost.critical_path_cycles
+        assert cost.pipeline_speedup > 1.0
+
+    def test_async_merge_hides_all_but_the_drain_merge(self):
+        system, spec, _algo, _data = _system("linear")
+        run = system.train(
+            "linear", "train", epochs=EPOCHS, segments=4, sync="async_merge"
+        )
+        cost = ShardedRunCost.from_run(run)
+        assert run.cluster.merges_performed == EPOCHS
+        exposed = cost.pipelined_critical_path_cycles - max(
+            max(a, e)
+            for a, e in zip(cost.segment_access_cycles, cost.segment_engine_cycles)
+        )
+        assert exposed == math.ceil(
+            cost.cross_merge_cycles / cost.merges_performed
+        )
+        assert cost.pipelined_seconds() < cost.seconds()
