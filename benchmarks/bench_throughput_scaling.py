@@ -29,6 +29,13 @@ plus the overlapped ``async_merge`` policy.  The pipelined configurations
 must beat the fully barriered threads mode (the CI smoke gate) while the
 stale-synchronous final loss stays within tolerance of bulk-synchronous.
 
+The ``serving_sweep`` covers the prediction-serving subsystem
+(:mod:`repro.serving`): whole-table scan-and-score across micro-batch
+sizes and segment counts (the batched inference tape must beat the
+per-tuple forward-pass oracle — the CI serving gate — with bit-identical
+predictions, including through a registry save/load round trip), plus the
+micro-batching prediction server's throughput / tail-latency tradeoff.
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_throughput_scaling.py [--smoke]
@@ -254,6 +261,142 @@ def bench_pipeline_sweep(
     return rows
 
 
+def bench_serving_sweep(
+    n_tuples: int,
+    n_features: int,
+    segment_counts: list[int],
+    batch_sizes: list[int],
+    repeats: int = 2,
+    server_requests: int = 1024,
+) -> dict:
+    """Scan-and-score sweep: micro-batch size x segments, batched vs per-tuple.
+
+    The per-tuple forward-pass oracle (one :class:`HDFGEvaluator` walk per
+    tuple, the serving twin of the seed training path) is the baseline every
+    batched configuration is normalised to.  Predictions must be
+    bit-identical across paths — and across the registry round trip —
+    before speed means anything.
+    """
+    from repro.perf import ScoreRunCost
+
+    algorithm_key = "linear"
+    algorithm = get_algorithm(algorithm_key)
+    hyper = Hyperparameters(learning_rate=0.05, merge_coefficient=16, epochs=2)
+    spec = algorithm.build_spec(n_features, hyper)
+    data = generate_for_algorithm(algorithm_key, n_tuples, n_features, seed=0)
+    database = Database(page_size=PAGE_SIZE)
+    database.load_table("t", spec.schema, data)
+    database.warm_cache("t")
+    system = DAnA(database)
+    system.register_udf(algorithm_key, spec, epochs=2)
+    models = system.train(algorithm_key, "t", epochs=2).models
+
+    # Registry round trip must be bit-identical (models and predictions).
+    system.save_model("bench_model", algorithm_key, models)
+    loaded = system.load_model("bench_model")
+    for name, value in models.items():
+        np.testing.assert_array_equal(loaded[name], np.asarray(value, np.float64))
+    from_memory = system.score_table(algorithm_key, "t", models=models)
+    from_registry = system.score_table(algorithm_key, "t", model_name="bench_model")
+    np.testing.assert_array_equal(from_memory.predictions, from_registry.predictions)
+
+    def timed_score(**kwargs):
+        best_s, result = None, None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = system.score_table(algorithm_key, "t", models=models, **kwargs)
+            elapsed = time.perf_counter() - start
+            best_s = elapsed if best_s is None else min(best_s, elapsed)
+        return best_s, result
+
+    # Baseline: the per-tuple forward-pass oracle, single segment.
+    oracle_s, oracle = timed_score(path="per_tuple", segments=1)
+    per_tuple = {
+        "path": "per_tuple",
+        "segments": 1,
+        "n_tuples": n_tuples,
+        "seconds": round(oracle_s, 6),
+        "tuples_per_sec": round(n_tuples / oracle_s, 1),
+        "inference_cycles_per_tuple": round(
+            ScoreRunCost.from_result(oracle).inference_cycles_per_tuple, 2
+        ),
+    }
+    print(
+        f"per-tuple oracle      {per_tuple['tuples_per_sec']:>12,.0f} t/s  "
+        f"(baseline)"
+    )
+    rows = []
+    for segments in segment_counts:
+        for batch_size in batch_sizes:
+            best_s, result = timed_score(
+                path="batched", segments=segments, batch_size=batch_size
+            )
+            # Batched predictions must match the oracle bit-for-bit.
+            np.testing.assert_array_equal(result.predictions, oracle.predictions)
+            cost = ScoreRunCost.from_result(result)
+            rows.append(
+                {
+                    "path": "batched",
+                    "segments": segments,
+                    "batch_size": batch_size,
+                    "n_tuples": n_tuples,
+                    "seconds": round(best_s, 6),
+                    "tuples_per_sec": round(n_tuples / best_s, 1),
+                    "speedup_vs_per_tuple": round(oracle_s / best_s, 2),
+                    "inference_cycles_per_tuple": round(
+                        cost.inference_cycles_per_tuple, 2
+                    ),
+                    "critical_path_cycles": cost.critical_path_cycles,
+                }
+            )
+            print(
+                f"segments={segments:>2} batch={batch_size:>5}  "
+                f"{rows[-1]['tuples_per_sec']:>12,.0f} t/s  "
+                f"speedup {rows[-1]['speedup_vs_per_tuple']:>7.2f}x  "
+                f"{rows[-1]['inference_cycles_per_tuple']:.1f} cycles/tuple"
+            )
+
+    # Micro-batching server: throughput vs tail latency across batch bounds.
+    microbatch = []
+    request_rows = data[:server_requests]
+    for max_batch in (1, 16, 64):
+        with system.serve(
+            algorithm_key, models=models, max_batch_size=max_batch, max_wait_ms=1.0
+        ) as server:
+            futures = [server.submit(row) for row in request_rows]
+            for f in futures:
+                f.result(timeout=60)
+        stats = server.stats
+        microbatch.append(
+            {
+                "max_batch_size": max_batch,
+                "requests": stats.requests,
+                "batches": stats.batches,
+                "mean_batch_size": round(stats.mean_batch_size, 1),
+                "requests_per_sec": round(stats.requests_per_second, 1),
+                "p50_latency_ms": round(stats.p50_latency_ms, 3),
+                "p99_latency_ms": round(stats.p99_latency_ms, 3),
+            }
+        )
+        print(
+            f"server max_batch={max_batch:>3}  "
+            f"{microbatch[-1]['requests_per_sec']:>10,.0f} req/s  "
+            f"p50 {microbatch[-1]['p50_latency_ms']:>6.2f} ms  "
+            f"p99 {microbatch[-1]['p99_latency_ms']:>6.2f} ms"
+        )
+    return {
+        "description": (
+            "Scan-and-score sweep (micro-batch size x segments) on the "
+            "synthetic linear workload: batched inference tape vs the "
+            "per-tuple forward-pass oracle, plus the micro-batching "
+            "prediction server's throughput/latency tradeoff"
+        ),
+        "per_tuple_baseline": per_tuple,
+        "rows": rows,
+        "microbatch": microbatch,
+    }
+
+
 def run_suite(sizes: list[int], epochs: int) -> dict:
     rows = []
     for algorithm_key, n_features in WORKLOADS:
@@ -309,6 +452,15 @@ def main() -> None:
             "by this wall-clock factor"
         ),
     )
+    parser.add_argument(
+        "--min-serving-speedup",
+        type=float,
+        default=2.0,
+        help=(
+            "fail unless batched sharded scan-and-score beats the per-tuple "
+            "forward-pass oracle by this wall-clock factor"
+        ),
+    )
     args = parser.parse_args()
     sizes = [512, 2048] if args.smoke else [1000, 4000, 16000]
     epochs = 2 if args.smoke else 3
@@ -348,6 +500,24 @@ def main() -> None:
         ),
         "rows": pipeline,
     }
+    print("\nserving sweep (scan-and-score + micro-batching server):")
+    if args.smoke:
+        serving = bench_serving_sweep(
+            n_tuples=4096,
+            n_features=16,
+            segment_counts=[1, 2, 4],
+            batch_sizes=[256],
+            server_requests=512,
+        )
+    else:
+        serving = bench_serving_sweep(
+            n_tuples=32768,
+            n_features=16,
+            segment_counts=[1, 2, 4],
+            batch_sizes=[64, 256, 1024],
+            server_requests=2048,
+        )
+    report["serving_sweep"] = serving
     if not args.smoke:
         RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {RESULT_PATH}")
@@ -384,6 +554,15 @@ def main() -> None:
         raise SystemExit(
             f"pipelined speedup {pipelined_best:.2f}x over the barriered "
             f"threads mode is below the required {pipeline_required:.2f}x"
+        )
+    # Serving gate: the batched scan-and-score must beat the per-tuple
+    # forward-pass oracle — in smoke mode too (CI regressions must fail).
+    serving_best = max(r["speedup_vs_per_tuple"] for r in serving["rows"])
+    if serving_best < args.min_serving_speedup:
+        raise SystemExit(
+            f"batched scan-and-score speedup {serving_best:.2f}x over the "
+            f"per-tuple oracle is below the required "
+            f"{args.min_serving_speedup:.2f}x"
         )
 
 

@@ -60,6 +60,10 @@ class AlgorithmSpec:
     model_topology: tuple[int, ...] = ()
     metadata: dict = field(default_factory=dict)
     bind_batch: BatchBinder | None = None
+    #: forward-only binder for prediction serving: maps a ``(B, cols)``
+    #: block (with or without the trailing label column) onto the forward
+    #: graph's input variables only — no labels, no gradient inputs.
+    bind_predict: BatchBinder | None = None
 
 
 class Algorithm(ABC):

@@ -58,6 +58,10 @@ class LinearRegression(Algorithm):
             # the sharded lock-step (B, segments, cols) block.
             return {"x": rows[..., :n_features], "y": rows[..., n_features]}
 
+        def bind_predict(rows: np.ndarray) -> dict[str, np.ndarray]:
+            # Forward pass only: the label column (if present) is ignored.
+            return {"x": rows[..., :n_features]}
+
         return AlgorithmSpec(
             name=self.key,
             algo=algo,
@@ -67,6 +71,7 @@ class LinearRegression(Algorithm):
             hyperparameters=hyper,
             model_topology=(n_features,),
             bind_batch=bind_batch,
+            bind_predict=bind_predict,
         )
 
     # ------------------------------------------------------------------ #

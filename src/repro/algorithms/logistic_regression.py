@@ -55,6 +55,9 @@ class LogisticRegression(Algorithm):
         def bind_batch(rows: np.ndarray) -> dict[str, np.ndarray]:
             return {"x": rows[..., :n_features], "y": rows[..., n_features]}
 
+        def bind_predict(rows: np.ndarray) -> dict[str, np.ndarray]:
+            return {"x": rows[..., :n_features]}
+
         return AlgorithmSpec(
             name=self.key,
             algo=algo,
@@ -64,6 +67,7 @@ class LogisticRegression(Algorithm):
             hyperparameters=hyper,
             model_topology=(n_features,),
             bind_batch=bind_batch,
+            bind_predict=bind_predict,
         )
 
     def reference_fit(

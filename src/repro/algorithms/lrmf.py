@@ -70,6 +70,11 @@ class LowRankMatrixFactorization(Algorithm):
         def bind_batch(rows: np.ndarray) -> dict[str, np.ndarray]:
             return {"row": rows[:, 0], "col": rows[:, 1], "value": rows[:, 2]}
 
+        def bind_predict(rows: np.ndarray) -> dict[str, np.ndarray]:
+            # Rating prediction addresses the two factor rows; the observed
+            # value column (if present) is ignored.
+            return {"row": rows[:, 0], "col": rows[:, 1]}
+
         rng = np.random.default_rng(7)
         scale = 1.0 / np.sqrt(rank)
         return AlgorithmSpec(
@@ -84,6 +89,7 @@ class LowRankMatrixFactorization(Algorithm):
             hyperparameters=hyper,
             model_topology=(n_rows, n_cols, rank),
             bind_batch=bind_batch,
+            bind_predict=bind_predict,
         )
 
     def reference_fit(

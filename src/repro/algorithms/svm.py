@@ -57,6 +57,10 @@ class SupportVectorMachine(Algorithm):
         def bind_batch(rows: np.ndarray) -> dict[str, np.ndarray]:
             return {"x": rows[..., :n_features], "y": rows[..., n_features]}
 
+        def bind_predict(rows: np.ndarray) -> dict[str, np.ndarray]:
+            # The decision value sign(w.x) needs the features only.
+            return {"x": rows[..., :n_features]}
+
         return AlgorithmSpec(
             name=self.key,
             algo=algo,
@@ -66,6 +70,7 @@ class SupportVectorMachine(Algorithm):
             hyperparameters=hyper,
             model_topology=(n_features,),
             bind_batch=bind_batch,
+            bind_predict=bind_predict,
         )
 
     def reference_fit(

@@ -134,20 +134,11 @@ class SegmentWorker:
 
     def _cpu_decode_chunks(self, heapfile: HeapFile, pool: BufferPool):
         """Per-page RDBMS-side decode (the ``use_striders=False`` model)."""
-        from repro.rdbms.page import HeapPage
+        from repro.rdbms.heapfile import decode_page_rows
 
         schema, layout = heapfile.schema, heapfile.layout
         images = self._page_images(heapfile, pool)
-
-        def chunks():
-            for image in images:
-                tuples = list(HeapPage.from_bytes(image, layout).tuples(schema))
-                if tuples:
-                    yield np.asarray(tuples, dtype=np.float64)
-                else:
-                    yield np.empty((0, len(schema)))
-
-        return chunks()
+        return (decode_page_rows(image, layout, schema) for image in images)
 
     def epoch_rows(self, shuffle: bool) -> np.ndarray:
         """This epoch's tuple order (per-segment seeded shuffle)."""

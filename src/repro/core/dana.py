@@ -24,7 +24,7 @@ simulated accelerator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -41,9 +41,17 @@ from repro.compiler import ExecutionBinary, HardwareGenerator, Scheduler
 from repro.exceptions import ConfigurationError
 from repro.hw import DAnAAccelerator, DEFAULT_FPGA, FPGASpec
 from repro.hw.accelerator import AcceleratorRunResult
-from repro.rdbms import AcceleratorEntry, Database
+from repro.rdbms import AcceleratorEntry, Database, ModelEntry
 from repro.rdbms.query import QueryResult
 from repro.runtime import SYNC_POLICIES
+from repro.serving import (
+    InferencePlan,
+    ModelRegistry,
+    PredictionServer,
+    SERVING_PATHS,
+    ScanScorer,
+    ScoreResult,
+)
 from repro.translator import translate
 
 
@@ -56,6 +64,9 @@ class RegisteredUDF:
     epochs: int | None = None
     binaries: dict[str, ExecutionBinary] = field(default_factory=dict)
     accelerators: dict[str, DAnAAccelerator] = field(default_factory=dict)
+    #: forward-only serving plans, compiled lazily on first predict/score,
+    #: keyed by table name ("" = the table-less point-serving design).
+    inference_plans: dict[str, InferencePlan] = field(default_factory=dict)
 
 
 class DAnA:
@@ -70,6 +81,7 @@ class DAnA:
         self.database = database
         self.fpga = fpga
         self.use_striders = use_striders
+        self.registry = ModelRegistry(database)
         self._udfs: dict[str, RegisteredUDF] = {}
 
     # ------------------------------------------------------------------ #
@@ -231,6 +243,143 @@ class DAnA:
         )
 
     # ------------------------------------------------------------------ #
+    # prediction serving
+    # ------------------------------------------------------------------ #
+    def save_model(
+        self,
+        model_name: str,
+        udf_name: str,
+        models: Mapping[str, np.ndarray],
+        metadata: dict | None = None,
+    ) -> ModelEntry:
+        """Persist a trained model into heap tables through the catalog.
+
+        ``models`` is the model mapping of a finished training run (e.g.
+        ``run.models``); its parameter names and shapes must match the
+        registered UDF's spec.  Each save creates a new version; the
+        round trip through :meth:`load_model` is bit-identical.
+        """
+        spec = self._registered(udf_name).spec
+        self._check_model_shapes(spec, models, context=f"save_model({model_name!r})")
+        meta = {"udf": udf_name, "model_topology": list(spec.model_topology)}
+        meta.update(metadata or {})
+        return self.registry.save(
+            model_name, models, algorithm=spec.name, metadata=meta
+        )
+
+    def load_model(
+        self, model_name: str, version: int | None = None
+    ) -> dict[str, np.ndarray]:
+        """Load a saved model (latest version by default) from its heap table."""
+        models, _entry = self.registry.load(model_name, version)
+        return models
+
+    def predict(
+        self,
+        udf_name: str,
+        rows: np.ndarray,
+        models: Mapping[str, np.ndarray] | None = None,
+        model_name: str | None = None,
+        version: int | None = None,
+        path: str = "batched",
+        batch_size: int | None = None,
+    ) -> np.ndarray:
+        """Score in-memory feature rows with a registered UDF's forward pass.
+
+        Exactly one of ``models`` (an in-memory model mapping) or
+        ``model_name`` (a saved model in the registry) must be supplied.
+        ``rows`` is a ``(B, columns)`` block — a trailing label column is
+        ignored — or a single 1-D feature row, which returns a scalar.
+        """
+        _validate_serving_config(path=path, batch_size=batch_size)
+        registered = self._registered(udf_name)
+        resolved = self._resolve_models(registered.spec, models, model_name, version)
+        plan = self._inference_plan(registered)
+        rows = np.asarray(rows, dtype=np.float64)
+        single = rows.ndim == 1
+        if single:
+            rows = rows[None, :]
+        predictions = plan.new_engine().score(
+            rows, resolved, path=path, batch_size=batch_size
+        )
+        return predictions[0] if single else predictions
+
+    def score_table(
+        self,
+        udf_name: str,
+        table_name: str,
+        models: Mapping[str, np.ndarray] | None = None,
+        model_name: str | None = None,
+        version: int | None = None,
+        segments: int | None = None,
+        path: str = "batched",
+        batch_size: int | None = None,
+        partition_strategy: str = "round_robin",
+        seed: int = 0,
+    ) -> ScoreResult:
+        """Score every tuple of a heap table via the bulk Strider page walk.
+
+        ``segments=N`` partitions the table's heap pages with the training
+        cluster's partitioner and scans-and-scores one accelerator per
+        segment concurrently; predictions come back in storage order
+        regardless.  ``path="per_tuple"`` runs the per-tuple evaluator
+        oracle instead of the batched inference tape (same predictions,
+        same schedule-derived counters).
+        """
+        _validate_serving_config(
+            path=path,
+            batch_size=batch_size,
+            segments=segments,
+            partition_strategy=partition_strategy,
+        )
+        registered = self._registered(udf_name)
+        binary = self.compile_udf(udf_name, table_name)
+        resolved = self._resolve_models(registered.spec, models, model_name, version)
+        plan = self._inference_plan(registered, table_name)
+        scorer = ScanScorer(
+            database=self.database,
+            binary=binary,
+            spec=registered.spec,
+            plan=plan,
+            fpga=self.fpga,
+            use_striders=self.use_striders,
+        )
+        return scorer.score_table(
+            table_name,
+            resolved,
+            segments=segments or 1,
+            path=path,
+            batch_size=batch_size,
+            partition_strategy=partition_strategy,
+            seed=seed,
+        )
+
+    def serve(
+        self,
+        udf_name: str,
+        models: Mapping[str, np.ndarray] | None = None,
+        model_name: str | None = None,
+        version: int | None = None,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+    ) -> PredictionServer:
+        """A micro-batching prediction server bound to one model.
+
+        The returned server is not started; use it as a context manager
+        (or call ``start()``/``stop()``) and submit point requests with
+        ``submit``/``predict``.
+        """
+        registered = self._registered(udf_name)
+        resolved = self._resolve_models(registered.spec, models, model_name, version)
+        plan = self._inference_plan(registered)
+        return PredictionServer(
+            plan.new_engine(),
+            resolved,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+        )
+
+    # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
     def _registered(self, udf_name: str) -> RegisteredUDF:
@@ -291,6 +440,98 @@ class DAnA:
             shuffle=shuffle,
             rng=rng,
         )
+
+    def _inference_plan(
+        self, registered: RegisteredUDF, table_name: str | None = None
+    ) -> InferencePlan:
+        """A forward-only serving plan (compiled once per design, cached).
+
+        Table scoring always uses the design compiled for *that* table, and
+        table-less point serving always uses a nominal design compiled
+        against the database's page layout — so the schedule-derived
+        serving counters are a function of the call's arguments, never of
+        the order earlier API calls compiled things in.
+        """
+        key = table_name or ""
+        plan = registered.inference_plans.get(key)
+        if plan is not None:
+            return plan
+        spec = registered.spec
+        if table_name is not None:
+            binary = self.compile_udf(registered.name, table_name)
+            plan = InferencePlan.from_binary(binary, spec)
+        else:
+            graph = translate(spec.algo)
+            generator = HardwareGenerator(
+                graph,
+                self.database.layout,
+                spec.schema,
+                self.fpga,
+                merge_coefficient=spec.algo.merge_coefficient,
+                n_tuples=4096,
+            )
+            design = generator.generate()
+            plan = InferencePlan(
+                graph,
+                spec,
+                threads=design.threads,
+                acs_per_thread=design.acs_per_thread,
+            )
+        registered.inference_plans[key] = plan
+        return plan
+
+    def _resolve_models(
+        self,
+        spec: AlgorithmSpec,
+        models: Mapping[str, np.ndarray] | None,
+        model_name: str | None,
+        version: int | None,
+    ) -> dict[str, np.ndarray]:
+        """Resolve and validate the model a serving call scores with."""
+        if (models is None) == (model_name is None):
+            raise ConfigurationError(
+                "supply exactly one of models= (an in-memory model mapping) "
+                "or model_name= (a saved model in the registry)"
+            )
+        if model_name is not None:
+            models, entry = self.registry.load(model_name, version)
+            if entry.algorithm and entry.algorithm != spec.name:
+                raise ConfigurationError(
+                    f"saved model {model_name!r} v{entry.version} was trained by "
+                    f"algorithm {entry.algorithm!r} but this UDF runs {spec.name!r}"
+                )
+            context = f"saved model {model_name!r} v{entry.version}"
+        else:
+            context = "models="
+        self._check_model_shapes(spec, models, context=context)
+        return {
+            name: np.asarray(value, dtype=np.float64)
+            for name, value in models.items()
+        }
+
+    def _check_model_shapes(
+        self, spec: AlgorithmSpec, models: Mapping[str, np.ndarray], context: str
+    ) -> None:
+        if not isinstance(models, Mapping) or not models:
+            raise ConfigurationError(
+                f"{context}: expected a non-empty mapping of model parameter "
+                f"arrays, got {models!r}"
+            )
+        expected = {
+            name: np.shape(value) for name, value in spec.initial_models.items()
+        }
+        got = {name: np.shape(value) for name, value in models.items()}
+        if set(got) != set(expected):
+            raise ConfigurationError(
+                f"{context}: model parameters {sorted(got)} do not match the "
+                f"algorithm's parameters {sorted(expected)}"
+            )
+        for name, shape in expected.items():
+            if got[name] != shape:
+                raise ConfigurationError(
+                    f"{context}: parameter {name!r} has shape {got[name]} but "
+                    f"the algorithm expects {shape}"
+                )
 
     def _run_sharded(
         self,
@@ -376,4 +617,36 @@ def _validate_train_config(
     if not isinstance(staleness, int) or staleness < 1:
         raise ConfigurationError(
             f"staleness must be an integer >= 1, got {staleness!r}"
+        )
+
+
+def _validate_serving_config(
+    path: str,
+    batch_size: int | None,
+    segments: int | None = None,
+    partition_strategy: str | None = None,
+) -> None:
+    """Fail fast on invalid ``predict``/``score_table`` configuration.
+
+    Mirrors :func:`_validate_train_config`: every invalid value raises
+    :class:`ConfigurationError` naming the valid choices up front.
+    """
+    if path not in SERVING_PATHS:
+        raise ConfigurationError(
+            f"unknown serving path {path!r}; expected one of {SERVING_PATHS}"
+        )
+    if batch_size is not None and (not isinstance(batch_size, int) or batch_size < 1):
+        raise ConfigurationError(
+            f"batch_size must be an integer >= 1 (or None for the default "
+            f"scoring micro-batch), got {batch_size!r}"
+        )
+    if segments is not None and (not isinstance(segments, int) or segments < 1):
+        raise ConfigurationError(
+            f"segments must be an integer >= 1 (or None for a single "
+            f"scan-and-score segment), got {segments!r}"
+        )
+    if partition_strategy is not None and partition_strategy not in PARTITION_STRATEGIES:
+        raise ConfigurationError(
+            f"unknown partition strategy {partition_strategy!r}; "
+            f"expected one of {PARTITION_STRATEGIES}"
         )

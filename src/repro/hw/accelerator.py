@@ -136,6 +136,32 @@ class DAnAAccelerator:
             tuples_extracted=tuples_extracted,
         )
 
+    def score_from_pages(
+        self,
+        page_images: Iterable[bytes],
+        models: Mapping[str, np.ndarray],
+        inference,
+        path: str = "batched",
+        batch_size: int | None = None,
+    ) -> tuple[np.ndarray, list[int]]:
+        """Forward-only scoring: bulk Strider page walk + inference engine.
+
+        The access engine cleanses the pages exactly as it does for
+        training (same bulk walk, same counters); ``inference`` — a
+        :class:`repro.serving.InferenceEngine`, duck-typed so ``hw`` keeps
+        no dependency on the serving layer — evaluates the forward pass and
+        books its schedule-derived cycles.  Returns the predictions plus
+        the per-page tuple counts (the scorer needs them to reassemble
+        partitioned predictions in storage order).
+        """
+        chunks = list(self.access_engine.process_pages(page_images))
+        sizes = [len(chunk) for chunk in chunks]
+        rows = (
+            np.vstack(chunks) if chunks else np.empty((0, len(self.schema)))
+        )
+        predictions = inference.score(rows, models, path=path, batch_size=batch_size)
+        return predictions, sizes
+
     def train_from_rows(
         self,
         rows: np.ndarray,

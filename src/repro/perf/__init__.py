@@ -19,6 +19,7 @@ from repro.perf.segment_model import (
     ShardedRunCost,
     measured_segment_sweep,
 )
+from repro.perf.serving_model import ScoreRunCost, measured_serving_sweep
 
 __all__ = [
     "CPUCostModel",
@@ -37,10 +38,12 @@ __all__ = [
     "MADlibPostgresModel",
     "PAPER_EPOCHS",
     "RuntimeBreakdown",
+    "ScoreRunCost",
     "SegmentScalingModel",
     "ShardedRunCost",
     "StorageCostModel",
     "measured_segment_sweep",
+    "measured_serving_sweep",
     "TABLAModel",
     "epochs_for",
     "format_seconds",

@@ -1,0 +1,108 @@
+"""Serving cost model hooked to measured scan-and-score counters.
+
+The training side of the perf package books sharded runs through
+:class:`~repro.perf.segment_model.ShardedRunCost`; this module is the
+inference twin.  It lifts the measured per-segment counters of a
+:class:`~repro.serving.scorer.ScoreResult` into modelled wall-clock
+seconds on the FPGA and exposes the **inference cost column** the
+reporting layer attaches to sweeps: schedule-derived forward cycles per
+scored tuple (the serving counterpart of the training cost model's
+cycles-per-epoch accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.hw.fpga import DEFAULT_FPGA, FPGASpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.scorer import ScoreResult
+
+
+@dataclass(frozen=True)
+class ScoreRunCost:
+    """Critical-path cycle decomposition of one measured scoring run."""
+
+    segments: int
+    tuples_scored: int
+    #: per-segment stage split, in segment order: extraction (AXI +
+    #: Strider page walk) vs forward-pass compute cycles.
+    segment_access_cycles: tuple[int, ...] = ()
+    segment_forward_cycles: tuple[int, ...] = ()
+
+    @classmethod
+    def from_result(cls, result: "ScoreResult") -> "ScoreRunCost":
+        """Lift the measured per-segment counters into a cost summary."""
+        return cls(
+            segments=len(result.segments),
+            tuples_scored=result.tuples_scored,
+            segment_access_cycles=tuple(s.access_cycles for s in result.segments),
+            segment_forward_cycles=tuple(s.forward_cycles for s in result.segments),
+        )
+
+    @property
+    def critical_path_cycles(self) -> int:
+        """Slowest segment's serial extract + score path (segments overlap)."""
+        return max(
+            (
+                access + forward
+                for access, forward in zip(
+                    self.segment_access_cycles, self.segment_forward_cycles
+                )
+            ),
+            default=0,
+        )
+
+    @property
+    def pipelined_critical_path_cycles(self) -> int:
+        """Critical path with the page walk overlapping the forward pass."""
+        return max(
+            (
+                max(access, forward)
+                for access, forward in zip(
+                    self.segment_access_cycles, self.segment_forward_cycles
+                )
+            ),
+            default=0,
+        )
+
+    @property
+    def inference_cycles_per_tuple(self) -> float:
+        """The inference cost column: forward cycles per scored tuple."""
+        if not self.tuples_scored:
+            return 0.0
+        return sum(self.segment_forward_cycles) / self.tuples_scored
+
+    def seconds(self, fpga: FPGASpec = DEFAULT_FPGA) -> float:
+        """Modelled wall-clock of the scoring run at the FPGA's clock."""
+        return self.critical_path_cycles * fpga.cycle_time_s
+
+    def tuples_per_second(self, fpga: FPGASpec = DEFAULT_FPGA) -> float:
+        """Modelled scoring throughput at the FPGA's clock."""
+        seconds = self.seconds(fpga)
+        return self.tuples_scored / seconds if seconds > 0 else 0.0
+
+
+def measured_serving_sweep(
+    results: Iterable["ScoreResult"], fpga: FPGASpec = DEFAULT_FPGA
+) -> list[dict]:
+    """One report row per scoring run, with the inference cost column."""
+    rows = []
+    for result in results:
+        cost = ScoreRunCost.from_result(result)
+        rows.append(
+            {
+                "segments": cost.segments,
+                "path": result.path,
+                "batch_size": result.batch_size,
+                "tuples_scored": cost.tuples_scored,
+                "inference_cycles_per_tuple": round(cost.inference_cycles_per_tuple, 2),
+                "critical_path_cycles": cost.critical_path_cycles,
+                "pipelined_critical_path_cycles": cost.pipelined_critical_path_cycles,
+                "modelled_seconds": cost.seconds(fpga),
+                "modelled_tuples_per_sec": round(cost.tuples_per_second(fpga), 1),
+            }
+        )
+    return rows

@@ -6,9 +6,15 @@ accelerator, and a small SQL front end that can invoke UDFs.
 """
 
 from repro.rdbms.buffer_pool import BufferPool, BufferPoolStats
-from repro.rdbms.catalog import AcceleratorEntry, Catalog, TableEntry
+from repro.rdbms.catalog import (
+    AcceleratorEntry,
+    Catalog,
+    ModelEntry,
+    ModelParam,
+    TableEntry,
+)
 from repro.rdbms.database import Database
-from repro.rdbms.heapfile import HeapFile
+from repro.rdbms.heapfile import HeapFile, decode_page_rows
 from repro.rdbms.heaptuple import TUPLE_HEADER_SIZE, TupleHeader, decode_tuple, encode_tuple
 from repro.rdbms.page import (
     DEFAULT_PAGE_SIZE,
@@ -42,6 +48,8 @@ __all__ = [
     "HeapFile",
     "HeapPage",
     "LINE_POINTER_SIZE",
+    "ModelEntry",
+    "ModelParam",
     "PAGE_HEADER_SIZE",
     "PageLayout",
     "QueryExecutor",
@@ -55,6 +63,7 @@ __all__ = [
     "TUPLE_HEADER_SIZE",
     "TupleHeader",
     "UDFCall",
+    "decode_page_rows",
     "decode_tuple",
     "encode_tuple",
     "parse",

@@ -28,6 +28,40 @@ class TableEntry:
     tuple_count: int = 0
 
 
+@dataclass(frozen=True)
+class ModelParam:
+    """Shape descriptor of one named parameter of a saved model."""
+
+    name: str
+    shape: tuple[int, ...]
+
+    @property
+    def element_count(self) -> int:
+        count = 1
+        for d in self.shape:
+            count *= d
+        return count
+
+
+@dataclass
+class ModelEntry:
+    """Catalog record for one saved (versioned) model.
+
+    The parameter *values* live in a real heap table (``table_name``, one
+    row per scalar element — the MADlib shape of models-as-tables); the
+    catalog holds everything a scan of that table cannot reconstruct:
+    parameter names and shapes, the producing algorithm, and free-form
+    metadata.
+    """
+
+    name: str
+    version: int
+    algorithm: str
+    table_name: str
+    params: list[ModelParam] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
 @dataclass
 class AcceleratorEntry:
     """Catalog record for one compiled DAnA UDF.
@@ -54,6 +88,7 @@ class Catalog:
         self._tables: dict[str, TableEntry] = {}
         self._accelerators: dict[str, AcceleratorEntry] = {}
         self._udf_handlers: dict[str, Any] = {}
+        self._models: dict[str, dict[int, ModelEntry]] = {}
 
     # ------------------------------------------------------------------ #
     # tables
@@ -102,6 +137,53 @@ class Catalog:
 
     def accelerators(self) -> list[AcceleratorEntry]:
         return [self._accelerators[k] for k in sorted(self._accelerators)]
+
+    # ------------------------------------------------------------------ #
+    # saved models (prediction serving)
+    # ------------------------------------------------------------------ #
+    def register_model(self, entry: ModelEntry) -> None:
+        versions = self._models.setdefault(entry.name, {})
+        if entry.version in versions:
+            raise CatalogError(
+                f"model {entry.name!r} version {entry.version} already exists"
+            )
+        versions[entry.version] = entry
+
+    def has_model(self, name: str, version: int | None = None) -> bool:
+        versions = self._models.get(name)
+        if not versions:
+            return False
+        return version is None or version in versions
+
+    def model(self, name: str, version: int | None = None) -> ModelEntry:
+        """Look up a saved model (latest version when ``version`` is None)."""
+        versions = self._models.get(name)
+        if not versions:
+            raise CatalogError(
+                f"no saved model named {name!r}; available: {self.model_names()}"
+            )
+        if version is None:
+            return versions[max(versions)]
+        try:
+            return versions[version]
+        except KeyError:
+            raise CatalogError(
+                f"model {name!r} has no version {version}; "
+                f"available versions: {sorted(versions)}"
+            ) from None
+
+    def model_names(self) -> list[str]:
+        return sorted(self._models)
+
+    def model_versions(self, name: str) -> list[int]:
+        return sorted(self._models.get(name, ()))
+
+    def models(self) -> list[ModelEntry]:
+        return [
+            self._models[name][version]
+            for name in sorted(self._models)
+            for version in sorted(self._models[name])
+        ]
 
     # ------------------------------------------------------------------ #
     # UDF handlers (black-box callables invoked by the executor)

@@ -13,6 +13,19 @@ from repro.rdbms.storage import StorageManager
 from repro.rdbms.types import Schema
 
 
+def decode_page_rows(image: bytes, layout: PageLayout, schema: Schema) -> np.ndarray:
+    """Decode one raw page image into a ``(tuples, columns)`` float64 matrix.
+
+    The RDBMS-side per-page decode shared by every ``use_striders=False``
+    path (training segment workers, the serving scan scorer) — one
+    implementation so the CPU-decode model cannot drift between them.
+    """
+    tuples = list(HeapPage.from_bytes(image, layout).tuples(schema))
+    if not tuples:
+        return np.empty((0, len(schema)))
+    return np.asarray(tuples, dtype=np.float64)
+
+
 class HeapFile:
     """A table's on-"disk" representation as a sequence of heap pages.
 

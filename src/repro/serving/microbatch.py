@@ -1,0 +1,271 @@
+"""Micro-batching prediction server for concurrent point requests.
+
+Heavy serving traffic arrives one tuple at a time, but the inference tape
+is fastest on batches.  The :class:`PredictionServer` bridges the two with
+the same shape the runtime's :class:`~repro.runtime.BatchSource` uses for
+extraction: a **bounded queue** (the software double buffer) decouples the
+submitting threads from one scorer thread, which coalesces whatever has
+queued into a micro-batch — up to ``max_batch_size`` requests, waiting at
+most ``max_wait_ms`` after the first request of a batch arrives, so the
+batching latency is bounded by construction.
+
+Every request's end-to-end latency (submit → result) is recorded;
+:meth:`PredictionServer.stats` reports throughput plus p50/p99 latency,
+the two numbers the micro-batch size trades against each other: bigger
+batches amortise the tape invocation (throughput up), smaller waits bound
+the queueing delay (tail latency down).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.serving.inference import InferenceEngine
+
+#: per-request latencies retained for the percentile stats.  A bounded
+#: window keeps a long-lived server's memory (and percentile cost) flat;
+#: the request/batch totals stay exact.
+LATENCY_WINDOW = 65536
+
+
+@dataclass
+class ServingStats:
+    """Aggregate request/latency counters of one server lifetime."""
+
+    requests: int = 0
+    batches: int = 0
+    #: per-request submit→result latency, seconds (insertion order; the
+    #: most recent :data:`LATENCY_WINDOW` requests).
+    latencies_s: deque = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    #: wall-clock span from first submit to last completion, seconds.
+    span_seconds: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / self.span_seconds if self.span_seconds > 0 else 0.0
+
+    def latency_ms(self, percentile: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(
+            np.percentile(np.fromiter(self.latencies_s, dtype=np.float64), percentile)
+            * 1e3
+        )
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.latency_ms(50.0)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency_ms(99.0)
+
+
+@dataclass
+class _Request:
+    row: np.ndarray
+    future: Future
+    submitted_at: float
+
+
+class PredictionServer:
+    """Coalesces concurrent point requests into bounded-latency batches."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        models: Mapping[str, np.ndarray],
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        queue_depth: int | None = None,
+    ) -> None:
+        if not isinstance(max_batch_size, int) or max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be an integer >= 1, got {max_batch_size!r}"
+            )
+        if not isinstance(max_wait_ms, (int, float)) or max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms must be a number >= 0, got {max_wait_ms!r}"
+            )
+        self.engine = engine
+        self.models = {
+            name: np.asarray(value, dtype=np.float64) for name, value in models.items()
+        }
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = float(max_wait_ms) / 1e3
+        # Double-buffer depth: one micro-batch being scored, one queueing.
+        depth = queue_depth if queue_depth is not None else 2 * max_batch_size
+        self._queue: queue.Queue[_Request] = queue.Queue(maxsize=max(1, depth))
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self.stats = ServingStats()
+        self._first_submit: float | None = None
+        self._last_complete: float | None = None
+        #: span accumulated over previous start()/stop() lifetimes, so a
+        #: restarted server's throughput excludes the stopped idle gap.
+        self._span_base: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "PredictionServer":
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stop.clear()  # a stopped server can be restarted
+            if self._first_submit is not None:
+                # Rebase the throughput clock: the stopped gap is not
+                # serving time.
+                self._span_base = self.stats.span_seconds
+                self._first_submit = None
+            self._thread = threading.Thread(
+                target=self._serve, name="prediction-server", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain outstanding requests, then stop the scorer thread.
+
+        Every request whose :meth:`submit` returned before ``stop`` was
+        called is scored: submissions are ordered against the stop flag by
+        the server lock, so the scorer cannot observe an empty queue and
+        exit while a submitted request is still in flight.
+        """
+        with self._lock:
+            if self._thread is None:
+                return
+            self._stop.set()
+            thread = self._thread
+        thread.join()
+        with self._lock:
+            self._thread = None
+            # Backstop: fail anything still queued rather than strand it.
+            while True:
+                try:
+                    request = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                _deliver(
+                    request.future,
+                    error=ConfigurationError("the prediction server was stopped"),
+                )
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # request API
+    # ------------------------------------------------------------------ #
+    def submit(self, row: np.ndarray) -> Future:
+        """Enqueue one point request; returns a future for its prediction."""
+        row = np.asarray(row, dtype=np.float64)
+        if row.ndim != 1:
+            raise ConfigurationError(
+                f"submit expects one feature row (1-D), got shape {row.shape}"
+            )
+        request = _Request(row=row, future=Future(), submitted_at=time.perf_counter())
+        # The liveness check and the enqueue happen under one lock hold
+        # (stop() raises the flag under the same lock), so a successfully
+        # submitted request is always still visible to the scorer's
+        # stop-and-empty exit check — no request can be stranded.  The put
+        # is non-blocking; a full queue backs off outside the lock.
+        while True:
+            with self._lock:
+                if self._thread is None or self._stop.is_set():
+                    raise ConfigurationError(
+                        "the prediction server is not running; call start() first"
+                    )
+                try:
+                    self._queue.put_nowait(request)
+                except queue.Full:
+                    pass
+                else:
+                    if self._first_submit is None:
+                        self._first_submit = request.submitted_at
+                    return request.future
+            time.sleep(0.001)
+
+    def predict(self, row: np.ndarray, timeout: float | None = 30.0) -> float:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return float(self.submit(row).result(timeout=timeout))
+
+    # ------------------------------------------------------------------ #
+    # scorer thread
+    # ------------------------------------------------------------------ #
+    def _serve(self) -> None:
+        while not (self._stop.is_set() and self._queue.empty()):
+            try:
+                first = self._queue.get(timeout=0.02)
+            except queue.Empty:
+                continue
+            batch = [first]
+            deadline = time.perf_counter() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.perf_counter()
+                try:
+                    if remaining > 0:
+                        batch.append(self._queue.get(timeout=remaining))
+                    else:
+                        # Deadline passed: take only what already queued.
+                        batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            self._score_batch(batch)
+
+    def _score_batch(self, batch: list[_Request]) -> None:
+        try:
+            rows = np.stack([request.row for request in batch], axis=0)
+            predictions = self.engine.score(
+                rows, self.models, path="batched", batch_size=len(batch)
+            )
+        except BaseException as error:  # noqa: BLE001 - forwarded to callers
+            for request in batch:
+                _deliver(request.future, error=error)
+            return
+        now = time.perf_counter()
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.requests += len(batch)
+            self.stats.latencies_s.extend(
+                now - request.submitted_at for request in batch
+            )
+            self._last_complete = now
+            if self._first_submit is not None:
+                self.stats.span_seconds = self._span_base + (
+                    self._last_complete - self._first_submit
+                )
+        for request, value in zip(batch, predictions):
+            _deliver(request.future, value=value)
+
+
+def _deliver(future: Future, value=None, error: BaseException | None = None) -> None:
+    """Complete a request future, tolerating client-side cancellation.
+
+    A caller that timed out may have cancelled its future; delivering into
+    a cancelled future raises ``InvalidStateError``, which must not kill
+    the scorer thread (it serves every other caller too).
+    """
+    if not future.set_running_or_notify_cancel():
+        return  # cancelled by the client; nothing to deliver
+    if error is not None:
+        future.set_exception(error)
+    else:
+        future.set_result(value)

@@ -1,0 +1,228 @@
+"""Whole-table scan-and-score over the bulk Strider page walk.
+
+This is the serving twin of :class:`~repro.cluster.sharded.ShardedDAnA`:
+the table's heap pages are partitioned across ``segments`` with the same
+:class:`~repro.cluster.partitioner.Partitioner` the training cluster uses,
+every segment owns a full :class:`~repro.hw.accelerator.DAnAAccelerator`
+(its own Striders and counters) plus a fresh
+:class:`~repro.serving.inference.InferenceEngine`, and segments score
+concurrently on a thread pool (the NumPy kernels release the GIL).
+Per-segment predictions are scattered back into **storage order**, so the
+result is independent of the partitioning.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.cluster.partitioner import PagePartition, Partitioner
+from repro.hw.access_engine import AccessEngineStats
+from repro.hw.accelerator import DAnAAccelerator
+from repro.hw.fpga import DEFAULT_FPGA, FPGASpec
+from repro.serving.inference import DEFAULT_SCORE_BATCH, InferencePlan, InferenceStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.base import AlgorithmSpec
+    from repro.compiler.execution_binary import ExecutionBinary
+    from repro.rdbms.database import Database
+
+
+@dataclass
+class SegmentScoreReport:
+    """One segment's contribution to a scan-and-score run."""
+
+    segment_id: int
+    pages: int
+    tuples_scored: int
+    access_stats: AccessEngineStats
+    inference_stats: InferenceStats
+
+    @property
+    def access_cycles(self) -> int:
+        """Extraction stage: AXI transfer + Strider page walk."""
+        return (
+            self.access_stats.strider_cycles_critical + self.access_stats.axi_cycles
+        )
+
+    @property
+    def forward_cycles(self) -> int:
+        """Compute stage: schedule-derived forward-pass cycles."""
+        return self.inference_stats.forward_cycles
+
+    @property
+    def cycles(self) -> int:
+        """This segment's serial path: extraction + forward compute."""
+        return self.access_cycles + self.forward_cycles
+
+
+@dataclass
+class ScoreResult:
+    """Predictions + per-segment hardware activity of one table scoring."""
+
+    predictions: np.ndarray
+    path: str
+    batch_size: int
+    partition_strategy: str
+    segments: list[SegmentScoreReport]
+
+    @property
+    def tuples_scored(self) -> int:
+        return len(self.predictions)
+
+    @property
+    def inference_stats(self) -> InferenceStats:
+        """Aggregate (summed) inference counters across segments."""
+        total = InferenceStats()
+        for seg in self.segments:
+            total.tuples_scored += seg.inference_stats.tuples_scored
+            total.batches_scored += seg.inference_stats.batches_scored
+            total.forward_cycles += seg.inference_stats.forward_cycles
+        return total
+
+    @property
+    def critical_path_cycles(self) -> int:
+        """Modelled wall-clock cycles: segments scan-and-score concurrently."""
+        return max((seg.cycles for seg in self.segments), default=0)
+
+
+class ScanScorer:
+    """Scores whole heap tables with one accelerator per segment."""
+
+    def __init__(
+        self,
+        database: "Database",
+        binary: "ExecutionBinary",
+        spec: "AlgorithmSpec",
+        plan: InferencePlan,
+        fpga: FPGASpec = DEFAULT_FPGA,
+        use_striders: bool = True,
+    ) -> None:
+        self.database = database
+        self.binary = binary
+        self.spec = spec
+        self.plan = plan
+        self.fpga = fpga
+        self.use_striders = use_striders
+
+    def score_table(
+        self,
+        table_name: str,
+        models: Mapping[str, np.ndarray],
+        segments: int = 1,
+        path: str = "batched",
+        batch_size: int | None = None,
+        partition_strategy: str = "round_robin",
+        seed: int = 0,
+    ) -> ScoreResult:
+        """Score every tuple of ``table_name``; predictions in storage order."""
+        heapfile = self.database.table(table_name)
+        pool = self.database.buffer_pool
+        partitioner = Partitioner(partition_strategy, seed=seed)
+        parts = partitioner.partition_table(self.database, table_name, segments)
+        # The buffer pool is not thread-safe: page images are pulled here,
+        # on the caller's thread, exactly like the training cluster does.
+        jobs = [
+            (part, [img for _no, img in heapfile.scan_pages(pool, part.page_nos)])
+            for part in parts
+        ]
+        max_workers = min(len(jobs), max(1, os.cpu_count() or 1))
+        if max_workers > 1 and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool_exec:
+                outcomes = list(
+                    pool_exec.map(
+                        lambda job: self._score_segment(job[0], job[1], models, path, batch_size),
+                        jobs,
+                    )
+                )
+        else:
+            outcomes = [
+                self._score_segment(part, images, models, path, batch_size)
+                for part, images in jobs
+            ]
+        predictions = self._reassemble(parts, outcomes)
+        return ScoreResult(
+            predictions=predictions,
+            path=path,
+            batch_size=batch_size or DEFAULT_SCORE_BATCH,
+            partition_strategy=partition_strategy,
+            segments=[report for report, _preds, _sizes in outcomes],
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _score_segment(
+        self,
+        part: PagePartition,
+        images: list[bytes],
+        models: Mapping[str, np.ndarray],
+        path: str,
+        batch_size: int | None,
+    ) -> tuple[SegmentScoreReport, np.ndarray, list[int]]:
+        engine = self.plan.new_engine()
+        if self.use_striders:
+            accelerator = DAnAAccelerator(
+                binary=self.binary, schema=self.spec.schema, fpga=self.fpga
+            )
+            predictions, sizes = accelerator.score_from_pages(
+                images, models, engine, path=path, batch_size=batch_size
+            )
+            access_stats = accelerator.access_engine.stats
+        else:
+            chunks = [self._cpu_decode(image) for image in images]
+            sizes = [len(chunk) for chunk in chunks]
+            rows = (
+                np.vstack(chunks)
+                if chunks
+                else np.empty((0, len(self.spec.schema)))
+            )
+            predictions = engine.score(rows, models, path=path, batch_size=batch_size)
+            access_stats = AccessEngineStats()
+        report = SegmentScoreReport(
+            segment_id=part.segment_id,
+            pages=len(part),
+            tuples_scored=engine.stats.tuples_scored,
+            access_stats=access_stats,
+            inference_stats=engine.stats,
+        )
+        return report, predictions, sizes
+
+    def _cpu_decode(self, image: bytes) -> np.ndarray:
+        """RDBMS-side page decode (the ``use_striders=False`` model)."""
+        from repro.rdbms.heapfile import decode_page_rows
+
+        return decode_page_rows(image, self.database.layout, self.spec.schema)
+
+    def _reassemble(
+        self,
+        parts: list[PagePartition],
+        outcomes: list[tuple[SegmentScoreReport, np.ndarray, list[int]]],
+    ) -> np.ndarray:
+        """Scatter per-segment predictions back into heap (storage) order."""
+        counts: dict[int, int] = {}
+        for part, (_report, _preds, sizes) in zip(parts, outcomes):
+            for page_no, size in zip(part.page_nos, sizes):
+                counts[page_no] = size
+        offsets: dict[int, int] = {}
+        total = 0
+        for page_no in sorted(counts):
+            offsets[page_no] = total
+            total += counts[page_no]
+        trailing: tuple[int, ...] = ()
+        for _report, preds, _sizes in outcomes:
+            if len(preds):
+                trailing = preds.shape[1:]
+                break
+        predictions = np.empty((total,) + trailing, dtype=np.float64)
+        for part, (_report, preds, sizes) in zip(parts, outcomes):
+            position = 0
+            for page_no, size in zip(part.page_nos, sizes):
+                offset = offsets[page_no]
+                predictions[offset : offset + size] = preds[position : position + size]
+                position += size
+        return predictions

@@ -10,6 +10,7 @@ from repro.translator.dimensions import (
     nonlinear,
 )
 from repro.translator.evaluator import HDFGEvaluator
+from repro.translator.forward import ForwardGraph, find_score_node, forward_slice
 from repro.translator.hdfg import HDFG, HDFGNode, NodeKind, Region, VariableBinding
 from repro.translator.tape import BatchBinder, CompiledTape, TapeCompilationError
 from repro.translator.translate import Translator, translate
@@ -17,6 +18,9 @@ from repro.translator.translate import Translator, translate
 __all__ = [
     "BatchBinder",
     "CompiledTape",
+    "ForwardGraph",
+    "find_score_node",
+    "forward_slice",
     "HDFG",
     "HDFGEvaluator",
     "TapeCompilationError",

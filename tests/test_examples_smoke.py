@@ -44,4 +44,4 @@ def test_example_runs_clean(script: Path):
 
 
 def test_examples_exist():
-    assert len(EXAMPLES) >= 5, "examples/ directory lost scripts"
+    assert len(EXAMPLES) >= 6, "examples/ directory lost scripts"

@@ -1,0 +1,415 @@
+"""Prediction-serving subsystem: registry, inference tape, scorers, server.
+
+Covers the PR-4 contract:
+
+* the forward slice recovers the right score node for all four algorithms
+  and never crosses a merge boundary;
+* batched inference tape == per-tuple evaluator forward pass — predictions
+  *and* schedule-derived cycle counters — across segment counts;
+* registry round trips are bit-identical, and missing/mismatched models
+  fail fast with :class:`ConfigurationError`;
+* the micro-batching prediction server returns the same predictions as the
+  direct path and reports sane latency/throughput statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Hyperparameters, get_algorithm
+from repro.core import DAnA
+from repro.data.synthetic import generate_for_algorithm
+from repro.exceptions import ConfigurationError, TranslationError
+from repro.perf import ScoreRunCost, measured_serving_sweep
+from repro.rdbms import Database
+from repro.serving import MODEL_PARAM_SCHEMA, model_table_name
+from repro.translator import NodeKind, Region, forward_slice, translate
+
+N_FEATURES = 8
+N_TUPLES = 600
+LRMF_TOPOLOGY = (24, 18, 4)
+
+DENSE_ALGORITHMS = ("linear", "logistic", "svm")
+ALL_ALGORITHMS = DENSE_ALGORITHMS + ("lrmf",)
+
+
+def build_system(algorithm_key: str, n_tuples: int = N_TUPLES):
+    """A DAnA instance with one registered UDF and a loaded table."""
+    algorithm = get_algorithm(algorithm_key)
+    if algorithm_key == "lrmf":
+        hyper = Hyperparameters(learning_rate=0.05, epochs=2, rank=LRMF_TOPOLOGY[2])
+        spec = algorithm.build_spec(0, hyper, model_topology=LRMF_TOPOLOGY)
+        data = generate_for_algorithm(
+            algorithm_key, n_tuples, LRMF_TOPOLOGY[2], seed=0,
+            model_topology=LRMF_TOPOLOGY[:2],
+        )
+    else:
+        hyper = Hyperparameters(learning_rate=0.05, merge_coefficient=16, epochs=2)
+        spec = algorithm.build_spec(N_FEATURES, hyper)
+        data = generate_for_algorithm(algorithm_key, n_tuples, N_FEATURES, seed=0)
+    database = Database()
+    database.load_table("t", spec.schema, data)
+    system = DAnA(database)
+    system.register_udf(algorithm_key, spec, epochs=2)
+    return system, spec, data
+
+
+def trained_models(system: DAnA, algorithm_key: str) -> dict[str, np.ndarray]:
+    return system.train(algorithm_key, "t", epochs=2).models
+
+
+# ---------------------------------------------------------------------- #
+# forward lowering
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("key", ALL_ALGORITHMS)
+def test_forward_slice_is_merge_free_update_rule_only(key):
+    system, spec, _data = build_system(key, n_tuples=64)
+    forward = forward_slice(translate(spec.algo))
+    kinds = {node.kind for node in forward.graph.nodes()}
+    assert NodeKind.MERGE not in kinds
+    assert NodeKind.UPDATE not in kinds
+    assert all(
+        node.region is Region.UPDATE_RULE for node in forward.graph.nodes()
+    )
+    # No label dependence: every output binding is sliced away.
+    assert all(b.kind != "output" for b in forward.graph.bindings)
+
+
+def test_forward_slice_scores_match_closed_form():
+    rng = np.random.default_rng(3)
+    X = np.hstack([rng.normal(size=(40, N_FEATURES)), np.zeros((40, 1))])
+    w = rng.normal(size=N_FEATURES)
+
+    system, _spec, _data = build_system("linear", n_tuples=64)
+    preds = system.predict("linear", X, models={"mo": w})
+    np.testing.assert_allclose(preds, X[:, :N_FEATURES] @ w, rtol=1e-9)
+
+    system, _spec, _data = build_system("logistic", n_tuples=64)
+    preds = system.predict("logistic", X, models={"mo": w})
+    np.testing.assert_allclose(
+        preds, 1.0 / (1.0 + np.exp(-(X[:, :N_FEATURES] @ w))), rtol=1e-9
+    )
+
+    system, _spec, _data = build_system("svm", n_tuples=64)
+    preds = system.predict("svm", X, models={"mo": w})
+    np.testing.assert_allclose(preds, X[:, :N_FEATURES] @ w, rtol=1e-9)
+
+
+def test_forward_slice_lrmf_gathers_factor_rows():
+    system, _spec, data = build_system("lrmf", n_tuples=128)
+    models = trained_models(system, "lrmf")
+    preds = system.predict("lrmf", data, models=models)
+    rows = data[:, 0].astype(int)
+    cols = data[:, 1].astype(int)
+    expected = np.sum(models["L"][rows] * models["R"][cols], axis=1)
+    np.testing.assert_allclose(preds, expected, rtol=1e-9)
+
+
+def test_forward_slice_rejects_label_free_graph():
+    from repro import dana
+
+    mo = dana.model([2], name="mo")
+    x = dana.input([2], name="x")
+    y = dana.output(name="y")
+    algo = dana.algo(mo, x, y, name="labelfree")
+    algo.setModel(mo - dana.meta(0.1, name="lr") * mo)
+    algo.setEpochs(1)
+    with pytest.raises(TranslationError):
+        forward_slice(translate(algo))
+
+
+# ---------------------------------------------------------------------- #
+# parity: batched tape vs per-tuple oracle
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("key", ALL_ALGORITHMS)
+@pytest.mark.parametrize("segments", [1, 2, 4])
+def test_score_table_batched_matches_per_tuple_oracle(key, segments):
+    system, _spec, _data = build_system(key)
+    models = trained_models(system, key)
+    batched = system.score_table(key, "t", models=models, segments=segments)
+    oracle = system.score_table(
+        key, "t", models=models, segments=segments, path="per_tuple"
+    )
+    np.testing.assert_array_equal(batched.predictions, oracle.predictions)
+    assert batched.inference_stats == oracle.inference_stats
+    for seg_b, seg_o in zip(batched.segments, oracle.segments):
+        assert seg_b.inference_stats == seg_o.inference_stats
+        assert seg_b.access_stats == seg_o.access_stats
+    assert batched.tuples_scored == system.database.catalog.table("t").tuple_count
+
+
+@pytest.mark.parametrize("segments", [1, 2, 4])
+def test_score_table_order_is_storage_order(segments):
+    system, _spec, _data = build_system("linear")
+    models = trained_models(system, "linear")
+    sharded = system.score_table("linear", "t", models=models, segments=segments)
+    rows = system.database.table("t").read_all(system.database.buffer_pool)
+    direct = system.predict("linear", rows, models=models)
+    np.testing.assert_array_equal(sharded.predictions, direct)
+
+
+def test_predict_single_row_returns_scalar():
+    system, _spec, data = build_system("linear", n_tuples=64)
+    models = trained_models(system, "linear")
+    single = system.predict("linear", data[0], models=models)
+    block = system.predict("linear", data[:1], models=models)
+    assert np.ndim(single) == 0
+    assert block.shape == (1,)
+    assert float(single) == float(block[0])
+
+
+def test_predict_counters_are_schedule_derived_and_path_identical():
+    system, _spec, data = build_system("linear", n_tuples=200)
+    models = trained_models(system, "linear")
+    plan = system._inference_plan(system._registered("linear"))
+    fast, slow = plan.new_engine(), plan.new_engine()
+    p_fast = fast.score(data, models, path="batched", batch_size=64)
+    p_slow = slow.score(data, models, path="per_tuple", batch_size=64)
+    np.testing.assert_array_equal(p_fast, p_slow)
+    assert fast.stats == slow.stats
+    assert fast.stats.batches_scored == -(-200 // 64)
+    assert fast.stats.forward_cycles > 0
+    # ceil(batch/threads) rounds per batch, schedule cycles per round.
+    rounds = sum(
+        -(-min(64, 200 - start) // plan.threads) for start in range(0, 200, 64)
+    )
+    assert fast.stats.forward_cycles == rounds * plan.forward_cycles_per_round
+
+
+# ---------------------------------------------------------------------- #
+# model registry
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("key", ["linear", "lrmf"])
+def test_registry_round_trip_is_bit_identical(key):
+    system, _spec, _data = build_system(key)
+    models = trained_models(system, key)
+    entry = system.save_model("prod", key, models)
+    assert entry.version == 1
+    assert system.database.catalog.has_table(model_table_name("prod", 1))
+    loaded = system.load_model("prod")
+    assert set(loaded) == set(models)
+    for name, value in models.items():
+        assert loaded[name].dtype == np.float64
+        np.testing.assert_array_equal(loaded[name], np.asarray(value, np.float64))
+    # Saved-model predictions are bit-identical to in-memory predictions.
+    in_memory = system.score_table(key, "t", models=models)
+    from_registry = system.score_table(key, "t", model_name="prod")
+    np.testing.assert_array_equal(in_memory.predictions, from_registry.predictions)
+
+
+def test_registry_versions_increment_and_load_by_version():
+    system, _spec, _data = build_system("linear", n_tuples=64)
+    m1 = {"mo": np.arange(N_FEATURES, dtype=np.float64)}
+    m2 = {"mo": np.arange(N_FEATURES, dtype=np.float64) * 2}
+    assert system.save_model("m", "linear", m1).version == 1
+    assert system.save_model("m", "linear", m2).version == 2
+    np.testing.assert_array_equal(system.load_model("m", version=1)["mo"], m1["mo"])
+    np.testing.assert_array_equal(system.load_model("m")["mo"], m2["mo"])
+    assert system.registry.versions("m") == [1, 2]
+    # Parameter tables are real catalogued heap tables.
+    assert system.database.catalog.table(model_table_name("m", 2)).schema == (
+        MODEL_PARAM_SCHEMA
+    )
+
+
+def test_registry_missing_model_and_version_fail_fast():
+    system, _spec, _data = build_system("linear", n_tuples=64)
+    with pytest.raises(ConfigurationError, match="no saved model"):
+        system.load_model("ghost")
+    system.save_model("m", "linear", {"mo": np.zeros(N_FEATURES)})
+    with pytest.raises(ConfigurationError, match="no version 7"):
+        system.load_model("m", version=7)
+    with pytest.raises(ConfigurationError, match="no saved model"):
+        system.predict("linear", np.zeros((1, N_FEATURES)), model_name="ghost")
+
+
+def test_mismatched_model_fails_fast():
+    system, _spec, _data = build_system("linear", n_tuples=64)
+    algorithm = get_algorithm("svm")
+    svm_spec = algorithm.build_spec(N_FEATURES, Hyperparameters())
+    system.register_udf("svm", svm_spec, epochs=1)
+    system.save_model("svm_model", "svm", {"mo": np.zeros(N_FEATURES)})
+    with pytest.raises(ConfigurationError, match="trained by algorithm"):
+        system.predict(
+            "linear", np.zeros((1, N_FEATURES)), model_name="svm_model"
+        )
+    with pytest.raises(ConfigurationError, match="shape"):
+        system.predict(
+            "linear", np.zeros((1, N_FEATURES)), models={"mo": np.zeros(3)}
+        )
+    with pytest.raises(ConfigurationError, match="parameters"):
+        system.predict(
+            "linear", np.zeros((1, N_FEATURES)), models={"w": np.zeros(N_FEATURES)}
+        )
+    with pytest.raises(ConfigurationError, match="shape"):
+        system.save_model("bad", "linear", {"mo": np.zeros(3)})
+
+
+def test_serving_kwargs_validated_up_front():
+    system, _spec, data = build_system("linear", n_tuples=64)
+    models = {"mo": np.zeros(N_FEATURES)}
+    with pytest.raises(ConfigurationError, match="exactly one of"):
+        system.predict("linear", data, models=models, model_name="m")
+    with pytest.raises(ConfigurationError, match="exactly one of"):
+        system.predict("linear", data)
+    with pytest.raises(ConfigurationError, match="serving path"):
+        system.predict("linear", data, models=models, path="vectorized")
+    with pytest.raises(ConfigurationError, match="batch_size"):
+        system.predict("linear", data, models=models, batch_size=0)
+    with pytest.raises(ConfigurationError, match="segments"):
+        system.score_table("linear", "t", models=models, segments=0)
+    with pytest.raises(ConfigurationError, match="partition strategy"):
+        system.score_table("linear", "t", models=models, partition_strategy="range")
+    with pytest.raises(ConfigurationError, match="max_batch_size"):
+        system.serve("linear", models=models, max_batch_size=0)
+    with pytest.raises(ConfigurationError, match="max_wait_ms"):
+        system.serve("linear", models=models, max_wait_ms=-1.0)
+    with pytest.raises(ConfigurationError, match="not registered"):
+        system.predict("ghost_udf", data, models=models)
+
+
+# ---------------------------------------------------------------------- #
+# micro-batching prediction server
+# ---------------------------------------------------------------------- #
+def test_prediction_server_matches_direct_predictions():
+    system, _spec, data = build_system("linear", n_tuples=200)
+    models = trained_models(system, "linear")
+    direct = system.predict("linear", data, models=models)
+    with system.serve(
+        "linear", models=models, max_batch_size=32, max_wait_ms=2.0
+    ) as server:
+        futures = [server.submit(row) for row in data]
+        served = np.array([f.result(timeout=30) for f in futures])
+    np.testing.assert_allclose(served, direct, rtol=1e-12)
+    stats = server.stats
+    assert stats.requests == len(data)
+    assert 1 <= stats.batches <= len(data)
+    assert stats.mean_batch_size >= 1.0
+    assert stats.p99_latency_ms >= stats.p50_latency_ms >= 0.0
+    assert stats.requests_per_second > 0
+
+
+def test_prediction_server_coalesces_queued_requests():
+    system, _spec, data = build_system("linear", n_tuples=64)
+    models = trained_models(system, "linear")
+    # A wait window much longer than the submission loop forces the scorer
+    # to coalesce the burst into max_batch_size-bounded micro-batches.
+    with system.serve(
+        "linear", models=models, max_batch_size=16, max_wait_ms=200.0
+    ) as server:
+        futures = [server.submit(row) for row in data[:32]]
+        served = np.array([f.result(timeout=30) for f in futures])
+    direct = system.predict("linear", data[:32], models=models)
+    np.testing.assert_allclose(served, direct, rtol=1e-12)
+    assert server.stats.requests == 32
+    assert server.stats.batches < 32
+    assert server.stats.mean_batch_size > 1.0
+
+
+def test_prediction_server_restarts_after_stop():
+    system, _spec, data = build_system("linear", n_tuples=64)
+    models = trained_models(system, "linear")
+    server = system.serve("linear", models=models, max_batch_size=8, max_wait_ms=1.0)
+    server.start()
+    first = server.predict(data[0])
+    server.stop()
+    server.start()  # a stopped server must be restartable
+    try:
+        assert server.predict(data[0]) == first
+    finally:
+        server.stop()
+
+
+def test_prediction_server_survives_cancelled_futures():
+    system, _spec, data = build_system("linear", n_tuples=64)
+    models = {"mo": np.ones(N_FEATURES)}
+    with system.serve(
+        "linear", models=models, max_batch_size=4, max_wait_ms=10.0
+    ) as server:
+        doomed = server.submit(data[0])
+        doomed.cancel()  # client gave up before the scorer picked it up
+        alive = server.submit(data[1])
+        # The scorer must survive delivering into the cancelled future and
+        # keep serving everyone else.
+        assert np.isfinite(alive.result(timeout=30))
+        assert float(server.predict(data[2])) == pytest.approx(
+            float(np.sum(data[2][:N_FEATURES]))
+        )
+
+
+def test_registry_rejects_duplicate_element_indices():
+    system, _spec, _data = build_system("linear", n_tuples=64)
+    system.save_model("m", "linear", {"mo": np.arange(N_FEATURES, dtype=np.float64)})
+    # Corrupt the parameter table: right row count, but one element index
+    # duplicated and one missing — must fail loudly, not return garbage.
+    table = model_table_name("m", 1)
+    system.database.drop_table(table)
+    rows = [(0, i, float(i)) for i in range(N_FEATURES)]
+    rows[1] = (0, 0, 99.0)  # idx 1 missing, idx 0 duplicated
+    system.database.load_table(table, MODEL_PARAM_SCHEMA, rows)
+    with pytest.raises(ConfigurationError, match="corrupt"):
+        system.load_model("m")
+
+
+def test_score_table_counters_independent_of_call_order():
+    # A predict() before score_table() (which compiles a nominal table-less
+    # design) must not change the table scoring's schedule-derived counters.
+    system_a, _spec, data = build_system("linear")
+    system_b, _spec2, _data2 = build_system("linear")
+    models = {"mo": np.linspace(-1.0, 1.0, N_FEATURES)}
+    system_a.predict("linear", data[:4], models=models)
+    scored_a = system_a.score_table("linear", "t", models=models, segments=2)
+    scored_b = system_b.score_table("linear", "t", models=models, segments=2)
+    assert scored_a.inference_stats == scored_b.inference_stats
+    np.testing.assert_array_equal(scored_a.predictions, scored_b.predictions)
+
+
+def test_prediction_server_rejects_when_stopped_and_bad_rows():
+    system, _spec, data = build_system("linear", n_tuples=64)
+    models = {"mo": np.zeros(N_FEATURES)}
+    server = system.serve("linear", models=models)
+    with pytest.raises(ConfigurationError, match="not running"):
+        server.submit(data[0])
+    with server:
+        with pytest.raises(ConfigurationError, match="1-D"):
+            server.submit(data[:2])
+        assert server.predict(data[0]) == pytest.approx(0.0)
+    with pytest.raises(ConfigurationError, match="not running"):
+        server.submit(data[0])
+
+
+# ---------------------------------------------------------------------- #
+# serving cost model
+# ---------------------------------------------------------------------- #
+def test_score_run_cost_books_critical_path_and_cost_column():
+    system, _spec, _data = build_system("linear")
+    models = trained_models(system, "linear")
+    result = system.score_table("linear", "t", models=models, segments=2)
+    cost = ScoreRunCost.from_result(result)
+    assert cost.segments == 2
+    assert cost.tuples_scored == N_TUPLES
+    assert cost.critical_path_cycles == result.critical_path_cycles
+    assert cost.critical_path_cycles >= cost.pipelined_critical_path_cycles > 0
+    assert cost.inference_cycles_per_tuple > 0
+    assert cost.seconds() > 0
+    assert cost.tuples_per_second() > 0
+    (row,) = measured_serving_sweep([result])
+    assert row["segments"] == 2
+    assert row["inference_cycles_per_tuple"] == pytest.approx(
+        cost.inference_cycles_per_tuple, rel=1e-2
+    )
+
+
+def test_empty_table_scores_empty():
+    algorithm = get_algorithm("linear")
+    spec = algorithm.build_spec(N_FEATURES, Hyperparameters())
+    database = Database()
+    database.load_table("empty", spec.schema, np.empty((0, N_FEATURES + 1)))
+    system = DAnA(database)
+    system.register_udf("linear", spec)
+    result = system.score_table(
+        "linear", "empty", models={"mo": np.zeros(N_FEATURES)}
+    )
+    assert result.tuples_scored == 0
+    assert result.predictions.shape[0] == 0
