@@ -38,11 +38,17 @@ from repro.cluster import (
     ShardedRunResult,
 )
 from repro.compiler import ExecutionBinary, HardwareGenerator, Scheduler
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, QueryError
 from repro.hw import DAnAAccelerator, DEFAULT_FPGA, FPGASpec
 from repro.hw.accelerator import AcceleratorRunResult
 from repro.rdbms import AcceleratorEntry, Database, ModelEntry
-from repro.rdbms.query import QueryResult
+from repro.rdbms.query import (
+    CreateModel,
+    PredictScan,
+    QueryResult,
+    ScoreCall,
+    matches_row,
+)
 from repro.runtime import SYNC_POLICIES
 from repro.serving import (
     InferencePlan,
@@ -78,11 +84,22 @@ class DAnA:
         fpga: FPGASpec = DEFAULT_FPGA,
         use_striders: bool = True,
     ) -> None:
+        """Bind a DAnA system to one database instance.
+
+        Args:
+            database: the host RDBMS; the system attaches itself as the
+                database's serving runtime, so SQL prediction and
+                ``CREATE MODEL`` statements route here.
+            fpga: the target FPGA specification for generated accelerators.
+            use_striders: when False, tuples are extracted by the CPU-side
+                page decode instead of the simulated Strider walk.
+        """
         self.database = database
         self.fpga = fpga
         self.use_striders = use_striders
         self.registry = ModelRegistry(database)
         self._udfs: dict[str, RegisteredUDF] = {}
+        database.attach_serving_runtime(self)
 
     # ------------------------------------------------------------------ #
     # UDF registration
@@ -117,6 +134,7 @@ class DAnA:
         return self.register_udf(udf_name, spec, epochs=epochs)
 
     def registered_udfs(self) -> list[str]:
+        """Names of all registered UDFs, sorted."""
         return sorted(self._udfs)
 
     # ------------------------------------------------------------------ #
@@ -167,6 +185,7 @@ class DAnA:
         return binary
 
     def accelerator_for(self, udf_name: str, table_name: str) -> DAnAAccelerator:
+        """The compiled accelerator instance for a UDF/table pair."""
         self.compile_udf(udf_name, table_name)
         return self._registered(udf_name).accelerators[table_name]
 
@@ -293,7 +312,9 @@ class DAnA:
         """
         _validate_serving_config(path=path, batch_size=batch_size)
         registered = self._registered(udf_name)
-        resolved = self._resolve_models(registered.spec, models, model_name, version)
+        resolved, _entry = self._resolve_models(
+            registered.spec, models, model_name, version
+        )
         plan = self._inference_plan(registered)
         rows = np.asarray(rows, dtype=np.float64)
         single = rows.ndim == 1
@@ -316,6 +337,7 @@ class DAnA:
         batch_size: int | None = None,
         partition_strategy: str = "round_robin",
         seed: int = 0,
+        stream: bool = True,
     ) -> ScoreResult:
         """Score every tuple of a heap table via the bulk Strider page walk.
 
@@ -324,17 +346,24 @@ class DAnA:
         segment concurrently; predictions come back in storage order
         regardless.  ``path="per_tuple"`` runs the per-tuple evaluator
         oracle instead of the batched inference tape (same predictions,
-        same schedule-derived counters).
+        same schedule-derived counters).  ``stream=True`` (default)
+        overlaps each segment's Strider page walk with its forward tape
+        through a bounded :class:`~repro.runtime.BatchSource` double
+        buffer; ``stream=False`` materialises the extraction first — the
+        overlap oracle, bit-identical predictions and counters.
         """
         _validate_serving_config(
             path=path,
             batch_size=batch_size,
             segments=segments,
             partition_strategy=partition_strategy,
+            stream=stream,
         )
         registered = self._registered(udf_name)
         binary = self.compile_udf(udf_name, table_name)
-        resolved = self._resolve_models(registered.spec, models, model_name, version)
+        resolved, _entry = self._resolve_models(
+            registered.spec, models, model_name, version
+        )
         plan = self._inference_plan(registered, table_name)
         scorer = ScanScorer(
             database=self.database,
@@ -352,6 +381,7 @@ class DAnA:
             batch_size=batch_size,
             partition_strategy=partition_strategy,
             seed=seed,
+            stream=stream,
         )
 
     def serve(
@@ -367,17 +397,246 @@ class DAnA:
 
         The returned server is not started; use it as a context manager
         (or call ``start()``/``stop()``) and submit point requests with
-        ``submit``/``predict``.
+        ``submit``/``predict``.  When built from a saved model
+        (``model_name=``), the server supports registry-versioned
+        **hot-swap**: ``server.reload(version=...)`` re-resolves the model
+        from the registry and swaps it in between micro-batches — in-flight
+        batches drain on the old model, later batches score with the new
+        version, bit-identically to a cold restart on that version.
         """
         registered = self._registered(udf_name)
-        resolved = self._resolve_models(registered.spec, models, model_name, version)
+        resolved, entry = self._resolve_models(
+            registered.spec, models, model_name, version
+        )
         plan = self._inference_plan(registered)
+        loader = None
+        if model_name is not None:
+            def loader(requested_version: int | None):
+                return self._resolve_models(
+                    registered.spec, None, model_name, requested_version
+                )
         return PredictionServer(
             plan.new_engine(),
             resolved,
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
+            model_loader=loader,
+            model_version=entry.version if entry is not None else None,
         )
+
+    # ------------------------------------------------------------------ #
+    # SQL serving surface (repro.rdbms.query.ServingRuntime)
+    # ------------------------------------------------------------------ #
+    def sql_predict(self, plan: PredictScan) -> QueryResult:
+        """Execute ``SELECT dana.predict('<model>', ...) FROM <table>``.
+
+        The whole table is scan-and-scored through :meth:`score_table`
+        (bulk Strider page walk + batched inference tape, predictions
+        bit-identical to the Python API), then the WHERE predicates and
+        LIMIT select which predictions are returned, in storage order.
+
+        Args:
+            plan: the parsed :class:`~repro.rdbms.query.PredictScan` node.
+
+        Returns:
+            One row per qualifying tuple; the single column is named by the
+            statement's ``AS`` alias (default ``prediction``).  ``payload``
+            carries the underlying :class:`~repro.serving.ScoreResult`.
+
+        Raises:
+            QueryError: when the model, its training UDF or the table is
+                missing (semantic errors of the statement).
+        """
+        entry = self._sql_model_entry(plan.model_name, plan.version)
+        udf_name = self._sql_udf_for_model(entry)
+        if not self.database.catalog.has_table(plan.table_name):
+            raise QueryError(f"table {plan.table_name!r} does not exist")
+        result = self.score_table(
+            udf_name,
+            plan.table_name,
+            model_name=entry.name,
+            version=entry.version,
+        )
+        predictions = result.predictions
+        if plan.where:
+            table = self.database.table(plan.table_name)
+            mask = np.fromiter(
+                (
+                    matches_row(table.schema, row, plan.where)
+                    for row in table.scan_tuples(self.database.buffer_pool)
+                ),
+                dtype=bool,
+                count=len(predictions),
+            )
+            predictions = predictions[mask]
+        if plan.limit is not None:
+            predictions = predictions[: plan.limit]
+        return QueryResult(
+            rows=[(_sql_value(p),) for p in predictions],
+            columns=(plan.alias or "prediction",),
+            payload=result,
+            stats=self._sql_score_stats(entry, result),
+        )
+
+    def sql_score(self, plan: ScoreCall) -> QueryResult:
+        """Execute ``SELECT * FROM dana.score('<model>', '<table>', ...)``.
+
+        Args:
+            plan: the parsed :class:`~repro.rdbms.query.ScoreCall` node;
+                its ``segments`` / ``batch_size`` / ``stream`` kwargs map
+                straight onto :meth:`score_table`.
+
+        Returns:
+            One ``prediction`` row per scored tuple (storage order),
+            truncated by LIMIT; ``payload`` carries the
+            :class:`~repro.serving.ScoreResult`.
+
+        Raises:
+            QueryError: when the model, its training UDF or the table is
+                missing.
+        """
+        entry = self._sql_model_entry(plan.model_name, plan.version)
+        udf_name = self._sql_udf_for_model(entry)
+        if not self.database.catalog.has_table(plan.table_name):
+            raise QueryError(f"table {plan.table_name!r} does not exist")
+        result = self.score_table(
+            udf_name,
+            plan.table_name,
+            model_name=entry.name,
+            version=entry.version,
+            segments=plan.segments,
+            batch_size=plan.batch_size,
+            stream=True if plan.stream is None else plan.stream,
+        )
+        predictions = result.predictions
+        if plan.limit is not None:
+            predictions = predictions[: plan.limit]
+        return QueryResult(
+            rows=[(_sql_value(p),) for p in predictions],
+            columns=("prediction",),
+            payload=result,
+            stats=self._sql_score_stats(entry, result),
+        )
+
+    def sql_create_model(self, plan: CreateModel) -> QueryResult:
+        """Execute ``CREATE MODEL <name> AS TRAIN <udf> ON <table>``.
+
+        Runs :meth:`train` with the statement's ``WITH (...)`` options and
+        persists the result through :meth:`save_model` (a new version of
+        ``plan.model_name``).
+
+        Args:
+            plan: the parsed :class:`~repro.rdbms.query.CreateModel` node.
+
+        Returns:
+            One summary row ``(model, version, algorithm, epochs_run)``;
+            ``payload`` carries the new
+            :class:`~repro.rdbms.catalog.ModelEntry`.
+
+        Raises:
+            QueryError: for unknown UDFs/tables, unknown WITH options, or
+                option values :meth:`train` rejects.
+        """
+        if plan.udf_name not in self._udfs:
+            raise QueryError(
+                f"UDF {plan.udf_name!r} is not registered; registered UDFs: "
+                f"{self.registered_udfs()}"
+            )
+        if not self.database.catalog.has_table(plan.table_name):
+            raise QueryError(f"table {plan.table_name!r} does not exist")
+        options = self._sql_train_options(plan.options)
+        try:
+            run = self.train(plan.udf_name, plan.table_name, **options)
+        except ConfigurationError as error:
+            raise QueryError(f"CREATE MODEL options are invalid: {error}") from None
+        epochs_run = getattr(run, "epochs_run", None)
+        if epochs_run is None:
+            epochs_run = run.training.epochs_run
+        entry = self.save_model(
+            plan.model_name,
+            plan.udf_name,
+            run.models,
+            metadata={"trained_on": plan.table_name, "sql_options": dict(options)},
+        )
+        return QueryResult(
+            rows=[(entry.name, entry.version, entry.algorithm, epochs_run)],
+            columns=("model", "version", "algorithm", "epochs_run"),
+            payload=entry,
+            stats={"table": plan.table_name, "udf": plan.udf_name},
+        )
+
+    # -- SQL helpers --------------------------------------------------- #
+    def _sql_model_entry(self, model_name: str, version: int | None) -> ModelEntry:
+        """Registry lookup with SQL-flavoured (QueryError) failures."""
+        try:
+            return self.registry.entry(model_name, version)
+        except ConfigurationError as error:
+            raise QueryError(str(error)) from None
+
+    def _sql_udf_for_model(self, entry: ModelEntry) -> str:
+        """The registered UDF a saved model was trained by."""
+        udf_name = entry.metadata.get("udf", "")
+        if udf_name not in self._udfs:
+            raise QueryError(
+                f"saved model {entry.name!r} v{entry.version} was trained by "
+                f"UDF {udf_name!r}, which is not registered with this DAnA "
+                f"system; registered UDFs: {self.registered_udfs()}"
+            )
+        return udf_name
+
+    def _sql_score_stats(self, entry: ModelEntry, result: ScoreResult) -> dict:
+        """The ``stats`` block SQL scoring statements report."""
+        return {
+            "model": entry.name,
+            "version": entry.version,
+            "algorithm": entry.algorithm,
+            "segments": len(result.segments),
+            "stream": result.stream,
+            "tuples_scored": result.tuples_scored,
+            "forward_cycles": result.inference_stats.forward_cycles,
+            "critical_path_cycles": result.critical_path_cycles,
+        }
+
+    def _sql_train_options(
+        self, options: tuple[tuple[str, Any], ...]
+    ) -> dict[str, Any]:
+        """Validate and coerce CREATE MODEL WITH options into train kwargs."""
+        allowed = {
+            "epochs": int,
+            "segments": int,
+            "partition_strategy": str,
+            "aggregation": str,
+            "execution": str,
+            "shuffle": bool,
+            "seed": int,
+            "sync": str,
+            "staleness": int,
+            "stream": bool,
+        }
+        kwargs: dict[str, Any] = {}
+        for key, value in options:
+            if key not in allowed:
+                raise QueryError(
+                    f"unknown CREATE MODEL option {key!r}; expected one of "
+                    f"{sorted(allowed)}"
+                )
+            expected = allowed[key]
+            if expected is int and isinstance(value, (int, float)) and not isinstance(value, bool):
+                if float(value) != int(value):
+                    raise QueryError(
+                        f"option {key!r} must be an integer, got {value!r}"
+                    )
+                kwargs[key] = int(value)
+            elif expected is bool and isinstance(value, bool):
+                kwargs[key] = value
+            elif expected is str and isinstance(value, str):
+                kwargs[key] = value
+            else:
+                raise QueryError(
+                    f"option {key!r} expects a {expected.__name__} value, "
+                    f"got {value!r}"
+                )
+        return kwargs
 
     # ------------------------------------------------------------------ #
     # internals
@@ -486,13 +745,18 @@ class DAnA:
         models: Mapping[str, np.ndarray] | None,
         model_name: str | None,
         version: int | None,
-    ) -> dict[str, np.ndarray]:
-        """Resolve and validate the model a serving call scores with."""
+    ) -> tuple[dict[str, np.ndarray], ModelEntry | None]:
+        """Resolve and validate the model a serving call scores with.
+
+        Returns ``(models, entry)`` where ``entry`` is the registry
+        descriptor when the model came from the registry, else ``None``.
+        """
         if (models is None) == (model_name is None):
             raise ConfigurationError(
                 "supply exactly one of models= (an in-memory model mapping) "
                 "or model_name= (a saved model in the registry)"
             )
+        entry: ModelEntry | None = None
         if model_name is not None:
             models, entry = self.registry.load(model_name, version)
             if entry.algorithm and entry.algorithm != spec.name:
@@ -507,7 +771,7 @@ class DAnA:
         return {
             name: np.asarray(value, dtype=np.float64)
             for name, value in models.items()
-        }
+        }, entry
 
     def _check_model_shapes(
         self, spec: AlgorithmSpec, models: Mapping[str, np.ndarray], context: str
@@ -570,6 +834,14 @@ class DAnA:
         return sharded.train(table_name, epochs=run_epochs, shuffle=shuffle)
 
 
+def _sql_value(prediction: np.ndarray) -> float | list:
+    """One prediction as a SQL result value (scalar float or list)."""
+    array = np.asarray(prediction)
+    if array.ndim == 0:
+        return float(array)
+    return array.tolist()
+
+
 def _validate_train_config(
     epochs: int | None,
     segments: int | None,
@@ -625,6 +897,7 @@ def _validate_serving_config(
     batch_size: int | None,
     segments: int | None = None,
     partition_strategy: str | None = None,
+    stream: bool = True,
 ) -> None:
     """Fail fast on invalid ``predict``/``score_table`` configuration.
 
@@ -649,4 +922,9 @@ def _validate_serving_config(
         raise ConfigurationError(
             f"unknown partition strategy {partition_strategy!r}; "
             f"expected one of {PARTITION_STRATEGIES}"
+        )
+    if not isinstance(stream, bool):
+        raise ConfigurationError(
+            f"stream must be a bool (True = overlap the page walk with the "
+            f"forward tape, False = materialized oracle), got {stream!r}"
         )

@@ -50,6 +50,7 @@ class WorkloadComparison:
     estimates: dict[str, RuntimeBreakdown] = field(default_factory=dict)
 
     def speedup(self, system: str, baseline: str = "MADlib+PostgreSQL") -> float:
+        """Estimated runtime speedup of ``system`` over ``baseline``."""
         return self.estimates[system].speedup_over(self.estimates[baseline])
 
 
@@ -88,6 +89,7 @@ class WorkloadRunner:
     # functional runs
     # ------------------------------------------------------------------ #
     def run_dana(self) -> SystemRun:
+        """Train on the simulated DAnA accelerator; returns the run summary."""
         system = DAnA(self.database, fpga=self.fpga)
         system.register_udf(self.workload.algorithm_key, self.spec, epochs=self.epochs)
         run = system.train(self.workload.algorithm_key, self.table_name, epochs=self.epochs)
@@ -107,6 +109,7 @@ class WorkloadRunner:
         )
 
     def run_madlib(self) -> SystemRun:
+        """Train with the functional MADlib (UDA) baseline."""
         runner = MADlibRunner(self.database, self.spec, epochs=self.epochs)
         result = runner.run(self.table_name)
         return SystemRun(
@@ -117,6 +120,7 @@ class WorkloadRunner:
         )
 
     def run_greenplum(self, segments: int = 8) -> SystemRun:
+        """Train with the sharded Greenplum baseline on ``segments``."""
         runner = GreenplumRunner(self.database, self.spec, segments=segments, epochs=self.epochs)
         result = runner.run(self.table_name)
         return SystemRun(
@@ -127,6 +131,7 @@ class WorkloadRunner:
         )
 
     def run_external(self, library: str = "dimmwitted") -> SystemRun | None:
+        """Train with an external-library baseline, or None if unavailable."""
         try:
             runner = ExternalLibraryRunner(
                 self.database, library, self.workload.algorithm_key, self.hyper, self.epochs
@@ -142,6 +147,7 @@ class WorkloadRunner:
         )
 
     def reference(self) -> SystemRun:
+        """The plain-NumPy reference fit (ground truth for losses)."""
         models = self.algorithm.reference_fit(self.data, self.hyper, self.epochs)
         return SystemRun(
             system="NumPy reference",
@@ -153,6 +159,7 @@ class WorkloadRunner:
     # paper-scale estimates
     # ------------------------------------------------------------------ #
     def paper_estimates(self, warm_cache: bool = True) -> dict[str, RuntimeBreakdown]:
+        """Paper-scale runtime estimates per system (cycle/cost models)."""
         epochs = epochs_for(self.workload)
         estimates = {
             "MADlib+PostgreSQL": MADlibPostgresModel().estimate(self.workload, epochs, warm_cache),
@@ -165,6 +172,7 @@ class WorkloadRunner:
     # full comparison
     # ------------------------------------------------------------------ #
     def compare(self, include_external: bool = False) -> WorkloadComparison:
+        """Run every system and collect runs + estimates in one object."""
         comparison = WorkloadComparison(workload=self.workload)
         for run in (self.run_dana(), self.run_madlib(), self.run_greenplum()):
             comparison.runs[run.system] = run

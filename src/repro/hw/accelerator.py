@@ -162,6 +162,72 @@ class DAnAAccelerator:
         predictions = inference.score(rows, models, path=path, batch_size=batch_size)
         return predictions, sizes
 
+    def score_stream_from_pages(
+        self,
+        page_images: Iterable[bytes],
+        models: Mapping[str, np.ndarray],
+        inference,
+        batch_size: int,
+        path: str = "batched",
+    ) -> tuple[np.ndarray, list[int]]:
+        """Streaming scan-and-score: the page walk overlaps the forward tape.
+
+        The serving twin of :meth:`train_from_pages`'s ``stream=True`` path:
+        the bulk Strider page walk + payload decode run on a
+        :class:`~repro.runtime.BatchSource` producer thread behind a bounded
+        double buffer, while this thread scores each micro-batch on the
+        forward tape as soon as it is assembled.  Batch boundaries are
+        computed over the logical concatenation of the page chunks, so every
+        scored micro-batch — and therefore every prediction and every
+        schedule-derived counter — is bit-identical to
+        :meth:`score_from_pages` with the same ``batch_size``.
+
+        Args:
+            page_images: binary page images, in storage order.
+            models: the model parameter mapping to score with.
+            inference: a duck-typed ``InferenceEngine`` (``hw`` keeps no
+                dependency on the serving layer).
+            batch_size: micro-batch size (must be resolved by the caller;
+                this layer has no default).
+            path: ``"batched"`` (forward tape) or ``"per_tuple"`` (oracle).
+
+        Returns:
+            ``(predictions, per_page_tuple_counts)`` exactly like
+            :meth:`score_from_pages`.
+        """
+        from repro.runtime import BatchSource
+
+        sizes: list[int] = []
+
+        def record_sizes(chunks: Iterable[np.ndarray]) -> Iterable[np.ndarray]:
+            # Runs on the producer thread; complete once the stream drains.
+            for chunk in chunks:
+                sizes.append(len(chunk))
+                yield chunk
+
+        source = BatchSource(
+            record_sizes(self.access_engine.process_pages(page_images)),
+            n_columns=len(self.schema),
+        )
+        chunks_out: list[np.ndarray] = []
+        try:
+            for batch in source.batches(batch_size):
+                chunks_out.append(
+                    inference.score(batch, models, path=path, batch_size=len(batch))
+                )
+        except BaseException:
+            source.abort()  # release a producer blocked mid-stream
+            raise
+        if chunks_out:
+            predictions = np.concatenate(chunks_out, axis=0)
+        else:
+            # Empty table: one empty score call recovers the output dims.
+            predictions = inference.score(
+                np.empty((0, len(self.schema))), models, path=path,
+                batch_size=batch_size,
+            )
+        return predictions, sizes
+
     def train_from_rows(
         self,
         rows: np.ndarray,

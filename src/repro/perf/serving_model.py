@@ -31,6 +31,9 @@ class ScoreRunCost:
     #: Strider page walk) vs forward-pass compute cycles.
     segment_access_cycles: tuple[int, ...] = ()
     segment_forward_cycles: tuple[int, ...] = ()
+    #: True when the run streamed (page walk overlapped the forward tape):
+    #: the modelled wall-clock then charges the pipelined critical path.
+    stream: bool = False
 
     @classmethod
     def from_result(cls, result: "ScoreResult") -> "ScoreRunCost":
@@ -40,6 +43,7 @@ class ScoreRunCost:
             tuples_scored=result.tuples_scored,
             segment_access_cycles=tuple(s.access_cycles for s in result.segments),
             segment_forward_cycles=tuple(s.forward_cycles for s in result.segments),
+            stream=getattr(result, "stream", False),
         )
 
     @property
@@ -69,6 +73,19 @@ class ScoreRunCost:
         )
 
     @property
+    def wall_cycles(self) -> int:
+        """Cycles charged for the run's wall-clock.
+
+        Streaming runs overlap the page walk with the forward tape, so
+        they pay ``max(extract, forward)`` per segment
+        (:attr:`pipelined_critical_path_cycles`); materialized runs pay
+        the serial sum (:attr:`critical_path_cycles`).
+        """
+        if self.stream:
+            return self.pipelined_critical_path_cycles
+        return self.critical_path_cycles
+
+    @property
     def inference_cycles_per_tuple(self) -> float:
         """The inference cost column: forward cycles per scored tuple."""
         if not self.tuples_scored:
@@ -77,7 +94,7 @@ class ScoreRunCost:
 
     def seconds(self, fpga: FPGASpec = DEFAULT_FPGA) -> float:
         """Modelled wall-clock of the scoring run at the FPGA's clock."""
-        return self.critical_path_cycles * fpga.cycle_time_s
+        return self.wall_cycles * fpga.cycle_time_s
 
     def tuples_per_second(self, fpga: FPGASpec = DEFAULT_FPGA) -> float:
         """Modelled scoring throughput at the FPGA's clock."""
@@ -96,6 +113,7 @@ def measured_serving_sweep(
             {
                 "segments": cost.segments,
                 "path": result.path,
+                "stream": cost.stream,
                 "batch_size": result.batch_size,
                 "tuples_scored": cost.tuples_scored,
                 "inference_cycles_per_tuple": round(cost.inference_cycles_per_tuple, 2),

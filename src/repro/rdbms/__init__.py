@@ -25,12 +25,23 @@ from repro.rdbms.page import (
     PageLayout,
 )
 from repro.rdbms.query import (
+    Comparison,
     CountScan,
+    CreateModel,
+    DropModel,
+    PredictScan,
     QueryExecutor,
     QueryResult,
+    ScoreCall,
     SeqScan,
+    ServingRuntime,
+    ShowModels,
+    Token,
     UDFCall,
+    caret_message,
+    matches_row,
     parse,
+    tokenize,
 )
 from repro.rdbms.storage import StorageManager, StorageStats
 from repro.rdbms.types import Column, ColumnType, Schema
@@ -42,8 +53,11 @@ __all__ = [
     "Catalog",
     "Column",
     "ColumnType",
+    "Comparison",
     "CountScan",
+    "CreateModel",
     "Database",
+    "DropModel",
     "DEFAULT_PAGE_SIZE",
     "HeapFile",
     "HeapPage",
@@ -52,19 +66,27 @@ __all__ = [
     "ModelParam",
     "PAGE_HEADER_SIZE",
     "PageLayout",
+    "PredictScan",
     "QueryExecutor",
     "QueryResult",
     "Schema",
+    "ScoreCall",
     "SeqScan",
+    "ServingRuntime",
+    "ShowModels",
     "StorageManager",
     "StorageStats",
     "SUPPORTED_PAGE_SIZES",
     "TableEntry",
+    "Token",
     "TUPLE_HEADER_SIZE",
     "TupleHeader",
     "UDFCall",
+    "caret_message",
     "decode_page_rows",
     "decode_tuple",
     "encode_tuple",
+    "matches_row",
     "parse",
+    "tokenize",
 ]

@@ -33,15 +33,18 @@ class BufferPoolStats:
 
     @property
     def accesses(self) -> int:
+        """Total page requests served (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of page requests served from the pool."""
         if self.accesses == 0:
             return 0.0
         return self.hits / self.accesses
 
     def reset(self) -> None:
+        """Zero all counters."""
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -81,9 +84,11 @@ class BufferPool:
         return len(self._frames)
 
     def resident(self, file_name: str, page_no: int) -> bool:
+        """True when the page is currently cached in the pool."""
         return (file_name, page_no) in self._frames
 
     def resident_pages(self, file_name: str) -> int:
+        """Number of a file's pages currently cached."""
         return sum(1 for key in self._frames if key[0] == file_name)
 
     # ------------------------------------------------------------------ #
@@ -106,6 +111,7 @@ class BufferPool:
         return frame.image
 
     def unpin(self, file_name: str, page_no: int) -> None:
+        """Release a pin taken by ``get_page``; raises BufferPoolError if not pinned."""
         key = (file_name, page_no)
         frame = self._frames.get(key)
         if frame is None or frame.pin_count == 0:
@@ -161,5 +167,6 @@ class BufferPool:
         self._frames = OrderedDict(pinned)
 
     def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
         self.stats.reset()
         self.storage.stats.reset()

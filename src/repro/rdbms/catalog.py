@@ -37,6 +37,7 @@ class ModelParam:
 
     @property
     def element_count(self) -> int:
+        """Number of scalar elements of this parameter (product of shape)."""
         count = 1
         for d in self.shape:
             count *= d
@@ -94,40 +95,49 @@ class Catalog:
     # tables
     # ------------------------------------------------------------------ #
     def register_table(self, entry: TableEntry) -> None:
+        """Register a new table; raises CatalogError on duplicates."""
         if entry.name in self._tables:
             raise CatalogError(f"table {entry.name!r} already exists")
         self._tables[entry.name] = entry
 
     def drop_table(self, name: str) -> None:
+        """Remove a table's catalog entry; raises CatalogError when missing."""
         if name not in self._tables:
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[name]
 
     def has_table(self, name: str) -> bool:
+        """True when a table named ``name`` is registered."""
         return name in self._tables
 
     def table(self, name: str) -> TableEntry:
+        """The catalog entry of ``name``; raises CatalogError when missing."""
         try:
             return self._tables[name]
         except KeyError:
             raise CatalogError(f"table {name!r} does not exist") from None
 
     def tables(self) -> list[TableEntry]:
+        """All table entries, sorted by name."""
         return [self._tables[k] for k in sorted(self._tables)]
 
     def update_tuple_count(self, name: str, tuple_count: int) -> None:
+        """Record a table's tuple count after a bulk load."""
         self.table(name).tuple_count = tuple_count
 
     # ------------------------------------------------------------------ #
     # accelerator metadata (DAnA)
     # ------------------------------------------------------------------ #
     def register_accelerator(self, entry: AcceleratorEntry) -> None:
+        """Store (or replace) a compiled UDF's accelerator metadata."""
         self._accelerators[entry.udf_name] = entry
 
     def has_accelerator(self, udf_name: str) -> bool:
+        """True when accelerator metadata exists for ``udf_name``."""
         return udf_name in self._accelerators
 
     def accelerator(self, udf_name: str) -> AcceleratorEntry:
+        """Accelerator metadata of a UDF; raises CatalogError when missing."""
         try:
             return self._accelerators[udf_name]
         except KeyError:
@@ -136,12 +146,14 @@ class Catalog:
             ) from None
 
     def accelerators(self) -> list[AcceleratorEntry]:
+        """All accelerator entries, sorted by UDF name."""
         return [self._accelerators[k] for k in sorted(self._accelerators)]
 
     # ------------------------------------------------------------------ #
     # saved models (prediction serving)
     # ------------------------------------------------------------------ #
     def register_model(self, entry: ModelEntry) -> None:
+        """Register one saved model version; raises CatalogError on duplicates."""
         versions = self._models.setdefault(entry.name, {})
         if entry.version in versions:
             raise CatalogError(
@@ -150,6 +162,7 @@ class Catalog:
         versions[entry.version] = entry
 
     def has_model(self, name: str, version: int | None = None) -> bool:
+        """True when the model (and, if given, the version) exists."""
         versions = self._models.get(name)
         if not versions:
             return False
@@ -172,13 +185,49 @@ class Catalog:
                 f"available versions: {sorted(versions)}"
             ) from None
 
+    def drop_model(self, name: str, version: int | None = None) -> list[int]:
+        """Remove a saved model's catalog entries.
+
+        Args:
+            name: the model name.
+            version: one version to drop, or ``None`` for every version.
+
+        Returns:
+            The dropped version numbers, ascending.
+
+        Raises:
+            CatalogError: when the model (or the named version) does not
+                exist.
+        """
+        versions = self._models.get(name)
+        if not versions:
+            raise CatalogError(
+                f"no saved model named {name!r}; available: {self.model_names()}"
+            )
+        if version is None:
+            dropped = sorted(versions)
+            del self._models[name]
+            return dropped
+        if version not in versions:
+            raise CatalogError(
+                f"model {name!r} has no version {version}; "
+                f"available versions: {sorted(versions)}"
+            )
+        del versions[version]
+        if not versions:
+            del self._models[name]
+        return [version]
+
     def model_names(self) -> list[str]:
+        """Names of all saved models, sorted."""
         return sorted(self._models)
 
     def model_versions(self, name: str) -> list[int]:
+        """Saved versions of ``name``, ascending (empty when unknown)."""
         return sorted(self._models.get(name, ()))
 
     def models(self) -> list[ModelEntry]:
+        """Every saved model version, sorted by (name, version)."""
         return [
             self._models[name][version]
             for name in sorted(self._models)
@@ -193,13 +242,16 @@ class Catalog:
         self._udf_handlers[name] = handler
 
     def has_udf(self, name: str) -> bool:
+        """True when a UDF handler named ``name`` is registered."""
         return name in self._udf_handlers
 
     def udf(self, name: str) -> Any:
+        """The handler of a registered UDF; raises CatalogError when missing."""
         try:
             return self._udf_handlers[name]
         except KeyError:
             raise CatalogError(f"no UDF named {name!r} is registered") from None
 
     def udf_names(self) -> list[str]:
+        """Names of all registered UDF handlers, sorted."""
         return sorted(self._udf_handlers)

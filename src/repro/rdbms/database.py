@@ -39,6 +39,9 @@ class Database:
         self.catalog = Catalog()
         self.executor = QueryExecutor(self)
         self._heapfiles: dict[str, HeapFile] = {}
+        #: the attached DAnA system (set by ``DAnA.__init__``); SQL
+        #: prediction and CREATE MODEL statements execute against it.
+        self.serving_runtime = None
 
     # ------------------------------------------------------------------ #
     # DDL / DML
@@ -55,6 +58,7 @@ class Database:
         return heapfile
 
     def drop_table(self, name: str) -> None:
+        """Drop a table: catalog entry, storage file and heap-file handle."""
         self.catalog.drop_table(name)
         self.storage.drop_file(name)
         del self._heapfiles[name]
@@ -74,13 +78,40 @@ class Database:
         self.catalog.update_tuple_count(name, loaded)
         return heapfile
 
+    def drop_model(self, name: str, version: int | None = None) -> list[int]:
+        """Drop a saved model: its parameter heap tables and catalog entries.
+
+        Args:
+            name: the saved model's name.
+            version: one version to drop, or ``None`` for all versions.
+
+        Returns:
+            The dropped version numbers, ascending.
+
+        Raises:
+            CatalogError: when the model or the named version is missing.
+        """
+        entries = [
+            self.catalog.model(name, v)
+            for v in (
+                self.catalog.model_versions(name) if version is None else [version]
+            )
+        ]
+        dropped = self.catalog.drop_model(name, version)
+        for entry in entries:
+            if self.catalog.has_table(entry.table_name):
+                self.drop_table(entry.table_name)
+        return dropped
+
     def table(self, name: str) -> HeapFile:
+        """The heap file of ``name``; raises CatalogError when missing."""
         try:
             return self._heapfiles[name]
         except KeyError:
             raise CatalogError(f"table {name!r} does not exist") from None
 
     def table_names(self) -> list[str]:
+        """Names of all tables, sorted."""
         return sorted(self._heapfiles)
 
     # ------------------------------------------------------------------ #
@@ -93,6 +124,17 @@ class Database:
     def register_udf(self, name: str, handler) -> None:
         """Register a UDF callable invocable as ``SELECT * FROM dana.<name>(...)``."""
         self.catalog.register_udf(name, handler)
+
+    def attach_serving_runtime(self, runtime) -> None:
+        """Attach the DAnA system SQL serving statements execute against.
+
+        Args:
+            runtime: an object implementing
+                :class:`repro.rdbms.query.ServingRuntime` (normally a
+                :class:`repro.core.DAnA` instance, which calls this in its
+                constructor).  The latest attachment wins.
+        """
+        self.serving_runtime = runtime
 
     def register_accelerator(self, entry: AcceleratorEntry) -> None:
         """Store compiled accelerator metadata in the catalog."""
@@ -110,4 +152,5 @@ class Database:
         self.buffer_pool.clear()
 
     def reset_io_stats(self) -> None:
+        """Zero the buffer pool's hit/miss counters."""
         self.buffer_pool.reset_stats()

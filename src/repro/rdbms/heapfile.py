@@ -55,17 +55,21 @@ class HeapFile:
     # ------------------------------------------------------------------ #
     @property
     def tuple_count(self) -> int:
+        """Total tuples stored across all pages."""
         return self._tuple_count
 
     @property
     def page_count(self) -> int:
+        """Number of heap pages in the file."""
         return self.storage.page_count(self.name)
 
     @property
     def size_bytes(self) -> int:
+        """Total on-disk size of the file in bytes."""
         return self.storage.file_bytes(self.name)
 
     def tuples_per_page(self) -> int:
+        """How many tuples of this schema fit on one page."""
         return self.layout.tuples_per_page(self.schema)
 
     # ------------------------------------------------------------------ #

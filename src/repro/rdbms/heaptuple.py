@@ -41,10 +41,12 @@ class TupleHeader:
     null_bitmap: int = 0
 
     def encode(self) -> bytes:
+        """Pack the header into its on-page binary form."""
         return _HEADER_STRUCT.pack(self.t_len, self.attr_count, self.flags, self.null_bitmap)
 
     @classmethod
     def decode(cls, raw: bytes) -> "TupleHeader":
+        """Unpack a header from its on-page binary form."""
         if len(raw) < TUPLE_HEADER_SIZE:
             raise PageError(
                 f"tuple header requires {TUPLE_HEADER_SIZE} bytes, got {len(raw)}"

@@ -140,28 +140,34 @@ class HeapPage:
 
     @property
     def page_size(self) -> int:
+        """Size of the page image in bytes."""
         return self.layout.page_size
 
     @property
     def tuple_count(self) -> int:
+        """Number of line pointers (stored tuples) on the page."""
         return self._tuple_count
 
     @property
     def free_space(self) -> int:
+        """Bytes left in the hole between pointers and tuple data."""
         return self._free_end - self._free_start
 
     @property
     def free_space_start(self) -> int:
+        """Offset where the next line pointer would be written."""
         return self._free_start
 
     @property
     def free_space_end(self) -> int:
+        """Offset where the hole ends (start of tuple data)."""
         return self._free_end
 
     # ------------------------------------------------------------------ #
     # tuple operations
     # ------------------------------------------------------------------ #
     def has_room(self, schema: Schema) -> bool:
+        """True when a tuple of ``payload_size`` bytes still fits."""
         needed = LINE_POINTER_SIZE + tuple_size(schema)
         return self.free_space >= needed
 

@@ -25,6 +25,7 @@ class StorageStats:
     bytes_written: int = 0
 
     def reset(self) -> None:
+        """Zero the read/write counters."""
         self.page_reads = 0
         self.page_writes = 0
         self.bytes_read = 0
@@ -52,19 +53,23 @@ class StorageManager:
     # file management
     # ------------------------------------------------------------------ #
     def create_file(self, name: str, page_size: int) -> None:
+        """Create an empty page file; raises StorageError on duplicates."""
         if name in self._files:
             raise StorageError(f"file {name!r} already exists")
         self._files[name] = _FileEntry(page_size=page_size)
 
     def drop_file(self, name: str) -> None:
+        """Delete a page file; raises StorageError when missing."""
         if name not in self._files:
             raise StorageError(f"file {name!r} does not exist")
         del self._files[name]
 
     def has_file(self, name: str) -> bool:
+        """True when a page file named ``name`` exists."""
         return name in self._files
 
     def file_names(self) -> list[str]:
+        """Names of all page files, sorted."""
         return sorted(self._files)
 
     def _entry(self, name: str) -> _FileEntry:
@@ -74,12 +79,15 @@ class StorageManager:
             raise StorageError(f"file {name!r} does not exist") from None
 
     def page_count(self, name: str) -> int:
+        """Number of pages in a file."""
         return len(self._entry(name).pages)
 
     def page_size(self, name: str) -> int:
+        """Page size of a file in bytes (0 for an empty file)."""
         return self._entry(name).page_size
 
     def file_bytes(self, name: str) -> int:
+        """Total bytes stored in a file."""
         entry = self._entry(name)
         return len(entry.pages) * entry.page_size
 

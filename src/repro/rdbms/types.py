@@ -38,6 +38,7 @@ class ColumnType(Enum):
 
     @property
     def is_integer(self) -> bool:
+        """True for the integer column types (INT2/INT4/INT8)."""
         return self in (ColumnType.INT2, ColumnType.INT4, ColumnType.INT8)
 
     def encode(self, value: float | int) -> bytes:
@@ -85,6 +86,7 @@ class Column:
 
     @property
     def width(self) -> int:
+        """On-page width of this column in bytes."""
         return self.ctype.width
 
 
@@ -112,10 +114,12 @@ class Schema:
 
     @property
     def names(self) -> tuple[str, ...]:
+        """Column names, in schema order."""
         return tuple(c.name for c in self.columns)
 
     @property
     def widths(self) -> tuple[int, ...]:
+        """Per-column on-page widths in bytes, in schema order."""
         return tuple(c.width for c in self.columns)
 
     @property
@@ -130,6 +134,7 @@ class Schema:
         return sum(c.width for c in self.columns[:index])
 
     def index_of(self, name: str) -> int:
+        """Position of a column; raises RDBMSError for unknown names."""
         for i, col in enumerate(self.columns):
             if col.name == name:
                 return i

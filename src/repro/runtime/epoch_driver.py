@@ -114,6 +114,7 @@ class EpochDriver:
     def run(
         self, initial_models: Mapping[str, np.ndarray], epochs: int
     ) -> DriverResult:
+        """Drive every epoch window through the step, merging at boundaries."""
         models = {
             k: np.array(v, dtype=np.float64) for k, v in initial_models.items()
         }

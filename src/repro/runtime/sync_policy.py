@@ -50,6 +50,7 @@ class SyncPolicy:
         return epoch_index
 
     def describe(self) -> dict:
+        """The policy as a ``{sync, staleness, overlap_merge}`` dict."""
         return {
             "sync": self.name,
             "staleness": self.staleness,
@@ -82,6 +83,7 @@ class StaleSynchronous(SyncPolicy):
         self.staleness = staleness
 
     def next_boundary(self, epoch_index: int, epochs: int) -> int:
+        """Next merge epoch: every ``staleness``-th epoch, plus the last."""
         k = self.staleness
         boundary = epoch_index + (k - 1) - (epoch_index % k)
         return min(boundary, epochs - 1)

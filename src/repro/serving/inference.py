@@ -51,6 +51,7 @@ class InferenceStats:
 
     @property
     def total_cycles(self) -> int:
+        """All cycles booked while scoring (forward-pass only)."""
         return self.forward_cycles
 
 

@@ -9,6 +9,12 @@ queued into a micro-batch — up to ``max_batch_size`` requests, waiting at
 most ``max_wait_ms`` after the first request of a batch arrives, so the
 batching latency is bounded by construction.
 
+The served model can be **hot-swapped** without stopping the server:
+:meth:`PredictionServer.swap_models` (or the registry-versioned
+:meth:`PredictionServer.reload`) replaces the model mapping atomically at a
+micro-batch boundary — in-flight batches drain on the old model, later
+batches score the new one, bit-identically to a cold restart.
+
 Every request's end-to-end latency (submit → result) is recorded;
 :meth:`PredictionServer.stats` reports throughput plus p50/p99 latency,
 the two numbers the micro-batch size trades against each other: bigger
@@ -24,7 +30,7 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -43,6 +49,8 @@ class ServingStats:
 
     requests: int = 0
     batches: int = 0
+    #: completed model hot-swaps (swap_models / reload calls).
+    swaps: int = 0
     #: per-request submit→result latency, seconds (insertion order; the
     #: most recent :data:`LATENCY_WINDOW` requests).
     latencies_s: deque = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
@@ -51,13 +59,16 @@ class ServingStats:
 
     @property
     def mean_batch_size(self) -> float:
+        """Average requests coalesced per scored micro-batch."""
         return self.requests / self.batches if self.batches else 0.0
 
     @property
     def requests_per_second(self) -> float:
+        """Throughput over the serving span (first submit to last result)."""
         return self.requests / self.span_seconds if self.span_seconds > 0 else 0.0
 
     def latency_ms(self, percentile: float) -> float:
+        """Request latency percentile in milliseconds (0 when idle)."""
         if not self.latencies_s:
             return 0.0
         return float(
@@ -67,10 +78,12 @@ class ServingStats:
 
     @property
     def p50_latency_ms(self) -> float:
+        """Median request latency in milliseconds."""
         return self.latency_ms(50.0)
 
     @property
     def p99_latency_ms(self) -> float:
+        """99th-percentile request latency in milliseconds."""
         return self.latency_ms(99.0)
 
 
@@ -91,7 +104,27 @@ class PredictionServer:
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
         queue_depth: int | None = None,
+        model_loader: Callable[[int | None], tuple] | None = None,
+        model_version: int | None = None,
     ) -> None:
+        """Build a server around one inference engine and one model.
+
+        Args:
+            engine: the (forward-only) inference engine scoring batches.
+            models: the initial model parameter mapping.
+            max_batch_size: most requests coalesced into one micro-batch.
+            max_wait_ms: longest a batch waits after its first request.
+            queue_depth: bounded request-queue depth (default: two
+                micro-batches — one scoring, one queueing).
+            model_loader: optional registry-backed loader for
+                :meth:`reload` hot-swaps; called with a version (or None
+                for latest) and must return ``(models, entry)``.
+            model_version: registry version of the initial model, if any.
+
+        Raises:
+            ConfigurationError: on non-positive ``max_batch_size`` or a
+                negative ``max_wait_ms``.
+        """
         if not isinstance(max_batch_size, int) or max_batch_size < 1:
             raise ConfigurationError(
                 f"max_batch_size must be an integer >= 1, got {max_batch_size!r}"
@@ -104,6 +137,10 @@ class PredictionServer:
         self.models = {
             name: np.asarray(value, dtype=np.float64) for name, value in models.items()
         }
+        self._model_loader = model_loader
+        #: registry version currently being served (None for in-memory
+        #: model mappings that never came from the registry).
+        self.model_version = model_version
         self.max_batch_size = max_batch_size
         self.max_wait_s = float(max_wait_ms) / 1e3
         # Double-buffer depth: one micro-batch being scored, one queueing.
@@ -123,6 +160,7 @@ class PredictionServer:
     # lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> "PredictionServer":
+        """Start (or restart) the scorer thread; returns ``self``."""
         with self._lock:
             if self._thread is not None:
                 return self
@@ -170,6 +208,64 @@ class PredictionServer:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
+
+    # ------------------------------------------------------------------ #
+    # model hot-swap
+    # ------------------------------------------------------------------ #
+    def swap_models(
+        self, models: Mapping[str, np.ndarray], version: int | None = None
+    ) -> None:
+        """Atomically replace the served model between micro-batches.
+
+        The scorer thread snapshots the model mapping once per micro-batch,
+        so a micro-batch already in flight when the swap lands drains on
+        the **old** model, and every later batch scores with the new one —
+        bit-identical to stopping the server and cold-starting it on the
+        new model (same engine, same tape, same parameters).
+
+        Args:
+            models: the replacement model parameter mapping (non-empty).
+            version: registry version tag recorded as
+                :attr:`model_version` (``None`` for in-memory swaps).
+
+        Raises:
+            ConfigurationError: when ``models`` is empty or not a mapping.
+        """
+        if not isinstance(models, Mapping) or not models:
+            raise ConfigurationError(
+                f"swap_models expects a non-empty model mapping, got {models!r}"
+            )
+        converted = {
+            name: np.asarray(value, dtype=np.float64)
+            for name, value in models.items()
+        }
+        with self._lock:
+            self.models = converted
+            self.model_version = version
+            self.stats.swaps += 1
+
+    def reload(self, version: int | None = None):
+        """Hot-swap to a registry version of this server's model.
+
+        Args:
+            version: the saved version to serve (``None`` = latest).
+
+        Returns:
+            The :class:`~repro.rdbms.catalog.ModelEntry` now being served.
+
+        Raises:
+            ConfigurationError: when the server was built from an
+                in-memory model mapping (no registry to reload from), or
+                when the requested version does not exist.
+        """
+        if self._model_loader is None:
+            raise ConfigurationError(
+                "this server was built from an in-memory model mapping; "
+                "registry hot-swap needs a server created with model_name="
+            )
+        models, entry = self._model_loader(version)
+        self.swap_models(models, version=entry.version if entry else None)
+        return entry
 
     # ------------------------------------------------------------------ #
     # request API
@@ -231,10 +327,14 @@ class PredictionServer:
             self._score_batch(batch)
 
     def _score_batch(self, batch: list[_Request]) -> None:
+        # Snapshot the model once per micro-batch: a concurrent hot-swap
+        # takes effect at the next batch boundary, never mid-batch.
+        with self._lock:
+            models = self.models
         try:
             rows = np.stack([request.row for request in batch], axis=0)
             predictions = self.engine.score(
-                rows, self.models, path="batched", batch_size=len(batch)
+                rows, models, path="batched", batch_size=len(batch)
             )
         except BaseException as error:  # noqa: BLE001 - forwarded to callers
             for request in batch:

@@ -142,14 +142,39 @@ class ModelRegistry:
             raise ConfigurationError(str(error)) from None
 
     # ------------------------------------------------------------------ #
+    # drop
+    # ------------------------------------------------------------------ #
+    def drop(self, name: str, version: int | None = None) -> list[int]:
+        """Drop a saved model's parameter tables and catalog entries.
+
+        Args:
+            name: the saved model's name.
+            version: one version to drop, or ``None`` for all versions.
+
+        Returns:
+            The dropped version numbers, ascending.
+
+        Raises:
+            ConfigurationError: when the model (or version) does not exist,
+                naming what *is* available.
+        """
+        try:
+            return self.database.drop_model(name, version)
+        except CatalogError as error:
+            raise ConfigurationError(str(error)) from None
+
+    # ------------------------------------------------------------------ #
     # inspection
     # ------------------------------------------------------------------ #
     def names(self) -> list[str]:
+        """Names of all saved models, sorted."""
         return self.database.catalog.model_names()
 
     def versions(self, name: str) -> list[int]:
+        """Saved versions of ``name``, ascending (empty when unknown)."""
         return self.database.catalog.model_versions(name)
 
     def next_version(self, name: str) -> int:
+        """The version number the next :meth:`save` of ``name`` will get."""
         versions = self.versions(name)
         return (versions[-1] + 1) if versions else 1

@@ -9,6 +9,17 @@ every segment owns a full :class:`~repro.hw.accelerator.DAnAAccelerator`
 concurrently on a thread pool (the NumPy kernels release the GIL).
 Per-segment predictions are scattered back into **storage order**, so the
 result is independent of the partitioning.
+
+Scoring is **streaming** by default (``stream=True``): within each segment
+the bulk Strider page walk runs on a
+:class:`~repro.runtime.BatchSource` producer thread — the same bounded
+double buffer the training runtime uses for pipelined extraction — while
+the forward tape scores micro-batches as they assemble, so extraction
+overlaps inference exactly like training's epoch 0.  ``stream=False``
+materialises each segment's extraction first and is kept as the overlap
+oracle: predictions and schedule-derived counters are bit-identical across
+the two modes by construction (identical batch boundaries, identical page
+walk).
 """
 
 from __future__ import annotations
@@ -69,9 +80,13 @@ class ScoreResult:
     batch_size: int
     partition_strategy: str
     segments: list[SegmentScoreReport]
+    #: True when the run overlapped each segment's page walk with its
+    #: forward tape (streaming); False for the materialized oracle.
+    stream: bool = False
 
     @property
     def tuples_scored(self) -> int:
+        """Total tuples scored across all segments."""
         return len(self.predictions)
 
     @property
@@ -118,8 +133,29 @@ class ScanScorer:
         batch_size: int | None = None,
         partition_strategy: str = "round_robin",
         seed: int = 0,
+        stream: bool = True,
     ) -> ScoreResult:
-        """Score every tuple of ``table_name``; predictions in storage order."""
+        """Score every tuple of ``table_name``; predictions in storage order.
+
+        Args:
+            table_name: the heap table to scan-and-score.
+            models: model parameter mapping the forward pass scores with.
+            segments: how many accelerators to partition the pages across.
+            path: ``"batched"`` (forward tape) or ``"per_tuple"`` (oracle).
+            batch_size: scoring micro-batch (``None`` = the default).
+            partition_strategy: how heap pages map to segments.
+            seed: partitioning seed (``hash`` strategy reproducibility).
+            stream: ``True`` (default) overlaps each segment's Strider page
+                walk with its forward tape through a bounded
+                :class:`~repro.runtime.BatchSource` double buffer —
+                mirroring the training runtime's streaming extraction;
+                ``False`` materialises each segment's extraction first (the
+                overlap oracle).  Predictions and counters are
+                bit-identical either way.
+
+        Returns:
+            The :class:`ScoreResult` with storage-order predictions.
+        """
         heapfile = self.database.table(table_name)
         pool = self.database.buffer_pool
         partitioner = Partitioner(partition_strategy, seed=seed)
@@ -135,13 +171,15 @@ class ScanScorer:
             with ThreadPoolExecutor(max_workers=max_workers) as pool_exec:
                 outcomes = list(
                     pool_exec.map(
-                        lambda job: self._score_segment(job[0], job[1], models, path, batch_size),
+                        lambda job: self._score_segment(
+                            job[0], job[1], models, path, batch_size, stream
+                        ),
                         jobs,
                     )
                 )
         else:
             outcomes = [
-                self._score_segment(part, images, models, path, batch_size)
+                self._score_segment(part, images, models, path, batch_size, stream)
                 for part, images in jobs
             ]
         predictions = self._reassemble(parts, outcomes)
@@ -151,6 +189,7 @@ class ScanScorer:
             batch_size=batch_size or DEFAULT_SCORE_BATCH,
             partition_strategy=partition_strategy,
             segments=[report for report, _preds, _sizes in outcomes],
+            stream=stream and self.use_striders,
         )
 
     # ------------------------------------------------------------------ #
@@ -163,15 +202,25 @@ class ScanScorer:
         models: Mapping[str, np.ndarray],
         path: str,
         batch_size: int | None,
+        stream: bool,
     ) -> tuple[SegmentScoreReport, np.ndarray, list[int]]:
         engine = self.plan.new_engine()
         if self.use_striders:
             accelerator = DAnAAccelerator(
                 binary=self.binary, schema=self.spec.schema, fpga=self.fpga
             )
-            predictions, sizes = accelerator.score_from_pages(
-                images, models, engine, path=path, batch_size=batch_size
-            )
+            if stream:
+                predictions, sizes = accelerator.score_stream_from_pages(
+                    images,
+                    models,
+                    engine,
+                    batch_size=batch_size or DEFAULT_SCORE_BATCH,
+                    path=path,
+                )
+            else:
+                predictions, sizes = accelerator.score_from_pages(
+                    images, models, engine, path=path, batch_size=batch_size
+                )
             access_stats = accelerator.access_engine.stats
         else:
             chunks = [self._cpu_decode(image) for image in images]

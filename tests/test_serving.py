@@ -380,6 +380,94 @@ def test_prediction_server_rejects_when_stopped_and_bad_rows():
 
 
 # ---------------------------------------------------------------------- #
+# model hot-swap
+# ---------------------------------------------------------------------- #
+def test_hot_swap_scores_later_requests_with_new_model():
+    system, _spec, data = build_system("linear", n_tuples=64)
+    v1 = {"mo": np.zeros(N_FEATURES)}
+    v2 = {"mo": np.ones(N_FEATURES)}
+    system.save_model("m", "linear", v1)
+    with system.serve("linear", model_name="m", max_wait_ms=1.0) as server:
+        assert server.model_version == 1
+        before = [server.predict(row) for row in data[:4]]
+        system.save_model("m", "linear", v2)
+        entry = server.reload()  # latest version
+        assert entry.version == 2 and server.model_version == 2
+        after = [server.predict(row) for row in data[:4]]
+    assert all(value == 0.0 for value in before)
+    expected = np.sum(data[:4, :N_FEATURES], axis=1)
+    np.testing.assert_allclose(after, expected, rtol=1e-12)
+    assert server.stats.swaps == 1
+    # Bit-identical to a cold restart on the new version.
+    with system.serve("linear", model_name="m", max_wait_ms=1.0) as cold:
+        cold_preds = [cold.predict(row) for row in data[:4]]
+    np.testing.assert_array_equal(after, cold_preds)
+
+
+def test_hot_swap_by_explicit_version_and_rollback():
+    system, _spec, data = build_system("linear", n_tuples=64)
+    system.save_model("m", "linear", {"mo": np.zeros(N_FEATURES)})
+    system.save_model("m", "linear", {"mo": np.ones(N_FEATURES)})
+    with system.serve("linear", model_name="m") as server:
+        assert server.model_version == 2
+        server.reload(version=1)  # rollback
+        assert server.model_version == 1
+        assert server.predict(data[0]) == pytest.approx(0.0)
+        with pytest.raises(ConfigurationError, match="no version 9"):
+            server.reload(version=9)
+        # A failed reload leaves the served model untouched.
+        assert server.model_version == 1
+        assert server.predict(data[1]) == pytest.approx(0.0)
+
+
+def test_hot_swap_during_active_drain_is_batch_atomic():
+    """Swap while a burst is in flight: every request scores with exactly
+    the old or the new model — never a half-swapped mixture — and requests
+    submitted after the swap returns use the new version."""
+    system, _spec, data = build_system("linear", n_tuples=256)
+    v1 = {"mo": np.zeros(N_FEATURES)}
+    v2 = {"mo": np.ones(N_FEATURES)}
+    system.save_model("m", "linear", v1)
+    system.save_model("m", "linear", v2)
+    expected_v2 = np.sum(data[:, :N_FEATURES], axis=1)
+    with system.serve(
+        "linear", model_name="m", version=1, max_batch_size=8, max_wait_ms=5.0
+    ) as server:
+        in_flight = [server.submit(row) for row in data[:128]]
+        server.reload(version=2)  # concurrent with the draining burst
+        late = [server.submit(row) for row in data[128:160]]
+        drained = np.array([f.result(timeout=30) for f in in_flight])
+        late_preds = np.array([f.result(timeout=30) for f in late])
+    # In-flight requests score with one of the two models, atomically.
+    for index, value in enumerate(drained):
+        assert value == pytest.approx(0.0) or value == pytest.approx(
+            expected_v2[index], rel=1e-12
+        )
+    # Requests submitted after reload() returned must use the new model:
+    # reload swaps under the server lock, and batches snapshot at score
+    # time, so nothing submitted later can see the old parameters.
+    np.testing.assert_allclose(late_preds, expected_v2[128:160], rtol=1e-12)
+    assert server.stats.swaps == 1
+
+
+def test_swap_models_requires_registry_backing_for_reload():
+    system, _spec, data = build_system("linear", n_tuples=64)
+    server = system.serve("linear", models={"mo": np.zeros(N_FEATURES)})
+    assert server.model_version is None
+    with pytest.raises(ConfigurationError, match="in-memory model mapping"):
+        server.reload()
+    with pytest.raises(ConfigurationError, match="non-empty model mapping"):
+        server.swap_models({})
+    # In-memory swap still works (no registry round trip).
+    with server:
+        server.swap_models({"mo": np.ones(N_FEATURES)})
+        assert server.predict(data[0]) == pytest.approx(
+            float(np.sum(data[0][:N_FEATURES]))
+        )
+    assert server.stats.swaps == 1
+
+
+# ---------------------------------------------------------------------- #
 # serving cost model
 # ---------------------------------------------------------------------- #
 def test_score_run_cost_books_critical_path_and_cost_column():

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""CI check: every public def/class in the public packages has a docstring.
+
+The architecture documentation (``docs/architecture.md``) promises that the
+public API surface is self-describing; this script keeps that promise from
+rotting.  It walks ``src/repro/{core,rdbms,serving}`` with the ``ast``
+module and fails (exit code 1) listing every public module-level or
+class-level function, method or class whose body does not start with a
+docstring.
+
+Public means the name does not start with ``_``.  Dunder methods
+(``__init__``, ``__call__``, ...) are exempt — their contract is the
+class's; so are nested (function-local) defs.  ``@overload`` stubs and
+``...``-body protocol methods are *not* exempt: a one-line docstring is
+cheap and they are exactly the defs readers hit first.
+
+Run from the repository root::
+
+    python tools/check_docstrings.py [--packages core rdbms serving]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: packages whose public defs must be documented (repro.<name>).
+DEFAULT_PACKAGES = ("core", "rdbms", "serving")
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _walk_scope(
+    nodes: list[ast.stmt], scope: str, findings: list[tuple[str, int]]
+) -> None:
+    """Collect public defs without docstrings from one module/class body."""
+    for node in nodes:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not _is_public(node.name):
+                continue
+            qualified = f"{scope}.{node.name}" if scope else node.name
+            if ast.get_docstring(node) is None:
+                findings.append((qualified, node.lineno))
+            if isinstance(node, ast.ClassDef):
+                _walk_scope(node.body, qualified, findings)
+
+
+def missing_docstrings(
+    root: Path, packages: tuple[str, ...] = DEFAULT_PACKAGES
+) -> list[str]:
+    """Every undocumented public def, as ``path:line qualified.name`` lines.
+
+    Args:
+        root: the repository root (containing ``src/repro``).
+        packages: sub-packages of ``repro`` to check.
+
+    Returns:
+        Human-readable finding lines, sorted; empty when the check passes.
+    """
+    lines: list[str] = []
+    for package in packages:
+        package_dir = root / "src" / "repro" / package
+        for path in sorted(package_dir.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            findings: list[tuple[str, int]] = []
+            if ast.get_docstring(tree) is None:
+                findings.append(("<module>", 1))
+            _walk_scope(tree.body, "", findings)
+            relative = path.relative_to(root)
+            lines.extend(
+                f"{relative}:{lineno} {name}" for name, lineno in findings
+            )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--packages",
+        nargs="+",
+        default=list(DEFAULT_PACKAGES),
+        help="repro sub-packages to check",
+    )
+    args = parser.parse_args(argv)
+    findings = missing_docstrings(REPO_ROOT, tuple(args.packages))
+    if findings:
+        print(
+            f"{len(findings)} public def(s) without docstrings in "
+            f"src/repro/{{{','.join(args.packages)}}}:"
+        )
+        for line in findings:
+            print(f"  {line}")
+        return 1
+    print(
+        f"docstring check passed for src/repro/{{{','.join(args.packages)}}}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
