@@ -19,6 +19,7 @@ every *other* segment's extraction.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,9 +29,14 @@ from repro.hw.accelerator import DAnAAccelerator
 from repro.hw.execution_engine import TrainingResult
 from repro.rdbms.buffer_pool import BufferPool
 from repro.rdbms.heapfile import HeapFile
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import RetryPolicy, RetryStats
 from repro.runtime import BatchSource
 
 from repro.algorithms.base import AlgorithmSpec
+
+#: fault-injection site fired once per segment training window.
+SEGMENT_EPOCH_FAULT_SITE = "cluster.segment_worker.epoch"
 
 
 @dataclass
@@ -42,6 +48,8 @@ class SegmentWorker:
     partition: PagePartition
     rng: np.random.Generator | None = None
     source: BatchSource | None = field(default=None, repr=False)
+    #: fault/retry counters booked by this worker's retried windows.
+    retry_stats: RetryStats = field(default_factory=RetryStats, repr=False)
     _rows: np.ndarray | None = field(default=None, repr=False)
 
     @property
@@ -112,17 +120,22 @@ class SegmentWorker:
         pool: BufferPool,
         use_striders: bool = True,
         queue_depth: int = 2,
+        retry: RetryPolicy | None = None,
     ) -> BatchSource:
         """Start this segment's streaming extraction (producer thread).
 
         The returned source yields decoded per-page chunks through a
         bounded double buffer; training can consume the first batch while
         later pages are still being cleansed.  Payloads and counters are
-        identical to :meth:`extract`.
+        identical to :meth:`extract`.  A ``retry`` policy makes the
+        producer restartable after transient faults (page walk or
+        producer site) with bit-identical chunks and counters.
         """
         if use_striders:
             self.source = self.accelerator.access_engine.stream_table(
-                self._page_images(heapfile, pool), queue_depth=queue_depth
+                self._page_images(heapfile, pool),
+                queue_depth=queue_depth,
+                retry=retry,
             )
         else:
             self.source = BatchSource(
@@ -175,27 +188,76 @@ class SegmentWorker:
         epochs: int,
         shuffle: bool = False,
         convergence_check: bool = True,
+        retry: RetryPolicy | None = None,
+        retry_stats: RetryStats | None = None,
     ) -> TrainingResult:
         """Run ``epochs`` local epochs (one stale-synchronous window).
 
         When the partition is still streaming, the first epoch consumes
         batches straight off the source; the stream is materialised before
         the call returns so later windows train from memory.
+
+        With a ``retry`` policy, a :class:`~repro.exceptions.TransientError`
+        raised by this window is retried from a checkpoint of the worker's
+        engine/tree-bus counters and RNG state — so the successful attempt
+        books exactly what a fault-free window would have (the epoch driver
+        copies the input models per attempt, so they need no restore).
         """
         assert self._rows is not None or self.source is not None, (
             "extract()/open_source() must run before training"
         )
-        result = self.engine.train(
-            rows=self._rows,
-            initial_models=models,
-            bind_tuple=spec.bind_tuple,
-            epochs=epochs,
-            convergence_check=convergence_check,
-            bind_batch=spec.bind_batch,
-            shuffle=shuffle,
-            rng=self.rng,
-            source=self.source if self._rows is None else None,
+
+        def window() -> TrainingResult:
+            fault_point(SEGMENT_EPOCH_FAULT_SITE)
+            result = self.engine.train(
+                rows=self._rows,
+                initial_models=models,
+                bind_tuple=spec.bind_tuple,
+                epochs=epochs,
+                convergence_check=convergence_check,
+                bind_batch=spec.bind_batch,
+                shuffle=shuffle,
+                rng=self.rng,
+                source=self.source if self._rows is None else None,
+            )
+            if self._rows is None:
+                self._rows = self.source.rows()
+            return result
+
+        if retry is None:
+            return window()
+        checkpoint = self.checkpoint()
+        return retry.run(
+            window,
+            stats=retry_stats,
+            reset=lambda: self.restore(checkpoint),
+            label=f"segment {self.segment_id} training window",
         )
-        if self._rows is None:
-            self._rows = self.source.rows()
-        return result
+
+    # ------------------------------------------------------------------ #
+    # retry checkpointing
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> dict:
+        """Snapshot the counters/RNG state a retried window must restore."""
+        state = {
+            "engine_stats": copy.copy(self.engine.stats),
+            "bus_stats": copy.copy(self.engine.tree_bus.stats),
+            "rng_state": (
+                copy.deepcopy(self.rng.bit_generator.state)
+                if self.rng is not None
+                else None
+            ),
+        }
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Roll the worker back to a :meth:`checkpoint` before a re-attempt.
+
+        Counter objects are restored **in place** (results hold references
+        to them); the RNG stream rewinds so a retried shuffle replays the
+        exact permutations of the failed attempt.
+        """
+        self.engine.stats.__dict__.update(state["engine_stats"].__dict__)
+        self.engine.tree_bus.stats.__dict__.update(state["bus_stats"].__dict__)
+        if state["rng_state"] is not None and self.rng is not None:
+            self.rng.bit_generator.state = copy.deepcopy(state["rng_state"])

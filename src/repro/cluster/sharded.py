@@ -55,8 +55,10 @@ import numpy as np
 
 from repro.cluster.aggregator import ModelAggregator
 from repro.cluster.partitioner import Partitioner
-from repro.cluster.segment_worker import SegmentWorker
+from repro.cluster.segment_worker import SEGMENT_EPOCH_FAULT_SITE, SegmentWorker
 from repro.exceptions import ConfigurationError
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import RetryPolicy, RetryStats
 from repro.hw.access_engine import AccessEngineStats
 from repro.hw.accelerator import DAnAAccelerator
 from repro.hw.execution_engine import EngineRunStats, TrainingResult
@@ -124,6 +126,8 @@ class ClusterStats:
     staleness: int = 1
     #: True when extraction streamed through the double-buffer pipeline.
     stream: bool = False
+    #: retry/fault counters of the run (all zero when fault-free).
+    retry: RetryStats = field(default_factory=RetryStats)
 
     @property
     def cross_merge_cycles(self) -> int:
@@ -211,6 +215,7 @@ class ShardedDAnA:
         sync: str | SyncPolicy = "bulk_synchronous",
         staleness: int = 1,
         stream: bool = True,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if segments < 1:
             raise ConfigurationError("a sharded run needs at least one segment")
@@ -227,6 +232,7 @@ class ShardedDAnA:
         self.seed = int(seed)
         self.use_striders = use_striders
         self.stream = stream
+        self.retry = retry
         self.sync_policy = (
             sync if isinstance(sync, SyncPolicy) else make_sync_policy(sync, staleness)
         )
@@ -304,7 +310,9 @@ class ShardedDAnA:
                 # Streaming: every segment's Strider walk starts now, on its
                 # own producer thread; the first epoch consumes batches as
                 # pages decode instead of waiting for full materialisation.
-                worker.open_source(heapfile, pool, use_striders=self.use_striders)
+                worker.open_source(
+                    heapfile, pool, use_striders=self.use_striders, retry=self.retry
+                )
             else:
                 worker.extract(heapfile, pool, use_striders=self.use_striders)
         # Fresh cluster bus + aggregator per run so counters describe this
@@ -344,6 +352,15 @@ class ShardedDAnA:
             step.finish()
         cluster.epochs_run = result.epochs_run
         cluster.merges_performed = result.merges_performed
+        # Fold every recovery the run performed into one counter set:
+        # per-worker window retries, producer restarts, lockstep retries.
+        for worker in self.workers:
+            cluster.retry.merge(worker.retry_stats)
+            if worker.source is not None:
+                cluster.retry.merge(worker.source.retry_stats)
+        step_stats = getattr(step, "retry_stats", None)
+        if step_stats is not None:
+            cluster.retry.merge(step_stats)
         reports = [
             SegmentReport(
                 segment_id=w.segment_id,
@@ -385,6 +402,7 @@ class _ThreadsStep(EpochStep):
         self.aggregator = sharded.aggregator
         self.shuffle = shuffle
         self.convergence_check = convergence_check
+        self.retry = sharded.retry
         self.workers = [w for w in sharded.workers if w.has_rows()]
         self.executor: ThreadPoolExecutor | None = None
         max_workers = min(sharded.segments, max(1, os.cpu_count() or 1))
@@ -433,10 +451,22 @@ class _ThreadsStep(EpochStep):
         """
         if count > 1 and self.convergence_check:
             prefix = worker.train_epochs(
-                models, self.spec, count - 1, self.shuffle, convergence_check=False
+                models,
+                self.spec,
+                count - 1,
+                self.shuffle,
+                convergence_check=False,
+                retry=self.retry,
+                retry_stats=worker.retry_stats,
             )
             boundary = worker.train_epochs(
-                prefix.models, self.spec, 1, self.shuffle, self.convergence_check
+                prefix.models,
+                self.spec,
+                1,
+                self.shuffle,
+                self.convergence_check,
+                retry=self.retry,
+                retry_stats=worker.retry_stats,
             )
             return TrainingResult(
                 models=boundary.models,
@@ -445,7 +475,13 @@ class _ThreadsStep(EpochStep):
                 stats=boundary.stats,
             )
         return worker.train_epochs(
-            models, self.spec, count, self.shuffle, self.convergence_check
+            models,
+            self.spec,
+            count,
+            self.shuffle,
+            self.convergence_check,
+            retry=self.retry,
+            retry_stats=worker.retry_stats,
         )
 
     def merge(self, state, base):
@@ -483,6 +519,8 @@ class _LockstepStep(EpochStep):
         self.aggregator = sharded.aggregator
         self.shuffle = shuffle
         self.convergence_check = convergence_check
+        self.retry = sharded.retry
+        self.retry_stats = RetryStats()
         self.workers = [w for w in sharded.workers if w.has_rows()]
         self.batch_size = sharded.workers[0].engine.batch_size
         self.streaming = sharded.stream
@@ -536,7 +574,35 @@ class _LockstepStep(EpochStep):
         return state, converged, count
 
     def run_epoch(self, state, epoch_index, check_convergence: bool | None = None):
+        if self.retry is None:
+            return self._run_epoch_attempt(state, epoch_index, check_convergence)
+        # Checkpoint everything one lock-step epoch mutates: the stacked
+        # model block (the tape updates it in place), every worker's
+        # counters + RNG stream, and the prefetched row orders — so a
+        # retried epoch replays bit-identically.
+        snapshot = {name: np.array(value) for name, value in state.items()}
+        worker_states = [w.checkpoint() for w in self.workers]
+        prefetched = self._prefetched_rows
+
+        def reset() -> None:
+            for name, value in snapshot.items():
+                np.copyto(state[name], value)
+            for worker, saved in zip(self.workers, worker_states):
+                worker.restore(saved)
+            self._prefetched_rows = prefetched
+
+        return self.retry.run(
+            lambda: self._run_epoch_attempt(state, epoch_index, check_convergence),
+            stats=self.retry_stats,
+            reset=reset,
+            label=f"lockstep epoch {epoch_index}",
+        )
+
+    def _run_epoch_attempt(
+        self, state, epoch_index, check_convergence: bool | None = None
+    ):
         workers = self.workers
+        fault_point(SEGMENT_EPOCH_FAULT_SITE)
         if check_convergence is None:
             check_convergence = self.convergence_check
         if not workers:

@@ -42,6 +42,7 @@ from repro.exceptions import ConfigurationError, QueryError
 from repro.hw import DAnAAccelerator, DEFAULT_FPGA, FPGASpec
 from repro.hw.accelerator import AcceleratorRunResult
 from repro.rdbms import AcceleratorEntry, Database, ModelEntry
+from repro.reliability import RetryPolicy
 from repro.rdbms.query import (
     CreateModel,
     PredictScan,
@@ -210,6 +211,7 @@ class DAnA:
         sync: str = "bulk_synchronous",
         staleness: int = 1,
         stream: bool = True,
+        retry: RetryPolicy | None = None,
     ) -> AcceleratorRunResult | ShardedRunResult:
         """Train a registered UDF over a table without going through SQL.
 
@@ -230,6 +232,14 @@ class DAnA:
         ``staleness`` epochs; fast segments run ahead between merges) or
         ``"async_merge"`` (per-epoch merges overlapped with the next
         epoch's preparation; models bit-identical to bulk-synchronous).
+
+        A ``retry`` policy (:class:`~repro.reliability.RetryPolicy`) makes
+        the run fault-tolerant: transient faults in the Strider page walk,
+        the streaming producer or a segment's training window are retried
+        from a checkpoint with bounded backoff, and the recovered run's
+        models and counters are **bit-identical** to a fault-free run.
+        Training rejects ``degradation="redistribute"`` (reassigning a
+        failed segment's pages would change the merge schedule).
         """
         _validate_train_config(
             epochs=epochs,
@@ -240,11 +250,12 @@ class DAnA:
             sync=sync,
             staleness=staleness,
         )
+        _validate_retry(retry, allow_redistribute=False)
         registered = self._registered(udf_name)
         if segments is None:
             return self._run_accelerator(
                 registered, table_name, epochs, shuffle=shuffle, seed=seed,
-                stream=stream,
+                stream=stream, retry=retry,
             )
         return self._run_sharded(
             registered,
@@ -259,6 +270,7 @@ class DAnA:
             sync=sync,
             staleness=staleness,
             stream=stream,
+            retry=retry,
         )
 
     # ------------------------------------------------------------------ #
@@ -338,6 +350,7 @@ class DAnA:
         partition_strategy: str = "round_robin",
         seed: int = 0,
         stream: bool = True,
+        retry: RetryPolicy | None = None,
     ) -> ScoreResult:
         """Score every tuple of a heap table via the bulk Strider page walk.
 
@@ -351,6 +364,14 @@ class DAnA:
         through a bounded :class:`~repro.runtime.BatchSource` double
         buffer; ``stream=False`` materialises the extraction first — the
         overlap oracle, bit-identical predictions and counters.
+
+        A ``retry`` policy retries each segment's scan-and-score after
+        transient faults (fresh engine per attempt, so the successful
+        attempt is bit-identical to a fault-free one);
+        ``degradation="redistribute"`` additionally reassigns a
+        permanently-failed segment's pages across the surviving segments —
+        predictions stay bit-identical because reassembly is by page
+        number, not by segment.
         """
         _validate_serving_config(
             path=path,
@@ -359,6 +380,7 @@ class DAnA:
             partition_strategy=partition_strategy,
             stream=stream,
         )
+        _validate_retry(retry)
         registered = self._registered(udf_name)
         binary = self.compile_udf(udf_name, table_name)
         resolved, _entry = self._resolve_models(
@@ -382,6 +404,7 @@ class DAnA:
             partition_strategy=partition_strategy,
             seed=seed,
             stream=stream,
+            retry=retry,
         )
 
     def serve(
@@ -392,6 +415,9 @@ class DAnA:
         version: int | None = None,
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
+        max_queue_depth: int | None = None,
+        deadline_ms: float | None = None,
+        max_concurrent_per_model: int | None = None,
     ) -> PredictionServer:
         """A micro-batching prediction server bound to one model.
 
@@ -403,6 +429,15 @@ class DAnA:
         from the registry and swaps it in between micro-batches — in-flight
         batches drain on the old model, later batches score with the new
         version, bit-identically to a cold restart on that version.
+
+        ``max_queue_depth`` switches the server into admission-control
+        mode: a submit against a full queue is **shed** with
+        :class:`~repro.exceptions.ServerOverloadedError` instead of
+        blocking.  ``deadline_ms`` fails queued requests that would be
+        scored too late with
+        :class:`~repro.exceptions.DeadlineExceededError`, and
+        ``max_concurrent_per_model`` bounds in-flight requests per served
+        model version (see :class:`~repro.serving.PredictionServer`).
         """
         registered = self._registered(udf_name)
         resolved, entry = self._resolve_models(
@@ -422,6 +457,9 @@ class DAnA:
             max_wait_ms=max_wait_ms,
             model_loader=loader,
             model_version=entry.version if entry is not None else None,
+            max_queue_depth=max_queue_depth,
+            deadline_ms=deadline_ms,
+            max_concurrent_per_model=max_concurrent_per_model,
         )
 
     # ------------------------------------------------------------------ #
@@ -670,6 +708,7 @@ class DAnA:
         shuffle: bool = False,
         seed: int = 0,
         stream: bool = True,
+        retry: RetryPolicy | None = None,
     ) -> AcceleratorRunResult:
         self.compile_udf(registered.name, table_name)
         accelerator = registered.accelerators[table_name]
@@ -688,6 +727,7 @@ class DAnA:
                 shuffle=shuffle,
                 rng=rng,
                 stream=stream,
+                retry=retry,
             )
         rows = table.read_all(self.database.buffer_pool)
         return accelerator.train_from_rows(
@@ -811,6 +851,7 @@ class DAnA:
         sync: str = "bulk_synchronous",
         staleness: int = 1,
         stream: bool = True,
+        retry: RetryPolicy | None = None,
     ) -> ShardedRunResult:
         """Deploy one accelerator per segment and train with epoch merges."""
         binary = self.compile_udf(registered.name, table_name)
@@ -830,6 +871,7 @@ class DAnA:
             sync=sync,
             staleness=staleness,
             stream=stream,
+            retry=retry,
         )
         return sharded.train(table_name, epochs=run_epochs, shuffle=shuffle)
 
@@ -927,4 +969,27 @@ def _validate_serving_config(
         raise ConfigurationError(
             f"stream must be a bool (True = overlap the page walk with the "
             f"forward tape, False = materialized oracle), got {stream!r}"
+        )
+
+
+def _validate_retry(retry: RetryPolicy | None, allow_redistribute: bool = True) -> None:
+    """Fail fast on an invalid ``retry=`` argument.
+
+    Mirrors :func:`_validate_train_config`: a wrong type (or a degradation
+    mode the call cannot honour) raises :class:`ConfigurationError` up
+    front instead of surfacing deep inside the retried subsystem.
+    """
+    if retry is None:
+        return
+    if not isinstance(retry, RetryPolicy):
+        raise ConfigurationError(
+            f"retry must be a repro.reliability.RetryPolicy (or None to "
+            f"fail fast on the first transient fault), got {retry!r}"
+        )
+    if not allow_redistribute and retry.degradation == "redistribute":
+        raise ConfigurationError(
+            "degradation='redistribute' applies to scoring only: training "
+            "retries each segment in place, because redistributing a failed "
+            "segment's pages would change the cross-segment merge schedule "
+            "(and with it the trained models)"
         )

@@ -95,3 +95,23 @@ class ExecutionEngineError(HardwareError):
 
 class ConfigurationError(ReproError):
     """A component was configured with invalid parameters."""
+
+
+class TransientError(ReproError):
+    """A recoverable runtime fault (retrying the same work may succeed)."""
+
+
+class RetryExhaustedError(ReproError):
+    """A retried operation failed on every permitted attempt."""
+
+
+class ServingError(ReproError):
+    """Base class for prediction-serving admission/runtime failures."""
+
+
+class ServerOverloadedError(ServingError):
+    """The prediction server shed a request because its queue was full."""
+
+
+class DeadlineExceededError(ServingError):
+    """A request missed its deadline before (or while) being scored."""

@@ -20,6 +20,7 @@ from repro.hw.execution_engine import EngineRunStats, ExecutionEngine, TrainingR
 from repro.hw.fpga import FPGASpec
 from repro.hw.tree_bus import TreeBus
 from repro.rdbms.types import Schema
+from repro.reliability.retry import RetryPolicy, RetryStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (compiler imports hw)
     from repro.compiler.execution_binary import ExecutionBinary
@@ -36,6 +37,8 @@ class AcceleratorRunResult:
     access_stats: AccessEngineStats
     engine_stats: EngineRunStats
     tuples_extracted: int
+    #: producer-restart / fault counters (all zero on a fault-free run).
+    retry_stats: RetryStats = field(default_factory=RetryStats)
 
     @property
     def models(self) -> dict[str, np.ndarray]:
@@ -85,6 +88,7 @@ class DAnAAccelerator:
         shuffle: bool = False,
         rng: np.random.Generator | None = None,
         stream: bool = True,
+        retry: RetryPolicy | None = None,
     ) -> AcceleratorRunResult:
         """Extract tuples with Striders, then train on the execution engine.
 
@@ -93,13 +97,16 @@ class DAnAAccelerator:
         behind a bounded double buffer and the first training epoch
         consumes batches as they decode.  ``stream=False`` materialises the
         whole table first — the PR-2 behaviour, kept as the overlap oracle.
-        Models and counters are identical either way.
+        Models and counters are identical either way.  A ``retry`` policy
+        makes the streaming producer restartable after transient faults
+        (see :meth:`AccessEngine.stream_table`).
         """
+        retry_stats = RetryStats()
         if stream:
             # The buffer pool is not thread-safe, so page images are pulled
             # on this thread; only the Strider walk + decode move to the
             # producer thread (that is where the extraction time goes).
-            source = self.access_engine.stream_table(list(page_images))
+            source = self.access_engine.stream_table(list(page_images), retry=retry)
             try:
                 training = self.execution_engine.train(
                     rows=None,
@@ -116,6 +123,7 @@ class DAnAAccelerator:
                 source.abort()  # release a producer blocked mid-stream
                 raise
             tuples_extracted = len(source.rows())
+            retry_stats.merge(source.retry_stats)
         else:
             rows = self.access_engine.extract_table(page_images)
             training = self.execution_engine.train(
@@ -134,6 +142,7 @@ class DAnAAccelerator:
             access_stats=self.access_engine.stats,
             engine_stats=self.execution_engine.stats,
             tuples_extracted=tuples_extracted,
+            retry_stats=retry_stats,
         )
 
     def score_from_pages(
@@ -169,6 +178,8 @@ class DAnAAccelerator:
         inference,
         batch_size: int,
         path: str = "batched",
+        retry: RetryPolicy | None = None,
+        retry_stats: RetryStats | None = None,
     ) -> tuple[np.ndarray, list[int]]:
         """Streaming scan-and-score: the page walk overlaps the forward tape.
 
@@ -190,6 +201,11 @@ class DAnAAccelerator:
             batch_size: micro-batch size (must be resolved by the caller;
                 this layer has no default).
             path: ``"batched"`` (forward tape) or ``"per_tuple"`` (oracle).
+            retry: optional policy making the producer restartable after a
+                transient fault (resets the access counters and per-page
+                sizes, then re-walks the pages — results bit-identical).
+            retry_stats: optional counters the producer's restarts are
+                merged into once the stream drains.
 
         Returns:
             ``(predictions, per_page_tuple_counts)`` exactly like
@@ -197,6 +213,7 @@ class DAnAAccelerator:
         """
         from repro.runtime import BatchSource
 
+        images = list(page_images)
         sizes: list[int] = []
 
         def record_sizes(chunks: Iterable[np.ndarray]) -> Iterable[np.ndarray]:
@@ -205,9 +222,18 @@ class DAnAAccelerator:
                 sizes.append(len(chunk))
                 yield chunk
 
+        def fresh() -> Iterable[np.ndarray]:
+            # Restart hook: the re-walk re-records every page, so both the
+            # counters and the size list must start from zero again.
+            sizes.clear()
+            self.access_engine.stats = AccessEngineStats()
+            return record_sizes(self.access_engine.process_pages(images))
+
         source = BatchSource(
-            record_sizes(self.access_engine.process_pages(page_images)),
+            record_sizes(self.access_engine.process_pages(images)),
             n_columns=len(self.schema),
+            chunk_factory=fresh if retry is not None else None,
+            retry=retry,
         )
         chunks_out: list[np.ndarray] = []
         try:
@@ -218,6 +244,8 @@ class DAnAAccelerator:
         except BaseException:
             source.abort()  # release a producer blocked mid-stream
             raise
+        if retry_stats is not None:
+            retry_stats.merge(source.retry_stats)
         if chunks_out:
             predictions = np.concatenate(chunks_out, axis=0)
         else:

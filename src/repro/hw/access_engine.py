@@ -32,7 +32,12 @@ from repro.hw.fpga import FPGASpec
 from repro.hw.strider import Strider, StriderResult
 from repro.isa.strider_isa import StriderProgram
 from repro.rdbms.types import Schema
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import RetryPolicy
 from repro.runtime import BatchSource
+
+#: fault-injection site fired once per bulk page-walk batch.
+PAGE_WALK_FAULT_SITE = "hw.strider.page_walk"
 
 
 @dataclass
@@ -190,7 +195,10 @@ class AccessEngine:
         return np.vstack(chunks)
 
     def stream_table(
-        self, page_images: Iterable[bytes], queue_depth: int = 2
+        self,
+        page_images: Iterable[bytes],
+        queue_depth: int = 2,
+        retry: RetryPolicy | None = None,
     ) -> BatchSource:
         """Stream the page walk through a bounded double buffer.
 
@@ -201,14 +209,37 @@ class AccessEngine:
         cleansed.  Payloads and cycle counters are identical to
         :meth:`extract_table` (read :attr:`stats` only after the stream is
         drained — the producer thread owns them until then).
+
+        With a ``retry`` policy the source is **restartable**: a transient
+        producer fault resets :attr:`stats` and re-walks the (materialised)
+        page list from the top, replaying already-delivered chunks from the
+        consumer cache — so the delivered tuples and the final counters are
+        bit-identical to a fault-free run.
         """
+        if retry is None:
+            return BatchSource(
+                self.process_pages(page_images),
+                n_columns=len(self.schema),
+                queue_depth=queue_depth,
+            )
+        images = list(page_images)
+
+        def fresh() -> Iterator[np.ndarray]:
+            # Restart hook: the fresh walk re-books every page, so the
+            # counters restart from zero to stay bit-identical.
+            self.stats = AccessEngineStats()
+            return self.process_pages(images)
+
         return BatchSource(
-            self.process_pages(page_images),
+            self.process_pages(images),
             n_columns=len(self.schema),
             queue_depth=queue_depth,
+            chunk_factory=fresh,
+            retry=retry,
         )
 
     def _process_batch(self, batch: list[bytes]) -> Iterator[np.ndarray]:
+        fault_point(PAGE_WALK_FAULT_SITE)
         results: list[StriderResult] = []
         for image, strider in zip(batch, self._striders):
             if len(image) != self.config.page_size:

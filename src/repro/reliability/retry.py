@@ -1,0 +1,181 @@
+"""Bounded retry with exponential backoff, seeded jitter and a deadline.
+
+:class:`RetryPolicy` is the one retry loop shared by every recoverable
+path: segment training windows, per-segment scan-and-score, and the
+:class:`~repro.runtime.BatchSource` producer restart.  It retries only
+:class:`~repro.exceptions.TransientError` (any other exception is a real
+bug and propagates immediately), sleeps an exponentially growing backoff
+with **seeded** jitter (so a chaos run's sleep schedule is reproducible,
+matching the repo's determinism discipline), and gives up by raising
+:class:`~repro.exceptions.RetryExhaustedError` once attempts or the
+deadline run out.
+
+Determinism under retry is the caller's contract: every attempt must
+start from a clean slate (fresh accelerator/engine, restored RNG state,
+reset counters), so the *successful* attempt is bit-identical to a
+fault-free run.  :meth:`RetryPolicy.run` takes a ``reset`` callback and
+invokes it before each re-attempt to make that contract explicit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, RetryExhaustedError, TransientError
+
+T = TypeVar("T")
+
+#: degradation modes a retry-driven run may request once attempts run out.
+DEGRADATION_MODES = ("fail", "redistribute")
+
+
+@dataclass
+class RetryStats:
+    """Counters for one retry-supervised run (merged into run results)."""
+
+    #: total attempts across all supervised calls (>= calls on success).
+    attempts: int = 0
+    #: re-attempts after a transient fault (0 on a fault-free run).
+    retries: int = 0
+    #: transient faults observed (== retries unless attempts exhausted).
+    faults: int = 0
+    #: work units permanently failed and redistributed to survivors.
+    redistributed: int = 0
+
+    def merge(self, other: "RetryStats") -> None:
+        """Accumulate another run's counters into this one."""
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.faults += other.faults
+        self.redistributed += other.redistributed
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Declarative retry configuration (validated fail-fast)."""
+
+    #: most attempts per supervised call (1 = no retry).
+    max_attempts: int = 3
+    #: backoff before the first re-attempt, seconds (grows by
+    #: :attr:`multiplier` each further attempt).  The simulated runtime
+    #: defaults to 0 so chaos tests never actually sleep.
+    backoff_s: float = 0.0
+    #: exponential backoff growth factor.
+    multiplier: float = 2.0
+    #: jitter fraction: each sleep is scaled by ``1 + U(0, jitter)`` drawn
+    #: from a generator seeded with :attr:`seed` (deterministic schedule).
+    jitter: float = 0.0
+    #: wall-clock budget across all attempts, seconds (``None`` = none).
+    deadline_s: float | None = None
+    #: jitter RNG seed.
+    seed: int = 0
+    #: what a driver should do with a permanently-failed work unit:
+    #: ``"fail"`` raises; ``"redistribute"`` reassigns its pages to the
+    #: surviving segments (scan-and-score only).
+    degradation: str = "fail"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_attempts, int) or self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be an integer >= 1, got {self.max_attempts!r}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigurationError(
+                f"backoff_s must be >= 0, got {self.backoff_s!r}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier!r}"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter!r}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive (or None), got {self.deadline_s!r}"
+            )
+        if self.degradation not in DEGRADATION_MODES:
+            raise ConfigurationError(
+                f"unknown degradation mode {self.degradation!r}; "
+                f"expected one of {DEGRADATION_MODES}"
+            )
+
+    def sleeps(self) -> "_SleepSchedule":
+        """The seeded backoff schedule for one supervised call."""
+        return _SleepSchedule(self)
+
+    def run(
+        self,
+        fn: Callable[[], T],
+        stats: RetryStats | None = None,
+        reset: Callable[[], None] | None = None,
+        label: str = "operation",
+    ) -> T:
+        """Call ``fn`` until it succeeds, retrying transient faults.
+
+        Args:
+            fn: the work; each invocation must be a full, clean attempt.
+            stats: counters to book attempts/retries/faults into.
+            reset: called before every re-attempt to restore pre-attempt
+                state (counters, RNG, sources) so the successful attempt
+                is bit-identical to a fault-free run.
+            label: human-readable name used in the exhaustion error.
+
+        Returns:
+            ``fn()``'s result from the first successful attempt.
+
+        Raises:
+            RetryExhaustedError: when every permitted attempt raised a
+                :class:`~repro.exceptions.TransientError`, or the deadline
+                expired; chains the last transient fault.
+        """
+        own = stats if stats is not None else RetryStats()
+        schedule = self.sleeps()
+        started = time.monotonic()
+        last: TransientError | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            if attempt > 1 and reset is not None:
+                reset()
+            own.attempts += 1
+            try:
+                return fn()
+            except TransientError as error:
+                own.faults += 1
+                last = error
+                if attempt == self.max_attempts:
+                    break
+                if (
+                    self.deadline_s is not None
+                    and time.monotonic() - started >= self.deadline_s
+                ):
+                    raise RetryExhaustedError(
+                        f"{label} missed its {self.deadline_s}s retry deadline "
+                        f"after {attempt} attempt(s)"
+                    ) from error
+                own.retries += 1
+                schedule.sleep(attempt)
+        raise RetryExhaustedError(
+            f"{label} failed on all {self.max_attempts} attempt(s)"
+        ) from last
+
+
+@dataclass
+class _SleepSchedule:
+    """Seeded backoff sequence for one supervised call."""
+
+    policy: RetryPolicy
+    _rng: np.random.Generator = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.policy.seed)
+
+    def sleep(self, attempt: int) -> None:
+        """Sleep the backoff for the given (1-based) failed attempt."""
+        base = self.policy.backoff_s * (self.policy.multiplier ** (attempt - 1))
+        if self.policy.jitter:
+            base *= 1.0 + float(self._rng.uniform(0.0, self.policy.jitter))
+        if base > 0:
+            time.sleep(base)

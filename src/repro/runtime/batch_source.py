@@ -28,15 +28,22 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
+
+from repro.exceptions import RetryExhaustedError, TransientError
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import RetryPolicy, RetryStats
 
 #: queue sentinel: the producer is done.
 _DONE = object()
 
 #: default queue depth — one chunk being consumed, one being produced.
 DEFAULT_QUEUE_DEPTH = 2
+
+#: fault-injection site fired once per chunk the producer delivers.
+PRODUCER_FAULT_SITE = "runtime.batch_source.producer"
 
 
 class _ProducerError:
@@ -55,16 +62,47 @@ class BatchSource:
         n_columns: int,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         start: bool = True,
+        chunk_factory: Callable[[], Iterable[np.ndarray]] | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
+        """Wrap a chunk stream in the bounded producer/consumer buffer.
+
+        Args:
+            chunks: the chunk stream the producer thread walks.
+            n_columns: columns of every chunk (for the empty-stream case).
+            queue_depth: bounded queue capacity (the double buffer).
+            start: spawn the producer immediately (default).
+            chunk_factory: optional zero-argument callable returning a
+                *fresh* chunk stream with reset upstream state; required
+                for producer restart after a transient fault.  Delivered
+                chunks are replayed from the cache, the fresh stream is
+                fast-forwarded past them, so the consumer observes the
+                exact fault-free chunk sequence and counters.
+            retry: optional :class:`~repro.reliability.RetryPolicy`
+                bounding producer restarts (needs ``chunk_factory``).
+        """
         self.n_columns = n_columns
         self._chunk_iter = iter(chunks)
+        self._chunk_factory = chunk_factory
+        self._retry = retry
+        self._sleeps = retry.sleeps() if retry is not None else None
+        #: restart/fault counters of this source's producer.
+        self.retry_stats = RetryStats()
+        self._restarts = 0
+        #: chunks the next producer run discards before delivering (the
+        #: consumer already holds them in the cache).
+        self._skip = 0
         #: chunks pulled off the queue so far, in stream order.  Batch
         #: iteration reads from this cache first, so the stream can be
         #: re-walked (later epochs, tail batches) without re-extraction.
         self._cache: list[np.ndarray] = []
         self._exhausted = False
+        #: the unrecovered producer error, re-raised on any later pull so
+        #: a retried consumer can never silently read a truncated stream.
+        self._error: BaseException | None = None
         self._rows: np.ndarray | None = None
         self._queue: queue.Queue | None = None
+        self._queue_depth = max(1, queue_depth)
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         if start:
@@ -91,21 +129,84 @@ class BatchSource:
         """Spawn the producer thread filling the bounded chunk queue."""
         if self._thread is not None or self._exhausted:
             return
-        self._queue = queue.Queue(maxsize=max(1, queue_depth))
+        self._queue_depth = max(1, queue_depth)
+        self._queue = queue.Queue(maxsize=self._queue_depth)
         self._thread = threading.Thread(
             target=self._produce, name="batch-source-producer", daemon=True
         )
+        if self._retry is not None and self.retry_stats.attempts == 0:
+            self.retry_stats.attempts = 1
         self._thread.start()
 
     def _produce(self) -> None:
         try:
+            skip = self._skip
+            self._skip = 0
             for chunk in self._chunk_iter:
+                if skip:
+                    # Replay after a restart: the consumer already holds
+                    # this chunk in its cache; re-walk it silently so the
+                    # upstream counters match the fault-free run.
+                    skip -= 1
+                    continue
+                fault_point(PRODUCER_FAULT_SITE)
                 if not self._put(chunk):
                     return
         except BaseException as error:  # noqa: BLE001 - forwarded to consumer
             self._put(_ProducerError(error))
             return
         self._put(_DONE)
+
+    def _join_producer(self, drain: bool = False) -> None:
+        """Join the producer thread so no error path leaks it.
+
+        ``drain`` keeps emptying the queue while waiting, releasing a
+        producer blocked on a full queue (the abort path).
+        """
+        thread = self._thread
+        if thread is None:
+            return
+        while thread.is_alive():
+            if drain and self._queue is not None:
+                try:
+                    self._queue.get_nowait()
+                except queue.Empty:
+                    pass
+            thread.join(timeout=0.05)
+        self._thread = None
+
+    def _restart_producer(self, error: TransientError) -> None:
+        """Restart the producer after a transient fault (bounded by policy).
+
+        The dead producer is joined, a fresh chunk stream is built from
+        the factory (which resets upstream counters), fast-forwarded past
+        the chunks the cache already holds, and a new producer thread
+        resumes delivery — so the chunk sequence and upstream counters the
+        consumer observes are bit-identical to a fault-free run.
+        """
+        self.retry_stats.faults += 1
+        self._restarts += 1
+        if self._restarts >= self._retry.max_attempts:
+            self._exhausted = True
+            self._join_producer()
+            exhausted = RetryExhaustedError(
+                f"batch-source producer failed on all "
+                f"{self._retry.max_attempts} attempt(s)"
+            )
+            exhausted.__cause__ = error
+            self._error = exhausted
+            raise exhausted
+        self.retry_stats.retries += 1
+        self._join_producer()
+        self._sleeps.sleep(self._restarts)
+        self._chunk_iter = iter(self._chunk_factory())
+        self._skip = len(self._cache)
+        self._queue = queue.Queue(maxsize=self._queue_depth)
+        self._thread = threading.Thread(
+            target=self._produce, name="batch-source-producer", daemon=True
+        )
+        self.retry_stats.attempts += 1
+        self._thread.start()
 
     def _put(self, item) -> bool:
         """Blocking put that still honours :meth:`abort`."""
@@ -132,6 +233,7 @@ class BatchSource:
                     self._queue.get_nowait()
                 except queue.Empty:
                     break
+        self._join_producer(drain=True)
 
     # ------------------------------------------------------------------ #
     # consumer
@@ -139,14 +241,26 @@ class BatchSource:
     def _chunk_at(self, index: int) -> np.ndarray | None:
         """The ``index``-th chunk of the stream, pulling as needed."""
         while len(self._cache) <= index:
+            if self._error is not None:
+                raise self._error
             if self._exhausted:
                 return None
             item = self._get()
             if item is _DONE:
                 self._exhausted = True
+                self._join_producer()
                 return None
             if isinstance(item, _ProducerError):
+                if (
+                    self._chunk_factory is not None
+                    and self._retry is not None
+                    and isinstance(item.error, TransientError)
+                ):
+                    self._restart_producer(item.error)
+                    continue
                 self._exhausted = True
+                self._error = item.error
+                self._join_producer()
                 raise item.error
             self._cache.append(item)
         return self._cache[index]

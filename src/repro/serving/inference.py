@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.compiler.scheduler import Scheduler
 from repro.exceptions import ConfigurationError
+from repro.reliability.faults import fault_point
 from repro.translator.evaluator import HDFGEvaluator
 from repro.translator.forward import forward_slice
 from repro.translator.hdfg import HDFG, Region
@@ -39,6 +40,9 @@ SERVING_PATHS = ("batched", "per_tuple")
 
 #: default scan-scoring micro-batch (tuples per tape invocation).
 DEFAULT_SCORE_BATCH = 256
+
+#: fault-injection site fired once per :meth:`InferenceEngine.score` call.
+INFERENCE_FAULT_SITE = "serving.inference.score"
 
 
 @dataclass
@@ -137,6 +141,7 @@ class InferenceEngine:
             raise ConfigurationError(
                 f"unknown serving path {path!r}; expected one of {SERVING_PATHS}"
             )
+        fault_point(INFERENCE_FAULT_SITE)
         rows = np.asarray(rows, dtype=np.float64)
         if rows.ndim != 2:
             raise ConfigurationError(

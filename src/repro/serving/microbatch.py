@@ -29,12 +29,18 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ServerOverloadedError,
+    ServingError,
+)
 from repro.serving.inference import InferenceEngine
 
 #: per-request latencies retained for the percentile stats.  A bounded
@@ -51,6 +57,13 @@ class ServingStats:
     batches: int = 0
     #: completed model hot-swaps (swap_models / reload calls).
     swaps: int = 0
+    #: requests refused at admission (queue full / per-model limit hit).
+    shed: int = 0
+    #: queued requests that missed their deadline before being scored.
+    deadline_exceeded: int = 0
+    #: synchronous :meth:`PredictionServer.predict` calls that timed out
+    #: and cancelled their queued request.
+    timeouts: int = 0
     #: per-request submit→result latency, seconds (insertion order; the
     #: most recent :data:`LATENCY_WINDOW` requests).
     latencies_s: deque = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
@@ -92,6 +105,12 @@ class _Request:
     row: np.ndarray
     future: Future
     submitted_at: float
+    #: absolute deadline (perf_counter seconds) or None for no deadline.
+    deadline: float | None = None
+    #: model version the request was admitted against; only meaningful
+    #: when ``tracked`` (the server enforces a per-model limit).
+    version: int | None = None
+    tracked: bool = False
 
 
 class PredictionServer:
@@ -106,6 +125,9 @@ class PredictionServer:
         queue_depth: int | None = None,
         model_loader: Callable[[int | None], tuple] | None = None,
         model_version: int | None = None,
+        max_queue_depth: int | None = None,
+        deadline_ms: float | None = None,
+        max_concurrent_per_model: int | None = None,
     ) -> None:
         """Build a server around one inference engine and one model.
 
@@ -120,10 +142,25 @@ class PredictionServer:
                 :meth:`reload` hot-swaps; called with a version (or None
                 for latest) and must return ``(models, entry)``.
             model_version: registry version of the initial model, if any.
+            max_queue_depth: admission-control queue bound.  ``None``
+                (the default) keeps the legacy behaviour — ``submit``
+                blocks until the double buffer has room; an integer makes
+                ``submit`` shed instead, raising
+                :class:`~repro.exceptions.ServerOverloadedError` the
+                moment the queue holds this many requests.
+            deadline_ms: default per-request deadline.  A queued request
+                older than this when its micro-batch is scored fails with
+                :class:`~repro.exceptions.DeadlineExceededError` instead
+                of being scored late.  ``None`` disables deadlines.
+            max_concurrent_per_model: most requests admitted but not yet
+                resolved against one served model version; the excess is
+                shed like a full queue.  ``None`` disables the limit.
 
         Raises:
-            ConfigurationError: on non-positive ``max_batch_size`` or a
-                negative ``max_wait_ms``.
+            ConfigurationError: on non-positive ``max_batch_size``,
+                ``max_queue_depth``, ``deadline_ms`` or
+                ``max_concurrent_per_model``, or a negative
+                ``max_wait_ms``.
         """
         if not isinstance(max_batch_size, int) or max_batch_size < 1:
             raise ConfigurationError(
@@ -132,6 +169,27 @@ class PredictionServer:
         if not isinstance(max_wait_ms, (int, float)) or max_wait_ms < 0:
             raise ConfigurationError(
                 f"max_wait_ms must be a number >= 0, got {max_wait_ms!r}"
+            )
+        if max_queue_depth is not None and (
+            not isinstance(max_queue_depth, int) or max_queue_depth < 1
+        ):
+            raise ConfigurationError(
+                f"max_queue_depth must be an integer >= 1 or None, "
+                f"got {max_queue_depth!r}"
+            )
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
+        ):
+            raise ConfigurationError(
+                f"deadline_ms must be a positive number or None, got {deadline_ms!r}"
+            )
+        if max_concurrent_per_model is not None and (
+            not isinstance(max_concurrent_per_model, int)
+            or max_concurrent_per_model < 1
+        ):
+            raise ConfigurationError(
+                f"max_concurrent_per_model must be an integer >= 1 or None, "
+                f"got {max_concurrent_per_model!r}"
             )
         self.engine = engine
         self.models = {
@@ -143,10 +201,25 @@ class PredictionServer:
         self.model_version = model_version
         self.max_batch_size = max_batch_size
         self.max_wait_s = float(max_wait_ms) / 1e3
-        # Double-buffer depth: one micro-batch being scored, one queueing.
-        depth = queue_depth if queue_depth is not None else 2 * max_batch_size
+        self.max_queue_depth = max_queue_depth
+        self.deadline_ms = deadline_ms
+        self.max_concurrent_per_model = max_concurrent_per_model
+        #: in-flight request count per served model version (admission
+        #: bookkeeping for ``max_concurrent_per_model``).
+        self._inflight: dict[int | None, int] = {}
+        # Double-buffer depth: one micro-batch being scored, one queueing
+        # (an explicit admission bound overrides it).
+        if max_queue_depth is not None:
+            depth = max_queue_depth
+        elif queue_depth is not None:
+            depth = queue_depth
+        else:
+            depth = 2 * max_batch_size
         self._queue: queue.Queue[_Request] = queue.Queue(maxsize=max(1, depth))
         self._stop = threading.Event()
+        #: raised by ``stop(drain=False)``: the scorer exits without
+        #: draining and the leftovers are failed, not scored.
+        self._abort = threading.Event()
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
         self.stats = ServingStats()
@@ -176,32 +249,36 @@ class PredictionServer:
             self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Drain outstanding requests, then stop the scorer thread.
+    def stop(self, drain: bool = True) -> None:
+        """Stop the scorer thread, draining outstanding requests first.
 
-        Every request whose :meth:`submit` returned before ``stop`` was
-        called is scored: submissions are ordered against the stop flag by
-        the server lock, so the scorer cannot observe an empty queue and
-        exit while a submitted request is still in flight.
+        With ``drain=True`` (the default) every request whose
+        :meth:`submit` returned before ``stop`` was called is scored:
+        submissions are ordered against the stop flag by the server lock,
+        so the scorer cannot observe an empty queue and exit while a
+        submitted request is still in flight.  ``drain=False`` exits the
+        scorer at the next batch boundary instead; anything still queued
+        fails with :class:`~repro.exceptions.ServingError` rather than
+        being scored — no caller is ever left hanging either way.
+
+        Args:
+            drain: score the queued backlog before exiting (default) or
+                fail it fast.
         """
         with self._lock:
             if self._thread is None:
                 return
+            if not drain:
+                self._abort.set()
             self._stop.set()
             thread = self._thread
         thread.join()
         with self._lock:
             self._thread = None
-            # Backstop: fail anything still queued rather than strand it.
-            while True:
-                try:
-                    request = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                _deliver(
-                    request.future,
-                    error=ConfigurationError("the prediction server was stopped"),
-                )
+            self._abort.clear()
+        # Backstop: fail anything still queued rather than strand it (the
+        # scorer's own exit hook already drained in every ordinary path).
+        self._fail_queued("the prediction server was stopped")
 
     def __enter__(self) -> "PredictionServer":
         return self.start()
@@ -270,90 +347,234 @@ class PredictionServer:
     # ------------------------------------------------------------------ #
     # request API
     # ------------------------------------------------------------------ #
-    def submit(self, row: np.ndarray) -> Future:
-        """Enqueue one point request; returns a future for its prediction."""
+    def submit(self, row: np.ndarray, deadline_ms: float | None = None) -> Future:
+        """Enqueue one point request; returns a future for its prediction.
+
+        Args:
+            row: one feature row (1-D).
+            deadline_ms: per-request deadline overriding the server-wide
+                ``deadline_ms`` (``None`` inherits the server default).
+
+        Returns:
+            A future resolving to the prediction — or to
+            :class:`~repro.exceptions.DeadlineExceededError` when the
+            request outlives its deadline in the queue.
+
+        Raises:
+            ConfigurationError: when the server is not running, the row
+                is not 1-D, or ``deadline_ms`` is not a positive number.
+            ServerOverloadedError: when admission control is on
+                (``max_queue_depth`` / ``max_concurrent_per_model``) and
+                the request was shed instead of queued.
+        """
         row = np.asarray(row, dtype=np.float64)
         if row.ndim != 1:
             raise ConfigurationError(
                 f"submit expects one feature row (1-D), got shape {row.shape}"
             )
-        request = _Request(row=row, future=Future(), submitted_at=time.perf_counter())
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
+        ):
+            raise ConfigurationError(
+                f"deadline_ms must be a positive number or None, got {deadline_ms!r}"
+            )
+        now = time.perf_counter()
+        limit_ms = deadline_ms if deadline_ms is not None else self.deadline_ms
+        request = _Request(
+            row=row,
+            future=Future(),
+            submitted_at=now,
+            deadline=(now + float(limit_ms) / 1e3) if limit_ms is not None else None,
+        )
         # The liveness check and the enqueue happen under one lock hold
         # (stop() raises the flag under the same lock), so a successfully
         # submitted request is always still visible to the scorer's
         # stop-and-empty exit check — no request can be stranded.  The put
-        # is non-blocking; a full queue backs off outside the lock.
+        # is non-blocking; a full queue sheds (admission control on) or
+        # backs off outside the lock (legacy blocking mode).
         while True:
             with self._lock:
                 if self._thread is None or self._stop.is_set():
                     raise ConfigurationError(
                         "the prediction server is not running; call start() first"
                     )
+                limit = self.max_concurrent_per_model
+                if (
+                    limit is not None
+                    and self._inflight.get(self.model_version, 0) >= limit
+                ):
+                    self.stats.shed += 1
+                    raise ServerOverloadedError(
+                        f"model version {self.model_version!r} already has "
+                        f"{limit} request(s) in flight; request shed"
+                    )
                 try:
                     self._queue.put_nowait(request)
                 except queue.Full:
-                    pass
+                    if self.max_queue_depth is not None:
+                        self.stats.shed += 1
+                        raise ServerOverloadedError(
+                            f"request queue is full "
+                            f"({self.max_queue_depth} deep); request shed"
+                        )
                 else:
+                    if limit is not None:
+                        request.tracked = True
+                        request.version = self.model_version
+                        self._inflight[request.version] = (
+                            self._inflight.get(request.version, 0) + 1
+                        )
                     if self._first_submit is None:
                         self._first_submit = request.submitted_at
                     return request.future
             time.sleep(0.001)
 
-    def predict(self, row: np.ndarray, timeout: float | None = 30.0) -> float:
-        """Synchronous convenience wrapper around :meth:`submit`."""
-        return float(self.submit(row).result(timeout=timeout))
+    def predict(
+        self,
+        row: np.ndarray,
+        timeout: float | None = 30.0,
+        deadline_ms: float | None = None,
+    ) -> float:
+        """Synchronous convenience wrapper around :meth:`submit`.
+
+        Args:
+            row: one feature row (1-D).
+            timeout: seconds to wait for the prediction; on expiry the
+                queued request is cancelled (it will not be scored), the
+                timeout is counted in :attr:`ServingStats.timeouts`, and
+                :class:`~repro.exceptions.DeadlineExceededError` is
+                raised.  ``None`` waits forever.
+            deadline_ms: per-request deadline passed to :meth:`submit`.
+
+        Returns:
+            The scalar prediction for ``row``.
+
+        Raises:
+            DeadlineExceededError: when the wait timed out or the queued
+                request outlived its ``deadline_ms``.
+            ServerOverloadedError: when the request was shed at admission.
+        """
+        future = self.submit(row, deadline_ms=deadline_ms)
+        try:
+            return float(future.result(timeout=timeout))
+        except FutureTimeoutError:
+            future.cancel()
+            with self._lock:
+                self.stats.timeouts += 1
+            raise DeadlineExceededError(
+                f"prediction was not ready within timeout={timeout} s; "
+                "the queued request was cancelled"
+            ) from None
 
     # ------------------------------------------------------------------ #
     # scorer thread
     # ------------------------------------------------------------------ #
     def _serve(self) -> None:
-        while not (self._stop.is_set() and self._queue.empty()):
-            try:
-                first = self._queue.get(timeout=0.02)
-            except queue.Empty:
-                continue
-            batch = [first]
-            deadline = time.perf_counter() + self.max_wait_s
-            while len(batch) < self.max_batch_size:
-                remaining = deadline - time.perf_counter()
+        try:
+            while not (self._stop.is_set() and self._queue.empty()):
+                if self._abort.is_set():
+                    return
                 try:
-                    if remaining > 0:
-                        batch.append(self._queue.get(timeout=remaining))
-                    else:
-                        # Deadline passed: take only what already queued.
-                        batch.append(self._queue.get_nowait())
+                    first = self._queue.get(timeout=0.02)
                 except queue.Empty:
-                    break
-            self._score_batch(batch)
+                    continue
+                batch = [first]
+                deadline = time.perf_counter() + self.max_wait_s
+                while len(batch) < self.max_batch_size:
+                    remaining = deadline - time.perf_counter()
+                    try:
+                        if remaining > 0:
+                            batch.append(self._queue.get(timeout=remaining))
+                        else:
+                            # Deadline passed: take only what already queued.
+                            batch.append(self._queue.get_nowait())
+                    except queue.Empty:
+                        break
+                self._score_batch(batch)
+        finally:
+            # Whatever killed or stopped the scorer, nothing queued may be
+            # stranded: fail the leftovers so every caller unblocks, and
+            # refuse new submissions (start() after stop() re-arms).
+            self._stop.set()
+            self._fail_queued("the prediction server stopped before scoring")
 
     def _score_batch(self, batch: list[_Request]) -> None:
         # Snapshot the model once per micro-batch: a concurrent hot-swap
         # takes effect at the next batch boundary, never mid-batch.
         with self._lock:
             models = self.models
+        now = time.perf_counter()
+        live: list[_Request] = []
+        for request in batch:
+            if request.future.cancelled():
+                # The caller timed out and withdrew; finalise the
+                # cancellation so its waiters wake, and skip the scoring.
+                self._release(request)
+                request.future.set_running_or_notify_cancel()
+            elif request.deadline is not None and now > request.deadline:
+                self._release(request)
+                with self._lock:
+                    self.stats.deadline_exceeded += 1
+                _deliver(
+                    request.future,
+                    error=DeadlineExceededError(
+                        "request spent longer than its deadline in the "
+                        "serving queue; it was failed, not scored late"
+                    ),
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
         try:
-            rows = np.stack([request.row for request in batch], axis=0)
+            rows = np.stack([request.row for request in live], axis=0)
             predictions = self.engine.score(
-                rows, models, path="batched", batch_size=len(batch)
+                rows, models, path="batched", batch_size=len(live)
             )
         except BaseException as error:  # noqa: BLE001 - forwarded to callers
-            for request in batch:
+            for request in live:
+                self._release(request)
                 _deliver(request.future, error=error)
             return
         now = time.perf_counter()
         with self._lock:
             self.stats.batches += 1
-            self.stats.requests += len(batch)
+            self.stats.requests += len(live)
             self.stats.latencies_s.extend(
-                now - request.submitted_at for request in batch
+                now - request.submitted_at for request in live
             )
             self._last_complete = now
             if self._first_submit is not None:
                 self.stats.span_seconds = self._span_base + (
                     self._last_complete - self._first_submit
                 )
-        for request, value in zip(batch, predictions):
+        for request, value in zip(live, predictions):
+            self._release(request)
             _deliver(request.future, value=value)
+
+    # ------------------------------------------------------------------ #
+    # admission bookkeeping
+    # ------------------------------------------------------------------ #
+    def _release(self, request: _Request) -> None:
+        """Return a resolved request's per-model concurrency slot."""
+        if not request.tracked:
+            return
+        with self._lock:
+            count = self._inflight.get(request.version, 0) - 1
+            if count > 0:
+                self._inflight[request.version] = count
+            else:
+                self._inflight.pop(request.version, None)
+
+    def _fail_queued(self, reason: str) -> None:
+        """Fail every still-queued request so no caller blocks forever."""
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            self._release(request)
+            _deliver(request.future, error=ServingError(reason))
 
 
 def _deliver(future: Future, value=None, error: BaseException | None = None) -> None:

@@ -24,18 +24,25 @@ walk).
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from repro.cluster.partitioner import PagePartition, Partitioner
+from repro.exceptions import RetryExhaustedError
 from repro.hw.access_engine import AccessEngineStats
 from repro.hw.accelerator import DAnAAccelerator
 from repro.hw.fpga import DEFAULT_FPGA, FPGASpec
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import RetryPolicy, RetryStats
 from repro.serving.inference import DEFAULT_SCORE_BATCH, InferencePlan, InferenceStats
+
+#: fault-injection site fired once per scored segment attempt.
+SCORER_FAULT_SITE = "serving.scorer.segment"
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.algorithms.base import AlgorithmSpec
@@ -83,6 +90,10 @@ class ScoreResult:
     #: True when the run overlapped each segment's page walk with its
     #: forward tape (streaming); False for the materialized oracle.
     stream: bool = False
+    #: fault/retry counters of the run (all zero when fault-free);
+    #: ``retry.redistributed`` counts segments whose pages survivors
+    #: adopted after retry exhaustion.
+    retry: RetryStats = field(default_factory=RetryStats)
 
     @property
     def tuples_scored(self) -> int:
@@ -134,6 +145,7 @@ class ScanScorer:
         partition_strategy: str = "round_robin",
         seed: int = 0,
         stream: bool = True,
+        retry: RetryPolicy | None = None,
     ) -> ScoreResult:
         """Score every tuple of ``table_name``; predictions in storage order.
 
@@ -152,9 +164,22 @@ class ScanScorer:
                 ``False`` materialises each segment's extraction first (the
                 overlap oracle).  Predictions and counters are
                 bit-identical either way.
+            retry: optional :class:`~repro.reliability.RetryPolicy`.  Each
+                segment attempt runs on a fresh accelerator + engine, so a
+                retried segment's predictions and counters are
+                bit-identical to a fault-free run.  With
+                ``degradation="redistribute"``, a segment that fails every
+                attempt has its pages adopted by the surviving segments
+                (predictions stay bit-identical — reassembly is by page
+                number, independent of the partitioning).
 
         Returns:
             The :class:`ScoreResult` with storage-order predictions.
+
+        Raises:
+            RetryExhaustedError: a segment failed every attempt and the
+                policy's degradation mode is ``"fail"`` (or no segment
+                survived to adopt the failed pages).
         """
         heapfile = self.database.table(table_name)
         pool = self.database.buffer_pool
@@ -166,23 +191,30 @@ class ScanScorer:
             (part, [img for _no, img in heapfile.scan_pages(pool, part.page_nos)])
             for part in parts
         ]
-        max_workers = min(len(jobs), max(1, os.cpu_count() or 1))
-        if max_workers > 1 and len(jobs) > 1:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool_exec:
-                outcomes = list(
-                    pool_exec.map(
-                        lambda job: self._score_segment(
-                            job[0], job[1], models, path, batch_size, stream
-                        ),
-                        jobs,
-                    )
-                )
-        else:
-            outcomes = [
-                self._score_segment(part, images, models, path, batch_size, stream)
-                for part, images in jobs
-            ]
-        predictions = self._reassemble(parts, outcomes)
+        results = self._run_jobs(jobs, models, path, batch_size, stream, retry)
+        retry_total = RetryStats()
+        for _outcome, stats in results:
+            retry_total.merge(stats)
+        survivors = [
+            (part, images, outcome)
+            for (part, images), (outcome, _stats) in zip(jobs, results)
+            if outcome is not None
+        ]
+        failed = [
+            (part, images)
+            for (part, images), (outcome, _stats) in zip(jobs, results)
+            if outcome is None
+        ]
+        parts_scored = [part for part, _images, _outcome in survivors]
+        outcomes = [outcome for _part, _images, outcome in survivors]
+        if failed:
+            extra_parts, extra_outcomes = self._redistribute(
+                failed, parts_scored, models, path, batch_size, stream, retry,
+                retry_total,
+            )
+            parts_scored.extend(extra_parts)
+            outcomes.extend(extra_outcomes)
+        predictions = self._reassemble(parts_scored, outcomes)
         return ScoreResult(
             predictions=predictions,
             path=path,
@@ -190,11 +222,119 @@ class ScanScorer:
             partition_strategy=partition_strategy,
             segments=[report for report, _preds, _sizes in outcomes],
             stream=stream and self.use_striders,
+            retry=retry_total,
         )
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _run_jobs(
+        self,
+        jobs: list[tuple[PagePartition, list[bytes]]],
+        models: Mapping[str, np.ndarray],
+        path: str,
+        batch_size: int | None,
+        stream: bool,
+        retry: RetryPolicy | None,
+    ) -> list[tuple[tuple | None, RetryStats]]:
+        """Score every (partition, images) job, segments concurrently.
+
+        Each element of the returned list is ``(outcome, retry_stats)``;
+        ``outcome`` is ``None`` when the segment failed every attempt and
+        the policy's degradation mode allows redistribution.
+        """
+        max_workers = min(len(jobs), max(1, os.cpu_count() or 1))
+        run = lambda job: self._score_segment_supervised(  # noqa: E731
+            job[0], job[1], models, path, batch_size, stream, retry
+        )
+        if max_workers > 1 and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool_exec:
+                return list(pool_exec.map(run, jobs))
+        return [run(job) for job in jobs]
+
+    def _score_segment_supervised(
+        self,
+        part: PagePartition,
+        images: list[bytes],
+        models: Mapping[str, np.ndarray],
+        path: str,
+        batch_size: int | None,
+        stream: bool,
+        retry: RetryPolicy | None,
+    ) -> tuple[tuple | None, RetryStats]:
+        """One segment under the retry policy (fresh state per attempt)."""
+        stats = RetryStats()
+        if retry is None:
+            return (
+                self._score_segment(
+                    part, images, models, path, batch_size, stream, None, stats
+                ),
+                stats,
+            )
+        try:
+            outcome = retry.run(
+                lambda: self._score_segment(
+                    part, images, models, path, batch_size, stream, retry, stats
+                ),
+                stats=stats,
+                label=f"segment {part.segment_id} scan-and-score",
+            )
+            return outcome, stats
+        except RetryExhaustedError:
+            if retry.degradation != "redistribute":
+                raise
+            return None, stats
+
+    def _redistribute(
+        self,
+        failed: list[tuple[PagePartition, list[bytes]]],
+        survivors: list[PagePartition],
+        models: Mapping[str, np.ndarray],
+        path: str,
+        batch_size: int | None,
+        stream: bool,
+        retry: RetryPolicy,
+        retry_total: RetryStats,
+    ) -> tuple[list[PagePartition], list[tuple]]:
+        """Reassign permanently-failed segments' pages to the survivors.
+
+        The failed pages are dealt round-robin (in page order) across the
+        surviving segment ids and scored as extra per-survivor units; each
+        unit must succeed (degradation falls back to ``"fail"`` so a
+        cluster-wide outage cannot recurse).  Reassembly is by page number,
+        so the final predictions are bit-identical to the fault-free run
+        regardless of which segment adopted which page.
+        """
+        survivor_ids = sorted({part.segment_id for part in survivors})
+        if not survivor_ids:
+            raise RetryExhaustedError(
+                "every segment failed permanently; no survivor can adopt "
+                "the failed pages"
+            )
+        retry_total.redistributed += len(failed)
+        image_by_page: dict[int, bytes] = {}
+        for part, images in failed:
+            for page_no, image in zip(part.page_nos, images):
+                image_by_page[page_no] = image
+        adopted: dict[int, list[int]] = {sid: [] for sid in survivor_ids}
+        for i, page_no in enumerate(sorted(image_by_page)):
+            adopted[survivor_ids[i % len(survivor_ids)]].append(page_no)
+        must_succeed = dataclasses.replace(retry, degradation="fail")
+        extra_parts: list[PagePartition] = []
+        extra_outcomes: list[tuple] = []
+        for sid in survivor_ids:
+            if not adopted[sid]:
+                continue
+            part = PagePartition(segment_id=sid, page_nos=tuple(adopted[sid]))
+            images = [image_by_page[page_no] for page_no in part.page_nos]
+            outcome, stats = self._score_segment_supervised(
+                part, images, models, path, batch_size, stream, must_succeed
+            )
+            retry_total.merge(stats)
+            extra_parts.append(part)
+            extra_outcomes.append(outcome)
+        return extra_parts, extra_outcomes
+
     def _score_segment(
         self,
         part: PagePartition,
@@ -203,7 +343,10 @@ class ScanScorer:
         path: str,
         batch_size: int | None,
         stream: bool,
+        retry: RetryPolicy | None = None,
+        retry_stats: RetryStats | None = None,
     ) -> tuple[SegmentScoreReport, np.ndarray, list[int]]:
+        fault_point(SCORER_FAULT_SITE)
         engine = self.plan.new_engine()
         if self.use_striders:
             accelerator = DAnAAccelerator(
@@ -216,6 +359,8 @@ class ScanScorer:
                     engine,
                     batch_size=batch_size or DEFAULT_SCORE_BATCH,
                     path=path,
+                    retry=retry,
+                    retry_stats=retry_stats,
                 )
             else:
                 predictions, sizes = accelerator.score_from_pages(

@@ -13,6 +13,11 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: tests that take more than a couple of seconds"
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection parity tests (retried runs must be "
+        "bit-identical to fault-free runs)",
+    )
 
 from repro import dana
 from repro.algorithms import Hyperparameters, LinearRegression

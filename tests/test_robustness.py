@@ -141,3 +141,493 @@ class TestDSLMisuse:
         algo.setModel(mo)
         with pytest.raises(DSLError):
             translate(algo)
+
+
+# ---------------------------------------------------------------------- #
+# Chaos parity suite (ISSUE 6): deterministic fault injection + retry
+# ---------------------------------------------------------------------- #
+import threading
+
+from repro.algorithms import Hyperparameters, get_algorithm
+from repro.core import DAnA
+from repro.data.synthetic import generate_for_algorithm
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+    ServerOverloadedError,
+    ServingError,
+    TransientError,
+)
+from repro.reliability import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    RetryStats,
+    inject_faults,
+)
+
+LRMF_TOPOLOGY = (24, 18, 4)
+ALGORITHMS = ("linear", "logistic", "svm", "lrmf")
+#: zero-sleep retry policy used by the chaos runs (tests never wait).
+RETRY = RetryPolicy(max_attempts=3, backoff_s=0.0)
+
+
+def _chaos_system(key, n_tuples=192, epochs=2, seed=11):
+    """A fresh DAnA system with one algorithm UDF over a loaded table."""
+    algorithm = get_algorithm(key)
+    n_features = 4 if key == "lrmf" else 6
+    topology = LRMF_TOPOLOGY if key == "lrmf" else ()
+    hyper = Hyperparameters(learning_rate=0.05, merge_coefficient=8, epochs=epochs)
+    spec = algorithm.build_spec(n_features, hyper, topology)
+    data = generate_for_algorithm(key, n_tuples, n_features, LRMF_TOPOLOGY, seed=seed)
+    database = Database(page_size=8 * 1024)
+    database.load_table("train", spec.schema, data)
+    database.warm_cache("train")
+    system = DAnA(database)
+    system.register_udf(key, spec, epochs=epochs)
+    return system, spec
+
+
+def _assert_models_equal(expected, actual):
+    assert set(expected) == set(actual)
+    for name in expected:
+        np.testing.assert_array_equal(expected[name], actual[name])
+
+
+def _assert_train_parity(baseline, chaotic):
+    """Bit-identical models + schedule-derived counters (retry excluded)."""
+    _assert_models_equal(baseline.models, chaotic.models)
+    assert baseline.engine_stats.__dict__ == chaotic.engine_stats.__dict__
+    assert baseline.access_stats.__dict__ == chaotic.access_stats.__dict__
+    assert baseline.tuples_extracted == chaotic.tuples_extracted
+
+
+def _assert_sharded_parity(baseline, chaotic):
+    _assert_train_parity(baseline, chaotic)
+    assert baseline.epochs_run == chaotic.epochs_run
+    assert baseline.converged == chaotic.converged
+    assert len(baseline.segments) == len(chaotic.segments)
+    for base_seg, chaos_seg in zip(baseline.segments, chaotic.segments):
+        assert base_seg.engine_stats.__dict__ == chaos_seg.engine_stats.__dict__
+        assert base_seg.access_stats.__dict__ == chaos_seg.access_stats.__dict__
+    assert (
+        baseline.cluster.tree_bus.__dict__ == chaotic.cluster.tree_bus.__dict__
+    )
+    assert baseline.cluster.merges_performed == chaotic.cluster.merges_performed
+
+
+@pytest.mark.chaos
+class TestChaosTrainingParity:
+    """Runs that retried injected faults are bit-identical to fault-free."""
+
+    @pytest.mark.parametrize("key", ALGORITHMS)
+    def test_single_accelerator_stream_parity(self, key):
+        baseline_system, _spec = _chaos_system(key)
+        baseline = baseline_system.train(key, "train", stream=True)
+
+        chaos_system, _spec = _chaos_system(key)
+        plan = FaultPlan.transient(
+            ("hw.strider.page_walk", 2),
+            ("runtime.batch_source.producer", 1),
+        )
+        with inject_faults(plan) as injector:
+            chaotic = chaos_system.train(key, "train", stream=True, retry=RETRY)
+        assert len(injector.fired) == 2
+        assert chaotic.retry_stats.faults >= 2
+        assert chaotic.retry_stats.retries >= 2
+        _assert_train_parity(baseline, chaotic)
+
+    @pytest.mark.parametrize("key", ALGORITHMS)
+    @pytest.mark.parametrize("segments", [1, 2, 4])
+    def test_sharded_parity(self, key, segments):
+        system, _spec = _chaos_system(key)
+        baseline = system.train(key, "train", segments=segments)
+
+        plan = FaultPlan.transient(
+            ("cluster.segment_worker.epoch", 1),
+            ("hw.strider.page_walk", 2),
+            ("runtime.batch_source.producer", 1),
+        )
+        with inject_faults(plan) as injector:
+            chaotic = system.train(key, "train", segments=segments, retry=RETRY)
+        assert len(injector.fired) == 3
+        assert chaotic.cluster.retry.faults >= 3
+        _assert_sharded_parity(baseline, chaotic)
+
+    def test_fault_without_retry_propagates(self):
+        system, _spec = _chaos_system("linear")
+        with inject_faults(FaultPlan.transient(("cluster.segment_worker.epoch", 1))):
+            with pytest.raises(TransientError):
+                system.train("linear", "train", segments=2)
+
+    def test_training_rejects_redistribute(self):
+        system, _spec = _chaos_system("linear")
+        with pytest.raises(ConfigurationError, match="redistribute"):
+            system.train(
+                "linear",
+                "train",
+                retry=RetryPolicy(degradation="redistribute"),
+            )
+
+    def test_train_rejects_non_policy_retry(self):
+        system, _spec = _chaos_system("linear")
+        with pytest.raises(ConfigurationError, match="RetryPolicy"):
+            system.train("linear", "train", retry=3)
+
+    def test_retry_exhaustion_raises(self):
+        system, _spec = _chaos_system("linear")
+        plan = FaultPlan.transient(
+            ("cluster.segment_worker.epoch", 1),
+            ("cluster.segment_worker.epoch", 2),
+        )
+        policy = RetryPolicy(max_attempts=2, backoff_s=0.0)
+        with inject_faults(plan):
+            with pytest.raises(RetryExhaustedError, match="training window"):
+                system.train("linear", "train", segments=1, retry=policy)
+
+    def test_no_producer_threads_leak(self):
+        system, _spec = _chaos_system("linear")
+        plan = FaultPlan.transient(("runtime.batch_source.producer", 1))
+        with inject_faults(plan):
+            system.train("linear", "train", segments=2, retry=RETRY)
+        lingering = [
+            t for t in threading.enumerate() if t.name == "batch-source-producer"
+        ]
+        assert lingering == []
+
+
+@pytest.mark.chaos
+class TestChaosScoringParity:
+    """Retried / redistributed scoring is bit-identical to fault-free."""
+
+    @pytest.mark.parametrize("key", ALGORITHMS)
+    def test_segment_retry_parity(self, key):
+        system, spec = _chaos_system(key)
+        baseline = system.score_table(
+            key, "train", models=spec.initial_models, segments=2
+        )
+        plan = FaultPlan.transient(
+            ("serving.scorer.segment", 1),
+            ("serving.inference.score", 2),
+        )
+        with inject_faults(plan) as injector:
+            chaotic = system.score_table(
+                key, "train", models=spec.initial_models, segments=2, retry=RETRY
+            )
+        assert len(injector.fired) == 2
+        assert chaotic.retry.faults >= 2
+        np.testing.assert_array_equal(baseline.predictions, chaotic.predictions)
+        assert (
+            baseline.inference_stats.__dict__ == chaotic.inference_stats.__dict__
+        )
+        for base_seg, chaos_seg in zip(baseline.segments, chaotic.segments):
+            assert (
+                base_seg.inference_stats.__dict__
+                == chaos_seg.inference_stats.__dict__
+            )
+
+    @pytest.mark.parametrize("segments", [1, 2, 4])
+    def test_streamed_scoring_parity(self, segments):
+        system, spec = _chaos_system("linear")
+        baseline = system.score_table(
+            "linear", "train", models=spec.initial_models, segments=segments
+        )
+        plan = FaultPlan.transient(
+            ("hw.strider.page_walk", 1),
+            ("runtime.batch_source.producer", 1),
+        )
+        with inject_faults(plan) as injector:
+            chaotic = system.score_table(
+                "linear",
+                "train",
+                models=spec.initial_models,
+                segments=segments,
+                retry=RETRY,
+            )
+        assert len(injector.fired) == 2
+        np.testing.assert_array_equal(baseline.predictions, chaotic.predictions)
+        assert (
+            baseline.inference_stats.__dict__ == chaotic.inference_stats.__dict__
+        )
+
+    @pytest.mark.parametrize("key", ["linear", "lrmf"])
+    def test_redistribute_predictions_bit_identical(self, key):
+        system, spec = _chaos_system(key)
+        baseline = system.score_table(
+            key, "train", models=spec.initial_models, segments=4
+        )
+        # max_attempts=1: the first segment to hit the fault fails
+        # permanently and its pages are adopted by the survivors.
+        policy = RetryPolicy(max_attempts=1, degradation="redistribute")
+        plan = FaultPlan.transient(("serving.scorer.segment", 1))
+        with inject_faults(plan):
+            chaotic = system.score_table(
+                key, "train", models=spec.initial_models, segments=4, retry=policy
+            )
+        assert chaotic.retry.redistributed >= 1
+        np.testing.assert_array_equal(baseline.predictions, chaotic.predictions)
+
+    def test_redistribute_with_no_survivors_raises(self):
+        system, spec = _chaos_system("linear")
+        policy = RetryPolicy(max_attempts=1, degradation="redistribute")
+        plan = FaultPlan.transient(("serving.scorer.segment", 1))
+        with inject_faults(plan):
+            with pytest.raises(RetryExhaustedError):
+                system.score_table(
+                    "linear",
+                    "train",
+                    models=spec.initial_models,
+                    segments=1,
+                    retry=policy,
+                )
+
+    def test_exhaustion_with_fail_degradation_raises(self):
+        system, spec = _chaos_system("linear")
+        policy = RetryPolicy(max_attempts=2, backoff_s=0.0)
+        plan = FaultPlan.transient(
+            ("serving.scorer.segment", 1),
+            ("serving.scorer.segment", 2),
+        )
+        with inject_faults(plan):
+            with pytest.raises(RetryExhaustedError):
+                system.score_table(
+                    "linear",
+                    "train",
+                    models=spec.initial_models,
+                    segments=1,
+                    retry=policy,
+                )
+
+
+class TestFaultPlanValidation:
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            FaultPlan([FaultSpec(site="nope", call=1)])
+
+    def test_rejects_bad_call_index(self):
+        with pytest.raises(ConfigurationError, match="call index"):
+            FaultPlan([FaultSpec(site="hw.strider.page_walk", call=0)])
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="fault kind"):
+            FaultPlan([FaultSpec(site="hw.strider.page_walk", call=1, kind="crash")])
+
+    def test_rejects_duplicate_schedule(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            FaultPlan.transient(
+                ("hw.strider.page_walk", 1), ("hw.strider.page_walk", 1)
+            )
+
+    def test_arming_is_exclusive(self):
+        plan = FaultPlan.transient(("hw.strider.page_walk", 1))
+        with inject_faults(plan):
+            with pytest.raises(ConfigurationError, match="already armed"):
+                with inject_faults(plan):
+                    pass
+
+    @pytest.mark.chaos
+    def test_latency_fault_delays_but_succeeds(self):
+        system, _spec = _chaos_system("linear", n_tuples=64, epochs=1)
+        baseline = system.train("linear", "train", segments=2)
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    site="cluster.segment_worker.epoch",
+                    call=1,
+                    kind="latency",
+                    latency_s=0.01,
+                )
+            ]
+        )
+        with inject_faults(plan) as injector:
+            delayed = system.train("linear", "train", segments=2)
+        assert [entry.kind for entry in injector.fired] == ["latency"]
+        _assert_sharded_parity(baseline, delayed)
+
+
+class TestRetryPolicyUnit:
+    def test_retries_transient_until_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientError("boom")
+            return "ok"
+
+        stats = RetryStats()
+        resets = []
+        policy = RetryPolicy(max_attempts=3, backoff_s=0.0)
+        assert policy.run(flaky, stats=stats, reset=lambda: resets.append(1)) == "ok"
+        assert stats.attempts == 3
+        assert stats.retries == 2
+        assert stats.faults == 2
+        assert len(resets) == 2  # reset precedes every re-attempt
+
+    def test_non_transient_errors_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=3, backoff_s=0.0)
+        with pytest.raises(ValueError):
+            policy.run(lambda: (_ for _ in ()).throw(ValueError("real bug")))
+
+    def test_exhaustion_chains_last_fault(self):
+        policy = RetryPolicy(max_attempts=2, backoff_s=0.0)
+
+        def always():
+            raise TransientError("again")
+
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.run(always, label="unit op")
+        assert "unit op" in str(info.value)
+        assert isinstance(info.value.__cause__, TransientError)
+
+    def test_validation_fails_fast(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(degradation="shrug")
+
+    def test_seeded_jitter_schedule_is_reproducible(self):
+        policy = RetryPolicy(backoff_s=0.001, jitter=0.5, seed=9)
+        a, b = policy.sleeps(), policy.sleeps()
+        assert a._rng.uniform(0.0, 1.0) == b._rng.uniform(0.0, 1.0)
+
+
+@pytest.mark.chaos
+class TestServerAdmission:
+    """Admission control: shedding, deadlines, timeouts, drain, no leaks."""
+
+    @staticmethod
+    def _server(spec, system, **kwargs):
+        return system.serve("linear", models=spec.initial_models, **kwargs)
+
+    @staticmethod
+    def _slow_plan(calls, latency_s=0.25):
+        return FaultPlan(
+            [
+                FaultSpec(
+                    site="serving.inference.score",
+                    call=call,
+                    kind="latency",
+                    latency_s=latency_s,
+                )
+                for call in range(1, calls + 1)
+            ]
+        )
+
+    def test_burst_sheds_with_server_overloaded(self):
+        system, spec = _chaos_system("linear", n_tuples=64, epochs=1)
+        row = np.zeros(6)
+        server = self._server(
+            spec, system, max_batch_size=1, max_wait_ms=0.0, max_queue_depth=2
+        )
+        futures, sheds = [], 0
+        with inject_faults(self._slow_plan(calls=12)):
+            with server:
+                for _ in range(12):
+                    try:
+                        futures.append(server.submit(row))
+                    except ServerOverloadedError:
+                        sheds += 1
+                # stop() drains: every admitted request is scored.
+        assert sheds >= 1
+        assert futures, "at least one request must have been admitted"
+        assert server.stats.shed == sheds
+        assert all(np.isfinite(f.result(timeout=5)) for f in futures)
+
+    def test_queued_request_misses_deadline(self):
+        system, spec = _chaos_system("linear", n_tuples=64, epochs=1)
+        row = np.zeros(6)
+        server = self._server(spec, system, max_batch_size=1, max_wait_ms=0.0)
+        with inject_faults(self._slow_plan(calls=1, latency_s=0.3)):
+            with server:
+                slow = server.submit(row)
+                late = server.submit(row, deadline_ms=25.0)
+                assert np.isfinite(float(slow.result(timeout=5)))
+                with pytest.raises(DeadlineExceededError, match="deadline"):
+                    late.result(timeout=5)
+        assert server.stats.deadline_exceeded == 1
+
+    def test_predict_timeout_cancels_and_counts(self):
+        system, spec = _chaos_system("linear", n_tuples=64, epochs=1)
+        row = np.zeros(6)
+        server = self._server(spec, system, max_batch_size=1, max_wait_ms=0.0)
+        with inject_faults(self._slow_plan(calls=1, latency_s=0.4)):
+            with server:
+                blocker = server.submit(row)  # holds the scorer busy
+                with pytest.raises(DeadlineExceededError, match="cancelled"):
+                    server.predict(row, timeout=0.05)
+                assert np.isfinite(float(blocker.result(timeout=5)))
+                # the server keeps serving after a cancelled request.
+                assert np.isfinite(server.predict(row, timeout=5))
+        assert server.stats.timeouts == 1
+
+    def test_per_model_concurrency_limit_sheds(self):
+        system, spec = _chaos_system("linear", n_tuples=64, epochs=1)
+        row = np.zeros(6)
+        server = self._server(
+            spec,
+            system,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            max_queue_depth=8,
+            max_concurrent_per_model=1,
+        )
+        with inject_faults(self._slow_plan(calls=1, latency_s=0.3)):
+            with server:
+                admitted = server.submit(row)
+                with pytest.raises(ServerOverloadedError, match="in flight"):
+                    server.submit(row)
+                assert np.isfinite(float(admitted.result(timeout=5)))
+                # The slot frees once the request resolves.
+                assert np.isfinite(server.predict(row, timeout=5))
+        assert server.stats.shed == 1
+
+    def test_stop_without_drain_fails_queued_requests(self):
+        system, spec = _chaos_system("linear", n_tuples=64, epochs=1)
+        row = np.zeros(6)
+        server = self._server(
+            spec, system, max_batch_size=1, max_wait_ms=0.0, max_queue_depth=8
+        )
+        # Every call is slow, so the backlog cannot drain before stop().
+        with inject_faults(self._slow_plan(calls=8, latency_s=0.3)):
+            server.start()
+            server.submit(row)
+            queued = [server.submit(row) for _ in range(3)]
+            server.stop(drain=False)
+            for future in queued:
+                with pytest.raises(ServingError):
+                    future.result(timeout=5)
+
+    def test_no_scorer_threads_leak(self):
+        system, spec = _chaos_system("linear", n_tuples=64, epochs=1)
+        row = np.zeros(6)
+        server = self._server(spec, system, max_queue_depth=4)
+        for _ in range(2):  # start/stop cycles, including a restart
+            with server:
+                assert np.isfinite(server.predict(row, timeout=5))
+        lingering = [
+            t
+            for t in threading.enumerate()
+            if t.name == "prediction-server" and t.is_alive()
+        ]
+        assert lingering == []
+        with pytest.raises(ConfigurationError, match="not running"):
+            server.submit(row)
+
+    def test_validation_fails_fast(self):
+        system, spec = _chaos_system("linear", n_tuples=64, epochs=1)
+        with pytest.raises(ConfigurationError, match="max_queue_depth"):
+            self._server(spec, system, max_queue_depth=0)
+        with pytest.raises(ConfigurationError, match="deadline_ms"):
+            self._server(spec, system, deadline_ms=-5.0)
+        with pytest.raises(ConfigurationError, match="max_concurrent_per_model"):
+            self._server(spec, system, max_concurrent_per_model=0)
+        server = self._server(spec, system)
+        with server:
+            with pytest.raises(ConfigurationError, match="deadline_ms"):
+                server.submit(np.zeros(6), deadline_ms=0)
