@@ -682,6 +682,119 @@ def bench_reliability_sweep(
     return report
 
 
+def bench_observability_sweep(
+    n_tuples: int,
+    n_features: int,
+    segments: int = 2,
+    repeats: int = 40,
+) -> dict:
+    """Telemetry overhead sweep on the batched scan-and-score path.
+
+    Two configurations of the same scoring computation:
+
+    * ``baseline`` — telemetry disarmed (every instrumentation site is
+      one module-global load + is-None check, the ``fault_point``
+      discipline);
+    * ``telemetry_armed`` — a :class:`~repro.obs.Telemetry` session is
+      active, so every site opens a span and the serving path feeds the
+      shared histograms; this is the number the
+      ``--max-observability-overhead`` CI gate bounds.
+
+    Both configurations must produce bit-identical predictions and
+    identical schedule-derived counters before timing means anything —
+    spans are wall-clock observers, never inputs to the computation.
+    The estimator and gate statistic are the same as the reliability
+    sweep: median of per-pair time ratios over ``repeats`` adjacent
+    pairs (in-pair order alternating, cyclic GC paused), gated on the
+    one-sided 95% lower confidence bound of that median.
+    """
+    from repro.obs import Telemetry, enable_telemetry
+
+    algorithm_key = "linear"
+    algorithm = get_algorithm(algorithm_key)
+    hyper = Hyperparameters(learning_rate=0.05, merge_coefficient=16, epochs=2)
+    spec = algorithm.build_spec(n_features, hyper)
+    data = generate_for_algorithm(algorithm_key, n_tuples, n_features, seed=0)
+    database = Database(page_size=PAGE_SIZE)
+    database.load_table("t", spec.schema, data)
+    database.warm_cache("t")
+    system = DAnA(database)
+    system.register_udf(algorithm_key, spec, epochs=2)
+    models = system.train(algorithm_key, "t", epochs=2).models
+
+    def score():
+        return system.score_table(
+            algorithm_key, "t", models=models, segments=segments
+        )
+
+    def score_armed():
+        # A fresh session per run: per-run cost stays constant instead of
+        # the span list growing across iterations.
+        with enable_telemetry(Telemetry()) as session:
+            result = score()
+        return result, session
+
+    # Warm every code path once, then assert the parity invariant.
+    baseline = score()
+    armed, session = score_armed()
+    np.testing.assert_array_equal(baseline.predictions, armed.predictions)
+    assert baseline.inference_stats == armed.inference_stats, (
+        "armed telemetry changed the scoring counters"
+    )
+    spans_per_run = len(session.tracer)
+    assert spans_per_run >= segments, "the scorer spans did not fire"
+
+    timings = {"baseline": None, "telemetry_armed": None}
+    configs = [("baseline", score), ("telemetry_armed", lambda: score_armed()[0])]
+    ratios = []
+    gc.collect()
+    gc.disable()
+    try:
+        for iteration in range(repeats):
+            order = configs if iteration % 2 == 0 else configs[::-1]
+            pair = {}
+            for name, run in order:
+                start = time.perf_counter()
+                run()
+                elapsed = time.perf_counter() - start
+                pair[name] = elapsed
+                if timings[name] is None or elapsed < timings[name]:
+                    timings[name] = elapsed
+            ratios.append(pair["telemetry_armed"] / pair["baseline"])
+    finally:
+        gc.enable()
+
+    overhead = statistics.median(ratios) - 1.0
+    ordered = sorted(ratios)
+    k = max(0, math.floor(len(ordered) / 2 - 1.645 * math.sqrt(len(ordered)) / 2))
+    overhead_lower_bound = ordered[k] - 1.0
+    report = {
+        "description": (
+            "Telemetry overhead on the batched scan-and-score path: "
+            "disarmed (is-None check per site) vs an armed span/metrics "
+            "session (gated by --max-observability-overhead); "
+            "bit-identical predictions and counters asserted first"
+        ),
+        "n_tuples": n_tuples,
+        "segments": segments,
+        "baseline_seconds": round(timings["baseline"], 6),
+        "telemetry_armed_seconds": round(timings["telemetry_armed"], 6),
+        "observability_overhead": round(overhead, 4),
+        "observability_overhead_lower_95": round(overhead_lower_bound, 4),
+        "overhead_pairs": repeats,
+        "spans_per_run": spans_per_run,
+    }
+    print(
+        f"observability: baseline {timings['baseline']*1e3:8.1f} ms  "
+        f"telemetry-armed {timings['telemetry_armed']*1e3:8.1f} ms  "
+        f"overhead {overhead*100:+.2f}% "
+        f"(median of {repeats} pairs, 95% lower bound "
+        f"{overhead_lower_bound*100:+.2f}%)  "
+        f"{spans_per_run} spans per run"
+    )
+    return report
+
+
 def run_suite(sizes: list[int], epochs: int) -> dict:
     rows = []
     for algorithm_key, n_features in WORKLOADS:
@@ -767,6 +880,17 @@ def main() -> None:
             "per-pair ratio, so host noise cannot trip it)"
         ),
     )
+    parser.add_argument(
+        "--max-observability-overhead",
+        type=float,
+        default=0.02,
+        help=(
+            "fail if an armed telemetry session slows the batched "
+            "scan-and-score path by more than this fraction (tested "
+            "against the 95%% lower confidence bound of the median "
+            "per-pair ratio, same method as the reliability gate)"
+        ),
+    )
     args = parser.parse_args()
     sizes = [512, 2048] if args.smoke else [1000, 4000, 16000]
     epochs = 2 if args.smoke else 3
@@ -840,6 +964,12 @@ def main() -> None:
     # the overhead gate bounds.
     reliability = bench_reliability_sweep(n_tuples=32768, n_features=16)
     report["reliability_sweep"] = reliability
+    print("\nobservability sweep (telemetry overhead, batched scoring):")
+    # Same full-size workload in smoke mode, for the same reason as the
+    # reliability sweep: the ~0% signal needs runs long enough that
+    # thread spawn/join jitter cannot dominate.
+    observability = bench_observability_sweep(n_tuples=32768, n_features=16)
+    report["observability_sweep"] = observability
     if not args.smoke:
         RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {RESULT_PATH}")
@@ -907,6 +1037,22 @@ def main() -> None:
             f"{reliability['reliability_overhead_lower_95']*100:.2f}%) "
             f"on the batched scan-and-score path exceeds the allowed "
             f"{args.max_reliability_overhead*100:.2f}%"
+        )
+    # Observability gate: an armed telemetry session must stay ~free on
+    # the batched path (disarmed is a single is-None check per site, and
+    # armed sites fire per batch/segment, never per tuple).  Same gate
+    # statistic as the reliability gate.
+    if (
+        observability["observability_overhead_lower_95"]
+        > args.max_observability_overhead
+    ):
+        raise SystemExit(
+            f"observability overhead "
+            f"{observability['observability_overhead']*100:.2f}% "
+            f"(95% lower bound "
+            f"{observability['observability_overhead_lower_95']*100:.2f}%) "
+            f"on the batched scan-and-score path exceeds the allowed "
+            f"{args.max_observability_overhead*100:.2f}%"
         )
 
 

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.hw.tree_bus import TreeBus
+from repro.obs.telemetry import telemetry
 
 AGGREGATION_STRATEGIES = ("average", "gradient_sum")
 
@@ -63,12 +64,20 @@ class ModelAggregator:
         """
         if not segment_models:
             raise ConfigurationError("cannot merge an empty set of segment models")
+        obs = telemetry()
+        span = (
+            obs.span("cluster.segment.merge", segments=len(segment_models))
+            if obs is not None
+            else None
+        )
         merged: Models = {}
         for name in segment_models[0]:
             stacked = np.stack(
                 [np.asarray(m[name], dtype=np.float64) for m in segment_models]
             )
             merged[name] = self._combine(name, stacked, base)
+        if span is not None:
+            obs.finish(span, params=len(merged))
         return merged
 
     def merge_stacked(
@@ -81,10 +90,19 @@ class ModelAggregator:
         This is the zero-copy entry point for the lock-step executor, which
         keeps every model as one ``(segments, ...)`` array.
         """
-        return {
+        obs = telemetry()
+        span = (
+            obs.span("cluster.segment.merge", stacked=True)
+            if obs is not None
+            else None
+        )
+        merged = {
             name: self._combine(name, np.asarray(value, dtype=np.float64), base)
             for name, value in stacked_models.items()
         }
+        if span is not None:
+            obs.finish(span, params=len(merged))
+        return merged
 
     # ------------------------------------------------------------------ #
     # internals

@@ -27,6 +27,7 @@ import numpy as np
 from repro.cluster.partitioner import PagePartition
 from repro.hw.accelerator import DAnAAccelerator
 from repro.hw.execution_engine import TrainingResult
+from repro.obs.telemetry import telemetry
 from repro.rdbms.buffer_pool import BufferPool
 from repro.rdbms.heapfile import HeapFile
 from repro.reliability.faults import fault_point
@@ -209,6 +210,14 @@ class SegmentWorker:
 
         def window() -> TrainingResult:
             fault_point(SEGMENT_EPOCH_FAULT_SITE)
+            obs = telemetry()
+            span = (
+                obs.span(
+                    "cluster.segment.train", segment=self.segment_id, epochs=epochs
+                )
+                if obs is not None
+                else None
+            )
             result = self.engine.train(
                 rows=self._rows,
                 initial_models=models,
@@ -222,6 +231,8 @@ class SegmentWorker:
             )
             if self._rows is None:
                 self._rows = self.source.rows()
+            if span is not None:
+                obs.finish(span, epochs_run=result.epochs_run)
             return result
 
         if retry is None:

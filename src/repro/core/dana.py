@@ -41,6 +41,7 @@ from repro.compiler import ExecutionBinary, HardwareGenerator, Scheduler
 from repro.exceptions import ConfigurationError, QueryError
 from repro.hw import DAnAAccelerator, DEFAULT_FPGA, FPGASpec
 from repro.hw.accelerator import AcceleratorRunResult
+from repro.obs.recorder import RunRecorder
 from repro.rdbms import AcceleratorEntry, Database, ModelEntry
 from repro.reliability import RetryPolicy
 from repro.rdbms.query import (
@@ -84,6 +85,7 @@ class DAnA:
         database: Database,
         fpga: FPGASpec = DEFAULT_FPGA,
         use_striders: bool = True,
+        record_runs: bool = False,
     ) -> None:
         """Bind a DAnA system to one database instance.
 
@@ -94,13 +96,28 @@ class DAnA:
             fpga: the target FPGA specification for generated accelerators.
             use_striders: when False, tuples are extracted by the CPU-side
                 page decode instead of the simulated Strider walk.
+            record_runs: when True, every :meth:`train` / :meth:`score_table`
+                invocation is persisted into the ``repro_runs`` /
+                ``repro_run_metrics`` heap tables by a
+                :class:`~repro.obs.recorder.RunRecorder` (queryable via SQL
+                and the ``repro`` CLI).  Off by default: recording writes
+                to the database.
         """
         self.database = database
         self.fpga = fpga
         self.use_striders = use_striders
         self.registry = ModelRegistry(database)
+        self.run_recorder: RunRecorder | None = (
+            RunRecorder(database) if record_runs else None
+        )
         self._udfs: dict[str, RegisteredUDF] = {}
         database.attach_serving_runtime(self)
+
+    def enable_run_recording(self) -> RunRecorder:
+        """Turn on run recording for this system; returns the recorder."""
+        if self.run_recorder is None:
+            self.run_recorder = RunRecorder(self.database)
+        return self.run_recorder
 
     # ------------------------------------------------------------------ #
     # UDF registration
@@ -252,26 +269,51 @@ class DAnA:
         )
         _validate_retry(retry, allow_redistribute=False)
         registered = self._registered(udf_name)
+        recorder = self.run_recorder
+        watch = recorder.begin() if recorder is not None else None
         if segments is None:
-            return self._run_accelerator(
+            result = self._run_accelerator(
                 registered, table_name, epochs, shuffle=shuffle, seed=seed,
                 stream=stream, retry=retry,
             )
-        return self._run_sharded(
-            registered,
-            table_name,
-            epochs,
-            segments=segments,
-            partition_strategy=partition_strategy,
-            aggregation=aggregation,
-            execution=execution,
-            shuffle=shuffle,
-            seed=seed,
-            sync=sync,
-            staleness=staleness,
-            stream=stream,
-            retry=retry,
-        )
+        else:
+            result = self._run_sharded(
+                registered,
+                table_name,
+                epochs,
+                segments=segments,
+                partition_strategy=partition_strategy,
+                aggregation=aggregation,
+                execution=execution,
+                shuffle=shuffle,
+                seed=seed,
+                sync=sync,
+                staleness=staleness,
+                stream=stream,
+                retry=retry,
+            )
+        if recorder is not None:
+            recorder.record_train(
+                udf=udf_name,
+                table=table_name,
+                config={
+                    "epochs": epochs,
+                    "segments": segments,
+                    "partition_strategy": partition_strategy,
+                    "aggregation": aggregation,
+                    "execution": execution,
+                    "shuffle": shuffle,
+                    "seed": seed,
+                    "sync": sync,
+                    "staleness": staleness,
+                    "stream": stream,
+                    "retry": retry is not None,
+                },
+                result=result,
+                watch=watch,
+                algorithm=registered.spec.name,
+            )
+        return result
 
     # ------------------------------------------------------------------ #
     # prediction serving
@@ -383,7 +425,7 @@ class DAnA:
         _validate_retry(retry)
         registered = self._registered(udf_name)
         binary = self.compile_udf(udf_name, table_name)
-        resolved, _entry = self._resolve_models(
+        resolved, entry = self._resolve_models(
             registered.spec, models, model_name, version
         )
         plan = self._inference_plan(registered, table_name)
@@ -395,7 +437,9 @@ class DAnA:
             fpga=self.fpga,
             use_striders=self.use_striders,
         )
-        return scorer.score_table(
+        recorder = self.run_recorder
+        watch = recorder.begin() if recorder is not None else None
+        result = scorer.score_table(
             table_name,
             resolved,
             segments=segments or 1,
@@ -406,6 +450,26 @@ class DAnA:
             stream=stream,
             retry=retry,
         )
+        if recorder is not None:
+            recorder.record_score(
+                table=table_name,
+                config={
+                    "udf": udf_name,
+                    "segments": segments,
+                    "path": path,
+                    "batch_size": batch_size,
+                    "partition_strategy": partition_strategy,
+                    "seed": seed,
+                    "stream": stream,
+                    "retry": retry is not None,
+                },
+                result=result,
+                watch=watch,
+                algorithm=registered.spec.name,
+                model_name=entry.name if entry is not None else "",
+                model_version=entry.version if entry is not None else None,
+            )
+        return result
 
     def serve(
         self,

@@ -31,6 +31,7 @@ from repro.exceptions import HardwareError
 from repro.hw.fpga import FPGASpec
 from repro.hw.strider import Strider, StriderResult
 from repro.isa.strider_isa import StriderProgram
+from repro.obs.telemetry import telemetry
 from repro.rdbms.types import Schema
 from repro.reliability.faults import fault_point
 from repro.reliability.retry import RetryPolicy
@@ -238,8 +239,14 @@ class AccessEngine:
             retry=retry,
         )
 
-    def _process_batch(self, batch: list[bytes]) -> Iterator[np.ndarray]:
+    def _process_batch(self, batch: list[bytes]) -> list[np.ndarray]:
         fault_point(PAGE_WALK_FAULT_SITE)
+        obs = telemetry()
+        span = (
+            obs.span("hw.strider.page_walk", pages=len(batch))
+            if obs is not None
+            else None
+        )
         results: list[StriderResult] = []
         for image, strider in zip(batch, self._striders):
             if len(image) != self.config.page_size:
@@ -253,8 +260,13 @@ class AccessEngine:
         self.stats.merge_batch(
             results, self.config.page_size, self.fpga.axi_bytes_per_cycle
         )
-        for result in results:
-            yield self.decoder.decode_many(result.payloads)
+        if span is not None:
+            obs.finish(span)
+            span = obs.span("hw.decode", pages=len(results))
+        decoded = [self.decoder.decode_many(result.payloads) for result in results]
+        if span is not None:
+            obs.finish(span, tuples=sum(len(chunk) for chunk in decoded))
+        return decoded
 
     # ------------------------------------------------------------------ #
     # analytic cycle model (used when pages are not materially streamed)

@@ -1,0 +1,54 @@
+"""Observability: telemetry (metrics + spans), run history, and ops CLI.
+
+The package splits into leaf instrumentation primitives and one
+database-backed consumer:
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms;
+* :mod:`repro.obs.tracing` — named, nestable wall-clock spans;
+* :mod:`repro.obs.telemetry` — the armed-session global and the
+  zero-cost-when-off ``telemetry()`` accessor every instrumentation
+  site uses (the :func:`~repro.reliability.faults.fault_point`
+  discipline);
+* :mod:`repro.obs.recorder` — run history persisted into ``repro_runs``
+  / ``repro_run_metrics`` heap tables via the catalog;
+* :mod:`repro.obs.cli` — the ``repro`` console entry point
+  (``python -m repro.obs``), never imported by library code.
+"""
+
+from repro.obs.telemetry import Telemetry, enable_telemetry, telemetry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    HISTOGRAM_SITES,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_SECONDS_BUCKETS,
+)
+from repro.obs.tracing import SPAN_SITES, Span, SpanTracer
+from repro.obs.recorder import (
+    RUN_KINDS,
+    RUN_METRICS_TABLE,
+    RUNS_TABLE,
+    RunRecorder,
+    RunWatch,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
+    "Gauge",
+    "HISTOGRAM_SITES",
+    "Histogram",
+    "MetricsRegistry",
+    "RUN_KINDS",
+    "RUN_METRICS_TABLE",
+    "RUNS_TABLE",
+    "RunRecorder",
+    "RunWatch",
+    "SPAN_SITES",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "enable_telemetry",
+    "telemetry",
+]

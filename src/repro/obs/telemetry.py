@@ -1,0 +1,98 @@
+"""Telemetry arming: the module-global session and its hot-path accessor.
+
+This module follows the exact discipline of
+:mod:`repro.reliability.faults`: telemetry is **off by default with zero
+hot-loop cost**.  Every instrumentation site compiled into the stack
+does one module-global load plus an ``is None`` test::
+
+    obs = telemetry()
+    span = obs.span("serving.scorer.segment", segment=3) if obs is not None else None
+    ...  # the work being timed
+    if span is not None:
+        obs.finish(span, tuples=n)
+
+Arming is exclusive and scoped to one ``with enable_telemetry():``
+block — nesting a second session raises, so two instrumented tests
+cannot silently interleave spans.  Sites fire per page batch / chunk /
+epoch / micro-batch, never per tuple, and record only wall-clock
+observations: a telemetry-on run is bit-identical (models, predictions,
+schedule-derived counters) to a telemetry-off run.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanTracer, _OpenSpan, Span
+
+
+class Telemetry:
+    """One telemetry session: a metrics registry plus a span tracer."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else SpanTracer()
+
+    def span(self, name: str, **attrs) -> _OpenSpan:
+        """Open a named span (delegates to the tracer)."""
+        return self.tracer.start(name, **attrs)
+
+    def finish(self, open_span: _OpenSpan, **attrs) -> Span:
+        """Close an open span, recording late attributes."""
+        return self.tracer.finish(open_span, **attrs)
+
+    def export(self) -> dict:
+        """Full session snapshot: ``{"metrics": ..., "spans": [...]}``."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "spans": self.tracer.to_list(),
+        }
+
+
+#: the armed session; ``None`` (the default) means every site is a single
+#: is-None check and nothing else.
+_ACTIVE: Telemetry | None = None
+_ARM_LOCK = threading.Lock()
+
+
+def telemetry() -> Telemetry | None:
+    """The armed telemetry session, or ``None`` when telemetry is off.
+
+    This is the only call compiled into the subsystems; with telemetry
+    off it is one global load, and the caller's ``is None`` test skips
+    everything else.
+    """
+    return _ACTIVE
+
+
+class enable_telemetry:
+    """Context manager arming a :class:`Telemetry` session.
+
+    Yields the session so callers can read metrics and spans afterwards.
+    Arming is exclusive: nesting raises, mirroring
+    :class:`~repro.reliability.faults.inject_faults`.
+    """
+
+    def __init__(self, session: Telemetry | None = None) -> None:
+        self.session = session if session is not None else Telemetry()
+
+    def __enter__(self) -> Telemetry:
+        global _ACTIVE
+        with _ARM_LOCK:
+            if _ACTIVE is not None:
+                raise ConfigurationError(
+                    "a telemetry session is already armed; sessions cannot nest"
+                )
+            _ACTIVE = self.session
+        return self.session
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _ACTIVE
+        with _ARM_LOCK:
+            _ACTIVE = None

@@ -1,0 +1,154 @@
+"""Named, nestable wall-clock spans for the instrumented execution stack.
+
+A span is opened at one of the fixed instrumentation sites (see
+:data:`SPAN_SITES`) and closed by the same thread; nesting is tracked
+per-thread, so a ``runtime.epoch`` span opened by the driver thread
+parents the ``cluster.segment.train`` spans its workers run *on that
+thread* while concurrent threads keep independent stacks.  Finished
+spans land in one process-wide list, exportable as a flat trace
+(:meth:`SpanTracer.to_list`) or JSON (:meth:`SpanTracer.to_json`), and
+roll up per site into ``{count, seconds}`` for run records.
+
+Spans are wall-clock and **observational only**: they never contribute
+to the schedule-derived cycle counters, which is what keeps a
+telemetry-on run bit-identical to a telemetry-off run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: the named span sites compiled into the stack, top layer to bottom.
+#: (High-frequency queue-wait sites are histogram sites instead — see
+#: :data:`repro.obs.metrics.HISTOGRAM_SITES`.)
+SPAN_SITES = (
+    "sql.execute",
+    "runtime.epoch",
+    "cluster.segment.train",
+    "cluster.segment.merge",
+    "serving.scorer.segment",
+    "serving.server.batch",
+    "hw.strider.page_walk",
+    "hw.decode",
+)
+
+
+@dataclass
+class Span:
+    """One finished wall-clock span."""
+
+    #: the instrumentation site that opened the span.
+    name: str
+    #: ``time.perf_counter()`` at open (process-relative seconds).
+    start_s: float
+    #: wall-clock duration in seconds.
+    duration_s: float
+    #: nesting depth on the opening thread (0 = top-level).
+    depth: int = 0
+    #: site name of the enclosing span on the same thread, if any.
+    parent: str | None = None
+    #: free-form per-span attributes (segment id, batch size, ...).
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Export as a plain dict for the flat trace list."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _OpenSpan:
+    """A started-but-unfinished span; opaque to instrumentation sites."""
+
+    __slots__ = ("name", "start_s", "attrs", "parent", "depth")
+
+    def __init__(
+        self, name: str, start_s: float, attrs: dict, parent: "_OpenSpan | None"
+    ) -> None:
+        self.name = name
+        self.start_s = start_s
+        self.attrs = attrs
+        self.parent = parent
+        self.depth = 0 if parent is None else parent.depth + 1
+
+
+class SpanTracer:
+    """Collects finished spans from every thread of one telemetry session.
+
+    ``start``/``finish`` must pair on the same thread (they do at every
+    compiled-in site); the finished-span list itself is shared and
+    lock-protected, so concurrent threads interleave safely.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def start(self, name: str, **attrs) -> _OpenSpan:
+        """Open a span at site ``name``, nesting under the thread's top."""
+        parent = getattr(self._local, "top", None)
+        span = _OpenSpan(name, time.perf_counter(), attrs, parent)
+        self._local.top = span
+        return span
+
+    def finish(self, open_span: _OpenSpan, **attrs) -> Span:
+        """Close ``open_span``, merge late attrs, and record the result."""
+        duration = time.perf_counter() - open_span.start_s
+        if attrs:
+            open_span.attrs.update(attrs)
+        if getattr(self._local, "top", None) is open_span:
+            self._local.top = open_span.parent
+        span = Span(
+            name=open_span.name,
+            start_s=open_span.start_s,
+            duration_s=duration,
+            depth=open_span.depth,
+            parent=open_span.parent.name if open_span.parent is not None else None,
+            attrs=open_span.attrs,
+        )
+        with self._lock:
+            self.spans.append(span)
+        return span
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.spans)
+
+    def mark(self) -> int:
+        """Current span count — a resume point for :meth:`rollup` slices."""
+        with self._lock:
+            return len(self.spans)
+
+    def rollup(self, start: int = 0) -> dict[str, dict[str, float]]:
+        """Per-site ``{count, seconds}`` over spans recorded since ``start``.
+
+        ``start`` is a :meth:`mark` taken earlier, so a run recorder can
+        roll up only the spans belonging to one train/score invocation.
+        """
+        with self._lock:
+            window = self.spans[start:]
+        rollup: dict[str, dict[str, float]] = {}
+        for span in window:
+            entry = rollup.setdefault(span.name, {"count": 0, "seconds": 0.0})
+            entry["count"] += 1
+            entry["seconds"] += span.duration_s
+        return rollup
+
+    def to_list(self) -> list[dict]:
+        """The flat trace: every finished span as a dict, in finish order."""
+        with self._lock:
+            spans = list(self.spans)
+        return [span.to_dict() for span in spans]
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The flat trace serialized as JSON."""
+        return json.dumps(self.to_list(), indent=indent, default=str)

@@ -82,6 +82,48 @@ class AcceleratorEntry:
     metadata: dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass
+class RunEntry:
+    """Catalog record for one recorded train / score / bench run.
+
+    The *numeric* run facts (schedule-derived counters, span rollups,
+    wall time) live in the ``repro_runs`` / ``repro_run_metrics`` heap
+    tables — the database is its own telemetry backend — while the
+    catalog holds everything a numeric heap scan cannot reconstruct:
+    the run kind, labels, config, git revision, and the structured
+    fault / retry record.
+    """
+
+    #: monotonically increasing run id (the heap tables' join key).
+    run_id: int
+    #: one of ``("train", "score", "bench")``.
+    kind: str
+    #: human label: the UDF for training, the table for scoring, the
+    #: sweep name for benches.
+    label: str
+    #: the scanned heap table, when the run scanned one.
+    table_name: str = ""
+    #: saved-model name/version the run produced or served, if any.
+    model_name: str = ""
+    model_version: int | None = None
+    #: the algorithm behind the run's UDF/model, when known.
+    algorithm: str = ""
+    #: the invocation's configuration kwargs (JSON-friendly values).
+    config: dict[str, Any] = field(default_factory=dict)
+    #: ``git rev-parse --short HEAD`` at record time ("" when unknown).
+    git_rev: str = ""
+    #: ISO-8601 wall-clock timestamp at run start.
+    started_at: str = ""
+    #: end-to-end wall-clock seconds of the invocation.
+    wall_seconds: float = 0.0
+    #: fired injected faults during the run (``site``/``call``/``kind``
+    #: dicts, from :class:`repro.reliability.faults.FaultLogEntry`).
+    faults: list[dict] = field(default_factory=list)
+    #: retry counters of the run (:class:`repro.reliability.retry.RetryStats`
+    #: as a dict; empty when the run had no retry supervision).
+    retry: dict[str, int] = field(default_factory=dict)
+
+
 class Catalog:
     """In-memory system catalog shared by the engine and the accelerator."""
 
@@ -90,6 +132,8 @@ class Catalog:
         self._accelerators: dict[str, AcceleratorEntry] = {}
         self._udf_handlers: dict[str, Any] = {}
         self._models: dict[str, dict[int, ModelEntry]] = {}
+        self._runs: dict[int, RunEntry] = {}
+        self._run_metric_ids: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # tables
@@ -233,6 +277,59 @@ class Catalog:
             for name in sorted(self._models)
             for version in sorted(self._models[name])
         ]
+
+    # ------------------------------------------------------------------ #
+    # run history (observability)
+    # ------------------------------------------------------------------ #
+    def next_run_id(self) -> int:
+        """The id the next recorded run will get (1-based, monotonic)."""
+        return max(self._runs, default=0) + 1
+
+    def register_run(self, entry: RunEntry) -> None:
+        """Register one run record; raises CatalogError on duplicate ids."""
+        if entry.run_id in self._runs:
+            raise CatalogError(f"run {entry.run_id} already recorded")
+        if entry.kind not in ("train", "score", "bench"):
+            raise CatalogError(
+                f"unknown run kind {entry.kind!r}; "
+                "expected 'train', 'score' or 'bench'"
+            )
+        self._runs[entry.run_id] = entry
+
+    def has_run(self, run_id: int) -> bool:
+        """True when a run with this id is recorded."""
+        return run_id in self._runs
+
+    def run(self, run_id: int) -> RunEntry:
+        """The run record of ``run_id``; raises CatalogError when missing."""
+        try:
+            return self._runs[run_id]
+        except KeyError:
+            raise CatalogError(
+                f"no recorded run with id {run_id}; "
+                f"recorded: {sorted(self._runs)}"
+            ) from None
+
+    def runs(self) -> list[RunEntry]:
+        """All recorded runs, ascending by run id."""
+        return [self._runs[k] for k in sorted(self._runs)]
+
+    def run_metric_id(self, name: str) -> int:
+        """The stable integer id of a run-metric name (assigning it once).
+
+        ``repro_run_metrics`` rows are purely numeric (the heap pages
+        hold only fixed-width columns), so metric *names* map to small
+        integers here, in assignment order.
+        """
+        metric_id = self._run_metric_ids.get(name)
+        if metric_id is None:
+            metric_id = len(self._run_metric_ids) + 1
+            self._run_metric_ids[name] = metric_id
+        return metric_id
+
+    def run_metric_names(self) -> dict[int, str]:
+        """The ``{metric_id: name}`` mapping for decoding metric scans."""
+        return {v: k for k, v in self._run_metric_ids.items()}
 
     # ------------------------------------------------------------------ #
     # UDF handlers (black-box callables invoked by the executor)

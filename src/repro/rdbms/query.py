@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Protocol, Sequence
 
 from repro.exceptions import CatalogError, QueryError
+from repro.obs.telemetry import telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rdbms.types import Schema
@@ -774,14 +775,23 @@ class QueryExecutor:
                 execution errors (with the statement appended).
         """
         plan = parse(sql)
+        obs = telemetry()
+        span = (
+            obs.span("sql.execute", statement=type(plan).__name__)
+            if obs is not None
+            else None
+        )
         try:
-            return self.execute_plan(plan)
+            result = self.execute_plan(plan)
         except QueryError as error:
             if getattr(error, "statement", None) is None:
                 wrapped = QueryError(f"{error}\n  in statement: {sql.strip()}")
                 wrapped.statement = sql
                 raise wrapped from None
             raise
+        if span is not None:
+            obs.finish(span, rows=len(result.rows))
+        return result
 
     def execute_plan(self, plan: LogicalPlan) -> QueryResult:
         """Execute an already-parsed logical plan node."""

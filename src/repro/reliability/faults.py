@@ -155,6 +155,16 @@ _ACTIVE: FaultInjector | None = None
 _ARM_LOCK = threading.Lock()
 
 
+def active_injector() -> FaultInjector | None:
+    """The armed injector, or ``None`` when no chaos run is active.
+
+    Observability consumers (the run recorder) use this to snapshot the
+    fired-fault log around one train/score invocation without taking any
+    dependency on how the plan was armed.
+    """
+    return _ACTIVE
+
+
 def fault_point(site: str) -> None:
     """Injection site hook: fires the armed injector's fault, if any.
 

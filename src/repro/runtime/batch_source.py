@@ -28,11 +28,13 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
 from repro.exceptions import RetryExhaustedError, TransientError
+from repro.obs.telemetry import telemetry
 from repro.reliability.faults import fault_point
 from repro.reliability.retry import RetryPolicy, RetryStats
 
@@ -44,6 +46,11 @@ DEFAULT_QUEUE_DEPTH = 2
 
 #: fault-injection site fired once per chunk the producer delivers.
 PRODUCER_FAULT_SITE = "runtime.batch_source.producer"
+
+#: buffered queue-wait observations are flushed to the shared histogram in
+#: batches of this size (and at end of stream) — a per-chunk ``observe``
+#: would dominate the armed telemetry cost of the streaming paths.
+_WAIT_FLUSH = 128
 
 
 class _ProducerError:
@@ -105,6 +112,14 @@ class BatchSource:
         self._queue_depth = max(1, queue_depth)
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        #: ``(session, produce_hist, consume_hist)`` — the armed telemetry
+        #: session's wait histograms, cached so the per-chunk hot path does
+        #: not pay a registry lookup per observation.
+        self._wait_hists = None
+        #: locally-buffered wait seconds awaiting a bulk flush; index 1 is
+        #: the produce side (producer thread only), index 2 the consume
+        #: side (consumer thread only), so neither list is shared.
+        self._wait_buf: tuple[None, list, list] = (None, [], [])
         if start:
             self.start(queue_depth)
 
@@ -140,18 +155,28 @@ class BatchSource:
 
     def _produce(self) -> None:
         try:
-            skip = self._skip
-            self._skip = 0
-            for chunk in self._chunk_iter:
-                if skip:
-                    # Replay after a restart: the consumer already holds
-                    # this chunk in its cache; re-walk it silently so the
-                    # upstream counters match the fault-free run.
-                    skip -= 1
-                    continue
-                fault_point(PRODUCER_FAULT_SITE)
-                if not self._put(chunk):
-                    return
+            try:
+                skip = self._skip
+                self._skip = 0
+                for chunk in self._chunk_iter:
+                    if skip:
+                        # Replay after a restart: the consumer already holds
+                        # this chunk in its cache; re-walk it silently so the
+                        # upstream counters match the fault-free run.
+                        skip -= 1
+                        continue
+                    fault_point(PRODUCER_FAULT_SITE)
+                    obs = telemetry()
+                    if obs is not None:
+                        start = time.perf_counter()
+                        delivered = self._put(chunk)
+                        self._note_wait(obs, 1, time.perf_counter() - start)
+                    else:
+                        delivered = self._put(chunk)
+                    if not delivered:
+                        return
+            finally:
+                self._flush_waits(1)
         except BaseException as error:  # noqa: BLE001 - forwarded to consumer
             self._put(_ProducerError(error))
             return
@@ -208,6 +233,47 @@ class BatchSource:
         self.retry_stats.attempts += 1
         self._thread.start()
 
+    def _note_wait(self, obs, side: int, seconds: float) -> None:
+        """Buffer one queue-wait observation (1 = produce, 2 = consume).
+
+        These sites fire once per chunk, so they record into shared
+        histograms instead of emitting spans (see
+        :data:`repro.obs.metrics.HISTOGRAM_SITES`), and the hot path only
+        appends to a thread-private list — the histogram sees bulk
+        flushes every :data:`_WAIT_FLUSH` chunks and at end of stream.
+        """
+        buffer = self._wait_buf[side]
+        buffer.append(seconds)
+        if len(buffer) >= _WAIT_FLUSH:
+            self._flush_waits(side, obs)
+
+    def _flush_waits(self, side: int, obs=None) -> None:
+        """Flush a side's buffered waits into its session histogram.
+
+        A producer/consumer write race on the cached histogram pair is
+        benign — both threads resolve the identical registry entries.
+        """
+        buffer = self._wait_buf[side]
+        if not buffer:
+            return
+        if obs is None:
+            obs = telemetry()
+            if obs is None:
+                # Disarmed before the flush (end-of-stream after the
+                # session closed): the observations have no destination.
+                buffer.clear()
+                return
+        cached = self._wait_hists
+        if cached is None or cached[0] is not obs:
+            cached = (
+                obs,
+                obs.metrics.histogram("runtime.batch_source.produce"),
+                obs.metrics.histogram("runtime.batch_source.consume"),
+            )
+            self._wait_hists = cached
+        cached[side].observe_many(buffer)
+        buffer.clear()
+
     def _put(self, item) -> bool:
         """Blocking put that still honours :meth:`abort`."""
         while not self._stop.is_set():
@@ -245,12 +311,20 @@ class BatchSource:
                 raise self._error
             if self._exhausted:
                 return None
-            item = self._get()
+            obs = telemetry()
+            if obs is not None:
+                start = time.perf_counter()
+                item = self._get()
+                self._note_wait(obs, 2, time.perf_counter() - start)
+            else:
+                item = self._get()
             if item is _DONE:
+                self._flush_waits(2)
                 self._exhausted = True
                 self._join_producer()
                 return None
             if isinstance(item, _ProducerError):
+                self._flush_waits(2)
                 if (
                     self._chunk_factory is not None
                     and self._retry is not None

@@ -25,6 +25,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.obs.telemetry import telemetry
 from repro.runtime.sync_policy import BulkSynchronous, SyncPolicy
 
 
@@ -129,9 +130,17 @@ class EpochDriver:
             while epoch < epochs:
                 boundary = policy.next_boundary(epoch, epochs)
                 window = max(1, boundary - epoch + 1)
+                obs = telemetry()
+                span = (
+                    obs.span("runtime.epoch", epoch=epoch, window=window)
+                    if obs is not None
+                    else None
+                )
                 state, window_converged, executed = step.run_window(
                     state, epoch, window
                 )
+                if span is not None:
+                    obs.finish(span, executed=executed)
                 executed = max(1, executed)
                 epochs_run += executed
                 epoch += executed

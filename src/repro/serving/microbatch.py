@@ -41,12 +41,39 @@ from repro.exceptions import (
     ServerOverloadedError,
     ServingError,
 )
+from repro.obs.metrics import Histogram
+from repro.obs.telemetry import telemetry
 from repro.serving.inference import InferenceEngine
 
 #: per-request latencies retained for the percentile stats.  A bounded
 #: window keeps a long-lived server's memory (and percentile cost) flat;
 #: the request/batch totals stay exact.
 LATENCY_WINDOW = 65536
+
+#: fixed bucket upper bounds (seconds) of the request-latency histogram —
+#: micro-batch serving latencies live between a fraction of ``max_wait_ms``
+#: and a few seconds under backlog.
+LATENCY_BUCKETS_S = (
+    0.0005,
+    0.001,
+    0.002,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+
+def _latency_histogram() -> Histogram:
+    """The shared-obs latency histogram backing one server's stats."""
+    return Histogram(
+        "serving.server.latency", buckets=LATENCY_BUCKETS_S, window=LATENCY_WINDOW
+    )
 
 
 @dataclass
@@ -64,11 +91,18 @@ class ServingStats:
     #: synchronous :meth:`PredictionServer.predict` calls that timed out
     #: and cancelled their queued request.
     timeouts: int = 0
-    #: per-request submit→result latency, seconds (insertion order; the
-    #: most recent :data:`LATENCY_WINDOW` requests).
-    latencies_s: deque = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    #: per-request submit→result latency distribution, seconds — the
+    #: shared :class:`~repro.obs.metrics.Histogram`, retaining the most
+    #: recent :data:`LATENCY_WINDOW` raw samples so the percentile math
+    #: is identical to the pre-histogram implementation.
+    latency: Histogram = field(default_factory=_latency_histogram)
     #: wall-clock span from first submit to last completion, seconds.
     span_seconds: float = 0.0
+
+    @property
+    def latencies_s(self) -> deque:
+        """Raw latency sample window (insertion order), seconds."""
+        return self.latency.samples
 
     @property
     def mean_batch_size(self) -> float:
@@ -82,12 +116,7 @@ class ServingStats:
 
     def latency_ms(self, percentile: float) -> float:
         """Request latency percentile in milliseconds (0 when idle)."""
-        if not self.latencies_s:
-            return 0.0
-        return float(
-            np.percentile(np.fromiter(self.latencies_s, dtype=np.float64), percentile)
-            * 1e3
-        )
+        return self.latency.percentile(percentile) * 1e3
 
     @property
     def p50_latency_ms(self) -> float:
@@ -98,6 +127,23 @@ class ServingStats:
     def p99_latency_ms(self) -> float:
         """99th-percentile request latency in milliseconds."""
         return self.latency_ms(99.0)
+
+    def to_dict(self) -> dict:
+        """Export every counter plus the latency histogram for the CLI."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "swaps": self.swaps,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "timeouts": self.timeouts,
+            "mean_batch_size": self.mean_batch_size,
+            "requests_per_second": self.requests_per_second,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "span_seconds": self.span_seconds,
+            "latency_histogram": self.latency.to_dict(),
+        }
 
 
 @dataclass
@@ -526,6 +572,19 @@ class PredictionServer:
                 live.append(request)
         if not live:
             return
+        obs = telemetry()
+        if obs is not None:
+            # Queue delay: submit → micro-batch assembly, per live request.
+            queue_hist = obs.metrics.histogram(
+                "serving.server.queue", buckets=LATENCY_BUCKETS_S
+            )
+            for request in live:
+                queue_hist.observe(now - request.submitted_at)
+        span = (
+            obs.span("serving.server.batch", requests=len(live))
+            if obs is not None
+            else None
+        )
         try:
             rows = np.stack([request.row for request in live], axis=0)
             predictions = self.engine.score(
@@ -536,13 +595,14 @@ class PredictionServer:
                 self._release(request)
                 _deliver(request.future, error=error)
             return
+        if span is not None:
+            obs.finish(span)
         now = time.perf_counter()
         with self._lock:
             self.stats.batches += 1
             self.stats.requests += len(live)
-            self.stats.latencies_s.extend(
-                now - request.submitted_at for request in live
-            )
+            for request in live:
+                self.stats.latency.observe(now - request.submitted_at)
             self._last_complete = now
             if self._first_submit is not None:
                 self.stats.span_seconds = self._span_base + (

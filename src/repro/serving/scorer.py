@@ -37,6 +37,7 @@ from repro.exceptions import RetryExhaustedError
 from repro.hw.access_engine import AccessEngineStats
 from repro.hw.accelerator import DAnAAccelerator
 from repro.hw.fpga import DEFAULT_FPGA, FPGASpec
+from repro.obs.telemetry import telemetry
 from repro.reliability.faults import fault_point
 from repro.reliability.retry import RetryPolicy, RetryStats
 from repro.serving.inference import DEFAULT_SCORE_BATCH, InferencePlan, InferenceStats
@@ -347,6 +348,16 @@ class ScanScorer:
         retry_stats: RetryStats | None = None,
     ) -> tuple[SegmentScoreReport, np.ndarray, list[int]]:
         fault_point(SCORER_FAULT_SITE)
+        obs = telemetry()
+        span = (
+            obs.span(
+                "serving.scorer.segment",
+                segment=part.segment_id,
+                pages=len(part),
+            )
+            if obs is not None
+            else None
+        )
         engine = self.plan.new_engine()
         if self.use_striders:
             accelerator = DAnAAccelerator(
@@ -384,6 +395,8 @@ class ScanScorer:
             access_stats=access_stats,
             inference_stats=engine.stats,
         )
+        if span is not None:
+            obs.finish(span, tuples=report.tuples_scored)
         return report, predictions, sizes
 
     def _cpu_decode(self, image: bytes) -> np.ndarray:

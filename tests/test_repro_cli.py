@@ -1,0 +1,157 @@
+"""Tests for the ``repro`` ops console: formatting units + subcommands.
+
+The subcommand tests go end-to-end through :func:`repro.obs.cli.main`
+(argparse included) and read the printed output via capsys — the same
+surface the CI smoke step exercises.
+"""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.obs.cli import (
+    _flatten_numeric,
+    build_parser,
+    format_mapping,
+    format_rows,
+    main,
+)
+
+ROWS = [
+    {"name": "a", "value": 1.25, "count": 3},
+    {"name": "b", "value": 0.5, "count": 11},
+]
+
+
+class TestFormatters:
+    def test_table_alignment(self):
+        out = format_rows(ROWS, "table")
+        lines = out.splitlines()
+        assert lines[0].split() == ["name", "value", "count"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].split() == ["a", "1.250", "3"]
+        # columns line up: every row has the same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_csv_round_trip(self):
+        out = format_rows(ROWS, "csv")
+        parsed = list(csv.reader(io.StringIO(out)))
+        assert parsed[0] == ["name", "value", "count"]
+        assert parsed[1] == ["a", "1.250", "3"]
+        assert len(parsed) == 3
+
+    def test_json_round_trip(self):
+        parsed = json.loads(format_rows(ROWS, "json"))
+        assert parsed == ROWS
+
+    def test_empty_rows(self):
+        assert format_rows([], "table") == "(no rows)"
+        assert format_rows([], "csv") == ""
+        assert json.loads(format_rows([], "json")) == []
+
+    def test_explicit_columns_fill_missing_cells(self):
+        out = format_rows([{"a": 1}], "csv", columns=("a", "b"))
+        assert out.splitlines()[1] == "1,"
+
+    def test_format_mapping(self):
+        mapping = {"requests": 4, "p99": 1.5}
+        table = format_mapping(mapping, "table")
+        assert "requests" in table and "1.500" in table
+        assert json.loads(format_mapping(mapping, "json")) == mapping
+
+    def test_flatten_numeric(self):
+        flat = _flatten_numeric(
+            {
+                "top": 1,
+                "nested": {"x": 2.5},
+                "rows": [{"workload": "linear", "speedup": 3.0}, {"plain": 4}],
+                "text": "ignored",
+                "flag": True,
+            }
+        )
+        assert flat["top"] == 1.0
+        assert flat["nested.x"] == 2.5
+        assert flat["rows.workload=linear.speedup"] == 3.0
+        assert flat["rows.1.plain"] == 4.0
+        assert "text" not in flat
+        assert "flag" not in flat
+
+
+@pytest.mark.smoke
+class TestSubcommands:
+    """End-to-end CLI calls (each builds the in-process demo session)."""
+
+    def test_runs_json(self, capsys):
+        assert main(["--format", "json", "runs"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["kind"] for r in records] == ["train", "score", "bench"]
+        assert records[0]["label"] == "demo_linear"
+        assert records[1]["model"] == "demo_model:v1"
+        assert all(r["tuples"] > 0 for r in records)
+
+    def test_runs_show(self, capsys):
+        assert main(["--format", "json", "runs", "show", "1"]) == 0
+        detail = json.loads(capsys.readouterr().out)
+        assert detail["run_id"] == 1
+        assert detail["config"]["segments"] == 2
+        assert detail["metrics"]["engine.total_cycles"] == detail["cycles"]
+        # the demo session runs under an armed telemetry session, so the
+        # record carries span rollups
+        assert detail["metrics"]["span.runtime.epoch.count"] >= 2
+
+    def test_runs_table_and_limit(self, capsys):
+        assert main(["runs", "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "bench" in out
+        assert "train" not in out.splitlines()[2]
+
+    def test_models_csv(self, capsys):
+        assert main(["--format", "csv", "models"]) == 0
+        parsed = list(csv.reader(io.StringIO(capsys.readouterr().out)))
+        assert parsed[0][0] == "model"
+        assert parsed[1][0] == "demo_model"
+
+    def test_serve_stats(self, capsys):
+        assert main(["--format", "json", "serve", "--stats", "--requests", "8"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["requests"] == 8
+        assert stats["latency_histogram"]["count"] == 8
+        assert stats["p99_latency_ms"] >= stats["p50_latency_ms"] >= 0.0
+
+
+class TestBenchSubcommand:
+    def test_bench_reads_result_file(self, capsys, tmp_path):
+        result = tmp_path / "bench.json"
+        result.write_text(json.dumps({"geomean_speedup": 30.0, "note": "x"}))
+        assert main(["--format", "json", "bench", "--result", str(result)]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows == [{"metric": "geomean_speedup", "value": 30.0}]
+
+    def test_bench_compare(self, capsys, tmp_path):
+        base = tmp_path / "base.json"
+        other = tmp_path / "other.json"
+        base.write_text(json.dumps({"speedup": 10.0, "only_base": 1.0}))
+        other.write_text(json.dumps({"speedup": 12.0}))
+        assert (
+            main(
+                [
+                    "--format",
+                    "json",
+                    "bench",
+                    "--result",
+                    str(base),
+                    "--compare",
+                    str(other),
+                ]
+            )
+            == 0
+        )
+        rows = {r["metric"]: r for r in json.loads(capsys.readouterr().out)}
+        assert rows["speedup"]["delta"] == "+20.0%"
+        assert rows["only_base"]["other"] == ""
+
+    def test_bench_missing_file_fails(self, capsys, tmp_path):
+        assert main(["bench", "--result", str(tmp_path / "missing.json")]) == 1
+        assert "not found" in capsys.readouterr().err
