@@ -68,6 +68,14 @@ class LogisticRegression(Algorithm):
             model_topology=(n_features,),
             bind_batch=bind_batch,
             bind_predict=bind_predict,
+            # Rebuild recipe for worker processes (binders do not pickle).
+            metadata={
+                "builder": {
+                    "algorithm": self.key,
+                    "n_features": n_features,
+                    "model_topology": (n_features,),
+                }
+            },
         )
 
     def reference_fit(

@@ -90,6 +90,15 @@ class LowRankMatrixFactorization(Algorithm):
             model_topology=(n_rows, n_cols, rank),
             bind_batch=bind_batch,
             bind_predict=bind_predict,
+            # Rebuild recipe for worker processes (binders do not pickle);
+            # the explicit rank makes the rebuilt topology deterministic.
+            metadata={
+                "builder": {
+                    "algorithm": self.key,
+                    "n_features": n_features,
+                    "model_topology": (n_rows, n_cols, rank),
+                }
+            },
         )
 
     def reference_fit(

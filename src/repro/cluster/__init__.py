@@ -12,6 +12,12 @@ from repro.cluster.partitioner import (
     PagePartition,
     Partitioner,
 )
+from repro.cluster.process_pool import (
+    IPCStats,
+    ProcessSegmentPool,
+    ProcessSegmentWorker,
+    SegmentTask,
+)
 from repro.cluster.segment_worker import SegmentWorker
 from repro.cluster.sharded import (
     ClusterStats,
@@ -25,11 +31,15 @@ __all__ = [
     "AGGREGATION_STRATEGIES",
     "ClusterStats",
     "EXECUTION_STRATEGIES",
+    "IPCStats",
     "ModelAggregator",
     "PARTITION_STRATEGIES",
     "PagePartition",
     "Partitioner",
+    "ProcessSegmentPool",
+    "ProcessSegmentWorker",
     "SegmentReport",
+    "SegmentTask",
     "SegmentWorker",
     "ShardedDAnA",
     "ShardedRunResult",

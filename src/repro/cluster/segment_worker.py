@@ -40,6 +40,61 @@ from repro.algorithms.base import AlgorithmSpec
 SEGMENT_EPOCH_FAULT_SITE = "cluster.segment_worker.epoch"
 
 
+def run_stale_window(
+    worker: "SegmentWorker",
+    spec: AlgorithmSpec,
+    models: dict[str, np.ndarray],
+    count: int,
+    shuffle: bool,
+    convergence_check: bool,
+    retry: RetryPolicy | None = None,
+    retry_stats: RetryStats | None = None,
+) -> TrainingResult:
+    """One stale-synchronous window of ``count`` local epochs on ``worker``.
+
+    Convergence is judged only at the merge boundary (the window's last
+    epoch): the merge-free prefix runs without an early exit so every
+    segment trains exactly ``count`` epochs per window — no segment can
+    stop mid-window and smuggle a less-trained model into the merge.  This
+    is the single definition both the thread-pool strategy and the worker
+    *processes* execute, which is what keeps the two bit-identical.
+    """
+    if count > 1 and convergence_check:
+        prefix = worker.train_epochs(
+            models,
+            spec,
+            count - 1,
+            shuffle,
+            convergence_check=False,
+            retry=retry,
+            retry_stats=retry_stats,
+        )
+        boundary = worker.train_epochs(
+            prefix.models,
+            spec,
+            1,
+            shuffle,
+            convergence_check,
+            retry=retry,
+            retry_stats=retry_stats,
+        )
+        return TrainingResult(
+            models=boundary.models,
+            epochs_run=prefix.epochs_run + boundary.epochs_run,
+            converged=boundary.converged,
+            stats=boundary.stats,
+        )
+    return worker.train_epochs(
+        models,
+        spec,
+        count,
+        shuffle,
+        convergence_check,
+        retry=retry,
+        retry_stats=retry_stats,
+    )
+
+
 @dataclass
 class SegmentWorker:
     """One segment: a page partition bound to its own accelerator."""
@@ -113,6 +168,30 @@ class SegmentWorker:
         self._rows = (
             np.vstack(chunks) if chunks else np.empty((0, len(heapfile.schema)))
         )
+        return self._rows
+
+    def extract_pages(
+        self,
+        page_images,
+        use_striders: bool = True,
+        layout=None,
+        schema=None,
+    ) -> np.ndarray:
+        """Materialise the partition from already-pulled page images.
+
+        Worker *processes* use this: their pages come as zero-copy views
+        of a :class:`~repro.runtime.shm.SharedPageStore` rather than from
+        a heap file + buffer pool, and the Strider bulk walk (or the
+        ``use_striders=False`` RDBMS decode, which needs ``layout`` and
+        ``schema``) runs over them unchanged.
+        """
+        if use_striders:
+            self._rows = self.accelerator.access_engine.extract_table(page_images)
+            return self._rows
+        from repro.rdbms.heapfile import decode_page_rows
+
+        chunks = [decode_page_rows(image, layout, schema) for image in page_images]
+        self._rows = np.vstack(chunks) if chunks else np.empty((0, len(schema)))
         return self._rows
 
     def open_source(

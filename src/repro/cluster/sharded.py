@@ -55,7 +55,19 @@ import numpy as np
 
 from repro.cluster.aggregator import ModelAggregator
 from repro.cluster.partitioner import Partitioner
-from repro.cluster.segment_worker import SEGMENT_EPOCH_FAULT_SITE, SegmentWorker
+from repro.cluster.process_pool import (
+    IPCStats,
+    ProcessSegmentPool,
+    SegmentTask,
+    builder_metadata,
+    chaos_from_active_injector,
+)
+from repro.cluster.segment_worker import (
+    SEGMENT_EPOCH_FAULT_SITE,
+    SegmentWorker,
+    run_stale_window,
+)
+from repro.runtime.shm import SharedPageStore
 from repro.exceptions import ConfigurationError
 from repro.reliability.faults import fault_point
 from repro.reliability.retry import RetryPolicy, RetryStats
@@ -73,7 +85,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.compiler.execution_binary import ExecutionBinary
     from repro.rdbms.database import Database
 
-EXECUTION_STRATEGIES = ("auto", "lockstep", "threads")
+EXECUTION_STRATEGIES = ("auto", "lockstep", "threads", "processes")
 
 
 @dataclass
@@ -128,6 +140,8 @@ class ClusterStats:
     stream: bool = False
     #: retry/fault counters of the run (all zero when fault-free).
     retry: RetryStats = field(default_factory=RetryStats)
+    #: parent<->worker IPC volume (non-zero only for ``processes`` runs).
+    ipc: IPCStats = field(default_factory=IPCStats)
 
     @property
     def cross_merge_cycles(self) -> int:
@@ -250,7 +264,11 @@ class ShardedDAnA:
         # The segment-axis tape is compiled once per sharded run; graphs it
         # cannot carry (gathers) fall back to per-segment execution.
         self._segment_tape: CompiledTape | None = None
-        if segments > 1 and spec.bind_batch is not None and execution != "threads":
+        if (
+            segments > 1
+            and spec.bind_batch is not None
+            and execution not in ("threads", "processes")
+        ):
             try:
                 self._segment_tape = CompiledTape(binary.graph, segment_axis=True)
             except TapeCompilationError:
@@ -260,12 +278,18 @@ class ShardedDAnA:
                 "lockstep execution requires a merge-based graph with a batch "
                 "binder and at least two segments"
             )
+        if execution == "processes":
+            # Fail fast in the parent: worker processes rebuild the spec
+            # from its registry recipe, which hand-written specs lack.
+            builder_metadata(spec)
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
     @property
     def mode(self) -> str:
+        if self.execution == "processes":
+            return "processes"
         return "lockstep" if self._segment_tape is not None else "threads"
 
     def train(
@@ -276,6 +300,8 @@ class ShardedDAnA:
         convergence_check: bool = True,
     ) -> ShardedRunResult:
         """Run sync-policy-scheduled epochs over streaming partition sources."""
+        if self.execution == "processes":
+            return self._train_processes(table_name, epochs, shuffle, convergence_check)
         heapfile = self.database.table(table_name)
         pool = self.database.buffer_pool
         # One accelerator per segment, all generated from the same compiled
@@ -379,6 +405,170 @@ class ShardedDAnA:
             cluster=cluster,
         )
 
+    def _train_processes(
+        self,
+        table_name: str,
+        epochs: int,
+        shuffle: bool,
+        convergence_check: bool,
+    ) -> ShardedRunResult:
+        """Train with one worker *process* per segment over shared pages.
+
+        The table's page images are exported once into a
+        :class:`~repro.runtime.shm.SharedPageStore`; each spawned worker
+        attaches, rebuilds its accelerator from the spec's registry recipe,
+        extracts its partition from the zero-copy views, and trains stale
+        windows on command.  Merge and convergence decisions stay here in
+        the parent, driven by the same :class:`~repro.runtime.EpochDriver`
+        + :class:`~repro.runtime.SyncPolicy` loop as the in-process
+        strategies — which (with the shared per-segment RNG recipe) is what
+        makes the three strategies bit-identical.  Workers always
+        materialise their partitions (no cross-process streaming), so
+        ``stream`` is recorded as ``False`` for these runs.
+        """
+        heapfile = self.database.table(table_name)
+        pool = self.database.buffer_pool
+        builder = builder_metadata(self.spec)
+        table_entry = self.database.catalog.table(table_name)
+        parts = list(
+            self.partitioner.partition_table(self.database, table_name, self.segments)
+        )
+        tasks = [
+            SegmentTask(
+                segment_id=i,
+                udf_name=self.binary.udf_name,
+                algorithm=builder["algorithm"],
+                n_features=builder["n_features"],
+                model_topology=tuple(builder["model_topology"]),
+                hyperparameters=self.spec.hyperparameters,
+                layout=heapfile.layout,
+                fpga=self.fpga,
+                n_tuples=max(1, table_entry.tuple_count),
+                page_nos=tuple(part.page_nos),
+                seed=self.seed,
+                segments=self.segments,
+                use_striders=self.use_striders,
+                shuffle=shuffle,
+                retry=self.retry,
+            )
+            for i, part in enumerate(parts)
+        ]
+        self.workers = []  # in-process workers exist only in children
+        self.cluster_bus = TreeBus(alu_count=self.binary.design.aus_per_cluster)
+        self.aggregator = ModelAggregator(
+            self.aggregation_strategy, tree_bus=self.cluster_bus
+        )
+        store = SharedPageStore.from_heapfile(heapfile, pool)
+        process_pool = ProcessSegmentPool(
+            tasks,
+            store.handle(),
+            retry=self.retry,
+            chaos=chaos_from_active_injector(),
+            storage_sink=self.database.storage.stats,
+        )
+        cluster = ClusterStats(
+            segments=self.segments,
+            mode="processes",
+            partition_strategy=self.partitioner.strategy,
+            aggregation_strategy=self.aggregator.strategy,
+            tree_bus=self.cluster_bus.stats,
+            sync=self.sync_policy.name,
+            staleness=self.sync_policy.staleness,
+            stream=False,
+            ipc=process_pool.ipc,
+        )
+        models = {
+            k: np.array(v, dtype=np.float64) for k, v in self.spec.initial_models.items()
+        }
+        try:
+            process_pool.start()
+            step = _ProcessesStep(self, process_pool, convergence_check)
+            driver = EpochDriver(step, self.sync_policy, convergence_check)
+            result = driver.run(models, epochs)
+        finally:
+            process_pool.shutdown()
+            store.close()
+            store.unlink()
+        cluster.epochs_run = result.epochs_run
+        cluster.merges_performed = result.merges_performed
+        for worker in process_pool.workers:
+            cluster.retry.merge(worker.child_retry_stats)
+            cluster.retry.merge(worker.supervision_retry_stats)
+        reports = [
+            SegmentReport(
+                segment_id=w.segment_id,
+                pages=len(w.partition),
+                tuples_extracted=w.tuples_extracted,
+                engine_stats=w.engine_stats,
+                access_stats=w.access_stats,
+            )
+            for w in process_pool.workers
+        ]
+        return ShardedRunResult(
+            models=result.models,
+            epochs_run=result.epochs_run,
+            converged=result.converged,
+            segments=reports,
+            cluster=cluster,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# processes strategy (one OS process per segment, shared-memory pages)
+# ---------------------------------------------------------------------- #
+class _ProcessesStep(EpochStep):
+    """Per-segment worker processes trained window-by-window.
+
+    The state contract matches :class:`_ThreadsStep` exactly — a list of
+    each active segment's current model mapping — but a window dispatch
+    crosses a pipe instead of a thread pool, and each reply carries the
+    child's counters/telemetry alongside its models (the pool merges those
+    as replies arrive).
+    """
+
+    merges = True
+
+    def __init__(
+        self,
+        sharded: ShardedDAnA,
+        pool: ProcessSegmentPool,
+        convergence_check: bool,
+    ) -> None:
+        self.aggregator = sharded.aggregator
+        self.convergence_check = convergence_check
+        self.pool = pool
+        self.workers = pool.active
+
+    @property
+    def active(self) -> bool:
+        return bool(self.workers)
+
+    def begin(self, models):
+        return [models for _ in self.workers]
+
+    def run_epoch(self, state, epoch_index):
+        state, converged, _executed = self.run_window(state, epoch_index, 1)
+        return state, converged
+
+    def run_window(self, state, epoch_index, count):
+        if not self.workers:
+            return state, False, count
+        payloads = self.pool.run_window(state, count, self.convergence_check)
+        state = [p["models"] for p in payloads]
+        executed = max(p["epochs_run"] for p in payloads)
+        return state, all(p["converged"] for p in payloads), executed
+
+    def merge(self, state, base):
+        return self.aggregator.merge(state, base=base)
+
+    def broadcast(self, models, state):
+        return [models for _ in self.workers]
+
+    def finish(self) -> None:
+        # The pool itself is shut down by the facade (it owns the store
+        # lifecycle too); nothing per-run to release here.
+        pass
+
 
 # ---------------------------------------------------------------------- #
 # threads strategy (per-segment engines on a pool; LRMF + oracle)
@@ -442,41 +632,12 @@ class _ThreadsStep(EpochStep):
         return state, all(r.converged for r in results), executed
 
     def _worker_window(self, worker: SegmentWorker, models, count: int):
-        """One segment's stale window as a single pool task.
-
-        Convergence is judged only at the merge boundary (the window's last
-        epoch): the merge-free prefix runs without an early exit so every
-        segment trains exactly ``count`` epochs per window — no segment can
-        stop mid-window and smuggle a less-trained model into the merge.
-        """
-        if count > 1 and self.convergence_check:
-            prefix = worker.train_epochs(
-                models,
-                self.spec,
-                count - 1,
-                self.shuffle,
-                convergence_check=False,
-                retry=self.retry,
-                retry_stats=worker.retry_stats,
-            )
-            boundary = worker.train_epochs(
-                prefix.models,
-                self.spec,
-                1,
-                self.shuffle,
-                self.convergence_check,
-                retry=self.retry,
-                retry_stats=worker.retry_stats,
-            )
-            return TrainingResult(
-                models=boundary.models,
-                epochs_run=prefix.epochs_run + boundary.epochs_run,
-                converged=boundary.converged,
-                stats=boundary.stats,
-            )
-        return worker.train_epochs(
-            models,
+        """One segment's stale window as a single pool task (see
+        :func:`~repro.cluster.segment_worker.run_stale_window`)."""
+        return run_stale_window(
+            worker,
             self.spec,
+            models,
             count,
             self.shuffle,
             self.convergence_check,

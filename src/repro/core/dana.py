@@ -56,6 +56,7 @@ from repro.serving import (
     InferencePlan,
     ModelRegistry,
     PredictionServer,
+    SCORING_EXECUTION_STRATEGIES,
     SERVING_PATHS,
     ScanScorer,
     ScoreResult,
@@ -393,6 +394,7 @@ class DAnA:
         seed: int = 0,
         stream: bool = True,
         retry: RetryPolicy | None = None,
+        execution: str = "threads",
     ) -> ScoreResult:
         """Score every tuple of a heap table via the bulk Strider page walk.
 
@@ -414,6 +416,11 @@ class DAnA:
         permanently-failed segment's pages across the surviving segments —
         predictions stay bit-identical because reassembly is by page
         number, not by segment.
+
+        ``execution="processes"`` scores each segment in a spawned worker
+        process over zero-copy shared-memory page views instead of a
+        thread — bit-identical predictions and counters, real-core overlap
+        (see :mod:`repro.cluster.process_pool`).
         """
         _validate_serving_config(
             path=path,
@@ -421,6 +428,7 @@ class DAnA:
             segments=segments,
             partition_strategy=partition_strategy,
             stream=stream,
+            execution=execution,
         )
         _validate_retry(retry)
         registered = self._registered(udf_name)
@@ -449,6 +457,7 @@ class DAnA:
             seed=seed,
             stream=stream,
             retry=retry,
+            execution=execution,
         )
         if recorder is not None:
             recorder.record_score(
@@ -462,6 +471,7 @@ class DAnA:
                     "seed": seed,
                     "stream": stream,
                     "retry": retry is not None,
+                    "execution": execution,
                 },
                 result=result,
                 watch=watch,
@@ -1004,6 +1014,7 @@ def _validate_serving_config(
     segments: int | None = None,
     partition_strategy: str | None = None,
     stream: bool = True,
+    execution: str = "threads",
 ) -> None:
     """Fail fast on invalid ``predict``/``score_table`` configuration.
 
@@ -1033,6 +1044,11 @@ def _validate_serving_config(
         raise ConfigurationError(
             f"stream must be a bool (True = overlap the page walk with the "
             f"forward tape, False = materialized oracle), got {stream!r}"
+        )
+    if execution not in SCORING_EXECUTION_STRATEGIES:
+        raise ConfigurationError(
+            f"unknown scoring execution strategy {execution!r}; "
+            f"expected one of {SCORING_EXECUTION_STRATEGIES}"
         )
 
 

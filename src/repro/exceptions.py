@@ -41,6 +41,10 @@ class StorageError(RDBMSError):
     """The simulated storage manager was used incorrectly."""
 
 
+class SharedPageStoreError(RDBMSError):
+    """A shared-memory page store was used after unlink or misused."""
+
+
 class DSLError(ReproError):
     """Base class for user-facing DSL errors."""
 

@@ -324,6 +324,43 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics)
 
+    def absorb(self, snapshot: dict) -> None:
+        """Merge another registry's :meth:`snapshot` into this one.
+
+        Counters add their value, gauges take the snapshot's last-written
+        value, histograms merge bucket occupancy and moments (the exact
+        raw-sample window is not carried across — percentiles over absorbed
+        data fall back to bucket interpolation).  Used to fold a worker
+        *process*'s per-window telemetry into the parent session.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).add(float(data.get("value", 0.0)))
+            elif kind == "gauge":
+                self.gauge(name).set(float(data.get("value", 0.0)))
+            elif kind == "histogram":
+                histogram = self.histogram(name, buckets=data["buckets"])
+                if tuple(data["buckets"]) != histogram.buckets:
+                    raise ConfigurationError(
+                        f"histogram {name!r} bucket bounds differ between "
+                        "sessions; cannot absorb"
+                    )
+                count = int(data.get("count", 0))
+                if count == 0:
+                    continue
+                with histogram._lock:
+                    for index, increment in enumerate(data["bucket_counts"]):
+                        histogram.bucket_counts[index] += int(increment)
+                    histogram.count += count
+                    histogram.sum += float(data.get("sum", 0.0))
+                    histogram.min = min(histogram.min, float(data["min"]))
+                    histogram.max = max(histogram.max, float(data["max"]))
+            else:
+                raise ConfigurationError(
+                    f"cannot absorb metric {name!r} of unknown type {kind!r}"
+                )
+
     def snapshot(self) -> dict:
         """Export every metric as ``{name: metric.to_dict()}``."""
         with self._lock:

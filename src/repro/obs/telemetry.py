@@ -54,6 +54,17 @@ class Telemetry:
             "spans": self.tracer.to_list(),
         }
 
+    def absorb(self, exported: dict, **extra_attrs) -> None:
+        """Merge another session's :meth:`export` into this one.
+
+        Worker processes arm their own local session per training window
+        and ship the export back; the parent absorbs it here so one merged
+        session describes the whole process-parallel run.  ``extra_attrs``
+        tag every absorbed span (segment id, worker pid).
+        """
+        self.metrics.absorb(exported.get("metrics") or {})
+        self.tracer.absorb(exported.get("spans") or [], **extra_attrs)
+
 
 #: the armed session; ``None`` (the default) means every site is a single
 #: is-None check and nothing else.

@@ -143,6 +143,31 @@ class SpanTracer:
             entry["seconds"] += span.duration_s
         return rollup
 
+    def absorb(self, span_dicts: list[dict], **extra_attrs) -> None:
+        """Append spans exported by another tracer (``to_list`` output).
+
+        ``extra_attrs`` are merged into every absorbed span's attributes —
+        the parent session tags worker-process spans with their segment id
+        and pid so a merged trace stays attributable.  Start offsets are
+        process-relative ``perf_counter`` values and are kept as-is.
+        """
+        absorbed = []
+        for data in span_dicts:
+            attrs = dict(data.get("attrs") or {})
+            attrs.update(extra_attrs)
+            absorbed.append(
+                Span(
+                    name=data["name"],
+                    start_s=float(data["start_s"]),
+                    duration_s=float(data["duration_s"]),
+                    depth=int(data.get("depth", 0)),
+                    parent=data.get("parent"),
+                    attrs=attrs,
+                )
+            )
+        with self._lock:
+            self.spans.extend(absorbed)
+
     def to_list(self) -> list[dict]:
         """The flat trace: every finished span as a dict, in finish order."""
         with self._lock:

@@ -15,6 +15,8 @@ from repro.perf.fpga_model import DAnAModel, EpochCost, TABLAModel
 from repro.perf.io_model import IOEstimate, IOModel
 from repro.perf.report import RuntimeBreakdown, format_seconds, geomean, speedup_table
 from repro.perf.segment_model import (
+    DEFAULT_IPC_BANDWIDTH_BYTES_PER_S,
+    DEFAULT_IPC_ROUND_TRIP_S,
     SegmentScalingModel,
     ShardedRunCost,
     measured_segment_sweep,
@@ -28,6 +30,8 @@ __all__ = [
     "DAnAModel",
     "DEFAULT_COST_MODEL",
     "DEFAULT_EPOCHS",
+    "DEFAULT_IPC_BANDWIDTH_BYTES_PER_S",
+    "DEFAULT_IPC_ROUND_TRIP_S",
     "EpochCost",
     "ExternalLibraryCostModel",
     "ExternalLibraryModel",

@@ -23,6 +23,15 @@ from repro.hw.tree_bus import TreeBus
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.sharded import ShardedRunResult
 
+#: modelled pipe throughput for pickled worker payloads.  Unix-pipe copies
+#: of the small (KB-scale) state dicts land around a few GB/s on commodity
+#: hosts; like the Greenplum model's constants this is a calibration knob,
+#: not a measurement.
+DEFAULT_IPC_BANDWIDTH_BYTES_PER_S = 2e9
+#: modelled latency of one blocking send/recv pair on a worker pipe
+#: (syscall + scheduler wakeup on both sides).
+DEFAULT_IPC_ROUND_TRIP_S = 50e-6
+
 
 @dataclass(frozen=True)
 class ShardedRunCost:
@@ -43,6 +52,12 @@ class ShardedRunCost:
     #: the cross-segment merge the pipelined path can hide).
     sync: str = "bulk_synchronous"
     merges_performed: int = 0
+    #: host-side IPC the run paid to ship state over worker pipes.  Both
+    #: are zero for lockstep/threads runs (everything stays in one address
+    #: space); ``execution="processes"`` books pickled model/stat payloads
+    #: here via :class:`~repro.cluster.process_pool.IPCStats`.
+    ipc_bytes: int = 0
+    ipc_round_trips: int = 0
 
     @classmethod
     def from_run(cls, run: "ShardedRunResult") -> "ShardedRunCost":
@@ -60,6 +75,8 @@ class ShardedRunCost:
             segment_engine_cycles=tuple(seg.engine_cycles for seg in run.segments),
             sync=run.cluster.sync,
             merges_performed=run.cluster.merges_performed,
+            ipc_bytes=run.cluster.ipc.bytes_shipped,
+            ipc_round_trips=run.cluster.ipc.round_trips,
         )
 
     @property
@@ -107,6 +124,41 @@ class ShardedRunCost:
     def pipelined_seconds(self, fpga: FPGASpec = DEFAULT_FPGA) -> float:
         """Modelled wall-clock of the pipelined run at the FPGA's clock."""
         return self.pipelined_critical_path_cycles * fpga.cycle_time_s
+
+    def ipc_overhead_seconds(
+        self,
+        bandwidth_bytes_per_s: float = DEFAULT_IPC_BANDWIDTH_BYTES_PER_S,
+        round_trip_s: float = DEFAULT_IPC_ROUND_TRIP_S,
+    ) -> float:
+        """Modelled host-side cost of the run's worker-pipe traffic.
+
+        Charges every shipped byte against a pipe bandwidth and every
+        blocking send/recv pair a fixed round-trip latency.  Zero for
+        lockstep/threads runs, so adding this term keeps the three
+        execution strategies comparable on one axis.
+        """
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("IPC bandwidth must be positive")
+        return (
+            self.ipc_bytes / bandwidth_bytes_per_s
+            + self.ipc_round_trips * round_trip_s
+        )
+
+    def total_seconds(
+        self,
+        fpga: FPGASpec = DEFAULT_FPGA,
+        bandwidth_bytes_per_s: float = DEFAULT_IPC_BANDWIDTH_BYTES_PER_S,
+        round_trip_s: float = DEFAULT_IPC_ROUND_TRIP_S,
+    ) -> float:
+        """Modelled wall-clock including host-side IPC overhead.
+
+        ``seconds()`` is the device-only critical path; a process-parallel
+        run additionally serialises state over pipes each window, and this
+        is where that term is booked.
+        """
+        return self.seconds(fpga) + self.ipc_overhead_seconds(
+            bandwidth_bytes_per_s, round_trip_s
+        )
 
 
 class SegmentScalingModel:

@@ -18,6 +18,7 @@ process observes it afterwards.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -34,8 +35,15 @@ FAULT_SITES = (
     "serving.inference.score",
 )
 
-#: fault kinds a plan entry may request at its site.
-FAULT_KINDS = ("error", "latency")
+#: fault kinds a plan entry may request at its site.  ``"exit"`` terminates
+#: the evaluating *process* without cleanup (``os._exit``) — only
+#: meaningful inside a worker process of the ``execution="processes"``
+#: strategy, where the parent observes the death as a
+#: :class:`~repro.exceptions.TransientError` and respawns the worker.
+FAULT_KINDS = ("error", "latency", "exit")
+
+#: process exit code used by ``kind="exit"`` faults (distinct from crashes).
+FAULT_EXIT_CODE = 23
 
 
 @dataclass(frozen=True)
@@ -105,6 +113,15 @@ class FaultPlan:
         """The fault scheduled for this exact call at ``site``, if any."""
         return self._index.get((site, call))
 
+    def without_kind(self, kind: str) -> "FaultPlan":
+        """A copy of the plan with every ``kind`` entry removed.
+
+        Used when respawning a killed worker process: the death already
+        happened, so the respawned worker's plan drops the ``"exit"``
+        entries (a one-shot crash, not a crash loop).
+        """
+        return FaultPlan([spec for spec in self.faults if spec.kind != kind])
+
 
 @dataclass
 class FaultLogEntry:
@@ -124,9 +141,18 @@ class FaultInjector:
     process-wide.
     """
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, offsets: dict[str, int] | None = None) -> None:
+        """Arm ``plan``; ``offsets`` pre-advances per-site call counters.
+
+        Offsets let a respawned worker process resume counting where the
+        previous incarnation left off, so a plan's later faults keep their
+        deterministic positions across a process death.
+        """
         self.plan = plan
         self.calls: dict[str, int] = {site: 0 for site in FAULT_SITES}
+        if offsets:
+            for site, count in offsets.items():
+                self.calls[site] = int(count)
         #: every fault actually fired, in firing order.
         self.fired: list[FaultLogEntry] = []
         self._lock = threading.Lock()
@@ -144,6 +170,10 @@ class FaultInjector:
         if spec.kind == "latency":
             time.sleep(spec.latency_s)
             return
+        if spec.kind == "exit":
+            # Die like a real worker crash: no cleanup, no exception
+            # propagation.  The parent sees the broken pipe.
+            os._exit(FAULT_EXIT_CODE)
         raise TransientError(
             f"injected fault at {site!r} (call {call} of the fault plan)"
         )
@@ -184,8 +214,9 @@ class inject_faults:
     plan raises, so two chaos tests cannot silently interleave faults.
     """
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, offsets: dict[str, int] | None = None) -> None:
         self.plan = plan
+        self.offsets = offsets
         self.injector: FaultInjector | None = None
 
     def __enter__(self) -> FaultInjector:
@@ -195,7 +226,7 @@ class inject_faults:
                 raise ConfigurationError(
                     "a fault plan is already armed; chaos runs cannot nest"
                 )
-            self.injector = FaultInjector(self.plan)
+            self.injector = FaultInjector(self.plan, offsets=self.offsets)
             _ACTIVE = self.injector
         return self.injector
 

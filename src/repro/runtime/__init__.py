@@ -15,6 +15,11 @@ other way around.
 
 from repro.runtime.batch_source import BatchSource, DEFAULT_QUEUE_DEPTH
 from repro.runtime.epoch_driver import DriverResult, EpochDriver, EpochStep
+from repro.runtime.shm import (
+    SharedPageStore,
+    SharedPageStoreHandle,
+    live_store_names,
+)
 from repro.runtime.sync_policy import (
     AsyncMerge,
     BulkSynchronous,
@@ -32,8 +37,11 @@ __all__ = [
     "DriverResult",
     "EpochDriver",
     "EpochStep",
+    "SharedPageStore",
+    "SharedPageStoreHandle",
     "StaleSynchronous",
     "SYNC_POLICIES",
     "SyncPolicy",
+    "live_store_names",
     "make_sync_policy",
 ]

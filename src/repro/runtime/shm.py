@@ -1,0 +1,278 @@
+"""Shared-memory heap-page export for process-parallel execution.
+
+A :class:`SharedPageStore` copies a heap table's page images into **one**
+``multiprocessing.shared_memory`` block so that worker *processes* can walk
+the same pages with zero per-page pickling: every page a child sees is a
+``memoryview`` slice of the mapped block, and both the Strider bulk walk
+(``np.frombuffer`` over the slice) and :meth:`PayloadDecoder.decode_many`
+consume such views unchanged.
+
+Lifecycle
+---------
+The process that calls :meth:`SharedPageStore.from_heapfile` (or
+:meth:`SharedPageStore.create`) **owns** the block: it must eventually call
+:meth:`SharedPageStore.unlink` exactly once (usually via ``close(); unlink()``
+in a ``finally`` block).  Children receive the pickle-safe
+:class:`SharedPageStoreHandle` and call :meth:`SharedPageStore.attach`;
+attaching after the owner unlinked raises
+:class:`~repro.exceptions.SharedPageStoreError` cleanly instead of leaking a
+``FileNotFoundError``.  Per-process attachments are refcounted: attaching the
+same block twice in one process shares the underlying mapping, and the
+mapping is closed when the last attachment closes.  Spawned children share
+the owner's :mod:`multiprocessing.resource_tracker` process, so the block
+has exactly one tracker registration (the owner's) and the owner's
+``unlink`` retires it — which is what keeps interpreter exits free of
+``leaked shared_memory objects`` warnings.
+
+Reads served from the store are counted in a local
+:class:`~repro.rdbms.storage.StorageStats` so a child's page I/O can be
+shipped back and merged into the parent instead of being silently dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.exceptions import SharedPageStoreError
+from repro.rdbms.storage import StorageStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rdbms.buffer_pool import BufferPool
+    from repro.rdbms.heapfile import HeapFile
+
+
+@dataclass(frozen=True)
+class SharedPageStoreHandle:
+    """Pickle-safe reference to a shared page block (ship this to children)."""
+
+    #: OS-level name of the shared-memory block.
+    name: str
+    #: size of every page image in bytes.
+    page_size: int
+    #: heap page numbers stored in the block, in block order.
+    page_nos: tuple[int, ...]
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages stored in the block."""
+        return len(self.page_nos)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total payload bytes of the block."""
+        return self.page_count * self.page_size
+
+
+class _Block:
+    """One per-process mapping of a shared block, with an attach refcount."""
+
+    __slots__ = ("shm", "refs")
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self.shm = shm
+        self.refs = 1
+
+
+#: per-process registry of open mappings (refcounted attach/close).
+_OPEN: dict[str, _Block] = {}
+_OPEN_LOCK = threading.Lock()
+
+
+def live_store_names() -> list[str]:
+    """Names of shared blocks still mapped in this process (leak checks)."""
+    with _OPEN_LOCK:
+        return sorted(name for name, block in _OPEN.items() if block.refs > 0)
+
+
+class SharedPageStore:
+    """Zero-copy page images in one shared-memory block.
+
+    Instances are created with :meth:`create` / :meth:`from_heapfile`
+    (owner side) or :meth:`attach` (worker side) — never directly.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        page_size: int,
+        page_nos: Sequence[int],
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.page_size = int(page_size)
+        self.page_nos = tuple(int(no) for no in page_nos)
+        self._slots = {no: i for i, no in enumerate(self.page_nos)}
+        self.owner = owner
+        self._closed = False
+        self._unlinked = False
+        #: lazily-built page views; one reusable memoryview per page so
+        #: repeated scans do not accumulate buffer exports.
+        self._views: dict[int, memoryview] = {}
+        #: page I/O served from this mapping (mergeable into the parent).
+        self.stats = StorageStats()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(
+        cls, pages: Iterable[tuple[int, bytes]], page_size: int
+    ) -> "SharedPageStore":
+        """Export ``(page_no, image)`` pairs into a new owned block."""
+        items = list(pages)
+        page_size = int(page_size)
+        for no, image in items:
+            if len(image) != page_size:
+                raise SharedPageStoreError(
+                    f"page {no} image is {len(image)} bytes, expected {page_size}"
+                )
+        size = max(1, len(items) * page_size)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        for slot, (_no, image) in enumerate(items):
+            shm.buf[slot * page_size : (slot + 1) * page_size] = image
+        store = cls(shm, page_size, [no for no, _ in items], owner=True)
+        with _OPEN_LOCK:
+            _OPEN[shm.name] = _Block(shm)
+        return store
+
+    @classmethod
+    def from_heapfile(
+        cls,
+        heapfile: "HeapFile",
+        pool: "BufferPool",
+        page_nos: Sequence[int] | None = None,
+    ) -> "SharedPageStore":
+        """Export a heap table's pages (through the buffer pool) once.
+
+        The pulls go through the caller's buffer pool on the caller's
+        thread, so the physical reads are booked in the parent's
+        :class:`~repro.rdbms.storage.StorageStats` exactly as a threaded
+        run would book them.
+        """
+        return cls.create(
+            heapfile.scan_pages(pool, None if page_nos is None else list(page_nos)),
+            heapfile.layout.page_size,
+        )
+
+    @classmethod
+    def attach(cls, handle: SharedPageStoreHandle) -> "SharedPageStore":
+        """Map an existing block from its handle (worker side).
+
+        Raises:
+            SharedPageStoreError: when the block was already unlinked (or
+                never created) — the owner controls the lifecycle.
+        """
+        with _OPEN_LOCK:
+            block = _OPEN.get(handle.name)
+            if block is not None and block.refs > 0:
+                block.refs += 1
+                return cls(block.shm, handle.page_size, handle.page_nos, owner=False)
+        try:
+            shm = shared_memory.SharedMemory(name=handle.name)
+        except FileNotFoundError as error:
+            raise SharedPageStoreError(
+                f"shared page store {handle.name!r} is gone (already unlinked "
+                "by its owner, or never created)"
+            ) from error
+        # NOTE on the resource tracker: spawned children inherit the
+        # parent's tracker process, so this attach's register message is a
+        # set-level duplicate of the owner's create — NOT a second cleanup
+        # obligation.  Unregistering here would corrupt the shared cache
+        # (the owner's later unlink would double-unregister), so we leave
+        # the single registration to the owner's create/unlink pair.
+        with _OPEN_LOCK:
+            _OPEN[handle.name] = _Block(shm)
+        return cls(shm, handle.page_size, handle.page_nos, owner=False)
+
+    # ------------------------------------------------------------------ #
+    # read surface (mirrors HeapFile.scan_pages)
+    # ------------------------------------------------------------------ #
+    def handle(self) -> SharedPageStoreHandle:
+        """The pickle-safe handle children attach with."""
+        return SharedPageStoreHandle(
+            name=self._shm.name, page_size=self.page_size, page_nos=self.page_nos
+        )
+
+    def page(self, page_no: int) -> memoryview:
+        """Zero-copy view of one page image."""
+        if self._closed:
+            raise SharedPageStoreError(
+                f"shared page store {self._shm.name!r} is closed"
+            )
+        view = self._views.get(page_no)
+        if view is None:
+            slot = self._slots.get(page_no)
+            if slot is None:
+                raise SharedPageStoreError(
+                    f"page {page_no} is not stored in shared block "
+                    f"{self._shm.name!r}"
+                )
+            view = self._shm.buf[slot * self.page_size : (slot + 1) * self.page_size]
+            self._views[page_no] = view
+        self.stats.page_reads += 1
+        self.stats.bytes_read += self.page_size
+        return view
+
+    def scan_pages(
+        self, page_nos: Sequence[int] | None = None
+    ) -> Iterator[tuple[int, memoryview]]:
+        """Yield ``(page_no, view)`` pairs, mirroring ``HeapFile.scan_pages``."""
+        for no in self.page_nos if page_nos is None else page_nos:
+            yield no, self.page(no)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop this attachment; unmaps the block when it is the last one.
+
+        Idempotent.  Views handed out by :meth:`page`/:meth:`scan_pages`
+        are released, so callers must not use them after closing.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for view in self._views.values():
+            view.release()
+        self._views.clear()
+        name = self._shm.name
+        with _OPEN_LOCK:
+            block = _OPEN.get(name)
+            if block is None:
+                return
+            block.refs -= 1
+            if block.refs > 0:
+                return
+            del _OPEN[name]
+        try:
+            self._shm.close()
+        except BufferError as error:  # views still exported somewhere
+            raise SharedPageStoreError(
+                f"shared page store {name!r} still has exported page views; "
+                "drop all arrays/views derived from it before close()"
+            ) from error
+
+    def unlink(self) -> None:
+        """Destroy the block (owner only; call after :meth:`close`)."""
+        if not self.owner:
+            raise SharedPageStoreError(
+                "only the creating process may unlink a shared page store"
+            )
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SharedPageStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+        if self.owner:
+            self.unlink()

@@ -25,7 +25,12 @@ from repro.serving.inference import (
 )
 from repro.serving.microbatch import PredictionServer, ServingStats
 from repro.serving.registry import MODEL_PARAM_SCHEMA, ModelRegistry, model_table_name
-from repro.serving.scorer import ScanScorer, ScoreResult, SegmentScoreReport
+from repro.serving.scorer import (
+    SCORING_EXECUTION_STRATEGIES,
+    ScanScorer,
+    ScoreResult,
+    SegmentScoreReport,
+)
 
 __all__ = [
     "DEFAULT_SCORE_BATCH",
@@ -36,6 +41,7 @@ __all__ = [
     "ModelRegistry",
     "PredictionServer",
     "SERVING_PATHS",
+    "SCORING_EXECUTION_STRATEGIES",
     "ScanScorer",
     "ScoreResult",
     "SegmentScoreReport",

@@ -25,7 +25,9 @@ walk).
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
@@ -33,17 +35,27 @@ from typing import TYPE_CHECKING, Mapping
 import numpy as np
 
 from repro.cluster.partitioner import PagePartition, Partitioner
-from repro.exceptions import RetryExhaustedError
+from repro.cluster.process_pool import (
+    IPCStats,
+    ScoreTask,
+    builder_metadata,
+    score_segment_in_process,
+)
+from repro.exceptions import ConfigurationError, RetryExhaustedError
 from repro.hw.access_engine import AccessEngineStats
 from repro.hw.accelerator import DAnAAccelerator
 from repro.hw.fpga import DEFAULT_FPGA, FPGASpec
 from repro.obs.telemetry import telemetry
 from repro.reliability.faults import fault_point
 from repro.reliability.retry import RetryPolicy, RetryStats
+from repro.runtime.shm import SharedPageStore
 from repro.serving.inference import DEFAULT_SCORE_BATCH, InferencePlan, InferenceStats
 
 #: fault-injection site fired once per scored segment attempt.
 SCORER_FAULT_SITE = "serving.scorer.segment"
+
+#: segment fan-out strategies for whole-table scoring.
+SCORING_EXECUTION_STRATEGIES = ("threads", "processes")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.algorithms.base import AlgorithmSpec
@@ -95,6 +107,10 @@ class ScoreResult:
     #: ``retry.redistributed`` counts segments whose pages survivors
     #: adopted after retry exhaustion.
     retry: RetryStats = field(default_factory=RetryStats)
+    #: segment fan-out of the run: ``"threads"`` or ``"processes"``.
+    execution: str = "threads"
+    #: parent<->worker IPC volume (non-zero only for ``processes`` runs).
+    ipc: IPCStats = field(default_factory=IPCStats)
 
     @property
     def tuples_scored(self) -> int:
@@ -115,6 +131,19 @@ class ScoreResult:
     def critical_path_cycles(self) -> int:
         """Modelled wall-clock cycles: segments scan-and-score concurrently."""
         return max((seg.cycles for seg in self.segments), default=0)
+
+
+@dataclass
+class _ProcessScoreEnv:
+    """Shared machinery of one ``execution="processes"`` scoring run."""
+
+    context: multiprocessing.context.BaseContext
+    store: SharedPageStore
+    ipc: IPCStats
+    #: table tuple count the original hardware generation was sized for
+    #: (the workers' rebuilds must match it exactly).
+    n_tuples: int = 1
+    lock: threading.Lock = field(default_factory=threading.Lock)
 
 
 class ScanScorer:
@@ -147,6 +176,7 @@ class ScanScorer:
         seed: int = 0,
         stream: bool = True,
         retry: RetryPolicy | None = None,
+        execution: str = "threads",
     ) -> ScoreResult:
         """Score every tuple of ``table_name``; predictions in storage order.
 
@@ -173,6 +203,14 @@ class ScanScorer:
                 attempt has its pages adopted by the surviving segments
                 (predictions stay bit-identical — reassembly is by page
                 number, independent of the partitioning).
+            execution: ``"threads"`` (default) scores segments on a thread
+                pool in this process; ``"processes"`` exports the table's
+                pages into a :class:`~repro.runtime.shm.SharedPageStore`
+                and scores each segment in a spawned one-shot worker
+                process over zero-copy page views — predictions and
+                schedule-derived counters are bit-identical to the threads
+                fan-out.  A redistributed segment (after retry exhaustion)
+                always falls back to in-parent scoring.
 
         Returns:
             The :class:`ScoreResult` with storage-order predictions.
@@ -182,40 +220,73 @@ class ScanScorer:
                 policy's degradation mode is ``"fail"`` (or no segment
                 survived to adopt the failed pages).
         """
+        if execution not in SCORING_EXECUTION_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown scoring execution strategy {execution!r}; "
+                f"expected one of {SCORING_EXECUTION_STRATEGIES}"
+            )
         heapfile = self.database.table(table_name)
         pool = self.database.buffer_pool
         partitioner = Partitioner(partition_strategy, seed=seed)
         parts = partitioner.partition_table(self.database, table_name, segments)
-        # The buffer pool is not thread-safe: page images are pulled here,
-        # on the caller's thread, exactly like the training cluster does.
-        jobs = [
-            (part, [img for _no, img in heapfile.scan_pages(pool, part.page_nos)])
-            for part in parts
-        ]
-        results = self._run_jobs(jobs, models, path, batch_size, stream, retry)
-        retry_total = RetryStats()
-        for _outcome, stats in results:
-            retry_total.merge(stats)
-        survivors = [
-            (part, images, outcome)
-            for (part, images), (outcome, _stats) in zip(jobs, results)
-            if outcome is not None
-        ]
-        failed = [
-            (part, images)
-            for (part, images), (outcome, _stats) in zip(jobs, results)
-            if outcome is None
-        ]
-        parts_scored = [part for part, _images, _outcome in survivors]
-        outcomes = [outcome for _part, _images, outcome in survivors]
-        if failed:
-            extra_parts, extra_outcomes = self._redistribute(
-                failed, parts_scored, models, path, batch_size, stream, retry,
-                retry_total,
+        env: _ProcessScoreEnv | None = None
+        if execution == "processes":
+            builder_metadata(self.spec)  # fail fast before exporting pages
+            env = _ProcessScoreEnv(
+                context=multiprocessing.get_context("spawn"),
+                store=SharedPageStore.from_heapfile(heapfile, pool),
+                ipc=IPCStats(),
+                n_tuples=max(
+                    1, self.database.catalog.table(table_name).tuple_count
+                ),
             )
-            parts_scored.extend(extra_parts)
-            outcomes.extend(extra_outcomes)
-        predictions = self._reassemble(parts_scored, outcomes)
+        try:
+            if env is not None:
+                # Zero-copy views of the shared store: the worker children
+                # walk the very same blocks, and the in-parent redistribute
+                # fallback decodes from these views directly.
+                jobs = [
+                    (part, [env.store.page(no) for no in part.page_nos])
+                    for part in parts
+                ]
+            else:
+                # The buffer pool is not thread-safe: page images are pulled
+                # here, on the caller's thread, like the training cluster.
+                jobs = [
+                    (
+                        part,
+                        [img for _no, img in heapfile.scan_pages(pool, part.page_nos)],
+                    )
+                    for part in parts
+                ]
+            results = self._run_jobs(jobs, models, path, batch_size, stream, retry, env)
+            retry_total = RetryStats()
+            for _outcome, stats in results:
+                retry_total.merge(stats)
+            survivors = [
+                (part, images, outcome)
+                for (part, images), (outcome, _stats) in zip(jobs, results)
+                if outcome is not None
+            ]
+            failed = [
+                (part, images)
+                for (part, images), (outcome, _stats) in zip(jobs, results)
+                if outcome is None
+            ]
+            parts_scored = [part for part, _images, _outcome in survivors]
+            outcomes = [outcome for _part, _images, outcome in survivors]
+            if failed:
+                extra_parts, extra_outcomes = self._redistribute(
+                    failed, parts_scored, models, path, batch_size, stream, retry,
+                    retry_total,
+                )
+                parts_scored.extend(extra_parts)
+                outcomes.extend(extra_outcomes)
+            predictions = self._reassemble(parts_scored, outcomes)
+        finally:
+            if env is not None:
+                env.store.close()
+                env.store.unlink()
         return ScoreResult(
             predictions=predictions,
             path=path,
@@ -224,6 +295,8 @@ class ScanScorer:
             segments=[report for report, _preds, _sizes in outcomes],
             stream=stream and self.use_striders,
             retry=retry_total,
+            execution=execution,
+            ipc=env.ipc if env is not None else IPCStats(),
         )
 
     # ------------------------------------------------------------------ #
@@ -237,16 +310,22 @@ class ScanScorer:
         batch_size: int | None,
         stream: bool,
         retry: RetryPolicy | None,
+        env: _ProcessScoreEnv | None = None,
     ) -> list[tuple[tuple | None, RetryStats]]:
         """Score every (partition, images) job, segments concurrently.
 
         Each element of the returned list is ``(outcome, retry_stats)``;
         ``outcome`` is ``None`` when the segment failed every attempt and
-        the policy's degradation mode allows redistribution.
+        the policy's degradation mode allows redistribution.  With a
+        process ``env``, the dispatch threads only supervise their worker
+        processes, so the fan-out width is the segment count.
         """
-        max_workers = min(len(jobs), max(1, os.cpu_count() or 1))
+        if env is not None:
+            max_workers = len(jobs)
+        else:
+            max_workers = min(len(jobs), max(1, os.cpu_count() or 1))
         run = lambda job: self._score_segment_supervised(  # noqa: E731
-            job[0], job[1], models, path, batch_size, stream, retry
+            job[0], job[1], models, path, batch_size, stream, retry, env
         )
         if max_workers > 1 and len(jobs) > 1:
             with ThreadPoolExecutor(max_workers=max_workers) as pool_exec:
@@ -262,21 +341,23 @@ class ScanScorer:
         batch_size: int | None,
         stream: bool,
         retry: RetryPolicy | None,
+        env: _ProcessScoreEnv | None = None,
     ) -> tuple[tuple | None, RetryStats]:
         """One segment under the retry policy (fresh state per attempt)."""
         stats = RetryStats()
-        if retry is None:
-            return (
-                self._score_segment(
-                    part, images, models, path, batch_size, stream, None, stats
-                ),
-                stats,
+        if env is not None:
+            attempt = lambda inner_retry: self._score_segment_process(  # noqa: E731
+                part, models, path, batch_size, stream, env
             )
+        else:
+            attempt = lambda inner_retry: self._score_segment(  # noqa: E731
+                part, images, models, path, batch_size, stream, inner_retry, stats
+            )
+        if retry is None:
+            return attempt(None), stats
         try:
             outcome = retry.run(
-                lambda: self._score_segment(
-                    part, images, models, path, batch_size, stream, retry, stats
-                ),
+                lambda: attempt(retry),
                 stats=stats,
                 label=f"segment {part.segment_id} scan-and-score",
             )
@@ -398,6 +479,75 @@ class ScanScorer:
         if span is not None:
             obs.finish(span, tuples=report.tuples_scored)
         return report, predictions, sizes
+
+    def _score_segment_process(
+        self,
+        part: PagePartition,
+        models: Mapping[str, np.ndarray],
+        path: str,
+        batch_size: int | None,
+        stream: bool,
+        env: _ProcessScoreEnv,
+    ) -> tuple[SegmentScoreReport, np.ndarray, list[int]]:
+        """One segment attempt in a fresh one-shot worker process.
+
+        Mirrors :meth:`_score_segment` exactly — the child builds a fresh
+        accelerator + engine over the same page blocks (via the shared
+        store), so predictions and counters are bit-identical.  The fault
+        site and span fire here in the parent, once per attempt, like the
+        threads fan-out; the child's shared-store page reads are merged
+        into the parent's storage counters.
+        """
+        fault_point(SCORER_FAULT_SITE)
+        obs = telemetry()
+        span = (
+            obs.span(
+                "serving.scorer.segment",
+                segment=part.segment_id,
+                pages=len(part),
+                worker="process",
+            )
+            if obs is not None
+            else None
+        )
+        builder = builder_metadata(self.spec)
+        task = ScoreTask(
+            segment_id=part.segment_id,
+            udf_name=self.binary.udf_name,
+            algorithm=builder["algorithm"],
+            n_features=builder["n_features"],
+            model_topology=tuple(builder["model_topology"]),
+            hyperparameters=self.spec.hyperparameters,
+            layout=self.database.layout,
+            fpga=self.fpga,
+            n_tuples=env.n_tuples,
+            page_nos=tuple(part.page_nos),
+            use_striders=self.use_striders,
+            path=path,
+            batch_size=batch_size,
+            stream=stream,
+        )
+        payload = score_segment_in_process(
+            env.context, task, env.store.handle(), models, ipc=env.ipc
+        )
+        storage = payload.get("storage")
+        if storage is not None:
+            with env.lock:
+                stats = self.database.storage.stats
+                stats.page_reads += storage.page_reads
+                stats.page_writes += storage.page_writes
+                stats.bytes_read += storage.bytes_read
+                stats.bytes_written += storage.bytes_written
+        report = SegmentScoreReport(
+            segment_id=part.segment_id,
+            pages=len(part),
+            tuples_scored=payload["tuples_scored"],
+            access_stats=payload["access_stats"],
+            inference_stats=payload["inference_stats"],
+        )
+        if span is not None:
+            obs.finish(span, tuples=report.tuples_scored, worker_pid=payload.get("pid"))
+        return report, payload["predictions"], payload["sizes"]
 
     def _cpu_decode(self, image: bytes) -> np.ndarray:
         """RDBMS-side page decode (the ``use_striders=False`` model)."""

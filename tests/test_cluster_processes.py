@@ -1,0 +1,356 @@
+"""Tests for process-parallel segment execution (process pool + shared pages).
+
+Invariants enforced here:
+
+* **processes == threads == lockstep, bit for bit** — models, predictions
+  and every schedule-derived counter are identical across
+  ``execution ∈ {lockstep, threads, processes}``; the in-process modes are
+  the parity oracles the process pool must reproduce exactly;
+* **shuffled runs stay deterministic** — the per-segment
+  ``SeedSequence.spawn`` streams are rebuilt identically inside worker
+  processes;
+* **the shared-page lifecycle is leak-free** — no shared-memory block
+  survives ``close(); unlink()``, attaching after unlink raises cleanly,
+  and a full processes-mode run leaves no block mapped;
+* **configuration errors fail fast in the parent** — invalid execution
+  strategies and specs without a rebuild recipe never spawn a child.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Hyperparameters, get_algorithm
+from repro.core import DAnA
+from repro.data.synthetic import generate_for_algorithm
+from repro.exceptions import ConfigurationError, SharedPageStoreError
+from repro.rdbms import Database
+from repro.runtime import SharedPageStore, SharedPageStoreHandle, live_store_names
+
+LRMF_TOPOLOGY = (24, 18, 4)
+EPOCHS = 3
+
+
+def _system(key, n_tuples=320, merge=8, epochs=EPOCHS, seed=11):
+    algorithm = get_algorithm(key)
+    n_features = 4 if key == "lrmf" else 6
+    topology = LRMF_TOPOLOGY if key == "lrmf" else ()
+    hyper = Hyperparameters(learning_rate=0.05, merge_coefficient=merge, epochs=epochs)
+    spec = algorithm.build_spec(n_features, hyper, topology)
+    data = generate_for_algorithm(key, n_tuples, n_features, LRMF_TOPOLOGY, seed=seed)
+    database = Database(page_size=8 * 1024)
+    database.load_table("train", spec.schema, data)
+    database.warm_cache("train")
+    system = DAnA(database)
+    system.register_udf(key, spec, epochs=epochs)
+    return system, spec, algorithm, data
+
+
+def _assert_run_parity(reference, candidate):
+    """Bit-identity of models and every schedule-derived counter."""
+    for name in reference.models:
+        np.testing.assert_array_equal(candidate.models[name], reference.models[name])
+    assert candidate.engine_stats == reference.engine_stats
+    assert candidate.access_stats == reference.access_stats
+    assert candidate.tuples_extracted == reference.tuples_extracted
+    assert candidate.epochs_run == reference.epochs_run
+
+
+# ---------------------------------------------------------------------- #
+# training parity: processes == threads == lockstep
+# ---------------------------------------------------------------------- #
+class TestProcessTrainingParity:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("key", ["linear", "logistic", "svm", "lrmf"])
+    @pytest.mark.parametrize("segments", [1, 2, 4])
+    def test_processes_match_threads(self, key, segments):
+        system, spec, _algo, _data = _system(key)
+        threads = system.train(
+            key, "train", epochs=EPOCHS, segments=segments, execution="threads"
+        )
+        processes = system.train(
+            key, "train", epochs=EPOCHS, segments=segments, execution="processes"
+        )
+        assert processes.cluster.mode == "processes"
+        _assert_run_parity(threads, processes)
+
+    def test_processes_match_lockstep(self):
+        system, spec, _algo, _data = _system("linear")
+        lockstep = system.train(
+            "linear", "train", epochs=EPOCHS, segments=2, execution="lockstep"
+        )
+        processes = system.train(
+            "linear", "train", epochs=EPOCHS, segments=2, execution="processes"
+        )
+        assert lockstep.cluster.mode == "lockstep"
+        for name in lockstep.models:
+            np.testing.assert_allclose(
+                lockstep.models[name], processes.models[name], rtol=1e-9, atol=1e-12
+            )
+        assert lockstep.engine_stats == processes.engine_stats
+        assert (
+            lockstep.cluster.cross_merge_cycles
+            == processes.cluster.cross_merge_cycles
+        )
+
+    def test_shuffled_processes_bit_identical_to_threads(self):
+        """Per-segment SeedSequence streams are rebuilt exactly in children."""
+        system, spec, _algo, _data = _system("linear")
+        kwargs = dict(epochs=EPOCHS, segments=2, shuffle=True, seed=123)
+        threads = system.train("linear", "train", execution="threads", **kwargs)
+        processes = system.train("linear", "train", execution="processes", **kwargs)
+        _assert_run_parity(threads, processes)
+
+    def test_convergence_check_agrees_with_threads(self):
+        """Early stopping decisions cross the process boundary unchanged."""
+        system, spec, algorithm, data = _system("linear")
+        hyper = Hyperparameters(
+            learning_rate=0.05,
+            merge_coefficient=8,
+            epochs=40,
+            convergence_tolerance=0.5,
+        )
+        spec = algorithm.build_spec(6, hyper)
+        system.register_udf("linear_tol", spec, epochs=40)
+        threads = system.train(
+            "linear_tol", "train", epochs=40, segments=2, execution="threads"
+        )
+        processes = system.train(
+            "linear_tol", "train", epochs=40, segments=2, execution="processes"
+        )
+        assert threads.converged and processes.converged
+        assert processes.epochs_run == threads.epochs_run < 40
+        _assert_run_parity(threads, processes)
+
+    def test_ipc_accounting(self):
+        """Process runs book their pipe traffic; in-process runs book none."""
+        system, spec, _algo, _data = _system("linear")
+        threads = system.train(
+            "linear", "train", epochs=EPOCHS, segments=2, execution="threads"
+        )
+        processes = system.train(
+            "linear", "train", epochs=EPOCHS, segments=2, execution="processes"
+        )
+        assert threads.cluster.ipc.bytes_shipped == 0
+        assert threads.cluster.ipc.round_trips == 0
+        assert processes.cluster.ipc.bytes_shipped > 0
+        assert processes.cluster.ipc.round_trips >= 2  # handshake + window
+
+    def test_storage_stats_merged_from_children(self):
+        """Child page reads surface in the parent's storage counters."""
+        system, spec, _algo, _data = _system("linear")
+        before = dataclasses.replace(system.database.storage.stats)
+        run = system.train(
+            "linear", "train", epochs=EPOCHS, segments=2, execution="processes"
+        )
+        stats = system.database.storage.stats
+        assert run.cluster.mode == "processes"
+        # The shared-page export reads every page once in the parent, and
+        # each child's extraction pass reads its partition again.
+        assert stats.page_reads > before.page_reads
+        assert stats.bytes_read > before.bytes_read
+
+    def test_no_shared_memory_leak_after_run(self):
+        system, spec, _algo, _data = _system("linear")
+        system.train(
+            "linear", "train", epochs=EPOCHS, segments=2, execution="processes"
+        )
+        assert live_store_names() == []
+
+
+# ---------------------------------------------------------------------- #
+# scoring parity: ScanScorer execution="processes"
+# ---------------------------------------------------------------------- #
+class TestProcessScoringParity:
+    def test_predictions_bit_identical_to_threads(self):
+        system, spec, _algo, _data = _system("linear")
+        models = system.train("linear", "train", epochs=EPOCHS).models
+        threads = system.score_table(
+            "linear", "train", models=models, segments=2, execution="threads"
+        )
+        processes = system.score_table(
+            "linear", "train", models=models, segments=2, execution="processes"
+        )
+        np.testing.assert_array_equal(processes.predictions, threads.predictions)
+        assert processes.inference_stats == threads.inference_stats
+        for t_seg, p_seg in zip(threads.segments, processes.segments):
+            assert p_seg.access_stats == t_seg.access_stats
+            assert p_seg.tuples_scored == t_seg.tuples_scored
+        assert threads.execution == "threads"
+        assert processes.execution == "processes"
+        assert threads.ipc.bytes_shipped == 0
+        assert processes.ipc.bytes_shipped > 0
+        assert live_store_names() == []
+
+    def test_invalid_scoring_execution_rejected(self):
+        system, spec, _algo, _data = _system("linear")
+        models = system.train("linear", "train", epochs=EPOCHS).models
+        with pytest.raises(ConfigurationError):
+            system.score_table(
+                "linear", "train", models=models, execution="lockstep"
+            )
+
+
+# ---------------------------------------------------------------------- #
+# shared-page store lifecycle
+# ---------------------------------------------------------------------- #
+class TestSharedPageStore:
+    PAGE_SIZE = 64
+
+    def _pages(self, count=3):
+        return [(no, bytes([no]) * self.PAGE_SIZE) for no in range(count)]
+
+    def test_create_page_roundtrip_and_stats(self):
+        store = SharedPageStore.create(self._pages(), self.PAGE_SIZE)
+        try:
+            assert bytes(store.page(2)) == bytes([2]) * self.PAGE_SIZE
+            assert [no for no, _ in store.scan_pages()] == [0, 1, 2]
+            # 1 direct read + 3 scan reads, every one booked.
+            assert store.stats.page_reads == 4
+            assert store.stats.bytes_read == 4 * self.PAGE_SIZE
+        finally:
+            store.close()
+            store.unlink()
+        assert live_store_names() == []
+
+    def test_handle_is_pickle_safe_metadata(self):
+        store = SharedPageStore.create(self._pages(), self.PAGE_SIZE)
+        try:
+            handle = store.handle()
+            assert isinstance(handle, SharedPageStoreHandle)
+            assert handle.page_nos == (0, 1, 2)
+            assert handle.page_count == 3
+            assert handle.size_bytes == 3 * self.PAGE_SIZE
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_same_process_attach_shares_the_mapping(self):
+        store = SharedPageStore.create(self._pages(), self.PAGE_SIZE)
+        attached = SharedPageStore.attach(store.handle())
+        assert bytes(attached.page(1)) == bytes([1]) * self.PAGE_SIZE
+        attached.close()
+        # The owner's mapping survives the attachment's close.
+        assert bytes(store.page(1)) == bytes([1]) * self.PAGE_SIZE
+        store.close()
+        store.unlink()
+        assert live_store_names() == []
+
+    def test_attach_after_unlink_raises_cleanly(self):
+        store = SharedPageStore.create(self._pages(), self.PAGE_SIZE)
+        handle = store.handle()
+        store.close()
+        store.unlink()
+        with pytest.raises(SharedPageStoreError, match="gone"):
+            SharedPageStore.attach(handle)
+
+    def test_page_after_close_raises(self):
+        store = SharedPageStore.create(self._pages(), self.PAGE_SIZE)
+        store.close()
+        with pytest.raises(SharedPageStoreError, match="closed"):
+            store.page(0)
+        store.unlink()
+
+    def test_unknown_page_and_bad_image_size_raise(self):
+        with pytest.raises(SharedPageStoreError, match="expected"):
+            SharedPageStore.create([(0, b"short")], self.PAGE_SIZE)
+        store = SharedPageStore.create(self._pages(), self.PAGE_SIZE)
+        try:
+            with pytest.raises(SharedPageStoreError, match="not stored"):
+                store.page(99)
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_only_owner_may_unlink(self):
+        store = SharedPageStore.create(self._pages(), self.PAGE_SIZE)
+        attached = SharedPageStore.attach(store.handle())
+        with pytest.raises(SharedPageStoreError, match="creating process"):
+            attached.unlink()
+        attached.close()
+        store.close()
+        store.unlink()
+
+    def test_context_manager_closes_and_unlinks(self):
+        with SharedPageStore.create(self._pages(), self.PAGE_SIZE) as store:
+            handle = store.handle()
+            assert handle.name in live_store_names()
+        assert live_store_names() == []
+        with pytest.raises(SharedPageStoreError):
+            SharedPageStore.attach(handle)
+
+
+# ---------------------------------------------------------------------- #
+# perf model: IPC overhead terms
+# ---------------------------------------------------------------------- #
+class TestShardedRunCostIPC:
+    def test_from_run_lifts_ipc_counters(self):
+        from repro.perf import ShardedRunCost
+
+        system, spec, _algo, _data = _system("linear")
+        run = system.train(
+            "linear", "train", epochs=EPOCHS, segments=2, execution="processes"
+        )
+        cost = ShardedRunCost.from_run(run)
+        assert cost.ipc_bytes == run.cluster.ipc.bytes_shipped > 0
+        assert cost.ipc_round_trips == run.cluster.ipc.round_trips > 0
+        # IPC is host-side overhead on top of the device critical path.
+        assert cost.total_seconds() > cost.seconds()
+        assert cost.total_seconds() == pytest.approx(
+            cost.seconds() + cost.ipc_overhead_seconds()
+        )
+
+    def test_in_process_runs_have_zero_ipc_overhead(self):
+        from repro.perf import ShardedRunCost
+
+        system, spec, _algo, _data = _system("linear")
+        run = system.train("linear", "train", epochs=EPOCHS, segments=2)
+        cost = ShardedRunCost.from_run(run)
+        assert cost.ipc_bytes == 0 and cost.ipc_round_trips == 0
+        assert cost.ipc_overhead_seconds() == 0.0
+        assert cost.total_seconds() == cost.seconds()
+
+    def test_overhead_math_and_validation(self):
+        from repro.perf import ShardedRunCost
+
+        cost = ShardedRunCost(
+            segments=2,
+            epochs_run=1,
+            critical_segment_cycles=100,
+            cross_merge_cycles=10,
+            model_elements=4,
+            ipc_bytes=2_000_000,
+            ipc_round_trips=10,
+        )
+        seconds = cost.ipc_overhead_seconds(
+            bandwidth_bytes_per_s=1e6, round_trip_s=0.001
+        )
+        assert seconds == pytest.approx(2.0 + 0.01)
+        with pytest.raises(ValueError):
+            cost.ipc_overhead_seconds(bandwidth_bytes_per_s=0)
+
+
+# ---------------------------------------------------------------------- #
+# configuration errors fail fast in the parent
+# ---------------------------------------------------------------------- #
+class TestProcessConfiguration:
+    def test_invalid_execution_rejected(self):
+        system, spec, _algo, _data = _system("linear")
+        with pytest.raises(ConfigurationError):
+            system.train(
+                "linear", "train", epochs=2, segments=2, execution="fibers"
+            )
+
+    def test_spec_without_builder_recipe_rejected_before_spawn(self):
+        """Hand-written specs can't cross the process boundary: binders are
+        closures, so without the ``builder`` rebuild recipe the parent must
+        refuse instead of shipping an unpicklable spec."""
+        system, spec, _algo, _data = _system("linear")
+        bare = dataclasses.replace(spec, metadata={})
+        system.register_udf("bare", bare, epochs=2)
+        with pytest.raises(ConfigurationError, match="builder"):
+            system.train("bare", "train", epochs=2, segments=2, execution="processes")
+        # The same spec still trains in-process.
+        run = system.train("bare", "train", epochs=2, segments=2, execution="threads")
+        assert run.epochs_run == 2

@@ -164,6 +164,7 @@ from repro.reliability import (
     FaultSpec,
     RetryPolicy,
     RetryStats,
+    fault_point,
     inject_faults,
 )
 
@@ -631,3 +632,122 @@ class TestServerAdmission:
         with server:
             with pytest.raises(ConfigurationError, match="deadline_ms"):
                 server.submit(np.zeros(6), deadline_ms=0)
+
+
+# ---------------------------------------------------------------------- #
+# fault machinery across the process boundary (pickle + call offsets)
+# ---------------------------------------------------------------------- #
+class TestFaultMachineryPickleSafety:
+    """Plans and policies are shipped to worker processes verbatim."""
+
+    def test_fault_spec_and_plan_round_trip(self):
+        import pickle
+
+        plan = FaultPlan(
+            [
+                FaultSpec("cluster.segment_worker.epoch", 3, "exit"),
+                FaultSpec("hw.strider.page_walk", 2),
+                FaultSpec("serving.scorer.segment", 1, "latency", latency_s=0.01),
+            ]
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.faults == plan.faults
+        assert clone.lookup("hw.strider.page_walk", 2) == plan.faults[1]
+        spec = pickle.loads(pickle.dumps(plan.faults[0]))
+        assert spec == plan.faults[0]
+
+    def test_retry_policy_round_trip(self):
+        import pickle
+
+        policy = RetryPolicy(
+            max_attempts=5, backoff_s=0.25, multiplier=3.0, jitter=0.1, seed=9
+        )
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone == policy
+
+    def test_without_kind_drops_only_that_kind(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("cluster.segment_worker.epoch", 3, "exit"),
+                FaultSpec("cluster.segment_worker.epoch", 5, "error"),
+            ]
+        )
+        respawn_plan = plan.without_kind("exit")
+        assert [f.kind for f in respawn_plan.faults] == ["error"]
+        assert plan.lookup("cluster.segment_worker.epoch", 3) is not None
+        assert respawn_plan.lookup("cluster.segment_worker.epoch", 3) is None
+
+    def test_injector_offsets_preadvance_call_counters(self):
+        """A respawned worker resumes the fault schedule where it died."""
+        site = "cluster.segment_worker.epoch"
+        plan = FaultPlan.transient((site, 3))
+        with inject_faults(plan, offsets={site: 2}) as injector:
+            with pytest.raises(TransientError):
+                fault_point(site)  # call 1 + offset 2 == scheduled call 3
+        assert [(f.site, f.call) for f in injector.fired] == [(site, 3)]
+        # Without the offset the same plan needs three calls to fire.
+        with inject_faults(plan) as injector:
+            fault_point(site)
+            fault_point(site)
+            with pytest.raises(TransientError):
+                fault_point(site)
+        assert len(injector.fired) == 1
+
+
+# ---------------------------------------------------------------------- #
+# process-pool chaos: workers die mid-epoch and recover bit-identically
+# ---------------------------------------------------------------------- #
+@pytest.mark.chaos
+class TestProcessChaosParity:
+    """Killed / faulting worker processes recover to bit-identical runs."""
+
+    def test_worker_exit_mid_epoch_recovers_bit_identically(self):
+        """kind="exit" kills the worker child with os._exit mid-window; the
+        parent must see the death as a TransientError, respawn the worker
+        from the last good checkpoint, and finish the run bit-identical to
+        the fault-free processes run."""
+        system, _spec = _chaos_system("linear", epochs=4)
+        baseline = system.train(
+            "linear", "train", segments=2, execution="processes"
+        )
+        plan = FaultPlan(
+            [FaultSpec("cluster.segment_worker.epoch", 3, kind="exit")]
+        )
+        with inject_faults(plan):
+            chaotic = system.train(
+                "linear", "train", segments=2, execution="processes", retry=RETRY
+            )
+        # The dying child cannot ship its fired-log entry (it is gone);
+        # the supervision counters are where the death is recorded.
+        assert chaotic.cluster.retry.faults >= 1
+        assert chaotic.cluster.retry.retries >= 1
+        _assert_sharded_parity(baseline, chaotic)
+
+    def test_in_child_error_fault_retried_inside_worker(self):
+        """kind="error" faults fire inside the child and are absorbed by
+        the shipped retry policy without killing the process; the fired
+        log entry ships back to the parent's injector."""
+        system, _spec = _chaos_system("linear", epochs=4)
+        baseline = system.train(
+            "linear", "train", segments=2, execution="processes"
+        )
+        plan = FaultPlan.transient(("cluster.segment_worker.epoch", 2))
+        with inject_faults(plan) as injector:
+            chaotic = system.train(
+                "linear", "train", segments=2, execution="processes", retry=RETRY
+            )
+        assert [(f.site, f.call) for f in injector.fired] == [
+            ("cluster.segment_worker.epoch", 2)
+        ]
+        assert chaotic.cluster.retry.faults >= 1
+        _assert_sharded_parity(baseline, chaotic)
+
+    def test_exit_without_retry_is_fatal(self):
+        """A dead worker without supervision propagates TransientError."""
+        system, _spec = _chaos_system("linear", epochs=2)
+        plan = FaultPlan(
+            [FaultSpec("cluster.segment_worker.epoch", 1, kind="exit")]
+        )
+        with inject_faults(plan):
+            with pytest.raises(TransientError, match="died"):
+                system.train("linear", "train", segments=2, execution="processes")
