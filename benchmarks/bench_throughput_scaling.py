@@ -911,6 +911,108 @@ def bench_observability_sweep(
     return report
 
 
+def bench_explain_analyze_sweep(
+    n_tuples: int,
+    n_features: int,
+    segments: int = 2,
+    repeats: int = 40,
+) -> dict:
+    """``EXPLAIN ANALYZE`` overhead sweep on the SQL scoring statement.
+
+    Two executions of the same ``dana.score`` statement:
+
+    * ``baseline`` — the bare statement through ``Database.execute``;
+    * ``explain_analyze`` — the statement wrapped in ``EXPLAIN ANALYZE``,
+      which additionally builds the costed plan tree, runs the statement
+      inside a :class:`~repro.obs.StatementTrace`, and annotates every
+      operator with its measured side.
+
+    The wrapped statement's inner result must be bit-identical to the
+    bare one before timing means anything.  The estimator and gate
+    statistic mirror :func:`bench_observability_sweep` (median of
+    per-pair ratios, one-sided 95% lower confidence bound), and CI
+    bounds the overhead with the same ``--max-observability-overhead``
+    gate — statement tracing is observability, so it obeys the same
+    budget.
+    """
+    algorithm_key = "linear"
+    algorithm = get_algorithm(algorithm_key)
+    hyper = Hyperparameters(learning_rate=0.05, merge_coefficient=16, epochs=2)
+    spec = algorithm.build_spec(n_features, hyper)
+    data = generate_for_algorithm(algorithm_key, n_tuples, n_features, seed=0)
+    database = Database(page_size=PAGE_SIZE)
+    database.load_table("t", spec.schema, data)
+    database.warm_cache("t")
+    system = DAnA(database)
+    system.register_udf(algorithm_key, spec, epochs=2)
+    run = system.train(algorithm_key, "t", epochs=2)
+    system.save_model("m", algorithm_key, run.models)
+
+    sql = f"SELECT * FROM dana.score('m', 't', segments => {segments})"
+
+    def bare():
+        return database.execute(sql)
+
+    def explained():
+        return database.execute("EXPLAIN ANALYZE " + sql)
+
+    # Warm both paths once, then assert the bit-identity invariant.
+    baseline = bare()
+    report_result = explained()
+    assert report_result.payload.result.rows == baseline.rows, (
+        "EXPLAIN ANALYZE changed the statement's result"
+    )
+
+    timings = {"baseline": None, "explain_analyze": None}
+    configs = [("baseline", bare), ("explain_analyze", explained)]
+    ratios = []
+    gc.collect()
+    gc.disable()
+    try:
+        for iteration in range(repeats):
+            order = configs if iteration % 2 == 0 else configs[::-1]
+            pair = {}
+            for name, runner in order:
+                start = time.perf_counter()
+                runner()
+                elapsed = time.perf_counter() - start
+                pair[name] = elapsed
+                if timings[name] is None or elapsed < timings[name]:
+                    timings[name] = elapsed
+            ratios.append(pair["explain_analyze"] / pair["baseline"])
+    finally:
+        gc.enable()
+
+    overhead = statistics.median(ratios) - 1.0
+    ordered = sorted(ratios)
+    k = max(0, math.floor(len(ordered) / 2 - 1.645 * math.sqrt(len(ordered)) / 2))
+    overhead_lower_bound = ordered[k] - 1.0
+    report = {
+        "description": (
+            "EXPLAIN ANALYZE overhead on the SQL scoring statement: bare "
+            "execution vs plan build + statement trace + annotation "
+            "(gated by --max-observability-overhead); bit-identical "
+            "inner result asserted first"
+        ),
+        "n_tuples": n_tuples,
+        "segments": segments,
+        "baseline_seconds": round(timings["baseline"], 6),
+        "explain_analyze_seconds": round(timings["explain_analyze"], 6),
+        "explain_analyze_overhead": round(overhead, 4),
+        "explain_analyze_overhead_lower_95": round(overhead_lower_bound, 4),
+        "overhead_pairs": repeats,
+        **_host_metadata(),
+    }
+    print(
+        f"explain-analyze: baseline {timings['baseline']*1e3:8.1f} ms  "
+        f"explain-analyze {timings['explain_analyze']*1e3:8.1f} ms  "
+        f"overhead {overhead*100:+.2f}% "
+        f"(median of {repeats} pairs, 95% lower bound "
+        f"{overhead_lower_bound*100:+.2f}%)"
+    )
+    return report
+
+
 def run_suite(sizes: list[int], epochs: int) -> dict:
     rows = []
     for algorithm_key, n_features in WORKLOADS:
@@ -1114,6 +1216,12 @@ def main() -> None:
     # thread spawn/join jitter cannot dominate.
     observability = bench_observability_sweep(n_tuples=32768, n_features=16)
     report["observability_sweep"] = observability
+    print("\nexplain-analyze sweep (statement-trace overhead, SQL scoring):")
+    # Full-size workload in smoke mode too: the plan build + trace is a
+    # fixed per-statement cost, so the statement has to be long enough
+    # for the ~0% signal to be measurable at all.
+    explain_analyze = bench_explain_analyze_sweep(n_tuples=32768, n_features=16)
+    report["explain_analyze_sweep"] = explain_analyze
     if not args.smoke:
         RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {RESULT_PATH}")
@@ -1230,6 +1338,20 @@ def main() -> None:
             f"(95% lower bound "
             f"{observability['observability_overhead_lower_95']*100:.2f}%) "
             f"on the batched scan-and-score path exceeds the allowed "
+            f"{args.max_observability_overhead*100:.2f}%"
+        )
+    # EXPLAIN ANALYZE gate: statement tracing is observability, so the
+    # plan build + trace capture + annotation must fit the same budget.
+    if (
+        explain_analyze["explain_analyze_overhead_lower_95"]
+        > args.max_observability_overhead
+    ):
+        raise SystemExit(
+            f"EXPLAIN ANALYZE overhead "
+            f"{explain_analyze['explain_analyze_overhead']*100:.2f}% "
+            f"(95% lower bound "
+            f"{explain_analyze['explain_analyze_overhead_lower_95']*100:.2f}%) "
+            f"on the SQL scoring statement exceeds the allowed "
             f"{args.max_observability_overhead*100:.2f}%"
         )
 

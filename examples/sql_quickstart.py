@@ -14,7 +14,10 @@ drives that loop end-to-end through ``Database.execute``:
    Python ``DAnA.score_table`` API);
 4. ``SELECT * FROM dana.score('<model>', '<table>', segments => N)`` —
    sharded scoring with explicit serving knobs;
-5. ``DROP MODEL`` — clean up, parameter tables included.
+5. ``EXPLAIN`` / ``EXPLAIN ANALYZE`` — the costed operator tree (predicted
+   cycles and modelled seconds from the schedule-derived cost models) and,
+   under ANALYZE, measured spans/wall/rows next to every prediction;
+6. ``DROP MODEL`` — clean up, parameter tables included.
 
 Run with:  PYTHONPATH=src python examples/sql_quickstart.py
 """
@@ -91,7 +94,24 @@ def main() -> None:
     )
     print(f"   stats: {sharded.stats}")
 
-    # 5. clean up: the model and its parameter heap tables disappear
+    # 5. plan introspection: EXPLAIN prices the statement without running
+    # it; EXPLAIN ANALYZE runs it inside a statement trace and renders
+    # predicted-vs-actual per operator.
+    run(
+        "EXPLAIN CREATE MODEL prices2 AS TRAIN linearR ON houses "
+        "WITH (epochs => 6, segments => 2)"
+    )
+    assert database.execute("SHOW MODELS").rows != [], "EXPLAIN must not DROP"
+    score_sql = "SELECT * FROM dana.score('prices', 'houses', segments => 2)"
+    bare = database.execute(score_sql)
+    explained = run("EXPLAIN ANALYZE " + score_sql)
+    report = explained.payload
+    assert (
+        report.result.rows == bare.rows
+    ), "EXPLAIN ANALYZE changed the statement's result"
+    print("   EXPLAIN ANALYZE result bit-identical to the bare statement: OK")
+
+    # 6. clean up: the model and its parameter heap tables disappear
     run("DROP MODEL prices")
     assert database.execute("SHOW MODELS").rows == []
     print("\nSQL session complete.")

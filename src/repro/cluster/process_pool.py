@@ -667,6 +667,9 @@ class ProcessSegmentPool:
         self.ipc = IPCStats()
         self._merge_lock = threading.Lock()
         self.workers = [ProcessSegmentWorker(task, handle, self) for task in tasks]
+        #: concurrent dispatch width: ``min(segments, cpu count)``, so a
+        #: ``segments > cores`` run supervises at most one window per core.
+        self.worker_limit = min(len(self.workers), max(1, os.cpu_count() or 1))
         #: workers whose partitions hold at least one tuple (set by start).
         self.active: list[ProcessSegmentWorker] = []
         self._executor: ThreadPoolExecutor | None = None
@@ -675,7 +678,7 @@ class ProcessSegmentPool:
     def start(self) -> None:
         """Spawn every worker (concurrently) and run the init handshakes."""
         if len(self.workers) > 1:
-            self._executor = ThreadPoolExecutor(max_workers=len(self.workers))
+            self._executor = ThreadPoolExecutor(max_workers=self.worker_limit)
             list(self._executor.map(self._supervised_start, self.workers))
         else:
             for worker in self.workers:

@@ -142,6 +142,9 @@ class ClusterStats:
     retry: RetryStats = field(default_factory=RetryStats)
     #: parent<->worker IPC volume (non-zero only for ``processes`` runs).
     ipc: IPCStats = field(default_factory=IPCStats)
+    #: concurrent fan-out width of the run: ``min(segments, cpu count)``
+    #: (0 for lockstep, which runs all segments on one tape).
+    worker_limit: int = 0
 
     @property
     def cross_merge_cycles(self) -> int:
@@ -356,6 +359,11 @@ class ShardedDAnA:
             sync=self.sync_policy.name,
             staleness=self.sync_policy.staleness,
             stream=self.stream,
+            worker_limit=(
+                0
+                if self.mode == "lockstep"
+                else min(self.segments, max(1, os.cpu_count() or 1))
+            ),
         )
         if self.mode == "lockstep":
             step: EpochStep = _LockstepStep(self, shuffle, convergence_check)
@@ -476,6 +484,7 @@ class ShardedDAnA:
             staleness=self.sync_policy.staleness,
             stream=False,
             ipc=process_pool.ipc,
+            worker_limit=process_pool.worker_limit,
         )
         models = {
             k: np.array(v, dtype=np.float64) for k, v in self.spec.initial_models.items()

@@ -34,6 +34,7 @@ from repro.cluster import (
     AGGREGATION_STRATEGIES,
     EXECUTION_STRATEGIES,
     PARTITION_STRATEGIES,
+    Partitioner,
     ShardedDAnA,
     ShardedRunResult,
 )
@@ -42,17 +43,27 @@ from repro.exceptions import ConfigurationError, QueryError
 from repro.hw import DAnAAccelerator, DEFAULT_FPGA, FPGASpec
 from repro.hw.accelerator import AcceleratorRunResult
 from repro.obs.recorder import RunRecorder
+from repro.perf import (
+    ScoreRunCost,
+    page_tuple_counts,
+    predict_score_cost,
+    predict_train_cost,
+    worker_limit,
+)
 from repro.rdbms import AcceleratorEntry, Database, ModelEntry
 from repro.reliability import RetryPolicy
+from repro.rdbms.explain import PlanOperator, filter_limit_ops
 from repro.rdbms.query import (
     CreateModel,
     PredictScan,
     QueryResult,
     ScoreCall,
+    UDFCall,
     matches_row,
 )
 from repro.runtime import SYNC_POLICIES
 from repro.serving import (
+    DEFAULT_SCORE_BATCH,
     InferencePlan,
     ModelRegistry,
     PredictionServer,
@@ -611,15 +622,19 @@ class DAnA:
         udf_name = self._sql_udf_for_model(entry)
         if not self.database.catalog.has_table(plan.table_name):
             raise QueryError(f"table {plan.table_name!r} does not exist")
-        result = self.score_table(
-            udf_name,
-            plan.table_name,
-            model_name=entry.name,
-            version=entry.version,
-            segments=plan.segments,
-            batch_size=plan.batch_size,
-            stream=True if plan.stream is None else plan.stream,
-        )
+        try:
+            result = self.score_table(
+                udf_name,
+                plan.table_name,
+                model_name=entry.name,
+                version=entry.version,
+                segments=plan.segments,
+                batch_size=plan.batch_size,
+                stream=True if plan.stream is None else plan.stream,
+                execution=plan.execution or "threads",
+            )
+        except ConfigurationError as error:
+            raise QueryError(f"dana.score arguments are invalid: {error}") from None
         predictions = result.predictions
         if plan.limit is not None:
             predictions = predictions[: plan.limit]
@@ -676,6 +691,442 @@ class DAnA:
             payload=entry,
             stats={"table": plan.table_name, "udf": plan.udf_name},
         )
+
+    def sql_explain(self, plan: Any) -> PlanOperator:
+        """Build the ``EXPLAIN`` operator tree of one serving/training statement.
+
+        Called by :class:`~repro.rdbms.explain.PlanExplainer` for the plan
+        nodes this runtime executes (``dana.score``/``dana.predict`` scans,
+        ``CREATE MODEL``, accelerated UDF calls).  The tree carries the
+        *resolved* knobs the statement would run with (segments, execution
+        mode, sync policy, the ``min(segments, cpu count)`` worker clamp)
+        and predicted costs from :mod:`repro.perf`'s schedule-derived
+        models — without executing anything: compilation is cached, and
+        building a tree records no run and trains no model.
+
+        Raises:
+            QueryError: for the same semantic errors executing the
+                statement would raise (unknown models/UDFs/tables, invalid
+                options), so ``EXPLAIN`` is an accurate dry run.
+        """
+        if isinstance(plan, (ScoreCall, PredictScan)):
+            return self._explain_score(plan)
+        if isinstance(plan, CreateModel):
+            return self._explain_create_model(plan)
+        if isinstance(plan, UDFCall):
+            return self._explain_udf(plan)
+        raise QueryError(f"EXPLAIN does not support plan node {plan!r}")
+
+    def _explain_partitions(
+        self,
+        table_name: str,
+        segments: int,
+        partition_strategy: str = "round_robin",
+        seed: int = 0,
+    ) -> tuple[list, list[list[int]]]:
+        """Per-segment page lists and tuple counts from catalog statistics.
+
+        Uses the same :class:`~repro.cluster.Partitioner` the execution
+        paths use, so the predicted per-segment page sets are exactly the
+        executed ones — but prices them from the catalog's tuple count
+        instead of scanning heap pages.
+        """
+        if not self.database.catalog.has_table(table_name):
+            raise QueryError(f"table {table_name!r} does not exist")
+        entry = self.database.catalog.table(table_name)
+        heapfile = self.database.table(table_name)
+        parts = Partitioner(partition_strategy, seed=seed).partition_table(
+            self.database, table_name, segments
+        )
+        counts = [
+            page_tuple_counts(
+                part.page_nos, entry.tuple_count, heapfile.tuples_per_page()
+            )
+            for part in parts
+        ]
+        return parts, counts
+
+    def _measure_score(self, result: QueryResult) -> dict:
+        """Actual-side counters of an executed scoring statement."""
+        score: ScoreResult = result.payload
+        cost = ScoreRunCost.from_result(score)
+        return {
+            "rows": len(result.rows),
+            "tuples": score.tuples_scored,
+            "wall_cycles": cost.wall_cycles,
+            "seconds": cost.seconds(self.fpga),
+            "forward_cycles": score.inference_stats.forward_cycles,
+            "retries": score.retry.retries,
+            "workers": score.worker_limit,
+        }
+
+    def _explain_score(self, plan: ScoreCall | PredictScan) -> PlanOperator:
+        """Operator tree of a ``dana.score``/``dana.predict`` statement."""
+        if isinstance(plan, ScoreCall):
+            segments = plan.segments or 1
+            batch_size = plan.batch_size
+            stream = True if plan.stream is None else plan.stream
+            execution = plan.execution or "threads"
+            where: tuple = ()
+        else:
+            segments, batch_size, stream, execution = 1, None, True, "threads"
+            where = plan.where
+        entry = self._sql_model_entry(plan.model_name, plan.version)
+        udf_name = self._sql_udf_for_model(entry)
+        try:
+            _validate_serving_config(
+                path="batched",
+                batch_size=batch_size,
+                segments=segments,
+                stream=stream,
+                execution=execution,
+            )
+        except ConfigurationError as error:
+            raise QueryError(f"dana.score arguments are invalid: {error}") from None
+        parts, counts = self._explain_partitions(plan.table_name, segments)
+        registered = self._registered(udf_name)
+        self.compile_udf(udf_name, plan.table_name)
+        accelerator = registered.accelerators[plan.table_name]
+        inference = self._inference_plan(registered, plan.table_name)
+        cost = predict_score_cost(
+            accelerator.access_engine,
+            inference,
+            counts,
+            batch_size=batch_size,
+            stream=stream,
+        )
+        total_pages = sum(len(part) for part in parts)
+        root = PlanOperator(
+            name="ScanScore",
+            label=f"{plan.table_name} ({entry.name} v{entry.version})",
+            knobs={
+                "algorithm": entry.algorithm,
+                "udf": udf_name,
+                "segments": segments,
+                "execution": execution,
+                "stream": stream,
+                "batch_size": batch_size or DEFAULT_SCORE_BATCH,
+                "workers": worker_limit(len(parts)),
+                "pages": total_pages,
+                "tuples": cost.tuples_scored,
+            },
+            predicted={
+                "tuples": cost.tuples_scored,
+                "wall_cycles": cost.wall_cycles,
+                "critical_path_cycles": cost.critical_path_cycles,
+                "pipelined_cycles": cost.pipelined_critical_path_cycles,
+                "seconds": cost.seconds(self.fpga),
+                "inference_cycles_per_tuple": round(
+                    cost.inference_cycles_per_tuple, 2
+                ),
+            },
+            # The parent-side scorer span fires for threads *and* process
+            # fan-outs, so the root always has a measured counterpart.
+            span_site="serving.scorer.segment",
+            measure=self._measure_score,
+        )
+        for part, part_counts in zip(parts, counts):
+            i = part.segment_id
+            root.children.append(
+                PlanOperator(
+                    name="Segment",
+                    label=f"#{i}",
+                    knobs={"pages": len(part), "tuples": sum(part_counts)},
+                    predicted={
+                        "access_cycles": cost.segment_access_cycles[i],
+                        "forward_cycles": cost.segment_forward_cycles[i],
+                    },
+                    span_site="serving.scorer.segment",
+                    span_attrs={"segment": i},
+                )
+            )
+        root.children.append(
+            PlanOperator(
+                name="StriderPageWalk",
+                knobs={
+                    "pages": total_pages,
+                    "striders": accelerator.access_engine.config.num_striders,
+                },
+                predicted={"access_cycles": sum(cost.segment_access_cycles)},
+                # Page-walk spans surface only when extraction happens in
+                # the armed parent process: thread fan-outs with striders
+                # on.  One-shot score workers walk pages in child startup,
+                # outside any armed capture.
+                span_site=(
+                    "hw.strider.page_walk"
+                    if execution == "threads" and self.use_striders
+                    else None
+                ),
+            )
+        )
+        root.children.extend(filter_limit_ops(where, plan.limit))
+        return root
+
+    def _explain_create_model(self, plan: CreateModel) -> PlanOperator:
+        """Operator tree of a ``CREATE MODEL ... AS TRAIN`` statement."""
+        if plan.udf_name not in self._udfs:
+            raise QueryError(
+                f"UDF {plan.udf_name!r} is not registered; registered UDFs: "
+                f"{self.registered_udfs()}"
+            )
+        if not self.database.catalog.has_table(plan.table_name):
+            raise QueryError(f"table {plan.table_name!r} does not exist")
+        options = self._sql_train_options(plan.options)
+        try:
+            _validate_train_config(
+                epochs=options.get("epochs"),
+                segments=options.get("segments"),
+                partition_strategy=options.get("partition_strategy", "round_robin"),
+                aggregation=options.get("aggregation"),
+                execution=options.get("execution", "auto"),
+                sync=options.get("sync", "bulk_synchronous"),
+                staleness=options.get("staleness", 1),
+            )
+        except ConfigurationError as error:
+            raise QueryError(f"CREATE MODEL options are invalid: {error}") from None
+        registered = self._udfs[plan.udf_name]
+        spec = registered.spec
+        epochs = (
+            options.get("epochs")
+            or registered.epochs
+            or spec.algo.convergence.epoch_bound
+        )
+        segments = options.get("segments")
+        if segments is None:
+            train_op = self._explain_single_train(
+                registered,
+                plan.table_name,
+                epochs,
+                stream=options.get("stream", True),
+            )
+        else:
+            train_op = self._explain_sharded_train(
+                registered, plan.table_name, epochs, segments, options
+            )
+        return PlanOperator(
+            name="CreateModel",
+            label=plan.model_name,
+            knobs={
+                "udf": plan.udf_name,
+                "table": plan.table_name,
+                "algorithm": spec.name,
+            },
+            measure=lambda result: {
+                "version": result.rows[0][1],
+                "epochs_run": result.rows[0][3],
+            },
+            children=[train_op],
+        )
+
+    def _explain_udf(self, plan: UDFCall) -> PlanOperator:
+        """Operator tree of a ``SELECT * FROM dana.<udf>('<table>')`` call."""
+        if plan.udf_name not in self._udfs:
+            raise QueryError(
+                f"UDF {plan.udf_name!r} is not registered; registered UDFs: "
+                f"{self.registered_udfs()}"
+            )
+        if not self.database.catalog.has_table(plan.table_name):
+            raise QueryError(f"table {plan.table_name!r} does not exist")
+        registered = self._udfs[plan.udf_name]
+        epochs = registered.epochs or registered.spec.algo.convergence.epoch_bound
+        return PlanOperator(
+            name="AcceleratedUDF",
+            label=f"dana.{plan.udf_name}({plan.table_name!r})",
+            knobs={"algorithm": registered.spec.name, "epochs": epochs},
+            measure=lambda result: {
+                "tuples_extracted": result.payload.tuples_extracted,
+                "engine_cycles": result.payload.engine_stats.total_cycles,
+            },
+            children=[
+                self._explain_single_train(registered, plan.table_name, epochs)
+            ],
+        )
+
+    def _explain_single_train(
+        self,
+        registered: RegisteredUDF,
+        table_name: str,
+        epochs: int,
+        stream: bool = True,
+    ) -> PlanOperator:
+        """The single-accelerator training operator (``segments=None``)."""
+        self.compile_udf(registered.name, table_name)
+        accelerator = registered.accelerators[table_name]
+        parts, counts = self._explain_partitions(table_name, 1)
+        cost = predict_train_cost(
+            accelerator.access_engine,
+            accelerator.execution_engine,
+            counts,
+            epochs,
+            _model_elements(registered.spec),
+        )
+        return PlanOperator(
+            name="Train",
+            label=registered.name,
+            knobs={
+                "mode": "single",
+                "epochs": epochs,
+                "stream": stream,
+                "pages": len(parts[0]),
+                "tuples": sum(counts[0]),
+            },
+            predicted={
+                "access_cycles": cost.segment_access_cycles[0],
+                "engine_cycles": cost.segment_engine_cycles[0],
+                "critical_path_cycles": cost.critical_path_cycles,
+                "seconds": cost.seconds(self.fpga),
+                "pipelined_seconds": cost.pipelined_seconds(self.fpga),
+            },
+            # The classic single-accelerator path drives its epochs inline
+            # (no EpochDriver), so there is no runtime.epoch span to match.
+            span_site=None,
+            children=[
+                PlanOperator(
+                    name="StriderPageWalk",
+                    knobs={
+                        "pages": len(parts[0]),
+                        "striders": accelerator.access_engine.config.num_striders,
+                    },
+                    predicted={"access_cycles": cost.segment_access_cycles[0]},
+                    span_site=(
+                        "hw.strider.page_walk" if self.use_striders else None
+                    ),
+                )
+            ],
+        )
+
+    def _explain_sharded_train(
+        self,
+        registered: RegisteredUDF,
+        table_name: str,
+        epochs: int,
+        segments: int,
+        options: dict[str, Any],
+    ) -> PlanOperator:
+        """The sharded training operator (``segments=N``) with merge/IPC costs."""
+        binary = self.compile_udf(registered.name, table_name)
+        spec = registered.spec
+        try:
+            sharded = ShardedDAnA(
+                database=self.database,
+                binary=binary,
+                spec=spec,
+                segments=segments,
+                fpga=self.fpga,
+                partition_strategy=options.get("partition_strategy", "round_robin"),
+                aggregation=options.get("aggregation"),
+                execution=options.get("execution", "auto"),
+                seed=options.get("seed", 0),
+                use_striders=self.use_striders,
+                sync=options.get("sync", "bulk_synchronous"),
+                staleness=options.get("staleness", 1),
+                stream=options.get("stream", True),
+            )
+        except ConfigurationError as error:
+            raise QueryError(f"CREATE MODEL options are invalid: {error}") from None
+        mode = sharded.mode
+        parts, counts = self._explain_partitions(
+            table_name,
+            segments,
+            partition_strategy=sharded.partitioner.strategy,
+            seed=sharded.partitioner.seed,
+        )
+        accelerator = registered.accelerators[table_name]
+        sync_name = sharded.sync_policy.name
+        staleness = sharded.sync_policy.staleness
+        cost = predict_train_cost(
+            accelerator.access_engine,
+            accelerator.execution_engine,
+            counts,
+            epochs,
+            _model_elements(spec),
+            sync=sync_name,
+            staleness=staleness,
+            tree_bus_alus=binary.design.aus_per_cluster,
+            execution=mode,
+        )
+        predicted: dict[str, Any] = {
+            "critical_path_cycles": cost.critical_path_cycles,
+            "pipelined_cycles": cost.pipelined_critical_path_cycles,
+            "seconds": cost.seconds(self.fpga),
+            "pipelined_seconds": cost.pipelined_seconds(self.fpga),
+            "epochs": epochs,
+        }
+        if mode == "processes":
+            predicted["ipc_bytes"] = cost.ipc_bytes
+            predicted["ipc_round_trips"] = cost.ipc_round_trips
+        op = PlanOperator(
+            name="EpochLoop",
+            knobs={
+                "mode": mode,
+                "segments": segments,
+                "epochs": epochs,
+                "sync": sync_name,
+                "staleness": staleness,
+                "stream": sharded.stream,
+                "partition_strategy": sharded.partitioner.strategy,
+                # Lockstep evaluates all segments on one vectorized tape —
+                # no fan-out, so no worker clamp applies.
+                "workers": 0 if mode == "lockstep" else worker_limit(segments),
+            },
+            predicted=predicted,
+            # Every sharded mode schedules epochs through the EpochDriver.
+            span_site="runtime.epoch",
+        )
+        for part, part_counts in zip(parts, counts):
+            i = part.segment_id
+            op.children.append(
+                PlanOperator(
+                    name="SegmentTrain",
+                    label=f"#{i}",
+                    knobs={"pages": len(part), "tuples": sum(part_counts)},
+                    predicted={
+                        "access_cycles": cost.segment_access_cycles[i],
+                        "engine_cycles": cost.segment_engine_cycles[i],
+                    },
+                    # Per-segment training spans exist only for real
+                    # fan-outs; lockstep's segment axis lives inside one
+                    # vectorized tape run, and a segment with no pages
+                    # never reaches its training loop.
+                    span_site=(
+                        "cluster.segment.train"
+                        if mode != "lockstep" and part
+                        else None
+                    ),
+                    span_attrs={"segment": i},
+                )
+            )
+        if segments > 1:
+            op.children.append(
+                PlanOperator(
+                    name="MergeModels",
+                    knobs={
+                        "aggregation": sharded.aggregation_strategy,
+                        "merges": cost.merges_performed,
+                        "model_elements": cost.model_elements,
+                    },
+                    predicted={"cross_merge_cycles": cost.cross_merge_cycles},
+                    span_site="cluster.segment.merge",
+                )
+            )
+        op.children.append(
+            PlanOperator(
+                name="StriderPageWalk",
+                knobs={
+                    "pages": sum(len(part) for part in parts),
+                    "striders": accelerator.access_engine.config.num_striders,
+                },
+                predicted={"access_cycles": sum(cost.segment_access_cycles)},
+                # Process workers walk their pages during un-armed child
+                # startup, so only in-process modes surface these spans.
+                span_site=(
+                    "hw.strider.page_walk"
+                    if mode in ("lockstep", "threads") and self.use_striders
+                    else None
+                ),
+            )
+        )
+        return op
 
     # -- SQL helpers --------------------------------------------------- #
     def _sql_model_entry(self, model_name: str, version: int | None) -> ModelEntry:
@@ -948,6 +1399,11 @@ class DAnA:
             retry=retry,
         )
         return sharded.train(table_name, epochs=run_epochs, shuffle=shuffle)
+
+
+def _model_elements(spec: AlgorithmSpec) -> int:
+    """Total scalar elements across an algorithm's model parameters."""
+    return sum(int(np.asarray(v).size) for v in spec.initial_models.values())
 
 
 def _sql_value(prediction: np.ndarray) -> float | list:

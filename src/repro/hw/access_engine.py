@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 import struct
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -291,4 +291,54 @@ class AccessEngine:
             "strider_cycles": float(strider_cycles),
             "axi_cycles": float(axi_cycles),
             "per_tuple_cycles": float(per_tuple_cycles),
+        }
+
+    def estimate_partition_cycles(
+        self, page_tuple_counts: Sequence[int]
+    ) -> dict[str, int]:
+        """Predict one partition's extraction stage without walking a page.
+
+        Mirrors the batched accounting of
+        :meth:`AccessEngineStats.merge_batch`: pages walk in waves of
+        ``num_striders`` parallel striders, each wave's critical strider
+        cost is its slowest page, and the AXI transfer is booked per wave
+        over the wave's full byte volume.  Returns the same stage split
+        the measured counters expose (``access_cycles`` is
+        ``strider_cycles_critical + axi_cycles``, the definition segment
+        reports use).
+        """
+        striders = max(1, self.config.num_striders)
+        if not len(page_tuple_counts):
+            return {
+                "strider_cycles_critical": 0,
+                "axi_cycles": 0,
+                "access_cycles": 0,
+            }
+        # Vectorized over pages: the per-page estimate is an affine
+        # function of the tuple count, so the whole partition reduces to
+        # one reshape + max per wave (EXPLAIN prices plans over partition
+        # tuple counts, so this runs per statement, not per run).
+        base = self.estimate_cycles_per_page(1)
+        per_tuple = int(base["per_tuple_cycles"])
+        header_cycles = int(base["strider_cycles"]) - per_tuple
+        counts = np.maximum(np.asarray(page_tuple_counts, dtype=np.int64), 1)
+        pad = (-len(counts)) % striders
+        padded = np.pad(counts, (0, pad), constant_values=0)
+        waves = padded.reshape(-1, striders)
+        per_page = header_cycles + per_tuple * waves
+        # padding rows contribute 0 tuples but still carry header cycles;
+        # mask them out of the wave maximum entirely.
+        per_page[waves == 0] = 0
+        strider_critical = int(per_page.max(axis=1).sum())
+        wave_sizes = (waves > 0).sum(axis=1)
+        axi_per_wave = np.ceil(
+            self.config.page_size
+            * wave_sizes
+            / max(self.fpga.axi_bytes_per_cycle, 1e-9)
+        )
+        axi_cycles = int(axi_per_wave.sum())
+        return {
+            "strider_cycles_critical": strider_critical,
+            "axi_cycles": axi_cycles,
+            "access_cycles": strider_critical + axi_cycles,
         }

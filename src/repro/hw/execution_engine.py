@@ -263,6 +263,34 @@ class ExecutionEngine:
         """Book the once-per-epoch convergence-check cycles."""
         self.stats.convergence_cycles += self._convergence_cycles
 
+    def predict_epoch_cycles(self, n_tuples: int) -> int:
+        """Predict one epoch's engine cycles over ``n_tuples`` tuples.
+
+        Applies the same schedule-derived arithmetic as
+        :meth:`account_batches` (full batches of :attr:`batch_size` plus
+        one remainder batch, ``ceil(batch / threads)`` rounds each, the
+        tree-bus merge per batch) and the once-per-epoch convergence
+        check, without mutating :attr:`stats` — this is what ``EXPLAIN``
+        prices a training statement with before anything runs.
+        """
+        if n_tuples <= 0:
+            return self._convergence_cycles
+        cycles = 0
+        full, remainder = divmod(n_tuples, self.batch_size)
+        for batch_len, count in ((self.batch_size, full), (remainder, 1)):
+            if count < 1 or batch_len < 1:
+                continue
+            rounds = math.ceil(batch_len / self.threads)
+            merge_cycles = self.tree_bus.merge_cycles(
+                min(batch_len, self.threads), self._merge_elements
+            )
+            cycles += count * (
+                rounds * self._update_rule_cycles
+                + merge_cycles
+                + self._post_merge_cycles
+            )
+        return cycles + self._convergence_cycles
+
     def _train_one_epoch_tape(
         self,
         batches: Iterable[np.ndarray],

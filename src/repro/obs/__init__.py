@@ -9,6 +9,8 @@ database-backed consumer:
   zero-cost-when-off ``telemetry()`` accessor every instrumentation
   site uses (the :func:`~repro.reliability.faults.fault_point`
   discipline);
+* :mod:`repro.obs.statement_trace` — statement-scoped capture backing
+  ``EXPLAIN ANALYZE`` (a private session composing with any outer one);
 * :mod:`repro.obs.recorder` — run history persisted into ``repro_runs``
   / ``repro_run_metrics`` heap tables via the catalog;
 * :mod:`repro.obs.cli` — the ``repro`` console entry point
@@ -16,6 +18,7 @@ database-backed consumer:
 """
 
 from repro.obs.telemetry import Telemetry, enable_telemetry, telemetry
+from repro.obs.statement_trace import StatementTrace
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -48,6 +51,7 @@ __all__ = [
     "SPAN_SITES",
     "Span",
     "SpanTracer",
+    "StatementTrace",
     "Telemetry",
     "enable_telemetry",
     "telemetry",

@@ -8,6 +8,9 @@ Subcommands, each with ``--format table|csv|json`` output:
 * ``repro runs show <id>`` — one run's full record: config, every named
   metric (schedule-derived counters + span rollups), fired faults and
   retry counters;
+* ``repro trace <id>`` — the statement trace an ``EXPLAIN ANALYZE`` run
+  persisted into the registry: the rendered predicted-vs-actual plan
+  plus the per-site span rollup;
 * ``repro models`` — the saved-model registry (``SHOW MODELS`` through
   the SQL executor);
 * ``repro bench --compare [OTHER.json]`` — the headline numbers of
@@ -102,7 +105,8 @@ def build_demo_session():
 
     Returns ``(system, telemetry_session)`` — a :class:`~repro.core.DAnA`
     whose :class:`~repro.obs.recorder.RunRecorder` holds one train run,
-    one score run and one bench entry in real heap tables.
+    one score run, one bench entry and one ``EXPLAIN ANALYZE`` score run
+    (with its statement trace attached) in real heap tables.
     """
     from repro.algorithms import Hyperparameters, get_algorithm
     from repro.core.dana import DAnA
@@ -143,6 +147,12 @@ def build_demo_session():
             watch=watch,
             config={"workload": "demo", "path": score.path},
         )
+        # One EXPLAIN ANALYZE statement so the registry holds a statement
+        # trace for `repro trace` (composes with the armed outer session).
+        database.execute(
+            "EXPLAIN ANALYZE SELECT * FROM dana.score("
+            f"'demo_model', 'demo_table', segments => {DEMO_SEGMENTS});"
+        )
     return system, session
 
 
@@ -178,6 +188,38 @@ def cmd_runs(args: argparse.Namespace) -> int:
     if args.limit is not None:
         rows = rows[-args.limit :]
     print(format_rows(rows, args.format))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace <run_id>`` — a run's persisted statement trace."""
+    from repro.exceptions import CatalogError
+
+    system, _session = build_demo_session()
+    recorder = system.run_recorder
+    try:
+        detail = recorder.run_detail(args.run_id)
+    except CatalogError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    trace = detail.get("trace") or {}
+    if not trace:
+        print(
+            f"run {args.run_id} has no recorded statement trace "
+            "(traces are attached by EXPLAIN ANALYZE)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.format == "json":
+        print(json.dumps(trace, indent=2, default=str))
+        return 0
+    for line in trace.get("plan", ()):
+        print(line)
+    rollup = trace.get("rollup", {})
+    if rollup:
+        print("\n# span rollup")
+        rows = [{"site": site, **stats} for site, stats in rollup.items()]
+        print(format_rows(rows, args.format))
     return 0
 
 
@@ -308,6 +350,13 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("run_id", type=int)
     _accept_format(show)
     show.set_defaults(func=cmd_runs)
+
+    trace = sub.add_parser(
+        "trace", help="a run's persisted EXPLAIN ANALYZE statement trace"
+    )
+    trace.add_argument("run_id", type=int)
+    _accept_format(trace)
+    trace.set_defaults(func=cmd_trace)
 
     models = sub.add_parser("models", help="saved models (SHOW MODELS)")
     _accept_format(models)

@@ -304,7 +304,23 @@ class RunRecorder:
             "metrics": dict(sorted(metrics.items())),
             "faults": list(entry.faults),
             "retry": dict(entry.retry),
+            "trace": dict(entry.trace),
         }
+
+    def attach_trace(self, run_id: int, trace: dict) -> None:
+        """Attach an ``EXPLAIN ANALYZE`` statement trace to a recorded run.
+
+        The payload (rendered plan lines, operator tree with
+        predicted-vs-actual costs, span dump) lands on the run's catalog
+        entry, so ``repro trace <run_id>`` and :meth:`run_detail` can
+        replay the statement's execution after the fact.
+
+        Raises:
+            CatalogError: when no run with ``run_id`` is recorded.
+        """
+        entry = self.database.catalog.run(run_id)  # raises on unknown ids
+        with self._lock:
+            entry.trace = dict(trace)
 
     # ------------------------------------------------------------------ #
     # internals

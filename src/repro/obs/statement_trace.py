@@ -1,0 +1,73 @@
+"""Statement-scoped telemetry capture for ``EXPLAIN ANALYZE``.
+
+:class:`StatementTrace` arms a *private* :class:`~repro.obs.telemetry.Telemetry`
+session around exactly one statement execution.  Because
+:class:`~repro.obs.telemetry.enable_telemetry` sessions compose, the
+trace works both standalone and inside an already-armed outer session
+(a test under ``enable_telemetry()``, a benchmark sweep): the outer
+session keeps receiving every rollup via the absorb-on-exit path while
+the trace holds the statement's own copy.  Child-process spans re-home
+into the private session automatically — workers ship their exported
+telemetry to the parent, which absorbs into whatever ``telemetry()``
+returns, and inside the trace window that is the statement session.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.telemetry import Telemetry, enable_telemetry
+
+
+class StatementTrace:
+    """Capture spans and metrics for a single statement execution.
+
+    Use as a context manager around the statement::
+
+        trace = StatementTrace()
+        with trace:
+            result = executor.execute_plan(plan)
+        rollup = trace.rollup()   # {"runtime.epoch": {"count": ..., "seconds": ...}, ...}
+
+    Everything recorded is observational wall-clock data; running a
+    statement inside a trace is bit-identical to running it bare.
+    """
+
+    def __init__(self) -> None:
+        self.session = Telemetry()
+        self.wall_seconds = 0.0
+        self._guard: enable_telemetry | None = None
+        self._started_s = 0.0
+
+    def __enter__(self) -> "StatementTrace":
+        self._guard = enable_telemetry(self.session)
+        self._guard.__enter__()
+        self._started_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_seconds = time.perf_counter() - self._started_s
+        guard, self._guard = self._guard, None
+        if guard is not None:
+            guard.__exit__(exc_type, exc, tb)
+
+    def rollup(self) -> dict:
+        """Per-site span aggregates: ``{site: {"count", "seconds"}}``."""
+        return self.session.tracer.rollup()
+
+    def spans(self) -> list[dict]:
+        """Every captured span as a JSON-friendly dict, in finish order."""
+        return self.session.tracer.to_list()
+
+    def metrics(self) -> dict:
+        """Snapshot of the statement-scoped metrics registry."""
+        return self.session.metrics.snapshot()
+
+    def to_payload(self) -> dict:
+        """JSON-friendly trace payload for persistence in the run registry."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "rollup": self.rollup(),
+            "spans": self.spans(),
+            "metrics": self.metrics(),
+        }

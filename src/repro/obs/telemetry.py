@@ -11,19 +11,22 @@ does one module-global load plus an ``is None`` test::
     if span is not None:
         obs.finish(span, tuples=n)
 
-Arming is exclusive and scoped to one ``with enable_telemetry():``
-block — nesting a second session raises, so two instrumented tests
-cannot silently interleave spans.  Sites fire per page batch / chunk /
-epoch / micro-batch, never per tuple, and record only wall-clock
-observations: a telemetry-on run is bit-identical (models, predictions,
-schedule-derived counters) to a telemetry-off run.
+Arming is scoped to one ``with enable_telemetry():`` block.  Sessions
+compose: arming a second session inside an armed one re-points the
+global at the inner session for the duration of the inner block, and on
+exit the inner session's export is absorbed back into the outer one, so
+the outer session still sees every rollup while the inner block (a
+statement-scoped trace, say) keeps its own private copy.  Sites fire
+per page batch / chunk / epoch / micro-batch, never per tuple, and
+record only wall-clock observations: a telemetry-on run is
+bit-identical (models, predictions, schedule-derived counters) to a
+telemetry-off run.
 """
 
 from __future__ import annotations
 
 import threading
 
-from repro.exceptions import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import SpanTracer, _OpenSpan, Span
 
@@ -86,24 +89,31 @@ class enable_telemetry:
     """Context manager arming a :class:`Telemetry` session.
 
     Yields the session so callers can read metrics and spans afterwards.
-    Arming is exclusive: nesting raises, mirroring
-    :class:`~repro.reliability.faults.inject_faults`.
+    Sessions compose rather than conflict: entering while another
+    session is armed shadows the outer session for the duration of the
+    block, and on exit the inner session's export is absorbed into the
+    outer one.  The outer session therefore observes the union of
+    everything fired while it was armed (directly or via an inner
+    session), while the inner block keeps a private copy — this is what
+    lets :class:`~repro.obs.statement_trace.StatementTrace` capture one
+    statement inside an already-instrumented test or benchmark.
     """
 
     def __init__(self, session: Telemetry | None = None) -> None:
         self.session = session if session is not None else Telemetry()
+        self._outer: Telemetry | None = None
 
     def __enter__(self) -> Telemetry:
         global _ACTIVE
         with _ARM_LOCK:
-            if _ACTIVE is not None:
-                raise ConfigurationError(
-                    "a telemetry session is already armed; sessions cannot nest"
-                )
+            self._outer = _ACTIVE
             _ACTIVE = self.session
         return self.session
 
     def __exit__(self, exc_type, exc, tb) -> None:
         global _ACTIVE
         with _ARM_LOCK:
-            _ACTIVE = None
+            _ACTIVE = self._outer
+        if self._outer is not None and self._outer is not self.session:
+            self._outer.absorb(self.session.export())
+        self._outer = None

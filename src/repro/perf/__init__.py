@@ -13,6 +13,14 @@ from repro.perf.cost_model import (
 from repro.perf.cpu_model import ExternalLibraryModel, GreenplumModel, MADlibPostgresModel
 from repro.perf.fpga_model import DAnAModel, EpochCost, TABLAModel
 from repro.perf.io_model import IOEstimate, IOModel
+from repro.perf.plan_cost import (
+    IPC_MESSAGE_OVERHEAD_BYTES,
+    page_tuple_counts,
+    predict_score_cost,
+    predict_train_cost,
+    predicted_merges,
+    worker_limit,
+)
 from repro.perf.report import RuntimeBreakdown, format_seconds, geomean, speedup_table
 from repro.perf.segment_model import (
     DEFAULT_IPC_BANDWIDTH_BYTES_PER_S,
@@ -39,6 +47,7 @@ __all__ = [
     "GreenplumModel",
     "IOEstimate",
     "IOModel",
+    "IPC_MESSAGE_OVERHEAD_BYTES",
     "MADlibPostgresModel",
     "PAPER_EPOCHS",
     "RuntimeBreakdown",
@@ -52,5 +61,10 @@ __all__ = [
     "epochs_for",
     "format_seconds",
     "geomean",
+    "page_tuple_counts",
+    "predict_score_cost",
+    "predict_train_cost",
+    "predicted_merges",
     "speedup_table",
+    "worker_limit",
 ]

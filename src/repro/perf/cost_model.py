@@ -107,9 +107,11 @@ class CostModel:
     dana: DAnACostModel = DAnACostModel()
 
     def with_storage_bandwidth(self, bandwidth_bytes: float) -> "CostModel":
+        """This model with the disk bandwidth replaced (sweep helper)."""
         return replace(self, storage=replace(self.storage, disk_bandwidth_bytes=bandwidth_bytes))
 
     def with_cpu_gflops(self, gflops: float) -> "CostModel":
+        """This model with the effective CPU GFLOPS replaced (sweep helper)."""
         return replace(self, cpu=replace(self.cpu, effective_gflops=gflops))
 
 

@@ -44,6 +44,7 @@ class MADlibPostgresModel:
 
     # -- compute --------------------------------------------------------- #
     def epoch_compute_seconds(self, workload: Workload) -> float:
+        """Analytics compute for one pass of the per-tuple update."""
         cpu = self.cost_model.cpu
         flops = _per_tuple_flops(workload)
         vectorized = workload.algorithm_key in _VECTORIZED_ALGORITHMS
@@ -78,6 +79,7 @@ class MADlibPostgresModel:
 
     # -- end to end ------------------------------------------------------ #
     def estimate(self, workload: Workload, epochs: int, warm_cache: bool = True) -> RuntimeBreakdown:
+        """End-to-end runtime breakdown (I/O + compute + query overhead)."""
         compute = self.total_compute_seconds(workload, epochs)
         io_epochs = 1 if workload.algorithm_key == "linear" else epochs
         io = self.io_model.total_io_seconds(workload, warm_cache, io_epochs)
@@ -104,6 +106,7 @@ class GreenplumModel:
 
     @property
     def system_name(self) -> str:
+        """Display name carrying the configured segment count."""
         return f"MADlib+Greenplum({self.segments})"
 
     def effective_parallelism(self) -> float:
@@ -122,6 +125,7 @@ class GreenplumModel:
         return max(1.0, parallelism)
 
     def estimate(self, workload: Workload, epochs: int, warm_cache: bool = True) -> RuntimeBreakdown:
+        """End-to-end breakdown with segment parallelism and coordination."""
         gp = self.cost_model.greenplum
         compute_single = self.single.total_compute_seconds(workload, epochs)
         compute = compute_single / self.effective_parallelism()
@@ -158,22 +162,27 @@ class ExternalLibraryModel:
 
     @property
     def system_name(self) -> str:
+        """Display name carrying the configured library."""
         return f"{self.library}+PostgreSQL"
 
     def supports(self, workload: Workload) -> bool:
+        """Whether the configured library implements this workload's algorithm."""
         if self.library.lower() == "liblinear":
             return workload.algorithm_key in ("logistic", "svm")
         return workload.algorithm_key in ("logistic", "svm", "linear")
 
     def export_seconds(self, workload: Workload) -> float:
+        """Time to export the table out of PostgreSQL (Figure 15 phase 1)."""
         ext = self.cost_model.external
         return workload.paper_size_bytes / ext.export_bandwidth_bytes
 
     def transform_seconds(self, workload: Workload) -> float:
+        """Time to transform into the library's format (Figure 15 phase 2)."""
         ext = self.cost_model.external
         return workload.paper_size_bytes / ext.transform_bandwidth_bytes
 
     def compute_seconds(self, workload: Workload, epochs: int) -> float:
+        """Multi-core library compute (Figure 15 phase 3)."""
         ext = self.cost_model.external
         flops = _per_tuple_flops(workload)
         gflops = ext.svm_compute_gflops if workload.algorithm_key == "svm" else ext.compute_gflops
@@ -181,6 +190,7 @@ class ExternalLibraryModel:
         return epochs * workload.paper_tuples * per_tuple
 
     def estimate(self, workload: Workload, epochs: int, warm_cache: bool = True) -> RuntimeBreakdown:
+        """End-to-end breakdown: I/O + export/transform movement + compute."""
         io = self.io_model.total_io_seconds(workload, warm_cache, epochs=1)
         return RuntimeBreakdown(
             system=self.system_name,

@@ -52,6 +52,7 @@ class EpochCost:
     detail: dict = field(default_factory=dict)
 
     def engine_seconds(self, non_overlap_fraction: float, overlapped: bool) -> float:
+        """Wall seconds per epoch, with or without compute/data overlap."""
         if overlapped:
             base = max(self.compute_seconds, self.data_seconds)
             extra = non_overlap_fraction * min(self.compute_seconds, self.data_seconds)
@@ -135,6 +136,7 @@ class DAnAModel:
     # per-epoch cost
     # ------------------------------------------------------------------ #
     def epoch_cost(self, workload: Workload) -> EpochCost:
+        """Compute/data/extract seconds for one epoch of this workload."""
         design, _graph = self.design_for(workload)
         frequency = self.fpga.frequency_hz
         point = design.design_point
@@ -197,6 +199,7 @@ class DAnAModel:
     # end-to-end estimate
     # ------------------------------------------------------------------ #
     def estimate(self, workload: Workload, epochs: int, warm_cache: bool = True) -> RuntimeBreakdown:
+        """End-to-end runtime breakdown on the modelled accelerator."""
         cost = self.epoch_cost(workload)
         dana = self.cost_model.dana
         per_epoch = cost.engine_seconds(dana.non_overlap_fraction, overlapped=self.use_striders)
@@ -223,6 +226,7 @@ class DAnAModel:
     # sensitivity-study constructors
     # ------------------------------------------------------------------ #
     def with_bandwidth_scale(self, scale: float) -> "DAnAModel":
+        """This model with AXI bandwidth scaled (Figure 14 sweep helper)."""
         return DAnAModel(
             cost_model=self.cost_model,
             fpga=self.fpga.with_bandwidth_scale(scale),
@@ -233,6 +237,7 @@ class DAnAModel:
         )
 
     def with_merge_coefficient(self, merge_coefficient: int) -> "DAnAModel":
+        """This model with the merge coefficient replaced (ablation helper)."""
         return DAnAModel(
             cost_model=self.cost_model,
             fpga=self.fpga,
@@ -243,6 +248,7 @@ class DAnAModel:
         )
 
     def without_striders(self) -> "DAnAModel":
+        """The Figure 11 ablation: same design, CPU-side extraction."""
         return DAnAModel(
             cost_model=self.cost_model,
             fpga=self.fpga,

@@ -50,6 +50,7 @@ class IOModel:
 
     @property
     def effective_cache_bytes(self) -> float:
+        """Total page cache available: buffer pool plus OS cache."""
         return self.buffer_pool_bytes + self.os_cache_bytes
 
     # ------------------------------------------------------------------ #
@@ -96,6 +97,7 @@ class IOModel:
         )
 
     def total_io_seconds(self, workload: Workload, warm_cache: bool, epochs: int) -> float:
+        """First-pass plus per-epoch re-read seconds over the whole run."""
         estimate = self.estimate(workload, warm_cache, epochs)
         extra_epochs = max(0, epochs - 1)
         return estimate.first_pass_seconds + extra_epochs * estimate.per_epoch_seconds

@@ -28,6 +28,7 @@ class RuntimeBreakdown:
 
     @property
     def total(self) -> float:
+        """End-to-end seconds: I/O + data movement + compute + overhead."""
         return self.io + self.data_movement + self.compute + self.overhead
 
     def speedup_over(self, baseline: "RuntimeBreakdown") -> float:
@@ -37,6 +38,7 @@ class RuntimeBreakdown:
         return baseline.total / self.total
 
     def as_dict(self) -> dict:
+        """JSON-friendly row for benchmark reports."""
         return {
             "system": self.system,
             "workload": self.workload,

@@ -180,6 +180,7 @@ class SegmentScalingModel:
         self.bus = TreeBus(alu_count=tree_bus_alus)
 
     def predict_cycles(self, segments: int) -> int:
+        """Predicted critical-path cycles at ``segments`` from the 1-segment base."""
         if segments < 1:
             raise ValueError("segment counts start at 1")
         per_segment = self.base.critical_segment_cycles / segments
@@ -190,6 +191,7 @@ class SegmentScalingModel:
         return int(round(per_segment + merge))
 
     def sweep(self, segment_counts: Iterable[int]) -> list[dict]:
+        """Predicted cycles/speedup rows across ``segment_counts``."""
         rows = []
         for segments in segment_counts:
             cycles = self.predict_cycles(segments)

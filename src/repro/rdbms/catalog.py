@@ -122,6 +122,10 @@ class RunEntry:
     #: retry counters of the run (:class:`repro.reliability.retry.RetryStats`
     #: as a dict; empty when the run had no retry supervision).
     retry: dict[str, int] = field(default_factory=dict)
+    #: statement-trace payload of an ``EXPLAIN ANALYZE`` run (rendered
+    #: plan, operator tree, span dump) — empty unless a trace was
+    #: attached via :meth:`repro.obs.recorder.RunRecorder.attach_trace`.
+    trace: dict[str, Any] = field(default_factory=dict)
 
 
 class Catalog:

@@ -17,11 +17,18 @@ Supported statements (full grammar with examples in ``docs/sql.md``):
   FROM <table> [WHERE ...] [LIMIT n]`` — score a table with a saved model
   through the batched inference tape;
 * ``SELECT * FROM dana.score('<model>', '<table>' [, segments => N,
-  version => k, batch_size => B, stream => true|false]) [LIMIT n]`` —
-  sharded scan-and-score with explicit serving knobs;
+  version => k, batch_size => B, stream => true|false,
+  execution => 'threads'|'processes']) [LIMIT n]`` — sharded
+  scan-and-score with explicit serving knobs;
 * ``CREATE MODEL <name> AS TRAIN <udf> ON <table> [WITH (epochs => e,
   segments => N, ...)]`` — train and persist a model version;
-* ``DROP MODEL <name> [VERSION k]`` and ``SHOW MODELS``.
+* ``DROP MODEL <name> [VERSION k]`` and ``SHOW MODELS``;
+* ``EXPLAIN [ANALYZE] <statement>`` — render the statement's operator
+  tree with predicted costs from :mod:`repro.perf`; with ``ANALYZE``
+  the statement also executes inside a statement-scoped telemetry
+  capture (:class:`~repro.obs.statement_trace.StatementTrace`) and each
+  operator shows predicted vs. measured work (see
+  :mod:`repro.rdbms.explain`).
 
 Prediction/training statements execute against the **serving runtime** (a
 :class:`repro.core.DAnA` instance attached via
@@ -50,7 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
 
 #: statement keywords that may start a statement (used for error hints).
-_STATEMENT_STARTERS = ("SELECT", "CREATE", "DROP", "SHOW")
+_STATEMENT_STARTERS = ("SELECT", "CREATE", "DROP", "SHOW", "EXPLAIN")
 
 #: words rejected in name positions because they would make the grammar
 #: ambiguous there (``train``, ``model``, ``version``, ... stay legal
@@ -228,6 +235,9 @@ class ScoreCall:
     segments: int | None = None
     batch_size: int | None = None
     stream: bool | None = None
+    #: segment fan-out strategy (``'threads'`` or ``'processes'``);
+    #: ``None`` keeps ``score_table``'s default.
+    execution: str | None = None
     limit: int | None = None
 
 
@@ -258,6 +268,19 @@ class ShowModels:
     """Plan node for ``SHOW MODELS``."""
 
 
+@dataclass(frozen=True)
+class Explain:
+    """Plan node for ``EXPLAIN [ANALYZE] <statement>``.
+
+    ``statement`` is the wrapped statement's own plan node; ``analyze``
+    is True when the statement should also be executed under a
+    statement-scoped telemetry capture.
+    """
+
+    statement: "LogicalPlan"
+    analyze: bool = False
+
+
 LogicalPlan = (
     SeqScan
     | CountScan
@@ -267,6 +290,7 @@ LogicalPlan = (
     | CreateModel
     | DropModel
     | ShowModels
+    | Explain
 )
 
 
@@ -346,6 +370,8 @@ class _Parser:
 
     # -- grammar ------------------------------------------------------- #
     def statement(self) -> LogicalPlan:
+        if self.at_keyword("EXPLAIN"):
+            return self._explain()
         if self.at_keyword("SELECT"):
             return self._select()
         if self.at_keyword("CREATE"):
@@ -358,6 +384,17 @@ class _Parser:
             "unsupported statement; expected one of "
             + ", ".join(_STATEMENT_STARTERS)
         )
+
+    def _explain(self) -> Explain:
+        """``EXPLAIN [ANALYZE] <statement>`` — wraps any other statement."""
+        self.expect_keyword("EXPLAIN")
+        analyze = False
+        if self.at_keyword("ANALYZE"):
+            self.advance()
+            analyze = True
+        if self.at_keyword("EXPLAIN"):
+            raise self.error("EXPLAIN statements cannot be nested")
+        return Explain(statement=self.statement(), analyze=analyze)
 
     def _select(self) -> LogicalPlan:
         self.expect_keyword("SELECT")
@@ -421,6 +458,7 @@ class _Parser:
                     segments=from_call.segments,
                     batch_size=from_call.batch_size,
                     stream=from_call.stream,
+                    execution=from_call.execution,
                     limit=limit,
                 )
             if limit is not None:
@@ -482,6 +520,7 @@ class _Parser:
                     "version": "int",
                     "batch_size": "int",
                     "stream": "bool",
+                    "execution": "str",
                 }
             )
             return ScoreCall(
@@ -491,6 +530,7 @@ class _Parser:
                 segments=kwargs.get("segments"),
                 batch_size=kwargs.get("batch_size"),
                 stream=kwargs.get("stream"),
+                execution=kwargs.get("execution"),
             )
         table = self.expect_string("table")
         self.expect_op(")")
@@ -499,8 +539,9 @@ class _Parser:
     def _kwargs_until_close(self, allowed: dict[str, str]) -> dict[str, Any]:
         """Parse ``, key => value`` pairs up to the closing ``)``.
 
-        ``allowed`` maps keyword names to expected value kinds (``"int"``
-        or ``"bool"``); anything else raises with a caret at the keyword.
+        ``allowed`` maps keyword names to expected value kinds (``"int"``,
+        ``"bool"`` or ``"str"``); anything else raises with a caret at the
+        keyword.
         """
         kwargs: dict[str, Any] = {}
         while self.accept_op(","):
@@ -518,6 +559,8 @@ class _Parser:
                 if not self.at_keyword("TRUE", "FALSE"):
                     raise self.error(f"expected true or false for {key!r}")
                 kwargs[key] = self.advance().upper == "TRUE"
+            elif allowed[key] == "str":
+                kwargs[key] = self.expect_string(f"value for {key!r}")
             else:
                 kwargs[key] = self.expect_int(f"value for {key!r}")
         self.expect_op(")")
@@ -747,6 +790,15 @@ class ServingRuntime(Protocol):
         """Execute ``CREATE MODEL ... AS TRAIN ...``."""
         ...
 
+    def sql_explain(self, plan: LogicalPlan) -> Any:
+        """Build the EXPLAIN operator tree of a serving statement.
+
+        Returns a :class:`~repro.rdbms.explain.PlanOperator` describing
+        how the runtime would execute the statement, with predicted
+        costs from the :mod:`repro.perf` models.
+        """
+        ...
+
 
 class QueryExecutor:
     """Executes logical plans against a :class:`repro.rdbms.database.Database`.
@@ -811,6 +863,8 @@ class QueryExecutor:
             return self._execute_drop_model(plan)
         if isinstance(plan, ShowModels):
             return self._execute_show_models()
+        if isinstance(plan, Explain):
+            return self._execute_explain(plan)
         raise QueryError(f"unknown plan node {plan!r}")
 
     # ------------------------------------------------------------------ #
@@ -886,6 +940,46 @@ class QueryExecutor:
         return QueryResult(
             rows=[(plan.model_name, version) for version in dropped],
             columns=("model", "dropped_version"),
+        )
+
+    def _execute_explain(self, plan: Explain) -> QueryResult:
+        """Execute ``EXPLAIN [ANALYZE]``: build, (optionally) run, render.
+
+        Plain ``EXPLAIN`` never executes the statement — the operator
+        tree carries only resolved knobs and predicted costs.  ``EXPLAIN
+        ANALYZE`` executes it inside a
+        :class:`~repro.obs.statement_trace.StatementTrace`, annotates
+        predicted-vs-actual per operator, and — when the statement
+        recorded a run — persists the trace payload onto that run so
+        ``repro trace <run_id>`` can replay it.
+        """
+        from repro.obs.statement_trace import StatementTrace
+        from repro.rdbms.explain import PlanExplainer
+
+        explainer = PlanExplainer(self.database)
+        report = explainer.build_report(plan)
+        stats: dict[str, Any] = {"analyze": plan.analyze}
+        if plan.analyze:
+            catalog = self.database.catalog
+            runs_before = catalog.next_run_id()
+            trace = StatementTrace()
+            with trace:
+                inner = self.execute_plan(plan.statement)
+            report.result = inner
+            report.trace = trace.to_payload()
+            explainer.annotate(report, trace, inner)
+            runs_after = catalog.next_run_id()
+            runtime = getattr(self.database, "serving_runtime", None)
+            recorder = getattr(runtime, "run_recorder", None)
+            if recorder is not None and runs_after > runs_before:
+                report.run_id = runs_after - 1
+                recorder.attach_trace(report.run_id, report.to_payload())
+            stats["run_id"] = report.run_id
+        return QueryResult(
+            rows=[(line,) for line in report.render()],
+            columns=("QUERY PLAN",),
+            payload=report,
+            stats=stats,
         )
 
     def _execute_show_models(self) -> QueryResult:

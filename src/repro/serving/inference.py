@@ -100,6 +100,28 @@ class InferencePlan:
         """A fresh engine (clean counters) sharing this compiled plan."""
         return InferenceEngine(self)
 
+    def predict_forward_cycles(self, n_tuples: int, batch_size: int | None = None) -> int:
+        """Predict the forward-pass cycles of scoring ``n_tuples`` tuples.
+
+        Applies :meth:`InferenceEngine.account_batch`'s arithmetic —
+        ``ceil(batch / threads)`` engine rounds per micro-batch, each
+        costing the scheduled forward region — over full micro-batches of
+        ``batch_size`` (default :data:`DEFAULT_SCORE_BATCH`) plus the
+        remainder, without touching any engine counters.  ``EXPLAIN``
+        prices scoring statements with this before anything runs.
+        """
+        if n_tuples <= 0:
+            return 0
+        size = batch_size or DEFAULT_SCORE_BATCH
+        cycles = 0
+        full, remainder = divmod(n_tuples, size)
+        for batch_len, count in ((size, full), (remainder, 1)):
+            if count < 1 or batch_len < 1:
+                continue
+            rounds = math.ceil(batch_len / self.threads)
+            cycles += count * rounds * self.forward_cycles_per_round
+        return cycles
+
 
 class InferenceEngine:
     """Scores tuple batches through one plan, booking forward cycles."""

@@ -111,6 +111,9 @@ class ScoreResult:
     execution: str = "threads"
     #: parent<->worker IPC volume (non-zero only for ``processes`` runs).
     ipc: IPCStats = field(default_factory=IPCStats)
+    #: concurrent fan-out width of the run: ``min(segments, cpu count)``,
+    #: so oversubscribed hosts dispatch at most one segment per core.
+    worker_limit: int = 0
 
     @property
     def tuples_scored(self) -> int:
@@ -297,6 +300,7 @@ class ScanScorer:
             retry=retry_total,
             execution=execution,
             ipc=env.ipc if env is not None else IPCStats(),
+            worker_limit=min(len(parts), max(1, os.cpu_count() or 1)),
         )
 
     # ------------------------------------------------------------------ #
@@ -316,14 +320,12 @@ class ScanScorer:
 
         Each element of the returned list is ``(outcome, retry_stats)``;
         ``outcome`` is ``None`` when the segment failed every attempt and
-        the policy's degradation mode allows redistribution.  With a
-        process ``env``, the dispatch threads only supervise their worker
-        processes, so the fan-out width is the segment count.
+        the policy's degradation mode allows redistribution.  Fan-out is
+        clamped to ``min(segments, cpu count)`` — with a process ``env``
+        the clamp also bounds how many one-shot worker processes are alive
+        at once, so ``segments > cores`` never oversubscribes the host.
         """
-        if env is not None:
-            max_workers = len(jobs)
-        else:
-            max_workers = min(len(jobs), max(1, os.cpu_count() or 1))
+        max_workers = min(len(jobs), max(1, os.cpu_count() or 1))
         run = lambda job: self._score_segment_supervised(  # noqa: E731
             job[0], job[1], models, path, batch_size, stream, retry, env
         )

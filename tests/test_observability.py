@@ -24,6 +24,7 @@ from repro.obs import (
     Histogram,
     MetricsRegistry,
     SpanTracer,
+    StatementTrace,
     Telemetry,
     enable_telemetry,
     telemetry,
@@ -196,12 +197,40 @@ class TestArming:
             assert telemetry() is session
         assert telemetry() is None
 
-    def test_nesting_raises(self):
-        with enable_telemetry():
-            with pytest.raises(ConfigurationError):
-                with enable_telemetry():
-                    pass
+    def test_nesting_composes(self):
+        outer_session = Telemetry()
+        inner_session = Telemetry()
+        with enable_telemetry(outer_session):
+            span = outer_session.span("sql.execute")
+            outer_session.finish(span)
+            with enable_telemetry(inner_session):
+                assert telemetry() is inner_session
+                span = inner_session.span("runtime.epoch")
+                inner_session.finish(span)
+            # the outer session is re-armed and has absorbed the inner copy
+            assert telemetry() is outer_session
+            outer_rollup = outer_session.tracer.rollup()
+            assert outer_rollup["sql.execute"]["count"] == 1
+            assert outer_rollup["runtime.epoch"]["count"] == 1
+            # the inner session kept only its own private spans
+            inner_rollup = inner_session.tracer.rollup()
+            assert set(inner_rollup) == {"runtime.epoch"}
         assert telemetry() is None
+
+    def test_statement_trace_composes_with_outer_session(self):
+        outer_session = Telemetry()
+        trace = StatementTrace()
+        with enable_telemetry(outer_session):
+            with trace:
+                span = telemetry().span("sql.execute")
+                telemetry().finish(span)
+            assert telemetry() is outer_session
+        assert telemetry() is None
+        assert trace.rollup()["sql.execute"]["count"] == 1
+        assert outer_session.tracer.rollup()["sql.execute"]["count"] == 1
+        assert trace.wall_seconds > 0.0
+        payload = trace.to_payload()
+        assert set(payload) == {"wall_seconds", "rollup", "spans", "metrics"}
 
     def test_site_tables_are_disjoint(self):
         assert not set(SPAN_SITES) & set(HISTOGRAM_SITES)

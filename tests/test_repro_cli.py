@@ -86,7 +86,9 @@ class TestSubcommands:
     def test_runs_json(self, capsys):
         assert main(["--format", "json", "runs"]) == 0
         records = json.loads(capsys.readouterr().out)
-        assert [r["kind"] for r in records] == ["train", "score", "bench"]
+        # train → save → score → bench, then the EXPLAIN ANALYZE score run
+        # whose statement trace `repro trace` renders.
+        assert [r["kind"] for r in records] == ["train", "score", "bench", "score"]
         assert records[0]["label"] == "demo_linear"
         assert records[1]["model"] == "demo_model:v1"
         assert all(r["tuples"] > 0 for r in records)
@@ -104,8 +106,32 @@ class TestSubcommands:
     def test_runs_table_and_limit(self, capsys):
         assert main(["runs", "--limit", "1"]) == 0
         out = capsys.readouterr().out
-        assert "bench" in out
+        assert "score" in out
         assert "train" not in out.splitlines()[2]
+
+    def test_trace(self, capsys):
+        # the demo session's EXPLAIN ANALYZE score run is the last (4th)
+        # record; its persisted trace renders the annotated plan + rollup.
+        assert main(["trace", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ScanScore" in out
+        assert "predicted:" in out and "actual:" in out
+        assert "span rollup" in out
+        assert "serving.scorer.segment" in out
+
+    def test_trace_json_round_trip(self, capsys):
+        assert main(["--format", "json", "trace", "4"]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["analyze"] is True
+        assert trace["operators"]["name"] == "ScanScore"
+        assert trace["rollup"]["serving.scorer.segment"]["count"] >= 2
+
+    def test_trace_missing(self, capsys):
+        # run 1 (the plain train run) has no trace; unknown ids error too.
+        assert main(["trace", "1"]) == 1
+        assert "no recorded statement trace" in capsys.readouterr().err
+        assert main(["trace", "999"]) == 1
+        assert "999" in capsys.readouterr().err
 
     def test_models_csv(self, capsys):
         assert main(["--format", "csv", "models"]) == 0
