@@ -82,9 +82,22 @@ class Partitioner:
         ]
 
     def partition_table(
-        self, database: "Database", table_name: str, segments: int
+        self,
+        database: "Database",
+        table_name: str,
+        segments: int,
+        as_of_lsn: int | None = None,
     ) -> list[PagePartition]:
-        """Partition a catalogued table's heap pages across segments."""
+        """Partition a catalogued table's heap pages across segments.
+
+        ``as_of_lsn`` partitions the page set a snapshot scan will walk
+        (pages that existed at that LSN) instead of the live heap, so a
+        sharded run started at LSN ``s`` never assigns pages appended by
+        concurrent inserts.
+        """
         entry = database.catalog.table(table_name)  # raises for unknown tables
-        page_count = database.storage.page_count(entry.file_name)
+        if as_of_lsn is None:
+            page_count = database.storage.page_count(entry.file_name)
+        else:
+            page_count = database.table(table_name).page_count_as_of(as_of_lsn)
         return self.partition(page_count, segments)

@@ -144,13 +144,30 @@ class SegmentWorker:
     # ------------------------------------------------------------------ #
     # access engine: partition extraction
     # ------------------------------------------------------------------ #
-    def _page_images(self, heapfile: HeapFile, pool: BufferPool) -> list[bytes]:
+    def _page_images(
+        self,
+        heapfile: HeapFile,
+        pool: BufferPool,
+        as_of_lsn: int | None = None,
+    ) -> list[bytes]:
         # The buffer pool is not thread-safe; images are pulled on the
         # caller's thread so producer threads only run Strider/decode work.
-        return [image for _no, image in heapfile.scan_pages(pool, self.partition.page_nos)]
+        # Pulling up front is also what pins the run to its snapshot: with
+        # as_of_lsn set, these are the bytes the heap held at that LSN, and
+        # concurrent inserts cannot reach the producer or the chunk cache.
+        return [
+            image
+            for _no, image in heapfile.scan_pages(
+                pool, self.partition.page_nos, as_of_lsn=as_of_lsn
+            )
+        ]
 
     def extract(
-        self, heapfile: HeapFile, pool: BufferPool, use_striders: bool = True
+        self,
+        heapfile: HeapFile,
+        pool: BufferPool,
+        use_striders: bool = True,
+        as_of_lsn: int | None = None,
     ) -> np.ndarray:
         """Materialise this segment's pages as the training-tuple matrix.
 
@@ -158,13 +175,14 @@ class SegmentWorker:
         segment's access engine (the paper's path, with cycle accounting);
         ``False`` models the CPU feeding the engine directly — the tuples
         are decoded by the RDBMS layer and no Strider activity is booked.
+        ``as_of_lsn`` pins the page pulls to a snapshot of the heap.
         """
         if use_striders:
             self._rows = self.accelerator.access_engine.extract_table(
-                self._page_images(heapfile, pool)
+                self._page_images(heapfile, pool, as_of_lsn=as_of_lsn)
             )
             return self._rows
-        chunks = list(self._cpu_decode_chunks(heapfile, pool))
+        chunks = list(self._cpu_decode_chunks(heapfile, pool, as_of_lsn=as_of_lsn))
         self._rows = (
             np.vstack(chunks) if chunks else np.empty((0, len(heapfile.schema)))
         )
@@ -201,6 +219,7 @@ class SegmentWorker:
         use_striders: bool = True,
         queue_depth: int = 2,
         retry: RetryPolicy | None = None,
+        as_of_lsn: int | None = None,
     ) -> BatchSource:
         """Start this segment's streaming extraction (producer thread).
 
@@ -210,27 +229,35 @@ class SegmentWorker:
         identical to :meth:`extract`.  A ``retry`` policy makes the
         producer restartable after transient faults (page walk or
         producer site) with bit-identical chunks and counters.
+        ``as_of_lsn`` pins the page pulls to a snapshot, so a producer
+        restart (and the source's chunk cache) re-walks the same images
+        even if the table has grown since the stream opened.
         """
         if use_striders:
             self.source = self.accelerator.access_engine.stream_table(
-                self._page_images(heapfile, pool),
+                self._page_images(heapfile, pool, as_of_lsn=as_of_lsn),
                 queue_depth=queue_depth,
                 retry=retry,
             )
         else:
             self.source = BatchSource(
-                self._cpu_decode_chunks(heapfile, pool),
+                self._cpu_decode_chunks(heapfile, pool, as_of_lsn=as_of_lsn),
                 n_columns=len(heapfile.schema),
                 queue_depth=queue_depth,
             )
         return self.source
 
-    def _cpu_decode_chunks(self, heapfile: HeapFile, pool: BufferPool):
+    def _cpu_decode_chunks(
+        self,
+        heapfile: HeapFile,
+        pool: BufferPool,
+        as_of_lsn: int | None = None,
+    ):
         """Per-page RDBMS-side decode (the ``use_striders=False`` model)."""
         from repro.rdbms.heapfile import decode_page_rows
 
         schema, layout = heapfile.schema, heapfile.layout
-        images = self._page_images(heapfile, pool)
+        images = self._page_images(heapfile, pool, as_of_lsn=as_of_lsn)
         return (decode_page_rows(image, layout, schema) for image in images)
 
     def epoch_rows(self, shuffle: bool) -> np.ndarray:

@@ -160,6 +160,8 @@ class ShardedRunResult:
     converged: bool
     segments: list[SegmentReport]
     cluster: ClusterStats
+    #: WAL LSN the run's page scans were pinned to (the model's watermark).
+    snapshot_lsn: int = 0
 
     # -- AcceleratorRunResult-compatible surface ------------------------ #
     @property
@@ -307,6 +309,10 @@ class ShardedDAnA:
             return self._train_processes(table_name, epochs, shuffle, convergence_check)
         heapfile = self.database.table(table_name)
         pool = self.database.buffer_pool
+        # Pin the whole run to the heap as of this LSN: partitioning and
+        # every segment's page pulls use the snapshot, so concurrent
+        # inserts cannot perturb an in-flight run.
+        as_of = self.database.wal.current_lsn
         # One accelerator per segment, all generated from the same compiled
         # binary (same design, same Strider program, same schedule).  Fresh
         # instances per run keep per-segment counters clean, and re-deriving
@@ -331,7 +337,9 @@ class ShardedDAnA:
                 rng=rngs[i],
             )
             for i, part in enumerate(
-                self.partitioner.partition_table(self.database, table_name, self.segments)
+                self.partitioner.partition_table(
+                    self.database, table_name, self.segments, as_of_lsn=as_of
+                )
             )
         ]
         for worker in self.workers:
@@ -340,10 +348,16 @@ class ShardedDAnA:
                 # own producer thread; the first epoch consumes batches as
                 # pages decode instead of waiting for full materialisation.
                 worker.open_source(
-                    heapfile, pool, use_striders=self.use_striders, retry=self.retry
+                    heapfile,
+                    pool,
+                    use_striders=self.use_striders,
+                    retry=self.retry,
+                    as_of_lsn=as_of,
                 )
             else:
-                worker.extract(heapfile, pool, use_striders=self.use_striders)
+                worker.extract(
+                    heapfile, pool, use_striders=self.use_striders, as_of_lsn=as_of
+                )
         # Fresh cluster bus + aggregator per run so counters describe this
         # run only (the aggregator books every cross-segment merge on it).
         self.cluster_bus = TreeBus(alu_count=self.binary.design.aus_per_cluster)
@@ -411,6 +425,7 @@ class ShardedDAnA:
             converged=result.converged,
             segments=reports,
             cluster=cluster,
+            snapshot_lsn=as_of,
         )
 
     def _train_processes(
@@ -438,8 +453,19 @@ class ShardedDAnA:
         pool = self.database.buffer_pool
         builder = builder_metadata(self.spec)
         table_entry = self.database.catalog.table(table_name)
+        as_of = self.database.wal.current_lsn
+        # Children rebuild the accelerator design from n_tuples; it must be
+        # the count the parent's binary was *compiled* with (recorded in the
+        # binary metadata), not the live catalog count — a table that grew
+        # since compile would otherwise rebuild a different design and break
+        # counter bit-identity with the threads strategy.
+        design_tuples = int(
+            self.binary.metadata.get("n_tuples", max(1, table_entry.tuple_count))
+        )
         parts = list(
-            self.partitioner.partition_table(self.database, table_name, self.segments)
+            self.partitioner.partition_table(
+                self.database, table_name, self.segments, as_of_lsn=as_of
+            )
         )
         tasks = [
             SegmentTask(
@@ -451,7 +477,7 @@ class ShardedDAnA:
                 hyperparameters=self.spec.hyperparameters,
                 layout=heapfile.layout,
                 fpga=self.fpga,
-                n_tuples=max(1, table_entry.tuple_count),
+                n_tuples=design_tuples,
                 page_nos=tuple(part.page_nos),
                 seed=self.seed,
                 segments=self.segments,
@@ -466,7 +492,7 @@ class ShardedDAnA:
         self.aggregator = ModelAggregator(
             self.aggregation_strategy, tree_bus=self.cluster_bus
         )
-        store = SharedPageStore.from_heapfile(heapfile, pool)
+        store = SharedPageStore.from_heapfile(heapfile, pool, as_of_lsn=as_of)
         process_pool = ProcessSegmentPool(
             tasks,
             store.handle(),
@@ -519,6 +545,7 @@ class ShardedDAnA:
             converged=result.converged,
             segments=reports,
             cluster=cluster,
+            snapshot_lsn=as_of,
         )
 
 

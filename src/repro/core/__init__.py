@@ -1,10 +1,11 @@
 """DAnA core: system facade and end-to-end workload runner."""
 
-from repro.core.dana import DAnA, RegisteredUDF
+from repro.core.dana import DAnA, RefreshResult, RegisteredUDF
 from repro.core.runner import SystemRun, WorkloadComparison, WorkloadRunner
 
 __all__ = [
     "DAnA",
+    "RefreshResult",
     "RegisteredUDF",
     "SystemRun",
     "WorkloadComparison",

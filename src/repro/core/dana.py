@@ -43,6 +43,7 @@ from repro.exceptions import ConfigurationError, QueryError
 from repro.hw import DAnAAccelerator, DEFAULT_FPGA, FPGASpec
 from repro.hw.accelerator import AcceleratorRunResult
 from repro.obs.recorder import RunRecorder
+from repro.obs.telemetry import telemetry
 from repro.perf import (
     ScoreRunCost,
     page_tuple_counts,
@@ -87,6 +88,34 @@ class RegisteredUDF:
     #: forward-only serving plans, compiled lazily on first predict/score,
     #: keyed by table name ("" = the table-less point-serving design).
     inference_plans: dict[str, InferencePlan] = field(default_factory=dict)
+
+
+@dataclass
+class RefreshResult:
+    """Outcome of one :meth:`DAnA.refresh_model` call."""
+
+    #: registry entry now serving — the freshly-saved version, or the
+    #: unchanged input entry when the refresh was a no-op.
+    entry: ModelEntry
+    #: version the refresh started from.
+    previous_version: int
+    #: True when new pages were trained and a new version was saved.
+    refreshed: bool
+    #: heap table the refresh scanned.
+    table_name: str
+    #: the model's LSN watermark before the refresh (scan lower bound).
+    watermark: int
+    #: WAL LSN the refresh scan was pinned to; becomes the new version's
+    #: watermark when ``refreshed``.
+    snapshot_lsn: int
+    #: heap pages trained (pages stamped past the watermark as of
+    #: ``snapshot_lsn``).
+    pages_trained: int
+    #: tuples the warm-start run consumed — page-granular, so a restamped
+    #: tail page may contribute a few pre-watermark rows.
+    tuples_trained: int
+    #: the warm-start training run (``None`` on a no-op).
+    run: AcceleratorRunResult | None = None
 
 
 class DAnA:
@@ -195,7 +224,13 @@ class DAnA:
             strider=generator.strider_compilation,
             thread_schedule=schedule,
             graph=graph,
-            metadata={"table": table_name},
+            # n_tuples records the count the design was sized for: worker
+            # processes rebuild the design from it, and it must not drift
+            # with the live catalog count once tables are mutable.
+            metadata={
+                "table": table_name,
+                "n_tuples": max(1, table_entry.tuple_count),
+            },
         )
         registered.binaries[table_name] = binary
         registered.accelerators[table_name] = DAnAAccelerator(
@@ -336,6 +371,7 @@ class DAnA:
         udf_name: str,
         models: Mapping[str, np.ndarray],
         metadata: dict | None = None,
+        watermark: int | None = None,
     ) -> ModelEntry:
         """Persist a trained model into heap tables through the catalog.
 
@@ -343,10 +379,17 @@ class DAnA:
         ``run.models``); its parameter names and shapes must match the
         registered UDF's spec.  Each save creates a new version; the
         round trip through :meth:`load_model` is bit-identical.
+
+        ``watermark`` records the WAL LSN the training scan was pinned to
+        (``run.snapshot_lsn``) as ``metadata["lsn_watermark"]`` — the point
+        :meth:`refresh_model` later resumes from.  A model saved without a
+        watermark refreshes from LSN 0 (every logged write is "new").
         """
         spec = self._registered(udf_name).spec
         self._check_model_shapes(spec, models, context=f"save_model({model_name!r})")
         meta = {"udf": udf_name, "model_topology": list(spec.model_topology)}
+        if watermark is not None:
+            meta["lsn_watermark"] = int(watermark)
         meta.update(metadata or {})
         return self.registry.save(
             model_name, models, algorithm=spec.name, metadata=meta
@@ -358,6 +401,175 @@ class DAnA:
         """Load a saved model (latest version by default) from its heap table."""
         models, _entry = self.registry.load(model_name, version)
         return models
+
+    def refresh_model(
+        self,
+        model_name: str,
+        version: int | None = None,
+        table_name: str | None = None,
+        epochs: int | None = None,
+        stream: bool = True,
+        retry: RetryPolicy | None = None,
+        server: PredictionServer | None = None,
+    ) -> RefreshResult:
+        """Incrementally refresh a saved model from rows logged since it trained.
+
+        Warm-starts the UDF's accelerator from the saved parameters and
+        trains **only** the heap pages stamped past the model's
+        ``lsn_watermark`` metadata, pinned to the WAL LSN captured when
+        the refresh starts; the result is saved as a new version whose
+        watermark is that LSN.  Refresh cost therefore scales with the
+        rows written since the model last trained, not with the table
+        size.  The scan set is page-granular: the tail page a
+        watermark-era insert partially filled re-appears once later
+        inserts restamp it, so a refresh may re-see a few pre-watermark
+        rows (see :meth:`~repro.rdbms.HeapFile.pages_newer_than`).
+
+        With no pages past the watermark the call is a **no-op**: nothing
+        trains, no version is saved, and the returned
+        :class:`RefreshResult` carries the unchanged entry.
+
+        ``table_name`` defaults to the table recorded in the model's
+        ``trained_on`` metadata (``CREATE MODEL`` and refresh itself
+        record it); pass it explicitly for models saved through
+        :meth:`save_model` without one.  ``server`` hot-swaps the new
+        version into a running :class:`~repro.serving.PredictionServer`
+        via ``reload()`` as soon as it is saved — in-flight batches drain
+        on the old version, later ones score with the refreshed model.
+        """
+        models, entry = self.registry.load(model_name, version)
+        udf_name = entry.metadata.get("udf", "")
+        if udf_name not in self._udfs:
+            raise ConfigurationError(
+                f"saved model {model_name!r} v{entry.version} was trained by "
+                f"UDF {udf_name!r}, which is not registered with this DAnA "
+                f"system; registered UDFs: {self.registered_udfs()}"
+            )
+        registered = self._udfs[udf_name]
+        spec = registered.spec
+        resolved_table = table_name or entry.metadata.get("trained_on", "")
+        if not resolved_table:
+            raise ConfigurationError(
+                f"saved model {model_name!r} v{entry.version} records no "
+                "trained_on table; pass table_name= explicitly"
+            )
+        if not self.database.catalog.has_table(resolved_table):
+            raise ConfigurationError(f"table {resolved_table!r} does not exist")
+        watermark = int(entry.metadata.get("lsn_watermark", 0))
+        heapfile = self.database.table(resolved_table)
+        as_of = self.database.wal.current_lsn
+        new_pages = heapfile.pages_newer_than(watermark, as_of)
+        obs = telemetry()
+        span = (
+            obs.span(
+                "core.refresh_model",
+                model=model_name,
+                table=resolved_table,
+                watermark=watermark,
+                pages=len(new_pages),
+            )
+            if obs is not None
+            else None
+        )
+        if not new_pages:
+            if span is not None:
+                obs.finish(span, refreshed=False)
+            return RefreshResult(
+                entry=entry,
+                previous_version=entry.version,
+                refreshed=False,
+                table_name=resolved_table,
+                watermark=watermark,
+                snapshot_lsn=as_of,
+                pages_trained=0,
+                tuples_trained=0,
+            )
+        recorder = self.run_recorder
+        watch = recorder.begin() if recorder is not None else None
+        binary = self.compile_udf(udf_name, resolved_table)
+        # Fresh engines on the cached binary: engine counters accumulate
+        # per instance, and a refresh's cost must be its own (the bench
+        # gate checks it scales with the delta, not the table).
+        accelerator = DAnAAccelerator(
+            binary=binary, schema=spec.schema, fpga=self.fpga
+        )
+        run_epochs = epochs or registered.epochs or spec.algo.convergence.epoch_bound
+        pool = self.database.buffer_pool
+        try:
+            if self.use_striders:
+                page_images = (
+                    image
+                    for _no, image in heapfile.scan_pages(
+                        pool, new_pages, as_of_lsn=as_of
+                    )
+                )
+                run = accelerator.train_from_pages(
+                    page_images,
+                    initial_models=models,
+                    bind_tuple=spec.bind_tuple,
+                    epochs=run_epochs,
+                    bind_batch=spec.bind_batch,
+                    stream=stream,
+                    retry=retry,
+                )
+            else:
+                run = accelerator.train_from_rows(
+                    heapfile.read_pages(pool, new_pages, as_of_lsn=as_of),
+                    initial_models=models,
+                    bind_tuple=spec.bind_tuple,
+                    epochs=run_epochs,
+                    bind_batch=spec.bind_batch,
+                )
+            run.snapshot_lsn = as_of
+            new_entry = self.save_model(
+                model_name,
+                udf_name,
+                run.models,
+                metadata={
+                    "trained_on": resolved_table,
+                    "refreshed_from": entry.version,
+                    "refresh_pages": len(new_pages),
+                },
+                watermark=as_of,
+            )
+        except BaseException:
+            if span is not None:
+                obs.finish(span, error=True)
+            raise
+        if span is not None:
+            obs.finish(span, refreshed=True, version=new_entry.version)
+        if server is not None:
+            server.reload(version=new_entry.version)
+        if recorder is not None:
+            recorder.record_refresh(
+                model_name=model_name,
+                table=resolved_table,
+                config={
+                    "from_version": entry.version,
+                    "watermark": watermark,
+                    "snapshot_lsn": as_of,
+                    "pages": len(new_pages),
+                    "epochs": epochs,
+                    "stream": stream,
+                    "retry": retry is not None,
+                    "use_striders": self.use_striders,
+                },
+                result=run,
+                watch=watch,
+                algorithm=spec.name,
+                model_version=new_entry.version,
+            )
+        return RefreshResult(
+            entry=new_entry,
+            previous_version=entry.version,
+            refreshed=True,
+            table_name=resolved_table,
+            watermark=watermark,
+            snapshot_lsn=as_of,
+            pages_trained=len(new_pages),
+            tuples_trained=run.tuples_extracted,
+            run=run,
+        )
 
     def predict(
         self,
@@ -582,11 +794,16 @@ class DAnA:
         )
         predictions = result.predictions
         if plan.where:
+            # Evaluate WHERE over the same snapshot the scoring run scanned,
+            # so the mask stays aligned with the predictions even when
+            # inserts landed while the statement was scoring.
             table = self.database.table(plan.table_name)
             mask = np.fromiter(
                 (
                     matches_row(table.schema, row, plan.where)
-                    for row in table.scan_tuples(self.database.buffer_pool)
+                    for row in table.scan_tuples(
+                        self.database.buffer_pool, as_of_lsn=result.snapshot_lsn
+                    )
                 ),
                 dtype=bool,
                 count=len(predictions),
@@ -684,6 +901,7 @@ class DAnA:
             plan.udf_name,
             run.models,
             metadata={"trained_on": plan.table_name, "sql_options": dict(options)},
+            watermark=getattr(run, "snapshot_lsn", 0),
         )
         return QueryResult(
             rows=[(entry.name, entry.version, entry.algorithm, epochs_run)],
@@ -1241,9 +1459,18 @@ class DAnA:
         table = self.database.table(table_name)
         run_epochs = epochs or registered.epochs or spec.algo.convergence.epoch_bound
         rng = np.random.default_rng(seed) if shuffle else None
-        page_images = (image for _no, image in table.scan_pages(self.database.buffer_pool))
+        # Pin the scan to the heap as of now: concurrent inserts land in
+        # the WAL but stay invisible to this run, and the run's LSN becomes
+        # the saved model's refresh watermark.
+        as_of = self.database.wal.current_lsn
+        page_images = (
+            image
+            for _no, image in table.scan_pages(
+                self.database.buffer_pool, as_of_lsn=as_of
+            )
+        )
         if self.use_striders:
-            return accelerator.train_from_pages(
+            result = accelerator.train_from_pages(
                 page_images,
                 initial_models=spec.initial_models,
                 bind_tuple=spec.bind_tuple,
@@ -1254,8 +1481,10 @@ class DAnA:
                 stream=stream,
                 retry=retry,
             )
-        rows = table.read_all(self.database.buffer_pool)
-        return accelerator.train_from_rows(
+            result.snapshot_lsn = as_of
+            return result
+        rows = table.read_all(self.database.buffer_pool, as_of_lsn=as_of)
+        result = accelerator.train_from_rows(
             rows,
             initial_models=spec.initial_models,
             bind_tuple=spec.bind_tuple,
@@ -1264,6 +1493,8 @@ class DAnA:
             shuffle=shuffle,
             rng=rng,
         )
+        result.snapshot_lsn = as_of
+        return result
 
     def _inference_plan(
         self, registered: RegisteredUDF, table_name: str | None = None

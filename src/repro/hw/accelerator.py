@@ -39,6 +39,9 @@ class AcceleratorRunResult:
     tuples_extracted: int
     #: producer-restart / fault counters (all zero on a fault-free run).
     retry_stats: RetryStats = field(default_factory=RetryStats)
+    #: WAL LSN the run's page scan was pinned to (set by the caller that
+    #: owns the database; the accelerator itself never sees the WAL).
+    snapshot_lsn: int = 0
 
     @property
     def models(self) -> dict[str, np.ndarray]:

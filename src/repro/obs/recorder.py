@@ -42,7 +42,9 @@ RUNS_TABLE = "repro_runs"
 RUN_METRICS_TABLE = "repro_run_metrics"
 
 #: run kinds, in the integer encoding used by the ``kind`` column.
-RUN_KINDS = ("train", "score", "bench")
+#: ``"refresh"`` is appended last so pre-existing integer encodings in
+#: persisted run rows keep decoding to the same kinds.
+RUN_KINDS = ("train", "score", "bench", "refresh")
 
 #: schema of :data:`RUNS_TABLE`.
 RUNS_SCHEMA = Schema.build(
@@ -173,6 +175,51 @@ class RunRecorder:
             metrics=metrics,
             config=config,
             retry=retry,
+            watch=watch,
+            algorithm=algorithm,
+            model_name=model_name,
+            model_version=model_version,
+        )
+
+    def record_refresh(
+        self,
+        model_name: str,
+        table: str,
+        config: Mapping[str, Any],
+        result,
+        watch: RunWatch,
+        algorithm: str = "",
+        model_version: int | None = None,
+    ) -> RunEntry:
+        """Record one completed ``DAnA.refresh_model`` invocation.
+
+        ``result`` is the warm-start ``AcceleratorRunResult`` the refresh
+        trained over the pages past the model's watermark (no-op refreshes
+        record nothing — there was no run).
+        """
+        engine = result.engine_stats
+        metrics = {
+            "converged": float(bool(result.training.converged)),
+            "engine.tuples_processed": engine.tuples_processed,
+            "engine.batches_processed": engine.batches_processed,
+            "engine.update_rule_cycles": engine.update_rule_cycles,
+            "engine.merge_cycles": engine.merge_cycles,
+            "engine.post_merge_cycles": engine.post_merge_cycles,
+            "engine.convergence_cycles": engine.convergence_cycles,
+            "engine.total_cycles": engine.total_cycles,
+        }
+        metrics.update(self._access_metrics(result.access_stats))
+        return self._record(
+            kind="refresh",
+            label=model_name,
+            table_name=table,
+            segments=1,
+            epochs=result.training.epochs_run,
+            tuples=result.tuples_extracted,
+            cycles=engine.total_cycles,
+            metrics=metrics,
+            config=config,
+            retry=result.retry_stats,
             watch=watch,
             algorithm=algorithm,
             model_name=model_name,

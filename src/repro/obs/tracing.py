@@ -33,6 +33,8 @@ SPAN_SITES = (
     "serving.server.batch",
     "hw.strider.page_walk",
     "hw.decode",
+    "rdbms.wal.append",
+    "core.refresh_model",
 )
 
 

@@ -45,6 +45,7 @@ from repro.rdbms.query import (
 )
 from repro.rdbms.storage import StorageManager, StorageStats
 from repro.rdbms.types import Column, ColumnType, Schema
+from repro.rdbms.wal import WAL_APPEND_FAULT_SITE, WalRecord, WriteAheadLog
 
 __all__ = [
     "AcceleratorEntry",
@@ -82,6 +83,9 @@ __all__ = [
     "TUPLE_HEADER_SIZE",
     "TupleHeader",
     "UDFCall",
+    "WAL_APPEND_FAULT_SITE",
+    "WalRecord",
+    "WriteAheadLog",
     "caret_message",
     "decode_page_rows",
     "decode_tuple",

@@ -30,6 +30,7 @@ class BufferPoolStats:
     misses: int = 0
     evictions: int = 0
     prefetched: int = 0
+    invalidated: int = 0
 
     @property
     def accesses(self) -> int:
@@ -49,6 +50,7 @@ class BufferPoolStats:
         self.misses = 0
         self.evictions = 0
         self.prefetched = 0
+        self.invalidated = 0
 
 
 class _Frame:
@@ -109,6 +111,29 @@ class BufferPool:
         if pin:
             frame.pin_count += 1
         return frame.image
+
+    def invalidate(self, file_name: str, page_no: int) -> bool:
+        """Drop a cached frame after its storage page was rewritten.
+
+        The WAL apply path calls this when it overwrites the tail page in
+        place, so the next :meth:`get_page` re-reads the new image instead
+        of serving a stale frame.  Returns True when a frame was dropped.
+        Raises :class:`BufferPoolError` if the frame is pinned (a page being
+        streamed to the accelerator must never change underneath it —
+        snapshot scans read pre-images from the heap file's version store
+        instead).
+        """
+        key = (file_name, page_no)
+        frame = self._frames.get(key)
+        if frame is None:
+            return False
+        if frame.pin_count > 0:
+            raise BufferPoolError(
+                f"cannot invalidate pinned page {key}; it is mid-transfer"
+            )
+        del self._frames[key]
+        self.stats.invalidated += 1
+        return True
 
     def unpin(self, file_name: str, page_no: int) -> None:
         """Release a pin taken by ``get_page``; raises BufferPoolError if not pinned."""

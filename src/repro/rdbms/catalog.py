@@ -96,7 +96,7 @@ class RunEntry:
 
     #: monotonically increasing run id (the heap tables' join key).
     run_id: int
-    #: one of ``("train", "score", "bench")``.
+    #: one of ``("train", "score", "bench", "refresh")``.
     kind: str
     #: human label: the UDF for training, the table for scoring, the
     #: sweep name for benches.
@@ -293,10 +293,10 @@ class Catalog:
         """Register one run record; raises CatalogError on duplicate ids."""
         if entry.run_id in self._runs:
             raise CatalogError(f"run {entry.run_id} already recorded")
-        if entry.kind not in ("train", "score", "bench"):
+        if entry.kind not in ("train", "score", "bench", "refresh"):
             raise CatalogError(
                 f"unknown run kind {entry.kind!r}; "
-                "expected 'train', 'score' or 'bench'"
+                "expected 'train', 'score', 'bench' or 'refresh'"
             )
         self._runs[entry.run_id] = entry
 

@@ -12,7 +12,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.exceptions import CatalogError
+from repro.exceptions import CatalogError, RDBMSError
 from repro.rdbms.buffer_pool import DEFAULT_POOL_BYTES, BufferPool
 from repro.rdbms.catalog import AcceleratorEntry, Catalog, TableEntry
 from repro.rdbms.heapfile import HeapFile
@@ -20,6 +20,7 @@ from repro.rdbms.page import DEFAULT_PAGE_SIZE, PageLayout
 from repro.rdbms.query import QueryExecutor, QueryResult
 from repro.rdbms.storage import StorageManager
 from repro.rdbms.types import Schema
+from repro.rdbms.wal import WalRecord, WriteAheadLog
 
 
 class Database:
@@ -38,6 +39,7 @@ class Database:
         )
         self.catalog = Catalog()
         self.executor = QueryExecutor(self)
+        self.wal = WriteAheadLog()
         self._heapfiles: dict[str, HeapFile] = {}
         #: the attached DAnA system (set by ``DAnA.__init__``); SQL
         #: prediction and CREATE MODEL statements execute against it.
@@ -77,6 +79,50 @@ class Database:
             loaded = heapfile.bulk_load(rows)
         self.catalog.update_tuple_count(name, loaded)
         return heapfile
+
+    def insert_rows(
+        self, name: str, rows: Sequence[Sequence[float | int]] | np.ndarray
+    ) -> WalRecord:
+        """WAL-logged insert: log first, then stamp the rows into the heap.
+
+        The write path for *live* tables: the record is made durable by
+        :meth:`WriteAheadLog.append` (which fires the ``rdbms.wal.append``
+        fault site on both sides of durability), then applied through
+        :meth:`apply_wal_record` — the same function replay uses, so a
+        recovered heap is bit-identical to this one.  Returns the record.
+        """
+        entry = self.catalog.table(name)
+        if isinstance(rows, np.ndarray):
+            if rows.ndim != 2:
+                raise RDBMSError(f"expected a 2-D array, got shape {rows.shape}")
+            rows = rows.tolist()
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            raise RDBMSError(f"cannot insert zero rows into {name!r}")
+        width = len(entry.schema)
+        for row in rows:
+            if len(row) != width:
+                raise RDBMSError(
+                    f"row has {len(row)} values but table {name!r} has "
+                    f"{width} columns"
+                )
+        record = self.wal.append(name, rows)
+        self.apply_wal_record(record)
+        return record
+
+    def apply_wal_record(self, record: WalRecord) -> None:
+        """Apply one WAL record to the heap (live insert and replay path).
+
+        Idempotence is the caller's contract (replay applies each record
+        once against a freshly bulk-loaded base); this method just stamps
+        the rows in, invalidates the rewritten tail page in the buffer
+        pool, adopts the record into this database's own log, and bumps
+        the catalog tuple count.
+        """
+        heapfile = self.table(record.table)
+        self.wal.adopt(record)
+        heapfile.append_rows(record.rows, record.lsn, self.buffer_pool)
+        self.catalog.update_tuple_count(record.table, heapfile.tuple_count)
 
     def drop_model(self, name: str, version: int | None = None) -> list[int]:
         """Drop a saved model: its parameter heap tables and catalog entries.

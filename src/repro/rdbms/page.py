@@ -122,6 +122,7 @@ class HeapPage:
         self._tuple_count = 0
         self._free_start = self.layout.header_size
         self._free_end = self.layout.page_size - self.layout.special_size
+        self._lsn = 0
         self._write_header()
 
     # ------------------------------------------------------------------ #
@@ -134,7 +135,7 @@ class HeapPage:
             self._free_end,
             self.layout.page_size - self.layout.special_size,
             self._tuple_count,
-            0,
+            self._lsn,
         )
         self._buf[: PAGE_HEADER_SIZE] = header
 
@@ -147,6 +148,23 @@ class HeapPage:
     def tuple_count(self) -> int:
         """Number of line pointers (stored tuples) on the page."""
         return self._tuple_count
+
+    @property
+    def lsn(self) -> int:
+        """LSN of the WAL record that last stamped this page (0 = bulk load).
+
+        The LSN lives in the 8 reserved bytes at header offset 16, so it is
+        part of the binary image the Striders walk — recovery can therefore
+        prove heap state bit-identical, LSN stamps included.
+        """
+        return self._lsn
+
+    def set_lsn(self, lsn: int) -> None:
+        """Stamp the page with the LSN of the mutating WAL record."""
+        if lsn < 0:
+            raise PageError(f"page LSN must be non-negative, got {lsn}")
+        self._lsn = int(lsn)
+        self._write_header()
 
     @property
     def free_space(self) -> int:
@@ -248,6 +266,7 @@ class HeapPage:
         page._free_start = free_start
         page._free_end = free_end
         page._tuple_count = tuple_count
+        page._lsn = _lsn
         return page
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -33,6 +33,12 @@ FAULT_SITES = (
     "cluster.segment_worker.epoch",
     "serving.scorer.segment",
     "serving.inference.score",
+    # Fired twice per WAL append: once *before* the record becomes durable
+    # (a crash here loses the record) and once *after* durability but
+    # *before* the heap apply (a crash here is recovered by replay).  The
+    # double fire is what lets tests/test_wal_recovery.py kill the writer
+    # at every WAL-record boundary.
+    "rdbms.wal.append",
 )
 
 #: fault kinds a plan entry may request at its site.  ``"exit"`` terminates

@@ -144,16 +144,24 @@ class SharedPageStore:
         heapfile: "HeapFile",
         pool: "BufferPool",
         page_nos: Sequence[int] | None = None,
+        as_of_lsn: int | None = None,
     ) -> "SharedPageStore":
         """Export a heap table's pages (through the buffer pool) once.
 
         The pulls go through the caller's buffer pool on the caller's
         thread, so the physical reads are booked in the parent's
         :class:`~repro.rdbms.storage.StorageStats` exactly as a threaded
-        run would book them.
+        run would book them.  ``as_of_lsn`` pins the export to a snapshot:
+        the block then holds exactly the page images the heap had at that
+        LSN, so worker processes are isolated from concurrent inserts by
+        construction.
         """
         return cls.create(
-            heapfile.scan_pages(pool, None if page_nos is None else list(page_nos)),
+            heapfile.scan_pages(
+                pool,
+                None if page_nos is None else list(page_nos),
+                as_of_lsn=as_of_lsn,
+            ),
             heapfile.layout.page_size,
         )
 

@@ -114,6 +114,8 @@ class ScoreResult:
     #: concurrent fan-out width of the run: ``min(segments, cpu count)``,
     #: so oversubscribed hosts dispatch at most one segment per core.
     worker_limit: int = 0
+    #: WAL LSN the scan was pinned to; rows inserted after it are invisible.
+    snapshot_lsn: int = 0
 
     @property
     def tuples_scored(self) -> int:
@@ -230,17 +232,32 @@ class ScanScorer:
             )
         heapfile = self.database.table(table_name)
         pool = self.database.buffer_pool
+        # Pin the whole scoring run to the heap as of this LSN: the
+        # partitioning, every page image and the worker-process export all
+        # come from the snapshot, so concurrent inserts cannot perturb the
+        # scan (predictions cover exactly the pre-LSN rows).
+        as_of = self.database.wal.current_lsn
         partitioner = Partitioner(partition_strategy, seed=seed)
-        parts = partitioner.partition_table(self.database, table_name, segments)
+        parts = partitioner.partition_table(
+            self.database, table_name, segments, as_of_lsn=as_of
+        )
         env: _ProcessScoreEnv | None = None
         if execution == "processes":
             builder_metadata(self.spec)  # fail fast before exporting pages
             env = _ProcessScoreEnv(
                 context=multiprocessing.get_context("spawn"),
-                store=SharedPageStore.from_heapfile(heapfile, pool),
+                store=SharedPageStore.from_heapfile(
+                    heapfile, pool, as_of_lsn=as_of
+                ),
                 ipc=IPCStats(),
-                n_tuples=max(
-                    1, self.database.catalog.table(table_name).tuple_count
+                # Workers rebuild the accelerator design from this count; it
+                # must match what the parent's binary was compiled with, not
+                # the live catalog count of a table that grew since compile.
+                n_tuples=int(
+                    self.binary.metadata.get(
+                        "n_tuples",
+                        max(1, self.database.catalog.table(table_name).tuple_count),
+                    )
                 ),
             )
         try:
@@ -258,7 +275,12 @@ class ScanScorer:
                 jobs = [
                     (
                         part,
-                        [img for _no, img in heapfile.scan_pages(pool, part.page_nos)],
+                        [
+                            img
+                            for _no, img in heapfile.scan_pages(
+                                pool, part.page_nos, as_of_lsn=as_of
+                            )
+                        ],
                     )
                     for part in parts
                 ]
@@ -301,6 +323,7 @@ class ScanScorer:
             execution=execution,
             ipc=env.ipc if env is not None else IPCStats(),
             worker_limit=min(len(parts), max(1, os.cpu_count() or 1)),
+            snapshot_lsn=as_of,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,240 @@
+"""Tests for incremental model refresh over live tables.
+
+``DAnA.refresh_model`` warm-starts a saved model and trains only the heap
+pages stamped past its LSN watermark.  The contracts proven here:
+
+* a refresh with **zero** new rows is a no-op — same version, nothing
+  trained, nothing recorded;
+* train-then-refresh converges to (essentially) the same fit as a full
+  retrain over the grown table, on seeded exact-target data;
+* refresh **cost scales with the new rows**, not with the table size —
+  the warm-start run consumes only the pages past the watermark;
+* watermarks persist through the registry round trip and advance on
+  every refresh;
+* a running :class:`~repro.serving.PredictionServer` hot-swaps to the
+  refreshed version via ``server.reload()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Hyperparameters, LinearRegression
+from repro.core import DAnA
+from repro.exceptions import ConfigurationError
+from repro.obs import Telemetry, enable_telemetry
+from repro.rdbms import Database
+
+N_FEATURES = 4
+TRUE_W = np.array([2.0, -1.0, 0.5, 3.0])
+TABLE = "train"
+UDF = "linreg"
+MODEL = "fit"
+
+
+def _rows(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, N_FEATURES))
+    return np.hstack([X, (X @ TRUE_W)[:, None]])
+
+
+def _system(base_rows: int = 400, epochs: int = 12, record_runs: bool = False):
+    hyper = Hyperparameters(learning_rate=0.05, merge_coefficient=8, epochs=epochs)
+    spec = LinearRegression().build_spec(N_FEATURES, hyper)
+    db = Database(page_size=2048)
+    db.load_table(TABLE, spec.schema, _rows(base_rows, 1))
+    system = DAnA(db, record_runs=record_runs)
+    system.register_udf(UDF, spec, epochs=epochs)
+    return system, spec
+
+
+def _trained_entry(system):
+    run = system.train(UDF, TABLE)
+    return system.save_model(
+        MODEL,
+        UDF,
+        run.models,
+        metadata={"trained_on": TABLE},
+        watermark=run.snapshot_lsn,
+    )
+
+
+class TestNoOp:
+    def test_zero_new_rows_is_a_noop(self):
+        system, _ = _system()
+        entry = _trained_entry(system)
+        result = system.refresh_model(MODEL)
+        assert not result.refreshed
+        assert result.entry.version == entry.version
+        assert result.pages_trained == 0 and result.tuples_trained == 0
+        assert result.run is None
+        assert system.registry.entry(MODEL).version == entry.version
+
+    def test_noop_repeats_after_a_refresh(self):
+        system, _ = _system()
+        _trained_entry(system)
+        system.database.insert_rows(TABLE, _rows(30, 2))
+        refreshed = system.refresh_model(MODEL)
+        assert refreshed.refreshed
+        again = system.refresh_model(MODEL)
+        assert not again.refreshed
+        assert again.entry.version == refreshed.entry.version
+
+    def test_noop_records_no_run(self):
+        system, _ = _system(record_runs=True)
+        _trained_entry(system)
+        before = len(system.run_recorder.runs())
+        system.refresh_model(MODEL)
+        assert len(system.run_recorder.runs()) == before
+
+
+class TestConvergenceParity:
+    def test_refresh_tracks_the_full_retrain_fit(self):
+        """Warm-start over the delta lands near the full-retrain optimum.
+
+        Exact linear target: both the incrementally-refreshed model and a
+        from-scratch retrain over the grown table must recover ``TRUE_W``;
+        the two fits agree within a small tolerance of each other.
+        """
+        system, _ = _system(epochs=20)
+        db = system.database
+        _trained_entry(system)
+        db.insert_rows(TABLE, _rows(120, 5))
+        refreshed = system.refresh_model(MODEL)
+        assert refreshed.refreshed
+        incremental = system.load_model(MODEL)["mo"]
+        full = system.train(UDF, TABLE).models["mo"]
+        np.testing.assert_allclose(incremental, TRUE_W, atol=0.05)
+        np.testing.assert_allclose(full, TRUE_W, atol=0.05)
+        np.testing.assert_allclose(incremental, full, atol=0.1)
+
+    def test_refresh_is_seeded_deterministic(self):
+        """Two identical insert+refresh histories produce identical bits."""
+        models = []
+        for _ in range(2):
+            system, _ = _system()
+            system.database.insert_rows(TABLE, _rows(40, 9))
+            _entry = _trained_entry(system)
+            system.database.insert_rows(TABLE, _rows(25, 10))
+            result = system.refresh_model(MODEL)
+            models.append(result.run.models)
+        for name in models[0]:
+            np.testing.assert_array_equal(models[0][name], models[1][name])
+
+
+class TestCostScaling:
+    def test_refresh_cost_scales_with_new_rows_not_table_size(self):
+        """The warm-start run never touches pages at or before the watermark."""
+        system, _ = _system(base_rows=2000, epochs=4)
+        db = system.database
+        _trained_entry(system)
+        delta = 64
+        db.insert_rows(TABLE, _rows(delta, 6))
+        result = system.refresh_model(MODEL)
+        heap = db.table(TABLE)
+        slack = heap.tuples_per_page()  # a restamped tail page re-trains
+        assert result.tuples_trained <= delta + slack
+        assert result.tuples_trained < heap.tuple_count / 4
+        # The schedule-derived engine work is per-tuple-per-epoch: the
+        # refresh processed only the delta's tuples, not the table's.
+        assert (
+            result.run.engine_stats.tuples_processed
+            == result.tuples_trained * result.run.training.epochs_run
+        )
+
+    def test_refresh_scan_is_pinned_and_advances_the_watermark(self):
+        system, _ = _system()
+        db = system.database
+        entry = _trained_entry(system)
+        assert entry.metadata["lsn_watermark"] == 0  # trained on bulk base
+        db.insert_rows(TABLE, _rows(20, 7))
+        db.insert_rows(TABLE, _rows(20, 8))
+        result = system.refresh_model(MODEL)
+        assert result.watermark == 0
+        assert result.snapshot_lsn == db.wal.current_lsn == 2
+        assert result.entry.metadata["lsn_watermark"] == 2
+        assert result.entry.metadata["refreshed_from"] == entry.version
+        # Registry round trip preserves the watermark.
+        assert system.registry.entry(MODEL).metadata["lsn_watermark"] == 2
+
+
+class TestServingAndObservability:
+    def test_server_hot_swaps_to_the_refreshed_version(self):
+        system, _ = _system()
+        db = system.database
+        entry = _trained_entry(system)
+        server = system.serve(UDF, model_name=MODEL)
+        server.start()
+        try:
+            assert server.model_version == entry.version
+            probe = _rows(1, 11)[0, :N_FEATURES]
+            before = server.predict(probe)
+            db.insert_rows(TABLE, _rows(50, 12))
+            result = system.refresh_model(MODEL, server=server)
+            assert server.model_version == result.entry.version
+            after = server.predict(probe)
+            # Same forward pass, refreshed parameters.
+            expected = system.predict(
+                UDF, probe, model_name=MODEL, version=result.entry.version
+            )
+            np.testing.assert_allclose(after, expected)
+            assert not np.array_equal(before, after)
+        finally:
+            server.stop()
+
+    def test_refresh_records_a_refresh_kind_run(self):
+        system, _ = _system(record_runs=True)
+        db = system.database
+        _trained_entry(system)
+        db.insert_rows(TABLE, _rows(30, 13))
+        result = system.refresh_model(MODEL)
+        runs = [r for r in system.run_recorder.runs() if r["kind"] == "refresh"]
+        assert len(runs) == 1
+        assert runs[0]["label"] == MODEL
+        assert runs[0]["tuples"] == result.tuples_trained
+
+    def test_refresh_emits_its_span(self):
+        system, _ = _system()
+        db = system.database
+        _trained_entry(system)
+        db.insert_rows(TABLE, _rows(10, 14))
+        session = Telemetry()
+        with enable_telemetry(session):
+            system.refresh_model(MODEL)
+        rollup = session.tracer.rollup()
+        assert rollup["core.refresh_model"]["count"] == 1
+        # Inserts run the WAL span too; none happened inside this block.
+        assert "rdbms.wal.append" not in rollup
+
+
+class TestValidation:
+    def test_unknown_model_is_rejected(self):
+        system, _ = _system()
+        with pytest.raises(ConfigurationError):
+            system.refresh_model("nope")
+
+    def test_missing_trained_on_requires_table_name(self):
+        system, _ = _system()
+        run = system.train(UDF, TABLE)
+        system.save_model(MODEL, UDF, run.models, watermark=run.snapshot_lsn)
+        with pytest.raises(ConfigurationError, match="table_name"):
+            system.refresh_model(MODEL)
+        system.database.insert_rows(TABLE, _rows(15, 15))
+        result = system.refresh_model(MODEL, table_name=TABLE)
+        assert result.refreshed
+        # Refresh records trained_on, so the next refresh resolves alone.
+        assert not system.refresh_model(MODEL).refreshed
+
+    def test_model_without_watermark_refreshes_from_lsn_zero(self):
+        """No watermark = LSN 0: every WAL-logged page is new, the bulk
+        base is not (it is the implicit checkpoint)."""
+        system, _ = _system()
+        db = system.database
+        db.insert_rows(TABLE, _rows(35, 16))
+        run = system.train(UDF, TABLE)
+        system.save_model(MODEL, UDF, run.models, metadata={"trained_on": TABLE})
+        result = system.refresh_model(MODEL)
+        assert result.refreshed
+        assert result.watermark == 0
+        assert result.tuples_trained >= 35

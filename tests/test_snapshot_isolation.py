@@ -1,0 +1,335 @@
+"""Snapshot-isolation differential tests for scans and runs over live tables.
+
+Every execution path pins its page walk to the WAL LSN captured when the
+run starts, so concurrent ``INSERT`` traffic must be invisible to it.
+These tests prove that property differentially, against **frozen-copy
+oracles**: a fresh database built from the same bulk-load base with the
+live database's WAL replayed up to the run's snapshot LSN.  Because live
+inserts and replay route the same records through the same apply path,
+the oracle's heap is bit-identical to the snapshot the live run saw — so
+models, predictions and every schedule-derived counter must match
+**exactly**, across all four algorithms, segment counts {1, 2, 4} and
+the lockstep / threads / processes execution strategies.
+
+The compile-before-insert protocol matters: accelerator designs are
+sized for the table's tuple count at compile time and cached per
+(UDF, table), so both the live system and the oracle compile at the
+bulk-load base count before any WAL records exist.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Hyperparameters, get_algorithm
+from repro.core import DAnA
+from repro.data.synthetic import generate_for_algorithm
+from repro.rdbms import Database
+from repro.rdbms.heapfile import decode_page_rows
+from repro.reliability import FaultPlan, FaultSpec, RetryPolicy, inject_faults
+
+ALGOS = ("linear", "logistic", "svm", "lrmf")
+LRMF_TOPOLOGY = (24, 18, 4)
+PAGE_SIZE = 2048
+BASE_TUPLES = 640
+EPOCHS = 3
+TABLE = "train"
+
+
+def _n_features(key: str) -> int:
+    return 4 if key == "lrmf" else 6
+
+
+def _spec(key: str):
+    hyper = Hyperparameters(learning_rate=0.05, merge_coefficient=8, epochs=EPOCHS)
+    topology = LRMF_TOPOLOGY if key == "lrmf" else ()
+    return get_algorithm(key).build_spec(_n_features(key), hyper, topology)
+
+
+def _data(key: str, n_tuples: int, seed: int) -> np.ndarray:
+    return generate_for_algorithm(
+        key, n_tuples, _n_features(key), LRMF_TOPOLOGY, seed=seed
+    )
+
+
+def _insert_batches(key: str, seed: int, sizes=(35, 7, 90, 18)) -> list[np.ndarray]:
+    extra = _data(key, sum(sizes), seed)
+    batches, start = [], 0
+    for size in sizes:
+        batches.append(extra[start : start + size])
+        start += size
+    return batches
+
+
+def _system(key: str, seed: int = 11):
+    """A DAnA system whose design is frozen at the bulk-load base count."""
+    spec = _spec(key)
+    db = Database(page_size=PAGE_SIZE)
+    db.load_table(TABLE, spec.schema, _data(key, BASE_TUPLES, seed))
+    system = DAnA(db)
+    system.register_udf(key, spec, epochs=EPOCHS)
+    system.compile_udf(key, TABLE)
+    return system, spec
+
+
+def _oracle_at(key: str, wal, snapshot_lsn: int, seed: int = 11):
+    """Frozen-copy oracle: same base, same design, WAL replayed to the LSN."""
+    system, spec = _system(key, seed)
+    wal.replay(system.database, up_to_lsn=snapshot_lsn)
+    return system, spec
+
+
+def _models(spec, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.normal(size=np.shape(value))
+        for name, value in spec.initial_models.items()
+    }
+
+
+def _assert_score_identical(live, oracle):
+    np.testing.assert_array_equal(live.predictions, oracle.predictions)
+    assert live.tuples_scored == oracle.tuples_scored
+    assert live.inference_stats == oracle.inference_stats
+    assert live.critical_path_cycles == oracle.critical_path_cycles
+    assert [(s.segment_id, s.pages, s.tuples_scored) for s in live.segments] == [
+        (s.segment_id, s.pages, s.tuples_scored) for s in oracle.segments
+    ]
+
+
+def _assert_train_identical(live, oracle):
+    assert set(live.models) == set(oracle.models)
+    for name in live.models:
+        np.testing.assert_array_equal(live.models[name], oracle.models[name])
+    assert live.tuples_extracted == oracle.tuples_extracted
+    assert live.engine_stats == oracle.engine_stats
+    assert live.access_stats == oracle.access_stats
+
+
+# ---------------------------------------------------------------------- #
+# storage-level snapshot property
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_scan_sees_exactly_the_pre_lsn_rows(seed):
+    """Random insert/snapshot interleavings: every snapshot stays frozen.
+
+    A snapshot captured at LSN ``s`` is the table's *live* contents at
+    capture time; after any number of later inserts, an as-of-``s`` scan
+    must still return exactly those rows — no more, no fewer, bit-equal.
+    """
+    rng = np.random.default_rng(seed)
+    spec = _spec("linear")
+    db = Database(page_size=1024)
+    db.load_table(TABLE, spec.schema, _data("linear", 80, seed))
+    heap = db.table(TABLE)
+    frozen = {db.wal.current_lsn: heap.read_all(db.buffer_pool)}
+    for _step in range(30):
+        if rng.random() < 0.6:
+            batch = _data("linear", int(rng.integers(1, 25)), int(rng.integers(1e6)))
+            db.insert_rows(TABLE, batch)
+        else:
+            frozen[db.wal.current_lsn] = heap.read_all(db.buffer_pool)
+        # Every snapshot captured so far must still read back unchanged.
+        s = list(frozen)[int(rng.integers(len(frozen)))]
+        np.testing.assert_array_equal(
+            heap.read_all(db.buffer_pool, as_of_lsn=s), frozen[s]
+        )
+    for s, rows in frozen.items():
+        got = heap.read_all(db.buffer_pool, as_of_lsn=s)
+        np.testing.assert_array_equal(got, rows)
+        assert len(got) == heap.tuple_count_as_of(s)
+
+
+def test_midscan_inserts_do_not_perturb_a_snapshot_scan():
+    """Inserts landing *between page pulls* of an as-of scan are invisible.
+
+    The tail page the scan has not reached yet is overwritten by the
+    insert; the scan must be served its pre-image from the copy-on-write
+    version store and decode exactly the pre-insert rows.
+    """
+    spec = _spec("linear")
+    db = Database(page_size=1024)
+    db.load_table(TABLE, spec.schema, _data("linear", 80, 3))
+    heap = db.table(TABLE)
+    snapshot = db.wal.current_lsn
+    expected = heap.read_all(db.buffer_pool)
+    scan = heap.scan_pages(db.buffer_pool, as_of_lsn=snapshot)
+    first = next(scan)
+    for batch in _insert_batches("linear", 9):
+        db.insert_rows(TABLE, batch)
+    images = [first] + list(scan)
+    assert len(images) == heap.page_count_as_of(snapshot) < heap.page_count
+    rows = np.vstack(
+        [decode_page_rows(image, heap.layout, heap.schema) for _no, image in images]
+    )
+    np.testing.assert_array_equal(rows, expected)
+
+
+# ---------------------------------------------------------------------- #
+# score_table vs the frozen-copy oracle
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("key", ALGOS)
+@pytest.mark.parametrize("segments", [1, 2, 4])
+def test_score_after_growth_matches_frozen_copy_oracle(key, segments):
+    """Threaded scan-and-score over a grown table == oracle at its LSN."""
+    system, spec = _system(key)
+    db = system.database
+    models = _models(spec)
+    snapshots = []
+    for batch in _insert_batches(key, 21):
+        result = system.score_table(
+            key, TABLE, models=models, segments=segments, execution="threads"
+        )
+        snapshots.append(result)
+        db.insert_rows(TABLE, batch)
+    final = system.score_table(
+        key, TABLE, models=models, segments=segments, execution="threads"
+    )
+    snapshots.append(final)
+    lsns = [r.snapshot_lsn for r in snapshots]
+    assert lsns == sorted(set(lsns)), "each round pinned a fresh, later LSN"
+    for result in snapshots:
+        oracle_sys, _ = _oracle_at(key, db.wal, result.snapshot_lsn)
+        oracle = oracle_sys.score_table(
+            key, TABLE, models=models, segments=segments, execution="threads"
+        )
+        _assert_score_identical(result, oracle)
+        assert result.tuples_scored == db.table(TABLE).tuple_count_as_of(
+            result.snapshot_lsn
+        )
+
+
+@pytest.mark.parametrize("segments", [1, 2, 4])
+def test_score_processes_after_growth_matches_frozen_copy_oracle(segments):
+    """Process-parallel scoring over shared memory is pinned the same way."""
+    key = "linear"
+    system, spec = _system(key)
+    db = system.database
+    models = _models(spec)
+    for batch in _insert_batches(key, 33):
+        db.insert_rows(TABLE, batch)
+    live = system.score_table(
+        key, TABLE, models=models, segments=segments, execution="processes"
+    )
+    oracle_sys, _ = _oracle_at(key, db.wal, live.snapshot_lsn)
+    oracle = oracle_sys.score_table(
+        key, TABLE, models=models, segments=segments, execution="threads"
+    )
+    _assert_score_identical(live, oracle)
+
+
+def test_concurrent_inserts_during_threaded_score():
+    """A writer thread hammers inserts while score runs; each run is
+    bit-identical to the oracle at the LSN it actually pinned."""
+    key = "linear"
+    system, spec = _system(key)
+    db = system.database
+    models = _models(spec)
+
+    def writer():
+        rng = np.random.default_rng(77)
+        for i in range(40):
+            db.insert_rows(TABLE, _data(key, int(rng.integers(1, 9)), 1000 + i))
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        results = [
+            system.score_table(key, TABLE, models=models, segments=2)
+            for _ in range(4)
+        ]
+    finally:
+        thread.join()
+    for result in results:
+        oracle_sys, _ = _oracle_at(key, db.wal, result.snapshot_lsn)
+        oracle = oracle_sys.score_table(key, TABLE, models=models, segments=2)
+        _assert_score_identical(result, oracle)
+
+
+@pytest.mark.chaos
+def test_stream_score_producer_restart_rewalks_the_pinned_snapshot():
+    """A BatchSource producer restart re-walks the *pinned* image list.
+
+    The chunk cache a restart rebuilds must come from the scan's snapshot,
+    not the live (grown) heap — the restarted run stays bit-identical to
+    both a fault-free run and the frozen-copy oracle.
+    """
+    key = "linear"
+    system, spec = _system(key)
+    db = system.database
+    models = _models(spec)
+    for batch in _insert_batches(key, 13):
+        db.insert_rows(TABLE, batch)
+    plain = system.score_table(key, TABLE, models=models, segments=1, stream=True)
+    plan = FaultPlan([FaultSpec(site="runtime.batch_source.producer", call=1)])
+    with inject_faults(plan) as injector:
+        retried = system.score_table(
+            key,
+            TABLE,
+            models=models,
+            segments=1,
+            stream=True,
+            retry=RetryPolicy(max_attempts=3),
+        )
+    assert [f.site for f in injector.fired] == ["runtime.batch_source.producer"]
+    assert retried.retry.retries >= 1
+    _assert_score_identical(retried, plain)
+    oracle_sys, _ = _oracle_at(key, db.wal, retried.snapshot_lsn)
+    oracle = oracle_sys.score_table(key, TABLE, models=models, segments=1)
+    np.testing.assert_array_equal(retried.predictions, oracle.predictions)
+
+
+# ---------------------------------------------------------------------- #
+# training vs the frozen-copy oracle
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("key", ALGOS)
+@pytest.mark.parametrize("segments", [1, 2, 4])
+@pytest.mark.parametrize("execution", ["lockstep", "threads"])
+def test_train_after_growth_matches_frozen_copy_oracle(key, segments, execution):
+    """Sharded training over a grown table == training the oracle copy."""
+    if key == "lrmf" and execution == "lockstep":
+        pytest.skip("lrmf rejects the lockstep executor (ragged updates)")
+    if segments == 1 and execution == "lockstep":
+        pytest.skip("lockstep requires at least two segments")
+    system, _spec_ = _system(key)
+    db = system.database
+    for batch in _insert_batches(key, 29):
+        db.insert_rows(TABLE, batch)
+    live = system.train(key, TABLE, segments=segments, execution=execution, seed=7)
+    assert live.snapshot_lsn == db.wal.current_lsn
+    oracle_sys, _ = _oracle_at(key, db.wal, live.snapshot_lsn)
+    oracle = oracle_sys.train(
+        key, TABLE, segments=segments, execution=execution, seed=7
+    )
+    _assert_train_identical(live, oracle)
+
+
+def test_train_single_engine_after_growth_matches_oracle():
+    """The unsharded (segments=None) path pins its scan identically."""
+    key = "logistic"
+    system, _ = _system(key)
+    db = system.database
+    for batch in _insert_batches(key, 41):
+        db.insert_rows(TABLE, batch)
+    live = system.train(key, TABLE)
+    oracle_sys, _ = _oracle_at(key, db.wal, live.snapshot_lsn)
+    oracle = oracle_sys.train(key, TABLE)
+    _assert_train_identical(live, oracle)
+
+
+def test_train_processes_after_growth_matches_oracle():
+    """Process-parallel training rebuilds the compile-time design in the
+    children (from the binary's recorded tuple count), so a grown catalog
+    cannot drift the design — models and counters match the oracle."""
+    key = "linear"
+    system, _ = _system(key)
+    db = system.database
+    for batch in _insert_batches(key, 55):
+        db.insert_rows(TABLE, batch)
+    live = system.train(key, TABLE, segments=2, execution="processes", seed=3)
+    oracle_sys, _ = _oracle_at(key, db.wal, live.snapshot_lsn)
+    oracle = oracle_sys.train(key, TABLE, segments=2, execution="threads", seed=3)
+    _assert_train_identical(live, oracle)

@@ -1,0 +1,175 @@
+"""Crash-recovery torture tests for the write-ahead log.
+
+The writer is killed (via the ``rdbms.wal.append`` fault site, which
+fires once *before* a record becomes durable and once *after* durability
+but before the heap apply) at **every** WAL-record boundary of a fixed
+insert workload.  After each simulated crash the surviving log is
+replayed into a fresh database and the recovered heap must be
+**bit-identical** — page images, tuple counts, WAL position — to a
+never-crashed oracle that executed exactly the durable prefix.  The
+recovered database then finishes the workload and must land bit-identical
+to the full-workload oracle, proving recovery is not a dead end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RDBMSError, TransientError
+from repro.rdbms import Database, Schema, WAL_APPEND_FAULT_SITE
+from repro.reliability import FaultPlan, FaultSpec, inject_faults
+
+N_FEATURES = 3
+SCHEMA = Schema.training_schema(N_FEATURES)
+TABLE = "live"
+PAGE_SIZE = 1024
+BASE_ROWS = 60
+#: per-record insert sizes; chosen to exercise tail-page fills, multi-page
+#: spills and single-row records.
+BATCH_SIZES = (5, 1, 40, 13, 2, 60, 7)
+
+
+def _workload() -> list[np.ndarray]:
+    """The deterministic insert batches every test replays."""
+    rng = np.random.default_rng(7)
+    return [
+        rng.normal(size=(size, N_FEATURES + 1)).astype(np.float64)
+        for size in BATCH_SIZES
+    ]
+
+
+def _fresh_db() -> Database:
+    """A new database holding only the bulk-loaded (LSN 0) base table."""
+    rng = np.random.default_rng(3)
+    db = Database(page_size=PAGE_SIZE)
+    db.load_table(TABLE, SCHEMA, rng.normal(size=(BASE_ROWS, N_FEATURES + 1)))
+    return db
+
+
+def _digest(db: Database) -> str:
+    """SHA-256 over every live page image + tuple count + WAL position."""
+    heapfile = db.table(TABLE)
+    h = hashlib.sha256()
+    for page_no, image in heapfile.scan_pages(db.buffer_pool):
+        h.update(page_no.to_bytes(8, "little"))
+        h.update(bytes(image))
+    h.update(heapfile.tuple_count.to_bytes(8, "little"))
+    h.update(db.catalog.table(TABLE).tuple_count.to_bytes(8, "little"))
+    h.update(db.wal.current_lsn.to_bytes(8, "little"))
+    return h.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def oracle_digests() -> list[str]:
+    """Digest of the never-crashed database after each durable prefix.
+
+    ``oracle_digests[m]`` is the state after the first ``m`` workload
+    records — the exact state recovery must reproduce when ``m`` records
+    survived the crash.
+    """
+    db = _fresh_db()
+    digests = [_digest(db)]
+    for batch in _workload():
+        db.insert_rows(TABLE, batch)
+        digests.append(_digest(db))
+    return digests
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("crash_call", range(1, 2 * len(BATCH_SIZES) + 1))
+def test_crash_at_every_wal_boundary(crash_call, oracle_digests):
+    """Kill at boundary ``crash_call``; replay must be bit-identical.
+
+    Odd calls crash *before* the record is durable (the record is lost);
+    even calls crash *after* durability but before the heap apply (replay
+    recovers it).  Either way the durable prefix is ``crash_call // 2``
+    records, and recovery must reproduce the oracle at that prefix.
+    """
+    batches = _workload()
+    db = _fresh_db()
+    plan = FaultPlan([FaultSpec(site=WAL_APPEND_FAULT_SITE, call=crash_call)])
+    crashed_at = None
+    with inject_faults(plan) as injector:
+        for i, batch in enumerate(batches):
+            try:
+                db.insert_rows(TABLE, batch)
+            except TransientError:
+                crashed_at = i
+                break
+    assert crashed_at is not None, "every boundary lies inside the workload"
+    assert [f.site for f in injector.fired] == [WAL_APPEND_FAULT_SITE]
+
+    durable = crash_call // 2
+    assert db.wal.current_lsn == durable
+
+    # Recovery: fresh database + the same bulk-load base (the implicit
+    # LSN-0 checkpoint) + replay of the surviving log.
+    recovered = _fresh_db()
+    replayed = db.wal.replay(recovered)
+    assert replayed == durable
+    assert _digest(recovered) == oracle_digests[durable]
+
+    # The recovered database is live, not a read-only artifact: re-submit
+    # the lost tail of the workload and land on the full-workload oracle.
+    for batch in batches[durable:]:
+        recovered.insert_rows(TABLE, batch)
+    assert _digest(recovered) == oracle_digests[-1]
+
+
+@pytest.mark.chaos
+def test_post_durability_crash_loses_no_rows(oracle_digests):
+    """A crash after durability keeps the record: replay applies it."""
+    batches = _workload()
+    db = _fresh_db()
+    # Call 2 = after record 1 became durable, before its heap apply.
+    with inject_faults(FaultPlan([FaultSpec(site=WAL_APPEND_FAULT_SITE, call=2)])):
+        with pytest.raises(TransientError):
+            db.insert_rows(TABLE, batches[0])
+    assert db.wal.current_lsn == 1  # durable
+    recovered = _fresh_db()
+    db.wal.replay(recovered)
+    assert _digest(recovered) == oracle_digests[1]
+    assert recovered.table(TABLE).tuple_count == BASE_ROWS + BATCH_SIZES[0]
+
+
+def test_replay_routes_through_the_live_apply_path(oracle_digests):
+    """Replaying a healthy database's full log is bit-identical to it."""
+    db = _fresh_db()
+    for batch in _workload():
+        db.insert_rows(TABLE, batch)
+    recovered = _fresh_db()
+    assert db.wal.replay(recovered) == len(BATCH_SIZES)
+    assert _digest(recovered) == _digest(db) == oracle_digests[-1]
+    rows_live = db.table(TABLE).read_all(db.buffer_pool)
+    rows_recovered = recovered.table(TABLE).read_all(recovered.buffer_pool)
+    np.testing.assert_array_equal(rows_live, rows_recovered)
+
+
+def test_partial_replay_reproduces_each_prefix(oracle_digests):
+    """``replay(up_to_lsn=m)`` reproduces the oracle at prefix ``m``."""
+    db = _fresh_db()
+    for batch in _workload():
+        db.insert_rows(TABLE, batch)
+    for m in range(len(BATCH_SIZES) + 1):
+        recovered = _fresh_db()
+        assert db.wal.replay(recovered, up_to_lsn=m) == m
+        assert _digest(recovered) == oracle_digests[m]
+
+
+def test_wal_lsns_are_contiguous_from_one():
+    db = _fresh_db()
+    records = [db.insert_rows(TABLE, batch) for batch in _workload()]
+    assert [r.lsn for r in records] == list(range(1, len(BATCH_SIZES) + 1))
+    assert db.wal.current_lsn == len(BATCH_SIZES)
+    assert [r.row_count for r in db.wal.records()] == list(BATCH_SIZES)
+
+
+def test_bulk_load_is_forbidden_after_wal_mutation():
+    """The implicit checkpoint contract: bulk loads precede all WAL writes."""
+    db = _fresh_db()
+    db.insert_rows(TABLE, [[1.0] * (N_FEATURES + 1)])
+    with pytest.raises(RDBMSError):
+        db.table(TABLE).bulk_load([[2.0] * (N_FEATURES + 1)])
